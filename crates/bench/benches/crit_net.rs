@@ -1,0 +1,51 @@
+//! E12c — wall-clock of the bare engine (Criterion): cycle overhead per
+//! barrier round, message throughput, partial-sums round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcb_algos::partial_sums::{partial_sums_in, Op};
+use mcb_net::{ChanId, Network};
+use std::time::Duration;
+
+fn bench_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for &p in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("idle_100_cycles", p), &p, |b, &p| {
+            b.iter(|| {
+                Network::new(p, p)
+                    .run(|ctx: &mut mcb_net::ProcCtx<'_, u64>| ctx.idle_for(100))
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("allchannel_100_cycles", p), &p, |b, &p| {
+            b.iter(|| {
+                Network::new(p, p)
+                    .run(|ctx| {
+                        let me = ctx.id().index();
+                        let chan = ChanId::from_index(me);
+                        for t in 0..100u64 {
+                            ctx.cycle(Some((chan, t)), Some(chan));
+                        }
+                    })
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("partial_sums", p), &p, |b, &p| {
+            b.iter(|| {
+                Network::new(p, (p / 2).max(1))
+                    .run(|ctx| {
+                        let v = ctx.id().index() as u64;
+                        partial_sums_in(ctx, v, Op::Add, &|x| x, &|m: u64| m).mine
+                    })
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

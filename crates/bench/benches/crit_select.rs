@@ -1,0 +1,26 @@
+//! E12b — wall-clock of the simulator selecting (Criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcb_algos::select::{select_by_sorting, select_rank};
+use mcb_workloads::{distributions, rng};
+use std::time::Duration;
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[256usize, 1024] {
+        let pl = distributions::even(8, n, &mut rng(1300 + n as u64));
+        group.bench_with_input(BenchmarkId::new("filtering_p8_k4", n), &pl, |b, pl| {
+            b.iter(|| select_rank(4, pl.lists().to_vec(), n / 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_p8_k4", n), &pl, |b, pl| {
+            b.iter(|| select_by_sorting(4, pl.lists().to_vec(), n / 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E12a — wall-clock of the simulator sorting (Criterion).
+//!
+//! Not a model-cost experiment (those are the tab_* targets): this times
+//! the simulator itself, so regressions in the engine or schedules show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcb_algos::sort::{sort_grouped, sort_virtual};
+use mcb_workloads::{distributions, rng};
+use std::time::Duration;
+
+fn bench_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sort");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for &n in &[128usize, 512] {
+        let pl = distributions::even(8, n, &mut rng(1200 + n as u64));
+        group.bench_with_input(BenchmarkId::new("grouped_p8_k4", n), &pl, |b, pl| {
+            b.iter(|| sort_grouped(4, pl.lists().to_vec()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("virtual_d1_p8_k4", n), &pl, |b, pl| {
+            b.iter(|| sort_virtual(4, pl.lists().to_vec(), 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sort);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E9 — the Partial-Sums algorithm (§7.1).
+//!
+//! Claim: `O(p/k + log k)` cycles (with the exchange pass, `O(p/k + log p)`)
+//! and `O(p)` messages. Sweep p and k and print measured vs the formula.
+
+use mcb_algos::partial_sums::{partial_sums_cycles, partial_sums_in, Op};
+use mcb_bench::{ratio, Table};
+use mcb_net::Network;
+
+fn main() {
+    println!("# E9 — Partial-Sums cycles and messages\n");
+    let mut t = Table::new(
+        "tab_partial_sums",
+        "Partial-Sums: measured == formula; cycles = O(p/k + log p), messages = O(p)",
+        &[
+            "p",
+            "k",
+            "cycles",
+            "formula",
+            "p/k + log2 p",
+            "messages",
+            "msgs/p",
+        ],
+    );
+    for &p in &[4usize, 8, 16, 32, 64] {
+        for &k in &[1usize, 2, 4, 8] {
+            if k > p {
+                continue;
+            }
+            let report = Network::new(p, k)
+                .run(move |ctx| {
+                    let v = ctx.id().index() as u64 + 1;
+                    let s = partial_sums_in(ctx, v, Op::Add, &|x| x, &|m: u64| m);
+                    // While here, verify the prefix-sum identity.
+                    let i = ctx.id().index() as u64;
+                    assert_eq!(s.mine, (i + 1) * (i + 2) / 2);
+                    s.mine
+                })
+                .expect("partial sums run");
+            let asymptote = p as f64 / k as f64 + (p as f64).log2();
+            t.row(vec![
+                p.to_string(),
+                k.to_string(),
+                report.metrics.cycles.to_string(),
+                partial_sums_cycles(p, k).to_string(),
+                format!("{asymptote:.1}"),
+                report.metrics.messages.to_string(),
+                ratio(report.metrics.messages, p as f64),
+            ]);
+            assert_eq!(report.metrics.cycles, partial_sums_cycles(p, k));
+        }
+    }
+    t.emit();
+    println!(
+        "paper: \"The total number of cycles is therefore O(p/k + log k). The total\n\
+         number of messages is clearly O(p).\" (§7.1)"
+    );
+}

@@ -1,0 +1,86 @@
+//! E4 — the small-input regime and the §6.2 recursion (Corollary 5).
+//!
+//! When `n < k²(k-1)` the grouped algorithm must fall back to fewer
+//! columns (§5.2), losing cycle parallelism; the recursive virtual-column
+//! scheme recovers it by letting every level share all `k` channels.
+//! Sweep `n` downward at fixed `p`, `k` and compare.
+
+use mcb_algos::columnsort::choose_columns;
+use mcb_algos::sort::{sort_grouped, sort_virtual, verify_sorted};
+use mcb_bench::{ratio, Table};
+use mcb_workloads::{distributions, rng};
+
+fn main() {
+    println!("# E4 — small inputs: few-column fallback vs recursion\n");
+    let (p, k) = (16usize, 8usize);
+    let mut t = Table::new(
+        "tab_sort_smalln",
+        format!(
+            "p = {p}, k = {k}; k²(k-1) = {}: below it the fallback loses parallelism",
+            k * k * (k - 1)
+        ),
+        &[
+            "n",
+            "k_eff",
+            "grouped cyc",
+            "virt d=1 cyc",
+            "virt d=2 cyc",
+            "best/(n/k)",
+            "grouped/(n/k)",
+        ],
+    );
+    for &n in &[64usize, 128, 256, 448, 1024, 2048, 4096] {
+        let pl = distributions::even(p, n, &mut rng(400 + n as u64));
+        let grouped = sort_grouped(k, pl.lists().to_vec()).expect("grouped");
+        verify_sorted(pl.lists(), &grouped.lists).expect("postcondition");
+        let v1 = sort_virtual(k, pl.lists().to_vec(), 1).expect("virtual d=1");
+        verify_sorted(pl.lists(), &v1.lists).expect("postcondition");
+        let v2 = sort_virtual(k, pl.lists().to_vec(), 2).expect("virtual d=2");
+        verify_sorted(pl.lists(), &v2.lists).expect("postcondition");
+        let best = grouped
+            .metrics
+            .cycles
+            .min(v1.metrics.cycles)
+            .min(v2.metrics.cycles);
+        t.row(vec![
+            n.to_string(),
+            choose_columns(n, k).to_string(),
+            grouped.metrics.cycles.to_string(),
+            v1.metrics.cycles.to_string(),
+            v2.metrics.cycles.to_string(),
+            ratio(best, n as f64 / k as f64),
+            ratio(grouped.metrics.cycles, n as f64 / k as f64),
+        ]);
+    }
+    t.emit();
+    println!(
+        "shape reproduced: grouped/(n/k) grows as n drops below k²(k-1) = {} —\n\
+         exactly the §5.2 suboptimal regime the recursion targets. At these\n\
+         simulator scales the virtual/recursive variants carry a 2M-cycle\n\
+         Rank-Sort constant per base column and do not yet overtake the\n\
+         fallback; Corollary 5's win is asymptotic in k (see the cost-model\n\
+         comparison below, evaluated without simulation).",
+        k * k * (k - 1)
+    );
+
+    // Cost-model extrapolation: rec_cycles is a pure function, so the
+    // asymptotic behaviour can be tabulated at scales the threaded
+    // simulator cannot reach.
+    let mut t = Table::new(
+        "tab_sort_smalln_model",
+        "Cost model at p = 256, k = 64 (no simulation): flat Rank-Sort vs one-level recursion",
+        &["n", "depth 0 cycles", "depth 1 cycles", "speedup"],
+    );
+    for &n in &[16384usize, 65536, 262144] {
+        let b = n / 256;
+        let d0 = mcb_algos::sort::rec_cycles(b, 256, 64, 0);
+        let d1 = mcb_algos::sort::rec_cycles(b, 256, 64, 1);
+        t.row(vec![
+            n.to_string(),
+            d0.to_string(),
+            d1.to_string(),
+            format!("{:.1}", d0 as f64 / d1 as f64),
+        ]);
+    }
+    t.emit();
+}

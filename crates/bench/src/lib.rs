@@ -1,0 +1,141 @@
+//! # mcb-bench — the experiment harness
+//!
+//! One bench target per table/figure of the paper (see DESIGN.md §4 for
+//! the experiment index). Targets named `tab_*` / `fig_*` are plain
+//! binaries (`harness = false`) that deterministically regenerate their
+//! artifact — run them all with `cargo bench`, or one with
+//! `cargo bench --bench tab_select`. Targets named `crit_*` are Criterion
+//! wall-clock benchmarks of the simulator itself.
+//!
+//! Every table is printed to stdout *and* written as CSV under
+//! `target/experiments/`, so EXPERIMENTS.md rows can be re-derived
+//! mechanically.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A printable, CSV-exportable experiment table.
+pub struct Table {
+    name: &'static str,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table; `name` becomes the CSV filename.
+    pub fn new(name: &'static str, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            name,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringify with `format!`).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout and write `target/experiments/<name>.csv`.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        // Resolve against the workspace target dir regardless of the cwd
+        // cargo bench uses for bench binaries.
+        let dir = std::env::var("CARGO_TARGET_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("..")
+                    .join("..")
+                    .join("target")
+            })
+            .join("experiments");
+        if fs::create_dir_all(&dir).is_ok() {
+            let mut csv = self.headers.join(",") + "\n";
+            for row in &self.rows {
+                csv.push_str(&row.join(","));
+                csv.push('\n');
+            }
+            let path = dir.join(format!("{}.csv", self.name));
+            if fs::write(&path, csv).is_ok() {
+                println!("[csv written to {}]\n", path.display());
+            }
+        }
+    }
+}
+
+/// Format a ratio to two decimals (the "measured / bound" columns).
+pub fn ratio(measured: u64, bound: f64) -> String {
+    if bound == 0.0 {
+        "-".into()
+    } else {
+        format!("{:.2}", measured as f64 / bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t", "Demo", &["a", "long_header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["333".into(), "4".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("long_header"));
+        assert_eq!(s.lines().count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "Demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(10, 4.0), "2.50");
+        assert_eq!(ratio(10, 0.0), "-");
+    }
+}

@@ -1,0 +1,219 @@
+//! Column-major matrices: Columnsort's data layout.
+//!
+//! The paper views the input "as a matrix of size m × k, or alternatively,
+//! as a set of k columns of length m" (§5.1), where column `i` lives on
+//! processor `P_i`. Positions are addressed `(col, row)` and the matrix is
+//! linearized **column-major** (lexicographic by (column, row)), which is
+//! the order the shift transformations and the final sorted order refer to.
+
+/// A dense `m × k` matrix stored as `k` columns of length `m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix<T> {
+    cols: Vec<Vec<T>>,
+    rows: usize,
+}
+
+impl<T> Matrix<T> {
+    /// Build from columns; all columns must share one length `m >= 1`.
+    pub fn from_columns(cols: Vec<Vec<T>>) -> Self {
+        assert!(!cols.is_empty(), "matrix needs at least one column");
+        let rows = cols[0].len();
+        assert!(rows > 0, "columns must be nonempty");
+        assert!(
+            cols.iter().all(|c| c.len() == rows),
+            "all columns must have equal length"
+        );
+        Matrix { cols, rows }
+    }
+
+    /// Build from the column-major linear order.
+    pub fn from_linear(items: Vec<T>, rows: usize) -> Self {
+        assert!(
+            rows > 0 && items.len().is_multiple_of(rows),
+            "length must be m*k"
+        );
+        let mut cols = Vec::with_capacity(items.len() / rows);
+        let mut it = items.into_iter();
+        while let Some(first) = it.next() {
+            let mut col = Vec::with_capacity(rows);
+            col.push(first);
+            for _ in 1..rows {
+                col.push(it.next().expect("length checked"));
+            }
+            cols.push(col);
+        }
+        Matrix { cols, rows }
+    }
+
+    /// Number of rows `m` (column length).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns `k`.
+    pub fn cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Total elements `m * k`.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols()
+    }
+
+    /// True when the matrix holds no elements (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element at `(col, row)`.
+    pub fn get(&self, col: usize, row: usize) -> &T {
+        &self.cols[col][row]
+    }
+
+    /// Mutable element at `(col, row)`.
+    pub fn get_mut(&mut self, col: usize, row: usize) -> &mut T {
+        &mut self.cols[col][row]
+    }
+
+    /// Column `c` as a slice.
+    pub fn column(&self, c: usize) -> &[T] {
+        &self.cols[c]
+    }
+
+    /// Column `c` as a mutable slice.
+    pub fn column_mut(&mut self, c: usize) -> &mut [T] {
+        &mut self.cols[c]
+    }
+
+    /// Borrow all columns.
+    pub fn columns(&self) -> &[Vec<T>] {
+        &self.cols
+    }
+
+    /// Consume into columns.
+    pub fn into_columns(self) -> Vec<Vec<T>> {
+        self.cols
+    }
+
+    /// Column-major linear index of `(col, row)`.
+    pub fn linear_index(&self, col: usize, row: usize) -> usize {
+        col * self.rows + row
+    }
+
+    /// `(col, row)` of a column-major linear index.
+    pub fn position(&self, idx: usize) -> (usize, usize) {
+        (idx / self.rows, idx % self.rows)
+    }
+
+    /// The column-major linearization.
+    pub fn to_linear(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for c in &self.cols {
+            out.extend(c.iter().cloned());
+        }
+        out
+    }
+
+    /// Apply a position permutation: the element at source position `q`
+    /// (column-major) moves to position `perm(q)`. `perm` must be a
+    /// bijection on `0..m*k` (checked in debug builds).
+    pub fn permute(&self, perm: impl Fn(usize) -> usize) -> Matrix<T>
+    where
+        T: Clone,
+    {
+        let n = self.len();
+        let mut out: Vec<Option<T>> = vec![None; n];
+        for q in 0..n {
+            let (c, r) = self.position(q);
+            let tgt = perm(q);
+            debug_assert!(tgt < n, "permutation target {tgt} out of range");
+            debug_assert!(out[tgt].is_none(), "permutation is not injective at {tgt}");
+            out[tgt] = Some(self.get(c, r).clone());
+        }
+        Matrix::from_linear(
+            out.into_iter()
+                .map(|x| x.expect("permutation is surjective"))
+                .collect(),
+            self.rows,
+        )
+    }
+}
+
+impl<T: std::fmt::Display> Matrix<T> {
+    /// Render row-by-row (for Figure 1 style output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols() {
+                let _ = write!(s, "{:>5}", self.get(c, r));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix<u64> {
+        // Columns: [1,2,3], [4,5,6] -> m=3, k=2.
+        Matrix::from_columns(vec![vec![1, 2, 3], vec![4, 5, 6]])
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.len(), 6);
+        assert_eq!(*m.get(1, 2), 6);
+    }
+
+    #[test]
+    fn linear_round_trip() {
+        let m = sample();
+        let lin = m.to_linear();
+        assert_eq!(lin, vec![1, 2, 3, 4, 5, 6]);
+        let m2 = Matrix::from_linear(lin, 3);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn linear_index_and_position_invert() {
+        let m = sample();
+        for q in 0..m.len() {
+            let (c, r) = m.position(q);
+            assert_eq!(m.linear_index(c, r), q);
+        }
+    }
+
+    #[test]
+    fn permute_identity_and_reverse() {
+        let m = sample();
+        assert_eq!(m.permute(|q| q), m);
+        let n = m.len();
+        let rev = m.permute(|q| n - 1 - q);
+        assert_eq!(rev.to_linear(), vec![6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_columns_rejected() {
+        let _ = Matrix::from_columns(vec![vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn render_is_row_major() {
+        let m = sample();
+        let s = m.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('1') && lines[0].contains('4'));
+    }
+}

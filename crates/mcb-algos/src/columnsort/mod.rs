@@ -1,0 +1,228 @@
+//! Leighton's Columnsort (§5.1), as a pure in-memory algorithm.
+//!
+//! Columnsort sorts an `m × k` matrix into **descending column-major
+//! order** via eight phases alternating local column sorts with the four
+//! fixed [`Transform`]s:
+//!
+//! | Phase | Action                      |
+//! |-------|-----------------------------|
+//! | 1     | sort each column            |
+//! | 2     | transpose                   |
+//! | 3     | sort each column            |
+//! | 4     | un-diagonalize              |
+//! | 5     | sort each column            |
+//! | 6     | up-shift                    |
+//! | 7     | sort each column **except column 1** |
+//! | 8     | down-shift                  |
+//!
+//! The paper's circular-shift variant is used: phase 6 wraps the tail of
+//! the linear list to the head of column 1, and because both the wrapped
+//! block and the remainder of column 1 are individually sorted already,
+//! column 1 can skip phase 7 entirely (the wrapped elements simply return
+//! to column k in phase 8).
+//!
+//! This pure version is the specification that the distributed
+//! implementations in [`crate::sort`] are tested against, and the engine
+//! for Figure 1's worked example.
+
+pub mod matrix;
+pub mod params;
+pub mod transforms;
+
+pub use matrix::Matrix;
+pub use params::{
+    check_shape, choose_columns, min_column_length, padded_column_length, ShapeError,
+};
+pub use transforms::{Transform, ALL_TRANSFORMS};
+
+use crate::local::sort_desc;
+
+/// One Columnsort phase, for step-by-step drivers (Figure 1, traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Sort every column descending (phases 1, 3, 5).
+    SortColumns,
+    /// Sort every column except column 1 (phase 7).
+    SortColumnsExceptFirst,
+    /// Apply a matrix transformation (phases 2, 4, 6, 8).
+    Apply(Transform),
+}
+
+/// The eight phases in order.
+pub const PHASES: [Phase; 8] = [
+    Phase::SortColumns,
+    Phase::Apply(Transform::Transpose),
+    Phase::SortColumns,
+    Phase::Apply(Transform::UnDiagonalize),
+    Phase::SortColumns,
+    Phase::Apply(Transform::UpShift),
+    Phase::SortColumnsExceptFirst,
+    Phase::Apply(Transform::DownShift),
+];
+
+/// Apply one phase.
+pub fn apply_phase<T: Ord + Clone>(matrix: &Matrix<T>, phase: Phase) -> Matrix<T> {
+    match phase {
+        Phase::SortColumns => {
+            let mut out = matrix.clone();
+            for c in 0..out.cols() {
+                sort_desc(out.column_mut(c));
+            }
+            out
+        }
+        Phase::SortColumnsExceptFirst => {
+            let mut out = matrix.clone();
+            for c in 1..out.cols() {
+                sort_desc(out.column_mut(c));
+            }
+            out
+        }
+        Phase::Apply(tf) => tf.apply(matrix),
+    }
+}
+
+/// Run all eight phases; returns the sorted matrix.
+///
+/// Errors when the shape violates `m >= k(k-1)` or `k ∤ m` (§5.1).
+pub fn columnsort<T: Ord + Clone>(matrix: &Matrix<T>) -> Result<Matrix<T>, ShapeError> {
+    check_shape(matrix.rows(), matrix.cols())?;
+    let mut m = matrix.clone();
+    for phase in PHASES {
+        m = apply_phase(&m, phase);
+    }
+    Ok(m)
+}
+
+/// Run all eight phases, yielding every intermediate matrix (the input at
+/// index 0, the phase-`i` output at index `i`). Figure 1's generator.
+pub fn columnsort_trace<T: Ord + Clone>(matrix: &Matrix<T>) -> Result<Vec<Matrix<T>>, ShapeError> {
+    check_shape(matrix.rows(), matrix.cols())?;
+    let mut states = Vec::with_capacity(PHASES.len() + 1);
+    states.push(matrix.clone());
+    for phase in PHASES {
+        let next = apply_phase(states.last().unwrap(), phase);
+        states.push(next);
+    }
+    Ok(states)
+}
+
+/// True when `matrix` is in descending column-major order — the
+/// postcondition of [`columnsort`].
+pub fn is_sorted_matrix<T: Ord + Clone>(matrix: &Matrix<T>) -> bool {
+    let lin = matrix.to_linear();
+    lin.windows(2).all(|w| w[0] >= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn matrix_from_seed(m: usize, k: usize, seed: u64) -> Matrix<u64> {
+        let vals: Vec<u64> = (0..(m * k) as u64)
+            .map(|i| i.wrapping_mul(6364136223846793005).wrapping_add(seed) >> 16)
+            .collect();
+        Matrix::from_linear(vals, m)
+    }
+
+    #[test]
+    fn sorts_minimum_legal_shapes() {
+        // The tightest shapes the paper allows: m = k(k-1) rounded to k | m.
+        for k in 1..=6usize {
+            let m = min_column_length(k);
+            let mat = matrix_from_seed(m, k, 0xC0FFEE);
+            let sorted = columnsort(&mat).unwrap();
+            assert!(is_sorted_matrix(&sorted), "k={k} m={m}");
+        }
+    }
+
+    #[test]
+    fn sorts_generous_shapes() {
+        for (m, k) in [(12, 2), (24, 4), (30, 5), (64, 4), (56, 8)] {
+            let mat = matrix_from_seed(m, k, 42);
+            let sorted = columnsort(&mat).unwrap();
+            assert!(is_sorted_matrix(&sorted), "m={m} k={k}");
+            // Same multiset.
+            let mut a = sorted.to_linear();
+            let mut b = mat.to_linear();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mat = matrix_from_seed(8, 4, 1);
+        assert!(matches!(columnsort(&mat), Err(ShapeError::TooShort { .. })));
+        let mat = matrix_from_seed(15, 4, 1); // >= 12 but 4 does not divide 15
+        assert!(matches!(
+            columnsort(&mat),
+            Err(ShapeError::NotDivisible { .. })
+        ));
+    }
+
+    #[test]
+    fn single_column_degenerates_to_local_sort() {
+        let mat = matrix_from_seed(9, 1, 7);
+        let sorted = columnsort(&mat).unwrap();
+        assert!(is_sorted_matrix(&sorted));
+    }
+
+    #[test]
+    fn trace_has_nine_states_and_ends_sorted() {
+        let mat = matrix_from_seed(12, 3, 9);
+        let trace = columnsort_trace(&mat).unwrap();
+        assert_eq!(trace.len(), 9);
+        assert_eq!(trace[0], mat);
+        assert!(is_sorted_matrix(trace.last().unwrap()));
+        // Intermediate states keep the multiset.
+        for st in &trace {
+            let mut a = st.to_linear();
+            let mut b = mat.to_linear();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let vals = vec![5u64; 36];
+        let mat = Matrix::from_linear(vals, 12);
+        assert!(is_sorted_matrix(&columnsort(&mat).unwrap()));
+        let vals: Vec<u64> = (0..36).map(|i| (i % 4) as u64).collect();
+        let mat = Matrix::from_linear(vals, 12);
+        assert!(is_sorted_matrix(&columnsort(&mat).unwrap()));
+    }
+
+    #[test]
+    fn sorts_already_sorted_and_reversed() {
+        let asc: Vec<u64> = (0..48).collect();
+        let desc: Vec<u64> = (0..48).rev().collect();
+        for vals in [asc, desc] {
+            let mat = Matrix::from_linear(vals, 12);
+            assert!(is_sorted_matrix(&columnsort(&mat).unwrap()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn columnsort_sorts_random_matrices(
+            k in 1usize..6,
+            mult in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            let m = (min_column_length(k) * mult).max(1);
+            let mat = matrix_from_seed(m, k, seed);
+            let sorted = columnsort(&mat).unwrap();
+            prop_assert!(is_sorted_matrix(&sorted));
+            let mut a = sorted.to_linear();
+            let mut b = mat.to_linear();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

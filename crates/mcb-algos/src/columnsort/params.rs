@@ -1,0 +1,147 @@
+//! Dimension rules for Columnsort.
+//!
+//! The transformations are only "effective" when columns are long relative
+//! to their number: the paper requires `m >= k(k-1)` and `k | m` (§5.1).
+//! When the input is too small for `k` columns (`n < k²(k-1)`), fewer
+//! columns must be used (§5.2); [`choose_columns`] picks the largest legal
+//! column count.
+
+/// Why a `(m, k)` matrix shape is not sortable by Columnsort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// `m < k(k-1)`: columns too short for the transformations to mix.
+    TooShort {
+        /// Column length.
+        m: usize,
+        /// Column count.
+        k: usize,
+    },
+    /// `k` does not divide `m`, which the transformations require.
+    NotDivisible {
+        /// Column length.
+        m: usize,
+        /// Column count.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShapeError::TooShort { m, k } => {
+                write!(
+                    f,
+                    "column length {m} < k(k-1) = {} for k = {k}",
+                    k * (k - 1)
+                )
+            }
+            ShapeError::NotDivisible { m, k } => {
+                write!(f, "k = {k} does not divide column length m = {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Check the paper's shape requirements for an `m × k` Columnsort.
+pub fn check_shape(m: usize, k: usize) -> Result<(), ShapeError> {
+    assert!(m > 0 && k > 0);
+    if k > 1 && m < k * (k - 1) {
+        return Err(ShapeError::TooShort { m, k });
+    }
+    if !m.is_multiple_of(k) {
+        return Err(ShapeError::NotDivisible { m, k });
+    }
+    Ok(())
+}
+
+/// Smallest legal column length for `k` columns: the least multiple of `k`
+/// that is `>= k(k-1)`.
+pub fn min_column_length(k: usize) -> usize {
+    assert!(k > 0);
+    if k == 1 {
+        return 1;
+    }
+    let need = k * (k - 1);
+    need.div_ceil(k) * k
+}
+
+/// Largest usable column count for `n` elements, capped at `k_max`:
+/// the largest `k <= k_max` with `n >= k²(k-1)` — i.e. such that columns of
+/// length `~n/k` satisfy `m >= k(k-1)` after padding.
+///
+/// Always at least 1. For `n >= k_max²(k_max - 1)` this is `k_max` (the
+/// optimal regime); below that the column count, and with it the cycle
+/// parallelism, degrades (§5.2) — the motivation for the recursive scheme
+/// of §6.2.
+pub fn choose_columns(n: usize, k_max: usize) -> usize {
+    assert!(n > 0 && k_max > 0);
+    let mut k = k_max.min(n);
+    while k > 1 && n < k * k * (k - 1) {
+        k -= 1;
+    }
+    k
+}
+
+/// Pad `len` up to the next multiple of `k` that is also `>= k(k-1)`.
+pub fn padded_column_length(len: usize, k: usize) -> usize {
+    assert!(k > 0);
+    let floor = min_column_length(k);
+    let len = len.max(floor).max(1);
+    len.div_ceil(k) * k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_checks() {
+        assert!(check_shape(12, 4).is_ok()); // 12 = 4*3 exactly
+        assert!(check_shape(16, 4).is_ok());
+        assert_eq!(check_shape(8, 4), Err(ShapeError::TooShort { m: 8, k: 4 }));
+        assert_eq!(
+            check_shape(13, 4).unwrap_err(),
+            ShapeError::NotDivisible { m: 13, k: 4 }
+        );
+        assert!(check_shape(5, 1).is_ok()); // single column: anything goes
+    }
+
+    #[test]
+    fn min_column_lengths() {
+        assert_eq!(min_column_length(1), 1);
+        assert_eq!(min_column_length(2), 2);
+        assert_eq!(min_column_length(3), 6);
+        assert_eq!(min_column_length(4), 12);
+        assert_eq!(min_column_length(8), 56);
+    }
+
+    #[test]
+    fn choose_columns_respects_cube_law() {
+        // k usable only when n >= k^2(k-1).
+        assert_eq!(choose_columns(1000, 8), 8); // 8²·7 = 448 <= 1000
+        assert_eq!(choose_columns(448, 8), 8);
+        assert_eq!(choose_columns(447, 8), 7);
+        assert_eq!(choose_columns(5, 8), 2); // 2^2*1 = 4 <= 5
+        assert_eq!(choose_columns(3, 8), 1);
+        assert_eq!(choose_columns(1, 1), 1);
+    }
+
+    #[test]
+    fn padded_lengths_are_legal() {
+        for k in 1..10usize {
+            for len in 1..200usize {
+                let m = padded_column_length(len, k);
+                assert!(m >= len);
+                assert!(check_shape(m, k).is_ok(), "len={len} k={k} m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = ShapeError::TooShort { m: 8, k: 4 };
+        assert!(e.to_string().contains("k(k-1) = 12"));
+    }
+}

@@ -1,0 +1,196 @@
+//! The four Columnsort matrix transformations (§5.1).
+//!
+//! Each transformation is a fixed permutation of matrix positions. This
+//! module gives both the permutation as a function on column-major linear
+//! indices (consumed by the broadcast scheduler) and a convenience
+//! application on [`Matrix`] values.
+//!
+//! * **Transpose** — read the elements column after column, store them row
+//!   after row.
+//! * **Un-diagonalize** — read the elements diagonal after diagonal (in the
+//!   (column, row) order (1,1), (2,1), (1,2), (3,1), (2,2), (1,3), …),
+//!   store them column after column.
+//! * **Up-shift** — viewing the matrix as a column-major linear list, shift
+//!   every element `⌊m/2⌋` positions forward, wrapping the tail to the
+//!   front.
+//! * **Down-shift** — the inverse shift.
+
+use super::matrix::Matrix;
+
+/// One of the four Columnsort transformations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transform {
+    /// Phase 2: column-major order rewritten in row-major order.
+    Transpose,
+    /// Phase 4: diagonal order rewritten in column-major order.
+    UnDiagonalize,
+    /// Phase 6: circular forward shift by `⌊m/2⌋`.
+    UpShift,
+    /// Phase 8: circular backward shift by `⌊m/2⌋`.
+    DownShift,
+}
+
+impl Transform {
+    /// Destination (column-major) position for each source position, for an
+    /// `m × k` matrix. The result is a bijection on `0..m*k`.
+    pub fn permutation(self, m: usize, k: usize) -> Vec<usize> {
+        assert!(m > 0 && k > 0);
+        let n = m * k;
+        match self {
+            Transform::Transpose => {
+                // Source q (column-major) is the q'th element read; it is
+                // stored at row-major rank q, i.e. (col q mod k, row q div k).
+                (0..n)
+                    .map(|q| {
+                        let col = q % k;
+                        let row = q / k;
+                        col * m + row
+                    })
+                    .collect()
+            }
+            Transform::UnDiagonalize => {
+                // Enumerate positions diagonal after diagonal; the t'th
+                // position visited is stored at column-major rank t.
+                let mut perm = vec![usize::MAX; n];
+                let mut t = 0;
+                for d in 0..(m + k - 1) {
+                    // Diagonal d holds positions (c, d - c); clip to matrix.
+                    let c_hi = d.min(k - 1);
+                    let c_lo = d.saturating_sub(m - 1);
+                    for c in (c_lo..=c_hi).rev() {
+                        let r = d - c;
+                        perm[c * m + r] = t;
+                        t += 1;
+                    }
+                }
+                debug_assert_eq!(t, n);
+                perm
+            }
+            Transform::UpShift => {
+                let s = m / 2;
+                (0..n).map(|q| (q + s) % n).collect()
+            }
+            Transform::DownShift => {
+                let s = m / 2;
+                (0..n).map(|q| (q + n - s) % n).collect()
+            }
+        }
+    }
+
+    /// Apply this transformation to a matrix.
+    pub fn apply<T: Clone>(self, matrix: &Matrix<T>) -> Matrix<T> {
+        let perm = self.permutation(matrix.rows(), matrix.cols());
+        matrix.permute(|q| perm[q])
+    }
+
+    /// The inverse transformation when it is itself one of the four;
+    /// `UpShift`/`DownShift` invert each other, the other two have no named
+    /// inverse in the paper.
+    pub fn inverse(self) -> Option<Transform> {
+        match self {
+            Transform::UpShift => Some(Transform::DownShift),
+            Transform::DownShift => Some(Transform::UpShift),
+            _ => None,
+        }
+    }
+}
+
+/// All four transformations, in phase order (2, 4, 6, 8).
+pub const ALL_TRANSFORMS: [Transform; 4] = [
+    Transform::Transpose,
+    Transform::UnDiagonalize,
+    Transform::UpShift,
+    Transform::DownShift,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn numbered(m: usize, k: usize) -> Matrix<u64> {
+        Matrix::from_linear((0..(m * k) as u64).collect(), m)
+    }
+
+    fn is_permutation(perm: &[usize]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        for &t in perm {
+            if t >= perm.len() || seen[t] {
+                return false;
+            }
+            seen[t] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn transpose_small_example() {
+        // m=4, k=2; columns [0,1,2,3],[4,5,6,7].
+        // Reading column-major 0,1,2,3,4,5,6,7 and storing row-major gives
+        // rows (0,1),(2,3),(4,5),(6,7) -> columns [0,2,4,6],[1,3,5,7].
+        let m = numbered(4, 2);
+        let t = Transform::Transpose.apply(&m);
+        assert_eq!(t.columns(), &[vec![0, 2, 4, 6], vec![1, 3, 5, 7]]);
+    }
+
+    #[test]
+    fn undiagonalize_small_example() {
+        // m=3, k=3; columns [0,1,2],[3,4,5],[6,7,8].
+        // Diagonal order (paper's (col,row) pattern): (0,0) (1,0) (0,1)
+        // (2,0) (1,1) (0,2) (2,1) (1,2) (2,2) = 0,3,1,6,4,2,7,5,8.
+        // Stored column-major: cols [0,3,1],[6,4,2],[7,5,8].
+        let m = numbered(3, 3);
+        let t = Transform::UnDiagonalize.apply(&m);
+        assert_eq!(t.columns(), &[vec![0, 3, 1], vec![6, 4, 2], vec![7, 5, 8]]);
+    }
+
+    #[test]
+    fn shifts_move_linear_list() {
+        let m = numbered(4, 2); // linear 0..8, shift = 2
+        let up = Transform::UpShift.apply(&m);
+        assert_eq!(up.to_linear(), vec![6, 7, 0, 1, 2, 3, 4, 5]);
+        let down = Transform::DownShift.apply(&m);
+        assert_eq!(down.to_linear(), vec![2, 3, 4, 5, 6, 7, 0, 1]);
+    }
+
+    #[test]
+    fn shifts_are_inverse() {
+        let m = numbered(6, 3);
+        let round = Transform::DownShift.apply(&Transform::UpShift.apply(&m));
+        assert_eq!(round, m);
+        assert_eq!(Transform::UpShift.inverse(), Some(Transform::DownShift));
+        assert_eq!(Transform::Transpose.inverse(), None);
+    }
+
+    #[test]
+    fn permutations_are_bijections() {
+        for tf in ALL_TRANSFORMS {
+            for (m, k) in [(1, 1), (4, 2), (3, 3), (12, 4), (20, 4), (7, 5)] {
+                let perm = tf.permutation(m, k);
+                assert!(is_permutation(&perm), "{tf:?} at m={m} k={k}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn transforms_preserve_multisets(
+            m in 1usize..12,
+            k in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            let vals: Vec<u64> = (0..(m * k) as u64)
+                .map(|i| i.wrapping_mul(seed | 1))
+                .collect();
+            let mat = Matrix::from_linear(vals.clone(), m);
+            for tf in ALL_TRANSFORMS {
+                let out = tf.apply(&mat);
+                let mut a = out.to_linear();
+                let mut b = vals.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

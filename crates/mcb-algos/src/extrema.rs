@@ -1,0 +1,147 @@
+//! Extrema finding — the warm-up problem of the broadcast literature.
+//!
+//! §1 cites extrema finding as one of the problems studied in the IPBAM
+//! single-channel model; in the MCB model it falls out of the Partial-Sums
+//! machinery (§7.1) with a `max` operator: `O(p/k + log p)` cycles and
+//! `O(p)` messages, no concurrent write needed. Provided both for
+//! completeness and as the simplest non-trivial protocol in the library.
+//!
+//! To also identify *who* holds the extremum, values are packed with their
+//! processor index in the low bits before combining — the comparison order
+//! is unchanged for distinct values, and ties break toward the
+//! higher-indexed processor.
+
+use crate::msg::Word;
+use crate::partial_sums::{total_in, Op};
+use mcb_net::{Metrics, NetError, Network, ProcCtx};
+
+/// Bits reserved for the processor index when packing `(value, proc)`.
+const PROC_BITS: u32 = 16;
+
+/// Result of a network-wide extrema computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extrema {
+    /// The largest value in the network.
+    pub max: u64,
+    /// A processor holding the maximum (highest index on ties).
+    pub argmax: usize,
+    /// The smallest value in the network.
+    pub min: u64,
+    /// A processor holding the minimum (highest index on ties).
+    pub argmin: usize,
+}
+
+/// Outcome of [`extrema`].
+#[derive(Debug, Clone)]
+pub struct ExtremaReport {
+    /// The extrema, known to every processor.
+    pub extrema: Extrema,
+    /// Network costs.
+    pub metrics: Metrics,
+}
+
+fn pack(value: u64, proc: usize) -> u64 {
+    assert!(value < 1 << (64 - PROC_BITS), "value too wide to pack");
+    (value << PROC_BITS) | proc as u64
+}
+
+fn unpack(packed: u64) -> (u64, usize) {
+    (
+        packed >> PROC_BITS,
+        (packed & ((1 << PROC_BITS) - 1)) as usize,
+    )
+}
+
+/// Find max and min of one value per processor on an `MCB(p, k)`.
+/// Values must fit in 48 bits (the packing headroom).
+pub fn extrema(k: usize, values: Vec<u64>) -> Result<ExtremaReport, NetError> {
+    let p = values.len();
+    let report = Network::new(p, k).run(move |ctx| {
+        let v = values[ctx.id().index()];
+        extrema_in(ctx, v)
+    })?;
+    let metrics = report.metrics.clone();
+    let extrema = report
+        .into_results()
+        .into_iter()
+        .next()
+        .expect("p >= 1 processors");
+    Ok(ExtremaReport { extrema, metrics })
+}
+
+/// Extrema as a lock-step subroutine; every processor learns the result.
+pub fn extrema_in(ctx: &mut ProcCtx<'_, Word<u64>>, value: u64) -> Extrema {
+    let me = ctx.id().index();
+    let enc = |v: u64| Word::Ctl(v);
+    let dec = |m: Word<u64>| m.expect_ctl();
+    let max_packed = total_in(ctx, pack(value, me), Op::Max, &enc, &dec);
+    // min via max of the complement (packing preserved).
+    let flipped = pack(!value & ((1 << (64 - PROC_BITS)) - 1), me);
+    let min_packed = total_in(ctx, flipped, Op::Max, &enc, &dec);
+    let (max, argmax) = unpack(max_packed);
+    let (flipped_min, argmin) = unpack(min_packed);
+    let min = !flipped_min & ((1 << (64 - PROC_BITS)) - 1);
+    Extrema {
+        max,
+        argmax,
+        min,
+        argmin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_extrema_and_holders() {
+        let values = vec![30u64, 700, 4, 120, 700];
+        let report = extrema(2, values).unwrap();
+        let e = report.extrema;
+        assert_eq!(e.max, 700);
+        assert_eq!(e.argmax, 4, "ties break high");
+        assert_eq!(e.min, 4);
+        assert_eq!(e.argmin, 2);
+    }
+
+    #[test]
+    fn all_processors_learn_the_same_answer() {
+        let values: Vec<u64> = (0..8).map(|i| (i * 37 + 11) % 100).collect();
+        let vals = values.clone();
+        let report = Network::new(8, 4)
+            .run(move |ctx| extrema_in(ctx, vals[ctx.id().index()]))
+            .unwrap();
+        let results = report.into_results();
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let want_max = *values.iter().max().unwrap();
+        let want_min = *values.iter().min().unwrap();
+        assert_eq!(results[0].max, want_max);
+        assert_eq!(results[0].min, want_min);
+    }
+
+    #[test]
+    fn costs_are_logarithmic_not_linear_in_values() {
+        let values: Vec<u64> = (0..16).map(|i| i * i).collect();
+        let report = extrema(4, values).unwrap();
+        // Two total-sum rounds: O(p/k + log p) cycles each, O(p) messages.
+        assert!(report.metrics.cycles <= 2 * (4 + 4) + 2);
+        assert!(report.metrics.messages <= 2 * 16);
+    }
+
+    #[test]
+    fn single_processor() {
+        let report = extrema(1, vec![42]).unwrap();
+        assert_eq!(report.extrema.max, 42);
+        assert_eq!(report.extrema.min, 42);
+        // Only the two root total-broadcasts.
+        assert!(report.metrics.messages <= 2);
+    }
+
+    #[test]
+    fn oversized_values_rejected() {
+        // The pack assertion fires inside the protocol; the engine turns
+        // it into a reported error rather than a crash.
+        let err = extrema(1, vec![1 << 50]).unwrap_err();
+        assert!(matches!(err, mcb_net::NetError::ProcPanicked { .. }));
+    }
+}

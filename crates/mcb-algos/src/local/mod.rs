@@ -1,0 +1,11 @@
+//! Sequential building blocks the distributed algorithms lean on.
+//!
+//! Local computation is free in the MCB cost model (§2), but the paper's
+//! algorithms still name their local subroutines — sorting \[Knut73\] and
+//! linear-time selection \[Blum73\] — and we implement both from scratch.
+
+pub mod select;
+pub mod sort;
+
+pub use select::{median_desc, select_rank_desc};
+pub use sort::{insertion_sort_desc, is_sorted_desc, odd_even_merge_sort_desc, sort_desc};

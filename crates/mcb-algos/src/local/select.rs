@@ -1,0 +1,199 @@
+//! Local (single-processor) selection by rank.
+//!
+//! The selection algorithm's filtering phase has every processor compute the
+//! median of its local candidates "using an efficient sequential selection
+//! algorithm (\[Blum73\], for example)" (§8.1). This module implements exactly
+//! that reference: the Blum–Floyd–Pratt–Rivest–Tarjan median-of-medians
+//! algorithm, with worst-case linear comparisons.
+//!
+//! Ranks follow the paper's convention: rank 1 is the **largest** element.
+
+/// The `d`'th largest element of `items` (1-based rank), by BFPRT
+/// median-of-medians in worst-case O(n). Panics when `d` is out of
+/// `1..=items.len()`.
+pub fn select_rank_desc<T: Ord + Clone>(items: &[T], d: usize) -> T {
+    assert!(
+        d >= 1 && d <= items.len(),
+        "rank {d} out of 1..={}",
+        items.len()
+    );
+    let mut work: Vec<T> = items.to_vec();
+    let len = work.len();
+    // Rank d largest == index (d-1) in descending order == the
+    // (len - d)'th smallest (0-based ascending).
+    kth_smallest(&mut work, len - d)
+}
+
+/// The median of `items`: the element of descending rank `⌈s/2⌉`.
+///
+/// The paper's §3 text reads `med = N[⌊n/2⌋]`, but taken literally that
+/// makes the "median" of a 3-element list its *largest* element, and the
+/// §8.2 guarantee that each filtering phase purges `⌊m/4⌋` candidates then
+/// fails (counterexample found by this crate's property tests: lists of
+/// size 3 contribute only 1 element to the `>= med*` side instead of
+/// `s/2`). The rank-`⌈s/2⌉` median puts at least `s/2` elements on *both*
+/// sides, which is what the Figure 2 analysis actually uses — we read the
+/// floor as a typo/OCR artifact and implement the ceiling.
+pub fn median_desc<T: Ord + Clone>(items: &[T]) -> T {
+    assert!(!items.is_empty(), "median of empty list");
+    let d = items.len().div_ceil(2);
+    select_rank_desc(items, d)
+}
+
+/// In-place BFPRT: the element that would be at `idx` (0-based) if `work`
+/// were sorted ascending.
+fn kth_smallest<T: Ord + Clone>(work: &mut [T], idx: usize) -> T {
+    debug_assert!(idx < work.len());
+    let mut lo = 0;
+    let mut hi = work.len();
+    let mut target = idx;
+    loop {
+        if hi - lo <= 10 {
+            work[lo..hi].sort_unstable();
+            return work[lo + target].clone();
+        }
+        let pivot = median_of_medians(&mut work[lo..hi]);
+        // Three-way partition around the pivot.
+        let (lt, eq) = partition3(&mut work[lo..hi], &pivot);
+        if target < lt {
+            hi = lo + lt;
+        } else if target < lt + eq {
+            return pivot;
+        } else {
+            target -= lt + eq;
+            lo += lt + eq;
+        }
+    }
+}
+
+/// Median of the medians of groups of five — the BFPRT pivot.
+fn median_of_medians<T: Ord + Clone>(work: &mut [T]) -> T {
+    let mut medians: Vec<T> = work
+        .chunks_mut(5)
+        .map(|chunk| {
+            chunk.sort_unstable();
+            chunk[chunk.len() / 2].clone()
+        })
+        .collect();
+    let mid = medians.len() / 2;
+    let len = medians.len();
+    if len == 1 {
+        medians.pop().unwrap()
+    } else {
+        kth_smallest(&mut medians, mid.min(len - 1))
+    }
+}
+
+/// Dutch-flag partition; returns (#less, #equal).
+fn partition3<T: Ord>(work: &mut [T], pivot: &T) -> (usize, usize) {
+    let mut lt = 0;
+    let mut i = 0;
+    let mut gt = work.len();
+    while i < gt {
+        if work[i] < *pivot {
+            work.swap(i, lt);
+            lt += 1;
+            i += 1;
+        } else if work[i] > *pivot {
+            gt -= 1;
+            work.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt - lt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn oracle(items: &[u64], d: usize) -> u64 {
+        let mut s = items.to_vec();
+        s.sort_unstable_by(|a, b| b.cmp(a));
+        s[d - 1]
+    }
+
+    #[test]
+    fn small_cases() {
+        let v = vec![10u64, 40, 20, 30];
+        assert_eq!(select_rank_desc(&v, 1), 40);
+        assert_eq!(select_rank_desc(&v, 2), 30);
+        assert_eq!(select_rank_desc(&v, 4), 10);
+    }
+
+    #[test]
+    fn median_is_rank_ceil_half() {
+        // |N| = 4 -> rank 2 (descending).
+        assert_eq!(median_desc(&[10u64, 40, 20, 30]), 30);
+        // |N| = 1 -> rank 1.
+        assert_eq!(median_desc(&[7u64]), 7);
+        // |N| = 5 -> rank 3 (the true middle).
+        assert_eq!(median_desc(&[1u64, 2, 3, 4, 5]), 3);
+        // |N| = 3 -> rank 2, NOT the largest (see the doc comment).
+        assert_eq!(median_desc(&[9u64, 5, 1]), 5);
+        // |N| = 2 -> rank 1.
+        assert_eq!(median_desc(&[3u64, 8]), 8);
+    }
+
+    #[test]
+    fn duplicates_are_fine() {
+        let v = vec![5u64; 100];
+        assert_eq!(select_rank_desc(&v, 37), 5);
+        let mut v2 = vec![1u64; 50];
+        v2.extend(vec![2u64; 50]);
+        assert_eq!(select_rank_desc(&v2, 50), 2);
+        assert_eq!(select_rank_desc(&v2, 51), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rank_zero_panics() {
+        select_rank_desc(&[1u64], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_of_empty_panics() {
+        median_desc::<u64>(&[]);
+    }
+
+    #[test]
+    fn large_deterministic_case() {
+        let v: Vec<u64> = (0..10_000)
+            .map(|i| (i * 2654435761u64) % 1_000_003)
+            .collect();
+        for d in [1, 2, 100, 5000, 9999, 10_000] {
+            assert_eq!(select_rank_desc(&v, d), oracle(&v, d), "rank {d}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn select_matches_sort_oracle(
+            v in proptest::collection::vec(any::<u64>(), 1..300),
+            d_seed in any::<usize>(),
+        ) {
+            let d = d_seed % v.len() + 1;
+            prop_assert_eq!(select_rank_desc(&v, d), oracle(&v, d));
+        }
+
+        #[test]
+        fn median_is_rank_half(v in proptest::collection::vec(any::<u64>(), 1..200)) {
+            let d = v.len().div_ceil(2);
+            prop_assert_eq!(median_desc(&v), oracle(&v, d));
+        }
+
+        /// The §8.2 precondition the filtering analysis needs: at least
+        /// s/2 elements on each side of the median (inclusive).
+        #[test]
+        fn median_splits_both_sides(v in proptest::collection::vec(any::<u64>(), 1..100)) {
+            let med = median_desc(&v);
+            let ge = v.iter().filter(|x| **x >= med).count() * 2;
+            let le = v.iter().filter(|x| **x <= med).count() * 2;
+            prop_assert!(ge >= v.len(), "ge {ge} < s {}", v.len());
+            prop_assert!(le >= v.len(), "le {le} < s {}", v.len());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Local (single-processor) sorting.
+//!
+//! The paper's Columnsort phases 1/3/5/7 sort each column "using some
+//! efficient sequential sorting algorithm \[Knut73\]"; local computation is
+//! free in the MCB cost model, so the choice only affects wall-clock time of
+//! the simulator. We provide:
+//!
+//! * [`sort_desc`] — the default, a thin wrapper over the standard library's
+//!   unstable sort (pattern-defeating quicksort);
+//! * [`odd_even_merge_sort_desc`] — Batcher's odd-even merge sort, the
+//!   \[Knut73\] network Columnsort generalizes, kept as an independently
+//!   implemented oracle and for the ablation benches;
+//! * [`insertion_sort_desc`] — for tiny inputs and as a second oracle.
+//!
+//! All sorts are **descending**, the paper's order (`N[1]` is the largest).
+
+/// Sort a slice in descending order (the paper's convention).
+pub fn sort_desc<T: Ord>(items: &mut [T]) {
+    items.sort_unstable_by(|a, b| b.cmp(a));
+}
+
+/// Binary insertion sort, descending. O(n²) moves; fine for tiny slices.
+pub fn insertion_sort_desc<T: Ord>(items: &mut [T]) {
+    for i in 1..items.len() {
+        let mut j = i;
+        while j > 0 && items[j - 1] < items[j] {
+            items.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Batcher's odd-even merge sort, descending.
+///
+/// Works for any length by padding conceptually to the next power of two
+/// (compare-exchanges with out-of-range indices are skipped). O(n log² n)
+/// comparisons, data-oblivious — the same family of sorting networks
+/// Columnsort generalizes to the distributed setting.
+pub fn odd_even_merge_sort_desc<T: Ord>(items: &mut [T]) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    // Canonical iterative form of Batcher's network (Knuth 5.2.2M):
+    // `p` is the run width being merged, `k` the comparison distance.
+    let mut p = 1;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < n {
+                for i in 0..k {
+                    let a = j + i;
+                    let b = j + i + k;
+                    if b >= n {
+                        break;
+                    }
+                    if a / (2 * p) == b / (2 * p) {
+                        compare_exchange_desc(items, a, b);
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+}
+
+#[inline]
+fn compare_exchange_desc<T: Ord>(items: &mut [T], i: usize, j: usize) {
+    if items[i] < items[j] {
+        items.swap(i, j);
+    }
+}
+
+/// True when the slice is in descending order.
+pub fn is_sorted_desc<T: Ord>(items: &[T]) -> bool {
+    items.windows(2).all(|w| w[0] >= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sort_desc_basic() {
+        let mut v = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        sort_desc(&mut v);
+        assert_eq!(v, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    fn insertion_matches_std() {
+        let mut a = vec![5u64, 3, 8, 8, 1, 0, 7];
+        let mut b = a.clone();
+        sort_desc(&mut a);
+        insertion_sort_desc(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn odd_even_handles_edge_sizes() {
+        for n in 0..33usize {
+            let mut v: Vec<u64> = (0..n as u64).map(|i| (i * 7919) % 101).collect();
+            let mut expect = v.clone();
+            sort_desc(&mut expect);
+            odd_even_merge_sort_desc(&mut v);
+            assert_eq!(v, expect, "length {n}");
+        }
+    }
+
+    #[test]
+    fn is_sorted_desc_checks() {
+        assert!(is_sorted_desc(&[5u64, 5, 3, 1]));
+        assert!(!is_sorted_desc(&[1u64, 2]));
+        assert!(is_sorted_desc::<u64>(&[]));
+        assert!(is_sorted_desc(&[7u64]));
+    }
+
+    proptest! {
+        #[test]
+        fn odd_even_sorts_arbitrary(mut v in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mut expect = v.clone();
+            sort_desc(&mut expect);
+            odd_even_merge_sort_desc(&mut v);
+            prop_assert_eq!(v, expect);
+        }
+
+        #[test]
+        fn insertion_sorts_arbitrary(mut v in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let mut expect = v.clone();
+            sort_desc(&mut expect);
+            insertion_sort_desc(&mut v);
+            prop_assert_eq!(v, expect);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Wire types shared by the distributed algorithms.
+//!
+//! Every protocol run has a single message type. Most algorithms in this
+//! crate use [`Word<K>`]: either a data element (`Key`) or a small control
+//! integer (`Ctl`) such as a count, a partial sum, or a processor id. The
+//! width accounting keeps the model's O(log β) message-size discipline
+//! auditable.
+
+use mcb_net::{bits_for_u64, MsgWidth};
+
+/// Element types the distributed sorts and selection can handle.
+///
+/// This is a blanket-implemented alias: any ordered, cloneable,
+/// thread-shareable type with width accounting qualifies (e.g. `u64` keys,
+/// or the `(median, count, source)` entries selection sorts in §8).
+pub trait Key: Ord + Clone + Send + Sync + MsgWidth + std::fmt::Debug + 'static {}
+
+impl<T: Ord + Clone + Send + Sync + MsgWidth + std::fmt::Debug + 'static> Key for T {}
+
+/// A broadcast word: one data element or one control integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Word<K> {
+    /// A data element in transit.
+    Key(K),
+    /// A control value (count, id, partial sum…).
+    Ctl(u64),
+}
+
+impl<K: MsgWidth> MsgWidth for Word<K> {
+    fn bits(&self) -> u32 {
+        // One tag bit plus the payload.
+        1 + match self {
+            Word::Key(k) => k.bits(),
+            Word::Ctl(v) => bits_for_u64(*v),
+        }
+    }
+}
+
+impl<K> Word<K> {
+    /// Unwrap a data element; panics on a control word (a protocol bug,
+    /// surfaced by the engine as a reported panic).
+    pub fn expect_key(self) -> K {
+        match self {
+            Word::Key(k) => k,
+            Word::Ctl(v) => panic!("protocol error: expected key, got Ctl({v})"),
+        }
+    }
+
+    /// Unwrap a control value; panics on a data element.
+    pub fn expect_ctl(self) -> u64 {
+        match self {
+            Word::Ctl(v) => v,
+            Word::Key(_) => panic!("protocol error: expected Ctl, got key"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_include_tag() {
+        assert_eq!(Word::<u64>::Ctl(0).bits(), 2);
+        assert_eq!(Word::Key(255u64).bits(), 9);
+    }
+
+    #[test]
+    fn unwrap_helpers() {
+        assert_eq!(Word::<u64>::Key(7).expect_key(), 7);
+        assert_eq!(Word::<u64>::Ctl(9).expect_ctl(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected key")]
+    fn expect_key_on_ctl_panics() {
+        Word::<u64>::Ctl(1).expect_key();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Ctl")]
+    fn expect_ctl_on_key_panics() {
+        Word::<u64>::Key(1).expect_ctl();
+    }
+}

@@ -1,0 +1,388 @@
+//! The Partial-Sums algorithm (§7.1).
+//!
+//! Computes, at every processor `P_i`, the prefix combination
+//! `a_i^⊕ = a_1 ⊕ … ⊕ a_i` of per-processor values under a commutative,
+//! associative operator — the paper uses `+` and `max`. The algorithm
+//! simulates Vishkin's fetch-and-add tree machine: a full binary tree over
+//! the processors, run bottom-up (subtree sums) then top-down (prefix
+//! offsets), with a father node co-located with its left son so that only
+//! right-son messages cross the network.
+//!
+//! Complexity: `O(p/k + log p)` cycles and `O(p)` messages — the level-`l`
+//! step has `⌈p/2^{l+1}⌉` messages scheduled `k` per cycle, so low levels
+//! cost `p/(k·2^{l+1})` cycles and the top `log k` levels one cycle each,
+//! exactly the paper's accounting.
+//!
+//! The function is a **subroutine**: every processor of the network must
+//! call it at the same cycle with the same `(op, k)`; it returns with all
+//! processors back in lock-step. This is how §7.2 (group formation) and §8
+//! (selection) compose it into larger protocols.
+
+use mcb_net::{ChanId, MsgWidth, ProcCtx};
+
+/// The commutative, associative operators the paper's algorithms need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Integer addition (cardinality prefix sums).
+    Add,
+    /// Maximum (computing `n_max`).
+    Max,
+}
+
+impl Op {
+    /// Apply the operator.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            Op::Add => a + b,
+            Op::Max => a.max(b),
+        }
+    }
+
+    /// The identity element `ω` (0 for both operators on cardinalities).
+    #[inline]
+    pub fn identity(self) -> u64 {
+        0
+    }
+}
+
+/// What Partial-Sums yields at processor `P_i` (paper: "the Partial-Sums
+/// algorithm yields at each `P_i` the values `a_{i-1}^⊕`, `a_i^⊕` and
+/// `a_{i+1}^⊕`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sums {
+    /// `a_{i-1}^⊕` — the prefix excluding this processor (`ω` at `P_1`).
+    pub prev: u64,
+    /// `a_i^⊕` — the prefix including this processor.
+    pub mine: u64,
+    /// `a_{i+1}^⊕` — the next processor's prefix (`None` at `P_p`).
+    pub next: Option<u64>,
+}
+
+/// Cycles consumed by [`partial_sums_in`] on an `MCB(p, k)`.
+pub fn partial_sums_cycles(p: usize, k: usize) -> u64 {
+    let levels = tree_levels(p);
+    let mut c = 0u64;
+    for l in 0..levels {
+        c += 2 * level_cycles(p, k, l) as u64; // bottom-up + top-down
+    }
+    c + p.div_ceil(k) as u64 // neighbour exchange
+}
+
+/// Cycles consumed by [`total_in`].
+pub fn total_cycles(p: usize, k: usize) -> u64 {
+    let levels = tree_levels(p);
+    let mut c = 0u64;
+    for l in 0..levels {
+        c += level_cycles(p, k, l) as u64;
+    }
+    c + 1 // root broadcast
+}
+
+/// Number of tree levels above the leaves (`⌈log₂ p⌉`).
+fn tree_levels(p: usize) -> u32 {
+    debug_assert!(p >= 1);
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+/// Cycles for the level-`l` step: one slot per father at level `l+1`,
+/// scheduled `k` per cycle.
+fn level_cycles(p: usize, k: usize, l: u32) -> usize {
+    let fathers = p.div_ceil(1usize << (l + 1));
+    fathers.div_ceil(k)
+}
+
+/// Run Partial-Sums as a lock-step subroutine; all `p` processors must call
+/// this at the same cycle with identical `op`, `enc`, `dec`.
+///
+/// `enc`/`dec` embed `u64` sums into the run's message type.
+pub fn partial_sums_in<M, E, D>(
+    ctx: &mut ProcCtx<'_, M>,
+    value: u64,
+    op: Op,
+    enc: &E,
+    dec: &D,
+) -> Sums
+where
+    M: Clone + Send + Sync + MsgWidth,
+    E: Fn(u64) -> M,
+    D: Fn(M) -> u64,
+{
+    let p = ctx.p();
+    let k = ctx.k();
+    let i = ctx.id().index();
+    let levels = tree_levels(p);
+
+    // subtree[l] = combined value of my node at level l (I host node
+    // (l, i / 2^l) whenever 2^l divides i).
+    let mut subtree = vec![op.identity(); levels as usize + 1];
+    subtree[0] = value;
+
+    // ---- bottom-up ----
+    for l in 0..levels {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        let cycles = level_cycles(p, k, l);
+        let is_right_son = i % span == half;
+        let is_father = i % span == 0;
+        for t in 0..cycles {
+            let mut write = None;
+            let mut read = None;
+            if is_right_son {
+                let j = i / span; // father index at level l+1
+                if j / k == t {
+                    write = Some((ChanId::from_index(j % k), enc(subtree[l as usize])));
+                }
+            }
+            if is_father {
+                let j = i / span;
+                if j / k == t {
+                    read = Some(ChanId::from_index(j % k));
+                }
+            }
+            let got = ctx.cycle(write, read);
+            if is_father && i / span / k == t {
+                let l_val = subtree[l as usize];
+                subtree[l as usize + 1] = match got {
+                    Some(m) => op.apply(l_val, dec(m)),
+                    None => l_val, // right son absent (ragged tree)
+                };
+            }
+        }
+    }
+
+    // ---- top-down ----
+    // f[l] = prefix of everything left of my node at level l.
+    let mut f = op.identity(); // at the root (only proc 0 hosts it)
+    for l in (0..levels).rev() {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        let cycles = level_cycles(p, k, l);
+        let is_right_son = i % span == half;
+        let is_father = i % span == 0;
+        for t in 0..cycles {
+            let mut write = None;
+            let mut read = None;
+            if is_father {
+                let j = i / span;
+                if j / k == t && i + half < p {
+                    // F ⊕ L to the right son (L = my level-l subtree value).
+                    write = Some((
+                        ChanId::from_index(j % k),
+                        enc(op.apply(f, subtree[l as usize])),
+                    ));
+                }
+            }
+            if is_right_son {
+                let j = i / span;
+                if j / k == t {
+                    read = Some(ChanId::from_index(j % k));
+                }
+            }
+            let got = ctx.cycle(write, read);
+            if is_right_son && i / span / k == t {
+                f = dec(got.expect("father always sends to an existing right son"));
+            }
+            // A father's left son is the father's own processor: f carries
+            // down unchanged.
+        }
+    }
+
+    let prev = f;
+    let mine = op.apply(prev, value);
+
+    // ---- neighbour exchange: P_{i+1} sends `mine` to P_i ----
+    // Slot s (for s in 0..p-1): P_{s+1} writes channel s mod k in cycle
+    // s / k; P_s reads it. (Writing slot i-1 and reading slot i may land in
+    // the same cycle: one write + one read, within the port budget.)
+    let cycles = p.div_ceil(k);
+    let mut next = None;
+    for t in 0..cycles {
+        let mut write = None;
+        let mut read = None;
+        if i >= 1 && (i - 1) / k == t {
+            write = Some((ChanId::from_index((i - 1) % k), enc(mine)));
+        }
+        if i + 1 < p && i / k == t {
+            read = Some(ChanId::from_index(i % k));
+        }
+        let got = ctx.cycle(write, read);
+        if i + 1 < p && i / k == t {
+            next = Some(dec(got.expect("neighbour always sends")));
+        }
+    }
+    Sums { prev, mine, next }
+}
+
+/// Compute only the total `a_p^⊕` at **every** processor: the bottom-up
+/// phase followed by a single broadcast from the root (the paper's
+/// "if only the total sum is of interest" remark).
+pub fn total_in<M, E, D>(ctx: &mut ProcCtx<'_, M>, value: u64, op: Op, enc: &E, dec: &D) -> u64
+where
+    M: Clone + Send + Sync + MsgWidth,
+    E: Fn(u64) -> M,
+    D: Fn(M) -> u64,
+{
+    let p = ctx.p();
+    let k = ctx.k();
+    let i = ctx.id().index();
+    let levels = tree_levels(p);
+
+    let mut subtree = vec![op.identity(); levels as usize + 1];
+    subtree[0] = value;
+
+    for l in 0..levels {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        let cycles = level_cycles(p, k, l);
+        let is_right_son = i % span == half;
+        let is_father = i % span == 0;
+        for t in 0..cycles {
+            let mut write = None;
+            let mut read = None;
+            if is_right_son && (i / span) / k == t {
+                write = Some((ChanId::from_index((i / span) % k), enc(subtree[l as usize])));
+            }
+            if is_father && (i / span) / k == t {
+                read = Some(ChanId::from_index((i / span) % k));
+            }
+            let got = ctx.cycle(write, read);
+            if is_father && (i / span) / k == t {
+                let l_val = subtree[l as usize];
+                subtree[l as usize + 1] = match got {
+                    Some(m) => op.apply(l_val, dec(m)),
+                    None => l_val,
+                };
+            }
+        }
+    }
+
+    // Root (P_1) broadcasts the total.
+    let total_msg = if i == 0 {
+        ctx.cycle(
+            Some((ChanId(0), enc(subtree[levels as usize]))),
+            Some(ChanId(0)),
+        )
+    } else {
+        ctx.read(ChanId(0))
+    };
+    dec(total_msg.expect("root broadcasts the total"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_net::Network;
+
+    fn enc(v: u64) -> u64 {
+        v
+    }
+    fn dec(m: u64) -> u64 {
+        m
+    }
+
+    fn run_partial(p: usize, k: usize, values: Vec<u64>, op: Op) -> (Vec<Sums>, u64, u64) {
+        let vals = values.clone();
+        let report = Network::new(p, k)
+            .run(move |ctx| {
+                let v = vals[ctx.id().index()];
+                partial_sums_in(ctx, v, op, &enc, &dec)
+            })
+            .unwrap();
+        let cycles = report.metrics.cycles;
+        let messages = report.metrics.messages;
+        (report.into_results(), cycles, messages)
+    }
+
+    fn prefix(values: &[u64], op: Op) -> Vec<u64> {
+        let mut acc = op.identity();
+        values
+            .iter()
+            .map(|&v| {
+                acc = op.apply(acc, v);
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn add_prefixes_various_shapes() {
+        for (p, k) in [(1, 1), (2, 1), (4, 2), (7, 3), (8, 8), (13, 4), (16, 4)] {
+            let values: Vec<u64> = (0..p as u64).map(|i| i * 3 + 1).collect();
+            let expect = prefix(&values, Op::Add);
+            let (sums, _, _) = run_partial(p, k, values.clone(), Op::Add);
+            for i in 0..p {
+                assert_eq!(sums[i].mine, expect[i], "mine at {i}, p={p} k={k}");
+                let want_prev = if i == 0 { 0 } else { expect[i - 1] };
+                assert_eq!(sums[i].prev, want_prev, "prev at {i}, p={p} k={k}");
+                let want_next = if i + 1 < p { Some(expect[i + 1]) } else { None };
+                assert_eq!(sums[i].next, want_next, "next at {i}, p={p} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_prefixes() {
+        let values = vec![3, 9, 2, 9, 11, 1, 4];
+        let expect = prefix(&values, Op::Max);
+        let (sums, _, _) = run_partial(7, 2, values, Op::Max);
+        for i in 0..7 {
+            assert_eq!(sums[i].mine, expect[i]);
+        }
+    }
+
+    #[test]
+    fn cycle_count_matches_formula_and_bound() {
+        for (p, k) in [(4, 2), (8, 2), (16, 4), (13, 3), (32, 4)] {
+            let values: Vec<u64> = vec![1; p];
+            let (_, cycles, messages) = run_partial(p, k, values, Op::Add);
+            assert_eq!(cycles, partial_sums_cycles(p, k), "p={p} k={k}");
+            // O(p/k + log p) with a small constant.
+            let bound =
+                4 * (p as u64 / k as u64 + 1) + 4 * (usize::BITS - p.leading_zeros()) as u64;
+            assert!(cycles <= bound, "p={p} k={k}: {cycles} > {bound}");
+            // O(p) messages: at most 3 per processor (up, down, exchange).
+            assert!(messages <= 3 * p as u64, "p={p} k={k}: {messages}");
+        }
+    }
+
+    #[test]
+    fn total_only_fast_path() {
+        for (p, k) in [(1, 1), (5, 2), (8, 4), (12, 3)] {
+            let values: Vec<u64> = (1..=p as u64).collect();
+            let vals = values.clone();
+            let report = Network::new(p, k)
+                .run(move |ctx| {
+                    let v = vals[ctx.id().index()];
+                    total_in(ctx, v, Op::Add, &enc, &dec)
+                })
+                .unwrap();
+            let cycles = report.metrics.cycles;
+            let totals = report.into_results();
+            let want: u64 = values.iter().sum();
+            assert!(totals.iter().all(|&t| t == want), "p={p} k={k}");
+            assert_eq!(cycles, total_cycles(p, k));
+        }
+    }
+
+    #[test]
+    fn composes_back_to_back() {
+        // Two consecutive subroutine calls must stay in lock-step.
+        let p = 6;
+        let report = Network::new(p, 2)
+            .run(|ctx| {
+                let v = ctx.id().index() as u64 + 1;
+                let s1 = partial_sums_in(ctx, v, Op::Add, &enc, &dec);
+                let s2 = partial_sums_in(ctx, s1.mine, Op::Max, &enc, &dec);
+                (s1.mine, s2.mine)
+            })
+            .unwrap();
+        let results = report.into_results();
+        // s1 prefix sums of 1..=6: 1,3,6,10,15,21; max-prefix of those is
+        // monotone: same values.
+        let expect: Vec<u64> = vec![1, 3, 6, 10, 15, 21];
+        for i in 0..p {
+            assert_eq!(results[i], (expect[i], expect[i]));
+        }
+    }
+}

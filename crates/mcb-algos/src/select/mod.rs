@@ -1,0 +1,369 @@
+//! Selection by rank (§8).
+//!
+//! Identifies `N[d]`, the `d`'th largest of `n` elements distributed
+//! arbitrarily over the processors, without sorting everything. The
+//! algorithm repeats a **filtering phase** until at most `m* = p/k`
+//! candidates remain, then a **termination phase** collects the survivors
+//! at `P_1`, which selects locally and broadcasts the answer.
+//!
+//! A filtering phase (Figure 2's picture):
+//!
+//! 1. every processor computes the median `med_i` of its local candidates
+//!    (BFPRT, local and free) — a dummy for empty candidate sets;
+//! 2. the pairs `(med_i, m_i)` are **sorted** by median, descending, using
+//!    the §5 sorting algorithm (`n = p`, one pair per processor);
+//! 3. Partial-Sums over the sorted counts finds the *weighted median of
+//!    medians* `med_{i*}`: the first sorted position whose count prefix
+//!    reaches `⌈m/2⌉`; that processor broadcasts `med_{i*}`;
+//! 4. a total-sum counts `m_ge = |{x : x >= med_{i*}}|`, and all
+//!    processors branch identically: `m_ge = d` — found; `m_ge > d` —
+//!    purge everything `<= med_{i*}`; `m_ge < d` — purge everything
+//!    `>= med_{i*}` and lower `d` by `m_ge`.
+//!
+//! Because the weighted median-of-medians has at least `⌊m/4⌋` candidates
+//! on each side (§8.2), every phase purges at least a quarter of the
+//! candidates: `O(log(kn/p))` phases, each `O(p/k)` cycles / `O(p)`
+//! messages, for a total of `Θ((p/k)·log(kn/p))` cycles and
+//! `Θ(p·log(kn/p))` messages — Corollary 7, optimal by Theorems 1–2.
+
+use crate::local::{median_desc, select_rank_desc};
+use crate::msg::{Key, Word};
+use crate::partial_sums::{partial_sums_in, total_in, Op};
+use crate::sort::grouped::sort_grouped_in;
+use mcb_net::{bits_for_u64, ChanId, Metrics, MsgWidth, NetError, Network, ProcCtx};
+
+/// A `(median, count, source)` entry — the unit the filtering phase sorts.
+///
+/// Ordered by median first (`None` = empty candidate set sorts below every
+/// real median), then by source processor for determinism. Raw candidates
+/// in the termination phase travel as entries with `count = 0, src = 0`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MedEntry<K> {
+    /// The processor's local candidate median (`None` if it has none).
+    pub med: Option<K>,
+    /// Tie-break and provenance: the originating processor.
+    pub src: u32,
+    /// Number of local candidates at the originating processor.
+    pub count: u64,
+}
+
+impl<K: MsgWidth> MsgWidth for MedEntry<K> {
+    fn bits(&self) -> u32 {
+        1 + self.med.as_ref().map_or(0, |m| m.bits()) + 12 + bits_for_u64(self.count)
+    }
+}
+
+/// Which of §8.1's three cases a filtering phase took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterCase {
+    /// Case 1: `m_ge = d` — the broadcast median is the answer.
+    Exact,
+    /// Case 2: `m_ge > d` — purged all candidates `<= med*`.
+    PurgeLowHalf,
+    /// Case 3: `m_ge < d` — purged all candidates `>= med*`.
+    PurgeHighHalf,
+}
+
+/// Instrumentation of one filtering phase (Figure 2 / experiment E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Candidates at the start of the phase.
+    pub before: u64,
+    /// Candidates eliminated by the phase.
+    pub purged: u64,
+    /// Which case fired.
+    pub case: FilterCase,
+}
+
+impl PhaseStats {
+    /// Fraction of candidates purged (the §8.2 analysis promises `>= 1/4`
+    /// in cases 2 and 3).
+    pub fn purge_fraction(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            self.purged as f64 / self.before as f64
+        }
+    }
+}
+
+/// Outcome of a distributed selection.
+#[derive(Debug, Clone)]
+pub struct SelectReport<K> {
+    /// The selected element `N[d]`.
+    pub value: K,
+    /// Per-filtering-phase instrumentation.
+    pub phases: Vec<PhaseStats>,
+    /// Network costs.
+    pub metrics: Metrics,
+}
+
+/// Select the `d`'th largest element (1-based) of `lists` on an
+/// `MCB(p, k)`. Requires distinct keys and `1 <= d <= n`.
+pub fn select_rank<K: Key>(
+    k: usize,
+    lists: Vec<Vec<K>>,
+    d: usize,
+) -> Result<SelectReport<K>, NetError> {
+    let p = lists.len();
+    let n: usize = lists.iter().map(Vec::len).sum();
+    if d < 1 || d > n {
+        return Err(NetError::BadConfig(format!("rank {d} out of 1..={n}")));
+    }
+    if lists.iter().any(Vec::is_empty) {
+        return Err(NetError::BadConfig("paper model assumes n_i > 0".into()));
+    }
+    let input = lists;
+    let report = Network::new(p, k).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        select_rank_in(ctx, mine, d as u64)
+    })?;
+    let metrics = report.metrics.clone();
+    let (value, phases) = report
+        .into_results()
+        .into_iter()
+        .next()
+        .expect("p >= 1 processors");
+    Ok(SelectReport {
+        value,
+        phases,
+        metrics,
+    })
+}
+
+fn enc<K: Key>(v: u64) -> Word<MedEntry<K>> {
+    Word::Ctl(v)
+}
+fn dec<K: Key>(m: Word<MedEntry<K>>) -> u64 {
+    m.expect_ctl()
+}
+
+/// Wrap a raw candidate for the termination phase's wire format.
+fn raw<K: Key>(key: K) -> MedEntry<K> {
+    MedEntry {
+        med: Some(key),
+        src: 0,
+        count: 0,
+    }
+}
+
+/// Selection as a lock-step subroutine; every processor calls it with its
+/// local list and the same rank `d`; all processors return the answer.
+pub fn select_rank_in<K: Key>(
+    ctx: &mut ProcCtx<'_, Word<MedEntry<K>>>,
+    mine: Vec<K>,
+    d: u64,
+) -> (K, Vec<PhaseStats>) {
+    let p = ctx.p() as u64;
+    let k = ctx.k() as u64;
+    let i = ctx.id().index();
+    let m_star = (p / k).max(1);
+
+    let mut candidates = mine;
+    let mut d = d;
+    // Candidate count m is tracked identically by every processor.
+    let mut m = total_in(ctx, candidates.len() as u64, Op::Add, &enc, &dec);
+    let mut phases: Vec<PhaseStats> = Vec::new();
+
+    // ---- filtering ---------------------------------------------------------
+    while m > m_star {
+        let before = m;
+        // (1) local median of candidates.
+        let entry = MedEntry {
+            med: (!candidates.is_empty()).then(|| median_desc(&candidates)),
+            src: i as u32,
+            count: candidates.len() as u64,
+        };
+        // (2) sort the (median, count) pairs: n = p, one per processor.
+        let sorted = sort_grouped_in(ctx, vec![entry]);
+        let my_entry = sorted.into_iter().next().expect("one entry each");
+        // (3) weighted median of medians via Partial-Sums over counts.
+        let sums = partial_sums_in(ctx, my_entry.count, Op::Add, &enc, &dec);
+        let half = m.div_ceil(2);
+        let am_star = sums.prev < half && half <= sums.mine;
+        let msg = if am_star {
+            let med = my_entry
+                .med
+                .clone()
+                .expect("the weighted median position has candidates");
+            ctx.cycle(Some((ChanId(0), Word::Key(raw(med)))), Some(ChanId(0)))
+        } else {
+            ctx.read(ChanId(0))
+        };
+        let med_star = msg
+            .expect("med* is always broadcast")
+            .expect_key()
+            .med
+            .expect("med* is a real element");
+        // (4) count candidates >= med* network-wide.
+        let local_ge = candidates.iter().filter(|x| **x >= med_star).count() as u64;
+        let m_ge = total_in(ctx, local_ge, Op::Add, &enc, &dec);
+
+        if m_ge == d {
+            phases.push(PhaseStats {
+                before,
+                purged: before,
+                case: FilterCase::Exact,
+            });
+            return (med_star, phases);
+        } else if m_ge > d {
+            candidates.retain(|x| *x > med_star);
+            m = m_ge - 1;
+            phases.push(PhaseStats {
+                before,
+                purged: before - m,
+                case: FilterCase::PurgeLowHalf,
+            });
+        } else {
+            candidates.retain(|x| *x < med_star);
+            m -= m_ge;
+            d -= m_ge;
+            phases.push(PhaseStats {
+                before,
+                purged: before - m,
+                case: FilterCase::PurgeHighHalf,
+            });
+        }
+    }
+
+    // ---- termination -------------------------------------------------------
+    // Partial sums give each processor its write offset; survivors stream
+    // to P_1 (processor 0), which selects locally and broadcasts.
+    let sums = partial_sums_in(ctx, candidates.len() as u64, Op::Add, &enc, &dec);
+    let mut pool: Vec<K> = if i == 0 {
+        Vec::with_capacity(m as usize)
+    } else {
+        Vec::new()
+    };
+    if i == 0 {
+        pool.extend(candidates.iter().cloned());
+    }
+    for t in 0..m {
+        let idx = t.wrapping_sub(sums.prev) as usize;
+        let sending = i != 0 && t >= sums.prev && idx < candidates.len();
+        let write = sending.then(|| (ChanId(0), Word::Key(raw(candidates[idx].clone()))));
+        let read = (i == 0 && (t < sums.prev || idx >= candidates.len())).then_some(ChanId(0));
+        let got = ctx.cycle(write, read);
+        if i == 0 {
+            if let Some(msg) = got {
+                pool.push(msg.expect_key().med.expect("raw candidate"));
+            }
+        }
+    }
+    let answer = if i == 0 {
+        debug_assert_eq!(pool.len() as u64, m);
+        let ans = select_rank_desc(&pool, d as usize);
+        ctx.cycle(
+            Some((ChanId(0), Word::Key(raw(ans.clone())))),
+            Some(ChanId(0)),
+        );
+        ans
+    } else {
+        ctx.read(ChanId(0))
+            .expect("answer is broadcast")
+            .expect_key()
+            .med
+            .expect("answer is a real element")
+    };
+    (answer, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_workloads::{distributions, rng, Placement};
+
+    fn check(k: usize, placement: &Placement, d: usize) -> SelectReport<u64> {
+        let report = select_rank(k, placement.lists().to_vec(), d).unwrap();
+        assert_eq!(report.value, placement.rank(d), "rank {d}");
+        report
+    }
+
+    #[test]
+    fn selects_median_even_distribution() {
+        let pl = distributions::even(8, 128, &mut rng(41));
+        check(4, &pl, 64);
+    }
+
+    #[test]
+    fn selects_extreme_and_arbitrary_ranks() {
+        let pl = distributions::even(4, 64, &mut rng(42));
+        for d in [1, 2, 17, 32, 63, 64] {
+            check(2, &pl, d);
+        }
+    }
+
+    #[test]
+    fn selects_on_uneven_distributions() {
+        for seed in 0..4 {
+            let pl = distributions::random_uneven(6, 120, &mut rng(100 + seed));
+            let d = (pl.n() / 2).max(1);
+            check(3, &pl, d);
+        }
+    }
+
+    #[test]
+    fn selects_with_heavy_processor() {
+        let pl = distributions::single_heavy(5, 100, 0.7, &mut rng(43));
+        check(2, &pl, 50);
+    }
+
+    #[test]
+    fn selects_on_single_channel_and_single_proc() {
+        let pl = distributions::even(4, 40, &mut rng(44));
+        check(1, &pl, 20);
+        let solo = Placement::new(vec![vec![5, 9, 1, 7, 3]]);
+        check(1, &solo, 2);
+    }
+
+    #[test]
+    fn every_filtering_phase_purges_a_quarter() {
+        let pl = distributions::even(8, 512, &mut rng(45));
+        let report = check(4, &pl, 256);
+        assert!(!report.phases.is_empty());
+        for (j, ph) in report.phases.iter().enumerate() {
+            assert!(
+                ph.case == FilterCase::Exact || ph.purge_fraction() >= 0.25,
+                "phase {j} purged only {:.3}",
+                ph.purge_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn phase_count_is_logarithmic() {
+        let pl = distributions::even(8, 1024, &mut rng(46));
+        let report = check(8, &pl, 512);
+        // m shrinks by >= 1/4 per phase: at most log_{4/3}(kn/p) + O(1).
+        let bound = (8.0f64 * 1024.0 / 8.0).ln() / (4.0f64 / 3.0).ln() + 2.0;
+        assert!(
+            (report.phases.len() as f64) <= bound,
+            "{} phases > {bound}",
+            report.phases.len()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_ranks() {
+        let pl = distributions::even(2, 8, &mut rng(47));
+        assert!(select_rank(2, pl.lists().to_vec(), 0).is_err());
+        assert!(select_rank(2, pl.lists().to_vec(), 9).is_err());
+    }
+
+    #[test]
+    fn message_bound_scales_like_p_log() {
+        let pl = distributions::even(8, 2048, &mut rng(48));
+        let report = check(8, &pl, 1024);
+        let p = 8f64;
+        let bound = 40.0 * p * (8.0f64 * 2048.0 / 8.0).log2() + 200.0;
+        assert!(
+            (report.metrics.messages as f64) < bound,
+            "messages {} vs bound {bound}",
+            report.metrics.messages
+        );
+    }
+}
+pub mod naive;
+pub mod shout_echo;
+pub use naive::{select_by_sorting, select_by_sorting_in, NaiveSelectReport};
+pub use shout_echo::{select_shout_echo, select_shout_echo_in, ShoutEchoReport};

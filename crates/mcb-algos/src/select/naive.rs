@@ -1,0 +1,108 @@
+//! The naive selection baseline: sort everything, pick by rank.
+//!
+//! §8 opens by dismissing this approach — "the extra information provided
+//! by sorting comes at a cost and is not really needed" — so it is the
+//! natural baseline for experiment E8: `Θ(n)` messages and
+//! `Θ(n/k + n_max)` cycles against filtering selection's
+//! `Θ(p log(kn/p))` messages and `Θ((p/k) log(kn/p))` cycles.
+
+use crate::msg::{Key, Word};
+use crate::partial_sums::{partial_sums_in, Op};
+use crate::sort::grouped::sort_grouped_in;
+use mcb_net::{ChanId, Metrics, NetError, Network, ProcCtx};
+
+/// Outcome of the naive sort-based selection.
+#[derive(Debug, Clone)]
+pub struct NaiveSelectReport<K> {
+    /// The selected element `N[d]`.
+    pub value: K,
+    /// Network costs.
+    pub metrics: Metrics,
+}
+
+/// Select the `d`'th largest element by fully sorting first.
+pub fn select_by_sorting<K: Key>(
+    k: usize,
+    lists: Vec<Vec<K>>,
+    d: usize,
+) -> Result<NaiveSelectReport<K>, NetError> {
+    let n: usize = lists.iter().map(Vec::len).sum();
+    if d < 1 || d > n {
+        return Err(NetError::BadConfig(format!("rank {d} out of 1..={n}")));
+    }
+    if lists.iter().any(Vec::is_empty) {
+        return Err(NetError::BadConfig("paper model assumes n_i > 0".into()));
+    }
+    let p = lists.len();
+    let input = lists;
+    let report = Network::new(p, k).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        select_by_sorting_in(ctx, mine, d as u64)
+    })?;
+    let metrics = report.metrics.clone();
+    let value = report
+        .into_results()
+        .into_iter()
+        .next()
+        .expect("p >= 1 processors");
+    Ok(NaiveSelectReport { value, metrics })
+}
+
+/// Subroutine form: sort, then the holder of global rank `d` broadcasts it.
+pub fn select_by_sorting_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>, d: u64) -> K {
+    let sorted = sort_grouped_in(ctx, mine);
+    // After sorting, my segment covers global ranks [prev, mine) (0-based);
+    // the holder of rank d-1 broadcasts.
+    let sums = partial_sums_in(
+        ctx,
+        sorted.len() as u64,
+        Op::Add,
+        &|v| Word::Ctl(v),
+        &|m: Word<K>| m.expect_ctl(),
+    );
+    let t = d - 1;
+    let holder = t >= sums.prev && t < sums.mine;
+    let msg = if holder {
+        let key = sorted[(t - sums.prev) as usize].clone();
+        ctx.cycle(Some((ChanId(0), Word::Key(key))), Some(ChanId(0)))
+    } else {
+        ctx.read(ChanId(0))
+    };
+    msg.expect("the rank holder broadcasts").expect_key()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_workloads::{distributions, rng};
+
+    #[test]
+    fn agrees_with_oracle() {
+        let pl = distributions::random_uneven(5, 60, &mut rng(51));
+        for d in [1, 7, 30, 60] {
+            let r = select_by_sorting(2, pl.lists().to_vec(), d).unwrap();
+            assert_eq!(r.value, pl.rank(d), "rank {d}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_filtering_selection() {
+        let pl = distributions::even(4, 64, &mut rng(52));
+        let d = 20;
+        let naive = select_by_sorting(4, pl.lists().to_vec(), d).unwrap();
+        let smart = crate::select::select_rank(4, pl.lists().to_vec(), d).unwrap();
+        assert_eq!(naive.value, smart.value);
+        // The whole point: filtering sends far fewer messages at this size.
+        assert!(
+            smart.metrics.messages < naive.metrics.messages,
+            "filtering {} vs naive {}",
+            smart.metrics.messages,
+            naive.metrics.messages
+        );
+    }
+
+    #[test]
+    fn rejects_bad_rank() {
+        assert!(select_by_sorting(1, vec![vec![1u64]], 2).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! A Shout-Echo-style selection baseline.
+//!
+//! §1 discusses Santoro & Sidney's **Shout-Echo** broadcast model, "in
+//! which a basic communication activity consists of one processor
+//! broadcasting a message (shout) and receiving a reply (echo) from all
+//! other processors", and §9 notes the paper's selection algorithm improves
+//! the best Shout-Echo selection bound \[Rote83\] by `O(log p)`. This module
+//! implements a faithful Shout-Echo-*style* selection on the MCB model as a
+//! second baseline for the experiments:
+//!
+//! * per round, a rotating coordinator **shouts** the median of its local
+//!   candidates on channel 0 (one cycle);
+//! * every processor **echoes** its `>= pivot` candidate count, serialized
+//!   on channel 0 (`p` cycles — the echo is inherently a single-channel
+//!   activity, since every processor must hear every reply to stay in
+//!   lock-step);
+//! * everyone branches on the three §8 cases identically.
+//!
+//! Because each round only halves the *coordinator's* candidates (the pivot
+//! is one processor's median, not the weighted median-of-medians), the
+//! round count is `O(Σᵢ log nᵢ) = O(p·log(n/p))` instead of §8's
+//! `O(log(kn/p))` — exactly the `O(log p)`-ish gap the paper claims over
+//! the Shout-Echo state of the art, measured in experiment E8b.
+
+use crate::local::median_desc;
+use crate::msg::{Key, Word};
+use mcb_net::{ChanId, Metrics, NetError, Network, ProcCtx};
+
+/// Outcome of a Shout-Echo selection.
+#[derive(Debug, Clone)]
+pub struct ShoutEchoReport<K> {
+    /// The selected element `N[d]`.
+    pub value: K,
+    /// Number of shout-echo rounds used.
+    pub rounds: usize,
+    /// Network costs.
+    pub metrics: Metrics,
+}
+
+/// Select the `d`'th largest element with rotating-coordinator Shout-Echo
+/// rounds. `k` is accepted for interface parity but rounds serialize on
+/// channel 0 (the Shout-Echo model is single-activity).
+pub fn select_shout_echo<K: Key>(
+    k: usize,
+    lists: Vec<Vec<K>>,
+    d: usize,
+) -> Result<ShoutEchoReport<K>, NetError> {
+    let p = lists.len();
+    let n: usize = lists.iter().map(Vec::len).sum();
+    if d < 1 || d > n {
+        return Err(NetError::BadConfig(format!("rank {d} out of 1..={n}")));
+    }
+    if lists.iter().any(Vec::is_empty) {
+        return Err(NetError::BadConfig("paper model assumes n_i > 0".into()));
+    }
+    let input = lists;
+    let report = Network::new(p, k).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        select_shout_echo_in(ctx, mine, d as u64)
+    })?;
+    let metrics = report.metrics.clone();
+    let (value, rounds) = report
+        .into_results()
+        .into_iter()
+        .next()
+        .expect("p >= 1 processors");
+    Ok(ShoutEchoReport {
+        value,
+        rounds,
+        metrics,
+    })
+}
+
+/// Subroutine form; returns `(answer, rounds)` at every processor.
+pub fn select_shout_echo_in<K: Key>(
+    ctx: &mut ProcCtx<'_, Word<K>>,
+    mine: Vec<K>,
+    d: u64,
+) -> (K, usize) {
+    let p = ctx.p();
+    let i = ctx.id().index();
+    let chan = ChanId(0);
+
+    let mut candidates = mine;
+    let mut d = d;
+    let mut rounds = 0usize;
+
+    // Census round: everyone learns all candidate counts (and hence m and
+    // who can coordinate).
+    let mut counts = vec![0u64; p];
+    for turn in 0..p {
+        let write = (turn == i).then(|| (chan, Word::Ctl(candidates.len() as u64)));
+        counts[turn] = ctx.cycle(write, Some(chan)).expect("census").expect_ctl();
+    }
+    let mut m: u64 = counts.iter().sum();
+    let mut coordinator = 0usize;
+
+    while m > 1 {
+        rounds += 1;
+        // Rotate to the next processor that still has candidates.
+        while counts[coordinator] == 0 {
+            coordinator = (coordinator + 1) % p;
+        }
+        // Shout: the coordinator's local candidate median.
+        let shout = (coordinator == i).then(|| (chan, Word::Key(median_desc(&candidates))));
+        let pivot = ctx
+            .cycle(shout, Some(chan))
+            .expect("coordinator shouts")
+            .expect_key();
+        // Echoes: every processor's >= pivot count, serialized.
+        let mut m_ge = 0u64;
+        for turn in 0..p {
+            let local_ge = candidates.iter().filter(|x| **x >= pivot).count() as u64;
+            let write = (turn == i).then(|| (chan, Word::Ctl(local_ge)));
+            m_ge += ctx.cycle(write, Some(chan)).expect("echo").expect_ctl();
+        }
+        // Identical branching everywhere (the §8 cases).
+        if m_ge == d {
+            return (pivot, rounds);
+        } else if m_ge > d {
+            candidates.retain(|x| *x > pivot);
+            m = m_ge - 1;
+        } else {
+            candidates.retain(|x| *x < pivot);
+            m -= m_ge;
+            d -= m_ge;
+        }
+        // Refresh counts (everyone can recompute only its own; re-census
+        // cheaply by echoing new counts next round — fold into the count
+        // update here instead: one more serialized round).
+        for turn in 0..p {
+            let write = (turn == i).then(|| (chan, Word::Ctl(candidates.len() as u64)));
+            counts[turn] = ctx.cycle(write, Some(chan)).expect("recount").expect_ctl();
+        }
+        coordinator = (coordinator + 1) % p;
+    }
+
+    // One candidate left: its holder announces it.
+    debug_assert_eq!(m, 1);
+    debug_assert_eq!(d, 1);
+    let write = (!candidates.is_empty()).then(|| (chan, Word::Key(candidates[0].clone())));
+    let answer = ctx
+        .cycle(write, Some(chan))
+        .expect("last holder announces")
+        .expect_key();
+    (answer, rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_workloads::{distributions, rng};
+
+    #[test]
+    fn agrees_with_oracle() {
+        let pl = distributions::random_uneven(5, 60, &mut rng(71));
+        for d in [1usize, 15, 30, 60] {
+            let r = select_shout_echo(2, pl.lists().to_vec(), d).unwrap();
+            assert_eq!(r.value, pl.rank(d), "rank {d}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_filtering_selection() {
+        let pl = distributions::even(6, 120, &mut rng(72));
+        let d = 60;
+        let se = select_shout_echo(3, pl.lists().to_vec(), d).unwrap();
+        let smart = crate::select::select_rank(3, pl.lists().to_vec(), d).unwrap();
+        assert_eq!(se.value, smart.value);
+    }
+
+    #[test]
+    fn uses_more_rounds_than_filtering_has_phases() {
+        // The whole point of §8 over Shout-Echo: fewer elimination rounds.
+        // A single seed can get lucky, so compare aggregates over several.
+        let mut se_rounds = 0usize;
+        let mut filter_phases = 0usize;
+        for seed in 73..81 {
+            let pl = distributions::even(8, 512, &mut rng(seed));
+            let d = 256;
+            let se = select_shout_echo(4, pl.lists().to_vec(), d).unwrap();
+            let smart = crate::select::select_rank(4, pl.lists().to_vec(), d).unwrap();
+            assert_eq!(se.value, smart.value, "seed {seed}");
+            se_rounds += se.rounds;
+            filter_phases += smart.phases.len();
+        }
+        assert!(
+            se_rounds > filter_phases,
+            "shout-echo rounds {se_rounds} <= filtering phases {filter_phases}"
+        );
+    }
+
+    #[test]
+    fn single_processor_and_rank_edges() {
+        let r = select_shout_echo(1, vec![vec![9u64, 3, 7]], 2).unwrap();
+        assert_eq!(r.value, 7);
+        assert!(select_shout_echo(1, vec![vec![1u64]], 0).is_err());
+        assert!(select_shout_echo(1, vec![vec![1u64]], 2).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Columnsort executed over the network (§5.2's core loop).
+//!
+//! [`columnsort_net_in`] runs the eight Columnsort phases among `k_cols`
+//! *column owners* (processors each holding one padded column), with every
+//! other processor idling in lock-step. Owners sort locally in the sorting
+//! phases (free) and follow the [`TransformSchedule`] in the transformation
+//! phases: column `c` broadcasts on channel `c`, and each owner reads the
+//! channel the schedule names.
+//!
+//! Padding: columns may contain `None` dummies. Dummies order below every
+//! real key, so after sorting all dummies occupy the tail of the global
+//! column-major order — which is what lets phases 0/10 of the outer
+//! algorithms treat "global rank" and "padded position" interchangeably for
+//! real elements. Dummies are **never broadcast**: the schedule slot stays
+//! empty and the reader's empty-channel detection reconstructs the dummy,
+//! so padding costs cycles but no messages (the paper's "the dummy elements
+//! need not be broadcast").
+
+use crate::columnsort::{check_shape, Phase, ShapeError, PHASES};
+use crate::local::sort_desc;
+use crate::msg::Key;
+use crate::schedule::TransformSchedule;
+use mcb_net::{ChanId, MsgWidth, ProcCtx};
+
+/// A processor's part in a networked Columnsort: which column it owns and
+/// the column's (padded) contents.
+#[derive(Debug, Clone)]
+pub struct ColumnRole<K> {
+    /// Column index in `0..k_cols`; the owner broadcasts on channel `col`.
+    pub col: usize,
+    /// Column contents, length `m`; `None` entries are padding dummies.
+    pub data: Vec<Option<K>>,
+}
+
+/// Total cycles [`columnsort_net_in`] consumes for an `m × k_cols` sort.
+/// Pure function of the shape, so non-owners can idle without coordination.
+pub fn columnsort_net_cycles(m: usize, k_cols: usize) -> u64 {
+    PHASES
+        .iter()
+        .map(|ph| match ph {
+            Phase::Apply(tf) => TransformSchedule::new(*tf, m, k_cols).cycles() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Run Columnsort among `k_cols` column owners as a lock-step subroutine.
+///
+/// Every processor of the network must call this at the same cycle with the
+/// same `(m, k_cols)`; owners pass their [`ColumnRole`], everyone else
+/// passes `None`. Returns the owner's sorted column (`None` for
+/// non-owners). The shape must satisfy §5.1's `m >= k_cols(k_cols - 1)` and
+/// `k_cols | m`.
+pub fn columnsort_net_in<K, M, E, D>(
+    ctx: &mut ProcCtx<'_, M>,
+    role: Option<ColumnRole<K>>,
+    m: usize,
+    k_cols: usize,
+    enc: &E,
+    dec: &D,
+) -> Result<Option<Vec<Option<K>>>, ShapeError>
+where
+    K: Key,
+    M: Clone + Send + Sync + MsgWidth,
+    E: Fn(K) -> M,
+    D: Fn(M) -> K,
+{
+    check_shape(m, k_cols)?;
+    assert!(k_cols <= ctx.k(), "need one channel per column");
+    if let Some(r) = &role {
+        assert!(r.col < k_cols, "column index out of range");
+        assert_eq!(r.data.len(), m, "column must have padded length m");
+    }
+    let mut data = role.map(|r| (r.col, r.data));
+
+    for phase in PHASES {
+        match phase {
+            Phase::SortColumns => {
+                if let Some((_, col)) = &mut data {
+                    // Option<K>: None < Some(_), so descending order puts
+                    // dummies at the column tail.
+                    sort_desc(col);
+                }
+            }
+            Phase::SortColumnsExceptFirst => {
+                if let Some((c, col)) = &mut data {
+                    if *c != 0 {
+                        sort_desc(col);
+                    }
+                }
+            }
+            Phase::Apply(tf) => {
+                let sched = TransformSchedule::new(tf, m, k_cols);
+                match &mut data {
+                    Some((c, col)) => {
+                        let c = *c;
+                        let mut out: Vec<Option<K>> = vec![None; m];
+                        for &(sr, dr) in sched.local_moves(c) {
+                            out[dr] = col[sr].clone();
+                        }
+                        for t in 0..sched.cycles() {
+                            let write = sched.send_task(t, c).and_then(|s| {
+                                col[s.src_row]
+                                    .clone()
+                                    .map(|key| (ChanId::from_index(c), enc(key)))
+                            });
+                            let read = sched
+                                .recv_task(t, c)
+                                .map(|r| ChanId::from_index(r.from_col));
+                            let got = ctx.cycle(write, read);
+                            if let Some(r) = sched.recv_task(t, c) {
+                                // Empty channel = the scheduled sender held
+                                // a dummy.
+                                out[r.dst_row] = got.map(dec);
+                            }
+                        }
+                        *col = out;
+                    }
+                    None => ctx.idle_for(sched.cycles() as u64),
+                }
+            }
+        }
+    }
+    Ok(data.map(|(_, col)| col))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Word;
+    use mcb_net::Network;
+
+    fn enc(k: u64) -> Word<u64> {
+        Word::Key(k)
+    }
+    fn dec(m: Word<u64>) -> u64 {
+        m.expect_key()
+    }
+
+    /// p = k_cols owners, no padding: the §5.2 base case.
+    fn run_cols(
+        m: usize,
+        k: usize,
+        cols: Vec<Vec<Option<u64>>>,
+    ) -> (Vec<Vec<Option<u64>>>, u64, u64) {
+        let cols_in = cols.clone();
+        let report = Network::new(k, k)
+            .run(move |ctx| {
+                let me = ctx.id().index();
+                let role = Some(ColumnRole {
+                    col: me,
+                    data: cols_in[me].clone(),
+                });
+                columnsort_net_in(ctx, role, m, k, &enc, &dec)
+                    .unwrap()
+                    .unwrap()
+            })
+            .unwrap();
+        let cycles = report.metrics.cycles;
+        let msgs = report.metrics.messages;
+        (report.into_results(), cycles, msgs)
+    }
+
+    fn flatten(cols: &[Vec<Option<u64>>]) -> Vec<Option<u64>> {
+        cols.iter().flatten().cloned().collect()
+    }
+
+    #[test]
+    fn sorts_full_columns_end_to_end() {
+        let (m, k) = (12, 4);
+        let vals: Vec<u64> = (0..(m * k) as u64)
+            .map(|i| i.wrapping_mul(2654435761) % 10_000)
+            .collect();
+        let cols: Vec<Vec<Option<u64>>> = vals
+            .chunks(m)
+            .map(|ch| ch.iter().map(|&v| Some(v)).collect())
+            .collect();
+        let (sorted, cycles, msgs) = run_cols(m, k, cols);
+        let lin = flatten(&sorted);
+        assert!(
+            lin.windows(2).all(|w| w[0] >= w[1]),
+            "not descending: {lin:?}"
+        );
+        // Multiset preserved.
+        let mut a: Vec<u64> = lin.into_iter().map(|x| x.unwrap()).collect();
+        let mut b = vals.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // O(m) cycles per transformation phase, four phases.
+        assert!(cycles <= 4 * m as u64, "cycles {cycles}");
+        assert_eq!(cycles, columnsort_net_cycles(m, k));
+        // O(mk) messages (at most one per element per phase).
+        assert!(msgs <= 4 * (m * k) as u64, "messages {msgs}");
+    }
+
+    #[test]
+    fn dummies_sort_to_the_tail_and_send_nothing() {
+        let (m, k) = (12, 3);
+        // 30 real elements + 6 dummies spread around.
+        let mut cols: Vec<Vec<Option<u64>>> = vec![vec![None; m]; k];
+        let mut v = 1000u64;
+        for c in 0..k {
+            for r in 0..m {
+                if (c + r) % 6 != 0 {
+                    cols[c][r] = Some(v);
+                    v = v.wrapping_mul(48271) % 65521;
+                }
+            }
+        }
+        let real: Vec<u64> = flatten(&cols).into_iter().flatten().collect();
+        let (sorted, _, msgs) = run_cols(m, k, cols);
+        let lin = flatten(&sorted);
+        let n_real = real.len();
+        assert!(lin[..n_real].iter().all(Option::is_some), "reals first");
+        assert!(lin[n_real..].iter().all(Option::is_none), "dummies last");
+        assert!(
+            lin[..n_real].windows(2).all(|w| w[0] >= w[1]),
+            "reals descending"
+        );
+        // No message ever carries a dummy: fewer messages than elements*phases.
+        assert!(msgs < 4 * (m * k) as u64);
+    }
+
+    #[test]
+    fn non_owners_stay_in_lockstep() {
+        // p = 6 processors but only k_cols = 2 own columns.
+        let (m, k_cols) = (4, 2);
+        let report = Network::new(6, 3)
+            .run(move |ctx| {
+                let me = ctx.id().index();
+                let role = (me < k_cols).then(|| ColumnRole {
+                    col: me,
+                    data: (0..m)
+                        .map(|r| Some(((me * m + r) as u64 * 37) % 100))
+                        .collect(),
+                });
+                columnsort_net_in(ctx, role, m, k_cols, &enc, &dec).unwrap()
+            })
+            .unwrap();
+        let results = report.into_results();
+        let lin: Vec<Option<u64>> = results[..k_cols]
+            .iter()
+            .flat_map(|r| r.clone().unwrap())
+            .collect();
+        assert!(lin.windows(2).all(|w| w[0] >= w[1]));
+        assert!(results[k_cols..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn rejects_illegal_shapes() {
+        let report = Network::new(4, 4)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                let role = Some(ColumnRole {
+                    col: me,
+                    data: vec![Some(1u64); 8], // m = 8 < k(k-1) = 12
+                });
+                columnsort_net_in(ctx, role, 8, 4, &enc, &dec).is_err()
+            })
+            .unwrap();
+        assert!(report.into_results().into_iter().all(|e| e));
+    }
+
+    #[test]
+    fn single_column_sorts_locally_with_zero_messages() {
+        let (sorted, cycles, msgs) = run_cols(
+            5,
+            1,
+            vec![vec![Some(3), Some(9), Some(1), Some(7), Some(5)]],
+        );
+        assert_eq!(sorted[0], vec![Some(9), Some(7), Some(5), Some(3), Some(1)]);
+        assert_eq!(msgs, 0);
+        assert_eq!(cycles, 0);
+    }
+}

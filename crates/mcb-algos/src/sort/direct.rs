@@ -1,0 +1,175 @@
+//! The `p = k` sorting special case (§5.2's first construction).
+//!
+//! With one channel per processor and an even distribution, each processor
+//! *is* a column: no collection (phase 0) or redistribution (phase 10) is
+//! needed, except when padding was required (`k ∤ n/k`), in which case a
+//! two-pass rebroadcast realigns segment boundaries exactly as the paper
+//! prescribes ("group representatives must therefore broadcast each element
+//! twice").
+//!
+//! Complexity: `O(n)` messages and `O(n/k)` cycles — optimal by Theorem 3
+//! and Corollary 3 since `n_max = n_max2`.
+
+use crate::columnsort::padded_column_length;
+use crate::msg::{Key, Word};
+use crate::sort::columns::{columnsort_net_in, ColumnRole};
+use crate::sort::grouped::SortReport;
+use mcb_net::{ChanId, NetError, Network, ProcCtx};
+
+/// Sort equally sized `lists` on an `MCB(p, p)` (one channel per
+/// processor). All lists must have the same length.
+pub fn sort_direct<K: Key>(lists: Vec<Vec<K>>) -> Result<SortReport<K>, NetError> {
+    let p = lists.len();
+    if p == 0 {
+        return Err(NetError::BadConfig("need at least one processor".into()));
+    }
+    let m = lists[0].len();
+    if lists.iter().any(|l| l.len() != m) {
+        return Err(NetError::BadConfig(
+            "sort_direct requires an even distribution".into(),
+        ));
+    }
+    if m == 0 {
+        return Err(NetError::BadConfig("paper model assumes n_i > 0".into()));
+    }
+    let input = lists;
+    let report = Network::new(p, p).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        sort_direct_in(ctx, mine)
+    })?;
+    let metrics = report.metrics.clone();
+    Ok(SortReport {
+        lists: report.into_results(),
+        metrics,
+    })
+}
+
+/// Lock-step subroutine form: requires `ctx.p() == ctx.k()` and equal list
+/// lengths across processors (caller's contract).
+pub fn sort_direct_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> Vec<K> {
+    let p = ctx.p();
+    assert_eq!(p, ctx.k(), "sort_direct requires p = k");
+    let i = ctx.id().index();
+    let m = mine.len();
+    let m_pad = padded_column_length(m, p);
+
+    let mut data: Vec<Option<K>> = mine.into_iter().map(Some).collect();
+    data.resize(m_pad, None);
+
+    let sorted = columnsort_net_in(
+        ctx,
+        Some(ColumnRole { col: i, data }),
+        m_pad,
+        p,
+        &|key| Word::Key(key),
+        &|msg: Word<K>| msg.expect_key(),
+    )
+    .expect("padded shape is legal")
+    .expect("every processor owns a column");
+
+    if m_pad == m {
+        // No padding: column i is exactly the target segment.
+        return sorted
+            .into_iter()
+            .map(|x| x.expect("no dummies without padding"))
+            .collect();
+    }
+
+    // Padding displaced segment boundaries: my target global positions are
+    // [i*m, (i+1)*m), spread over at most two columns of length m_pad
+    // (since m <= m_pad). Everyone rebroadcasts its column `passes` times;
+    // pass t serves each processor's (lo_col + t)'th column. `passes` is
+    // computable locally: the maximum span over all processors.
+    let spans = (0..p).map(|j| {
+        let lo = (j * m) / m_pad;
+        let hi = ((j + 1) * m - 1) / m_pad;
+        hi - lo + 1
+    });
+    let passes = spans.max().unwrap();
+    debug_assert!(passes <= 2);
+
+    let lo = i * m;
+    let hi = (i + 1) * m;
+    let lo_col = lo / m_pad;
+    let hi_col = (hi - 1) / m_pad;
+    let mut out = Vec::with_capacity(m);
+    for pass in 0..passes {
+        let target_col = lo_col + pass;
+        for row in 0..m_pad {
+            let write = sorted[row]
+                .clone()
+                .map(|key| (ChanId::from_index(i), Word::Key(key)));
+            let global = target_col * m_pad + row;
+            let want = target_col <= hi_col && global >= lo && global < hi;
+            let read = want.then(|| ChanId::from_index(target_col));
+            let got = ctx.cycle(write, read);
+            if want {
+                out.push(got.expect("real ranks are broadcast").expect_key());
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), m);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::verify::verify_sorted;
+    use mcb_workloads::{distributions, rng, Placement};
+
+    fn check(placement: Placement) -> mcb_net::Metrics {
+        let report = sort_direct(placement.lists().to_vec()).unwrap();
+        verify_sorted(placement.lists(), &report.lists).unwrap();
+        report.metrics
+    }
+
+    #[test]
+    fn sorts_without_padding() {
+        // p = k = 4, n_i = 16, 4 | 16: no padding path.
+        let pl = distributions::even(4, 64, &mut rng(11));
+        let metrics = check(pl);
+        // Four transform phases of <= 16 cycles each.
+        assert!(metrics.cycles <= 64, "cycles {}", metrics.cycles);
+    }
+
+    #[test]
+    fn sorts_with_padding_and_redistribution() {
+        // p = k = 4, n_i = 13: padded to m_pad = 16 > 13.
+        let pl = distributions::even(4, 52, &mut rng(12));
+        check(pl);
+    }
+
+    #[test]
+    fn sorts_tiny_even_case() {
+        let pl = distributions::even(2, 4, &mut rng(13));
+        check(pl);
+    }
+
+    #[test]
+    fn rejects_uneven_input() {
+        let err = sort_direct(vec![vec![1u64, 2], vec![3u64]]).unwrap_err();
+        assert!(matches!(err, NetError::BadConfig(_)));
+    }
+
+    #[test]
+    fn rejects_empty_lists() {
+        let err = sort_direct(vec![Vec::<u64>::new(), vec![]]).unwrap_err();
+        assert!(matches!(err, NetError::BadConfig(_)));
+    }
+
+    #[test]
+    fn message_and_cycle_bounds_hold() {
+        let pl = distributions::even(8, 448, &mut rng(14)); // m = 56 = k(k-1), 8 | 56
+        let n = pl.n() as u64;
+        let k = 8u64;
+        let metrics = check(pl);
+        assert!(metrics.messages <= 4 * n, "messages {}", metrics.messages);
+        assert!(
+            metrics.cycles <= 5 * n / k,
+            "cycles {} vs n/k {}",
+            metrics.cycles,
+            n / k
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! The full MCB sorting algorithm (§5.2 generalized by §7.2).
+//!
+//! Sorts `n` keys distributed arbitrarily (evenly or unevenly) over `p`
+//! processors into the paper's postcondition: processor `P_i` ends up with
+//! the elements of global descending ranks `[n_{i-1}^+, n_i^+)`, in order.
+//!
+//! Pipeline (phase numbers are the paper's):
+//!
+//! 0a. **Cardinality census** — Partial-Sums gives every processor
+//!     `n_{i-1}^+`/`n_i^+`, and total-sum runs give `n` and `n_max`.
+//! 0b. **Group formation** (§7.2) — processors are split into at most
+//!     `k_eff` contiguous groups of `⌈n/k_eff⌉ <= m_j <= ⌈n/k_eff⌉ +
+//!     n_max - 1` elements each, one Ctl broadcast per group.
+//!     `k_eff = choose_columns(n, k)` also handles the small-input regime
+//!     (`n < k²(k-1)`) by using fewer columns (§5.2).
+//! 0c. **Element collection** — each group's elements stream to its
+//!     representative (the group's highest-numbered processor) over the
+//!     group's channel, members timing their turns with the §7.2 partial
+//!     sums; representatives' own elements move locally for free.
+//! 1–8. **Columnsort** among representatives
+//!     ([`columnsort_net_in`](super::columns::columnsort_net_in())), columns
+//!     padded with dummies to a legal length.
+//! 10. **Redistribution** — representatives rebroadcast their columns
+//!     `passes` times (`passes` = the maximum number of columns any
+//!     processor's target range spans, computed by a `max` total-sum);
+//!     each processor reads off exactly its target ranks. Dummies occupy
+//!     the global tail, so padded positions equal real ranks.
+//!
+//! Complexity: `O(n)` messages, `O(n/k + n_max)` cycles — Corollary 6's
+//! upper bound, tight (with the lower bounds of §4) whenever
+//! `n_max <= α·n` and `n >= k²(k-1)`.
+
+use crate::columnsort::{choose_columns, padded_column_length};
+use crate::msg::{Key, Word};
+use crate::partial_sums::{partial_sums_in, total_in, Op};
+use crate::sort::columns::{columnsort_net_in, ColumnRole};
+use mcb_net::{ChanId, Metrics, NetError, Network, ProcCtx};
+
+/// Outcome of a distributed sort.
+#[derive(Debug, Clone)]
+pub struct SortReport<K> {
+    /// Per-processor sorted lists satisfying the paper's postcondition.
+    pub lists: Vec<Vec<K>>,
+    /// Network costs of the run.
+    pub metrics: Metrics,
+}
+
+fn enc_key<K: Key>(k: K) -> Word<K> {
+    Word::Key(k)
+}
+fn dec_key<K: Key>(m: Word<K>) -> K {
+    m.expect_key()
+}
+fn enc_ctl<K: Key>(v: u64) -> Word<K> {
+    Word::Ctl(v)
+}
+fn dec_ctl<K: Key>(m: Word<K>) -> u64 {
+    m.expect_ctl()
+}
+
+/// Sort `lists` on an `MCB(p, k)` with `p = lists.len()`.
+///
+/// Requires `1 <= k <= p`, every list nonempty (the paper's `n_i > 0`),
+/// and distinct keys (use
+/// `mcb_workloads::disambiguate`-style tagging for
+/// multisets — enforced only implicitly: ties may land in either order).
+pub fn sort_grouped<K: Key>(k: usize, lists: Vec<Vec<K>>) -> Result<SortReport<K>, NetError> {
+    let p = lists.len();
+    let input = lists;
+    let report = Network::new(p, k).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        sort_grouped_in(ctx, mine)
+    })?;
+    let metrics = report.metrics.clone();
+    Ok(SortReport {
+        lists: report.into_results(),
+        metrics,
+    })
+}
+
+/// The sorting pipeline as a lock-step subroutine: every processor calls it
+/// at the same cycle with its local list; returns the processor's sorted
+/// target segment. §8's selection uses this to sort its (median, count)
+/// pairs mid-protocol.
+pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> Vec<K> {
+    let k = ctx.k();
+    let n_i = mine.len() as u64;
+    assert!(n_i > 0, "paper model assumes n_i > 0");
+
+    // ---- 0a. census -------------------------------------------------------
+    let sums = partial_sums_in(ctx, n_i, Op::Add, &enc_ctl, &dec_ctl);
+    let n = total_in(ctx, n_i, Op::Add, &enc_ctl, &dec_ctl);
+    let n_max = total_in(ctx, n_i, Op::Max, &enc_ctl, &dec_ctl);
+
+    let k_eff = choose_columns(n as usize, k);
+    let threshold = (n as usize).div_ceil(k_eff) as u64 + n_max - 1;
+
+    // ---- 0b. group formation (§7.2) --------------------------------------
+    // Iteratively peel off the maximal prefix of processors whose revised
+    // partial sum fits under the threshold; its representative broadcasts
+    // the group's element count.
+    let mut consumed = 0u64; // elements in groups formed so far
+    let mut group_sizes: Vec<u64> = Vec::new();
+    let mut my_group: Option<usize> = None;
+    let mut my_start = 0u64; // offset of my elements inside my group's column
+    let mut am_rep = false;
+    while consumed < n {
+        let g = group_sizes.len();
+        let rev_prev = sums.prev.saturating_sub(consumed);
+        let rev_mine = sums.mine - consumed.min(sums.mine);
+        let unassigned = my_group.is_none();
+        let in_group = unassigned && sums.mine > consumed && rev_mine <= threshold;
+        let is_rep = in_group
+            && match sums.next {
+                Some(nx) => nx - consumed > threshold,
+                None => true,
+            };
+        let msg = if is_rep {
+            ctx.cycle(Some((ChanId(0), enc_ctl::<K>(rev_mine))), Some(ChanId(0)))
+        } else {
+            ctx.read(ChanId(0))
+        };
+        let m_g = dec_ctl(msg.expect("group representative always broadcasts"));
+        if in_group {
+            my_group = Some(g);
+            my_start = rev_prev;
+            am_rep = is_rep;
+        }
+        group_sizes.push(m_g);
+        consumed += m_g;
+    }
+    let k_used = group_sizes.len();
+    debug_assert!(k_used <= k_eff);
+    let my_group = my_group.expect("every processor joins a group");
+    let m_col = *group_sizes.iter().max().unwrap() as usize;
+    let m_pad = padded_column_length(m_col, k_used);
+
+    // ---- 0c. element collection ------------------------------------------
+    // Group members broadcast their elements on the group's channel in
+    // partial-sum order; the representative assembles the column. The
+    // representative's own block moves locally (no messages).
+    let mut column: Option<Vec<Option<K>>> = am_rep.then(|| vec![None; m_pad]);
+    for t in 0..m_col as u64 {
+        let idx = t.wrapping_sub(my_start) as usize;
+        let sending = !am_rep && t >= my_start && idx < mine.len();
+        let write = sending.then(|| (ChanId::from_index(my_group), enc_key(mine[idx].clone())));
+        let read = if am_rep && t < group_sizes[my_group] {
+            Some(ChanId::from_index(my_group))
+        } else {
+            None
+        };
+        let got = ctx.cycle(write, read);
+        if let Some(col) = &mut column {
+            if t < group_sizes[my_group] {
+                if let Some(msg) = got {
+                    col[t as usize] = Some(dec_key(msg));
+                }
+            }
+        }
+    }
+    if let Some(col) = &mut column {
+        // Splice in the representative's own elements.
+        for (j, key) in mine.iter().enumerate() {
+            let slot = my_start as usize + j;
+            debug_assert!(col[slot].is_none());
+            col[slot] = Some(key.clone());
+        }
+        debug_assert_eq!(col.iter().flatten().count() as u64, group_sizes[my_group]);
+    }
+
+    // ---- 1..8. Columnsort among representatives ---------------------------
+    let role = column.map(|data| ColumnRole {
+        col: my_group,
+        data,
+    });
+    let sorted_col = columnsort_net_in(ctx, role, m_pad, k_used, &enc_key, &dec_key)
+        .expect("m_pad is padded to a legal shape");
+
+    // ---- 10. redistribution ------------------------------------------------
+    // My target range in global descending ranks (= padded positions).
+    let lo = sums.prev;
+    let hi = sums.mine;
+    let lo_col = (lo / m_pad as u64) as usize;
+    let hi_col = ((hi - 1) / m_pad as u64) as usize;
+    let my_span = (hi_col - lo_col + 1) as u64;
+    let passes = total_in(ctx, my_span, Op::Max, &enc_ctl, &dec_ctl);
+
+    let mut out: Vec<K> = Vec::with_capacity(n_i as usize);
+    for pass in 0..passes {
+        let target_col = lo_col + pass as usize;
+        for row in 0..m_pad as u64 {
+            // Representatives broadcast their real rows; everyone reads the
+            // column its current target position lives in.
+            let write = sorted_col.as_ref().and_then(|col| {
+                col[row as usize]
+                    .clone()
+                    .map(|key| (ChanId::from_index(my_group), enc_key(key)))
+            });
+            let global = target_col as u64 * m_pad as u64 + row;
+            let want = target_col <= hi_col && global >= lo && global < hi;
+            let read = want.then(|| ChanId::from_index(target_col));
+            let got = ctx.cycle(write, read);
+            if want {
+                out.push(dec_key(got.expect("real target ranks are broadcast")));
+            }
+        }
+    }
+    debug_assert_eq!(out.len() as u64, n_i);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::verify::verify_sorted;
+    use mcb_workloads::{distributions, rng, Placement};
+
+    fn check(k: usize, placement: Placement) -> Metrics {
+        let report = sort_grouped(k, placement.lists().to_vec()).unwrap();
+        verify_sorted(placement.lists(), &report.lists).unwrap();
+        report.metrics
+    }
+
+    #[test]
+    fn sorts_even_distribution_p_equals_k() {
+        let pl = distributions::even(4, 64, &mut rng(1));
+        check(4, pl);
+    }
+
+    #[test]
+    fn sorts_even_distribution_p_greater_than_k() {
+        let pl = distributions::even(8, 128, &mut rng(2));
+        check(2, pl);
+    }
+
+    #[test]
+    fn sorts_uneven_distributions() {
+        for seed in 0..5 {
+            let pl = distributions::random_uneven(6, 90, &mut rng(seed));
+            check(3, pl);
+        }
+    }
+
+    #[test]
+    fn sorts_single_heavy_distribution() {
+        let pl = distributions::single_heavy(5, 100, 0.6, &mut rng(9));
+        check(2, pl);
+    }
+
+    #[test]
+    fn sorts_small_inputs_with_fewer_columns() {
+        // n = 12 < k²(k-1) for k = 4: falls back to fewer columns.
+        let pl = distributions::even(4, 12, &mut rng(4));
+        check(4, pl);
+    }
+
+    #[test]
+    fn sorts_on_single_channel() {
+        let pl = distributions::random_uneven(5, 40, &mut rng(5));
+        check(1, pl);
+    }
+
+    #[test]
+    fn sorts_single_processor() {
+        let pl = Placement::new(vec![vec![5, 3, 9, 1, 7]]);
+        let report = sort_grouped(1, pl.lists().to_vec()).unwrap();
+        assert_eq!(report.lists, vec![vec![9, 7, 5, 3, 1]]);
+    }
+
+    #[test]
+    fn message_count_is_linear_in_n() {
+        let pl = distributions::even(8, 256, &mut rng(6));
+        let n = pl.n() as u64;
+        let m = check(4, pl);
+        // Collection ~n + columnsort <= 4n + redistribution ~passes*n,
+        // plus O(p log p) control traffic: comfortably under 10n here.
+        assert!(m.messages <= 10 * n, "messages {} for n {n}", m.messages);
+    }
+
+    #[test]
+    fn cycles_scale_with_n_over_k_plus_nmax() {
+        let pl = distributions::even(8, 512, &mut rng(7));
+        let n = pl.n() as u64;
+        let n_max = pl.n_max() as u64;
+        let metrics = check(8, pl);
+        let budget = 16 * (n / 8 + n_max) + 200;
+        assert!(
+            metrics.cycles <= budget,
+            "cycles {} exceed budget {budget}",
+            metrics.cycles
+        );
+    }
+}

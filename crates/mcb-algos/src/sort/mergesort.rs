@@ -1,0 +1,507 @@
+//! Merge-Sort: the single-channel distributed merge of §6.1.
+//!
+//! Each processor sorts its input locally (free), then the network
+//! repeatedly extracts the globally largest remaining element from among
+//! the processors' *top elements*. A **distributed linked list** of the top
+//! elements, sorted descending, makes the extraction O(1) messages:
+//!
+//! * each processor in the list knows its own top element, a *pointer* (the
+//!   value of the next smaller top) and its *rank* in the list;
+//! * per output element: the rank-1 processor broadcasts its top (delivered
+//!   straight to the target processor), every rank decrements, and the
+//!   sender re-inserts its new top — all processors with a smaller top
+//!   increment their rank, and the unique processor `P_b` whose (top,
+//!   pointer) interval brackets the new element replies with the new rank
+//!   and pointer;
+//! * "larger than all tops" is detected by silence, in which case the old
+//!   head replies with its top so the new head can point at it.
+//!
+//! Linear cycles and messages. Two variants are provided:
+//!
+//! * [`merge_sort_single_channel`] — per-processor output buffers (simplest
+//!   protocol; `O(n_i)` auxiliary memory);
+//! * [`merge_sort_replacement_single_channel`] — the paper's **replacement
+//!   scheme**: every delivered output element evicts one input element from
+//!   its target back to the just-popped head, so each processor's combined
+//!   storage never exceeds its original `n_i` slots — the §6.1 "O(1)
+//!   auxiliary memory" property, with one extra subtlety the paper glosses:
+//!   when the eviction takes a processor's *last* input (exactly when its
+//!   output segment completes, by the storage invariant) that processor
+//!   must leave the linked list, which costs one extra broadcast cycle per
+//!   element.
+
+use crate::msg::Key;
+use mcb_net::{bits_for_u64, ChanId, MsgWidth, NetError, Network, ProcCtx};
+
+use super::grouped::SortReport;
+
+/// Wire format for the Merge-Sort protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsMsg<K> {
+    /// A data element (census counts use `Ctl`).
+    Key(K),
+    /// A control integer.
+    Ctl(u64),
+    /// Insertion response: the inserted element's new rank and pointer.
+    Ins {
+        /// Rank the inserted element takes in the linked list.
+        rank: u64,
+        /// Pointer (next smaller top), `None` when inserting at the tail.
+        ptr: Option<K>,
+    },
+}
+
+impl<K: MsgWidth> MsgWidth for MsMsg<K> {
+    fn bits(&self) -> u32 {
+        2 + match self {
+            MsMsg::Key(k) => k.bits(),
+            MsMsg::Ctl(v) => bits_for_u64(*v),
+            MsMsg::Ins { rank, ptr } => {
+                bits_for_u64(*rank) + 1 + ptr.as_ref().map_or(0, |p| p.bits())
+            }
+        }
+    }
+}
+
+impl<K> MsMsg<K> {
+    fn expect_key(self) -> K {
+        match self {
+            MsMsg::Key(k) => k,
+            _ => panic!("protocol error: expected Key"),
+        }
+    }
+    fn expect_ctl(self) -> u64 {
+        match self {
+            MsMsg::Ctl(v) => v,
+            _ => panic!("protocol error: expected Ctl"),
+        }
+    }
+}
+
+/// Sort `lists` (arbitrary distribution, distinct keys) on an `MCB(p, 1)`
+/// with the distributed Merge-Sort.
+pub fn merge_sort_single_channel<K: Key>(lists: Vec<Vec<K>>) -> Result<SortReport<K>, NetError> {
+    let p = lists.len();
+    if p == 0 || lists.iter().any(Vec::is_empty) {
+        return Err(NetError::BadConfig(
+            "need p >= 1 nonempty lists (paper model assumes n_i > 0)".into(),
+        ));
+    }
+    let input = lists;
+    let report = Network::new(p, 1).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        merge_sort_in(ctx, ChanId(0), mine)
+    })?;
+    let metrics = report.metrics.clone();
+    Ok(SortReport {
+        lists: report.into_results(),
+        metrics,
+    })
+}
+
+/// Per-processor state in the distributed linked list.
+struct ListState<K> {
+    /// My remaining input, ascending (so `pop` yields the current top).
+    stack: Vec<K>,
+    /// My rank in the linked list (1 = head); `None` when not in the list.
+    rank: Option<u64>,
+    /// Value of the next smaller top (linked-list pointer).
+    ptr: Option<K>,
+}
+
+impl<K: Key> ListState<K> {
+    fn top(&self) -> Option<&K> {
+        self.stack.last()
+    }
+}
+
+/// The three-cycle insertion of a (possibly absent) new top element.
+/// `new` is `Some` only at the inserting processor; all others pass `None`.
+fn insert_top<K: Key>(
+    ctx: &mut ProcCtx<'_, MsMsg<K>>,
+    chan: ChanId,
+    st: &mut ListState<K>,
+    inserting: bool,
+) {
+    // Cycle A: the inserter broadcasts its new top (silence = nothing to
+    // insert, the list just shrinks).
+    let announce = if inserting { st.top().cloned() } else { None };
+    let write_a = announce.clone().map(|k| (chan, MsMsg::Key(k)));
+    let heard = ctx.cycle(write_a, Some(chan)).map(MsMsg::expect_key);
+    let Some(new) = heard else {
+        // Nothing inserted; cycles B and C still happen for lock-step.
+        ctx.idle();
+        ctx.idle();
+        return;
+    };
+
+    // Everyone in the list below the new element moves down one rank.
+    // (The inserter itself is not in the list right now.)
+    let i_bracket = !inserting
+        && st.rank.is_some()
+        && st.top().map(|t| *t > new).unwrap_or(false)
+        && st.ptr.as_ref().map(|p| *p < new).unwrap_or(true);
+    if !inserting && st.rank.is_some() && st.top().map(|t| *t < new).unwrap_or(false) {
+        st.rank = Some(st.rank.unwrap() + 1);
+    }
+
+    // Cycle B: the bracketing processor P_b replies with (rank + 1, ptr)
+    // and repoints at the new element.
+    let write_b = i_bracket.then(|| {
+        (
+            chan,
+            MsMsg::Ins {
+                rank: st.rank.unwrap() + 1,
+                ptr: st.ptr.clone(),
+            },
+        )
+    });
+    let resp_b = ctx.cycle(write_b, Some(chan));
+    if i_bracket {
+        st.ptr = Some(new.clone());
+    }
+
+    // Cycle C: if B was silent the new element is the largest; the current
+    // head (rank 1 after the increments) replies with its top so the new
+    // head can point at it.
+    let b_was_silent = resp_b.is_none();
+    let i_am_old_head = !inserting && b_was_silent && st.rank == Some(2);
+    // (If B was silent, every list member's top is smaller than `new`, so
+    // each incremented its rank; the old head now has rank 2.)
+    let write_c = i_am_old_head.then(|| (chan, MsMsg::Key(st.top().unwrap().clone())));
+    let resp_c = ctx.cycle(write_c, Some(chan));
+
+    if inserting {
+        match resp_b {
+            Some(MsMsg::Ins { rank, ptr }) => {
+                st.rank = Some(rank);
+                st.ptr = ptr;
+            }
+            Some(_) => panic!("protocol error: expected Ins"),
+            None => {
+                st.rank = Some(1);
+                st.ptr = resp_c.map(MsMsg::expect_key);
+            }
+        }
+    }
+}
+
+/// Merge-Sort as a lock-step subroutine on one shared channel.
+pub fn merge_sort_in<K: Key>(
+    ctx: &mut ProcCtx<'_, MsMsg<K>>,
+    chan: ChanId,
+    mine: Vec<K>,
+) -> Vec<K> {
+    let p = ctx.p();
+    let i = ctx.id().index();
+
+    // ---- census ------------------------------------------------------------
+    let mut counts = vec![0u64; p];
+    for turn in 0..p {
+        let write = (turn == i).then(|| (chan, MsMsg::Ctl(mine.len() as u64)));
+        let got = ctx.cycle(write, Some(chan));
+        counts[turn] = got.expect("census").expect_ctl();
+    }
+    let prefix: Vec<u64> = counts
+        .iter()
+        .scan(0u64, |acc, &c| {
+            *acc += c;
+            Some(*acc)
+        })
+        .collect();
+    let n = prefix[p - 1];
+    let target_lo = if i == 0 { 0 } else { prefix[i - 1] };
+    let target_hi = prefix[i];
+
+    // ---- local sort (free) and list construction ---------------------------
+    let mut stack = mine;
+    stack.sort_unstable(); // ascending: last() is the top (largest)
+    let mut st = ListState {
+        stack,
+        rank: None,
+        ptr: None,
+    };
+    for turn in 0..p {
+        insert_top(ctx, chan, &mut st, turn == i);
+    }
+
+    // ---- main loop: extract n elements -------------------------------------
+    let mut out: Vec<K> = Vec::with_capacity((target_hi - target_lo) as usize);
+    for t in 0..n {
+        // Cycle 1: the head broadcasts its top; the target processor for
+        // global rank t stores it; all ranks decrement.
+        let i_am_head = st.rank == Some(1);
+        let write = i_am_head.then(|| (chan, MsMsg::Key(st.top().unwrap().clone())));
+        let got = ctx.cycle(write, Some(chan));
+        if t >= target_lo && t < target_hi {
+            out.push(
+                got.expect("head always exists while elements remain")
+                    .expect_key(),
+            );
+        }
+        if i_am_head {
+            st.stack.pop();
+            st.rank = None;
+            st.ptr = None;
+        } else if let Some(r) = st.rank {
+            st.rank = Some(r - 1);
+        }
+        // Cycles 2-4: the old head re-inserts its new top (or silence).
+        let reinsert = i_am_head && st.top().is_some();
+        insert_top(ctx, chan, &mut st, reinsert);
+    }
+    out
+}
+
+/// Sort with the paper's O(1)-auxiliary-memory **replacement scheme**:
+/// "whenever an element is moved to its target processor, the target
+/// processor sends its smallest remaining input element as replacement to
+/// the processor at the head of the linked list" (§6.1). Every processor's
+/// combined (input + output) storage never exceeds `n_i` elements — the
+/// output grows exactly as the input shrinks.
+pub fn merge_sort_replacement_single_channel<K: Key>(
+    lists: Vec<Vec<K>>,
+) -> Result<SortReport<K>, NetError> {
+    let p = lists.len();
+    if p == 0 || lists.iter().any(Vec::is_empty) {
+        return Err(NetError::BadConfig(
+            "need p >= 1 nonempty lists (paper model assumes n_i > 0)".into(),
+        ));
+    }
+    let input = lists;
+    let report = Network::new(p, 1).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        merge_sort_replacement_in(ctx, ChanId(0), mine)
+    })?;
+    let metrics = report.metrics.clone();
+    Ok(SortReport {
+        lists: report.into_results(),
+        metrics,
+    })
+}
+
+/// Subroutine form of the replacement-scheme Merge-Sort. Five cycles per
+/// output element: delivery, eviction, and the three-cycle insertion.
+///
+/// Storage invariant (asserted in debug builds): at every processor,
+/// `remaining inputs + stored outputs == n_i`, because each delivered
+/// output evicts one input to the just-popped head, whose own storage is
+/// simultaneously replenished by that eviction.
+pub fn merge_sort_replacement_in<K: Key>(
+    ctx: &mut ProcCtx<'_, MsMsg<K>>,
+    chan: ChanId,
+    mine: Vec<K>,
+) -> Vec<K> {
+    let p = ctx.p();
+    let i = ctx.id().index();
+    let n_i = mine.len();
+
+    // ---- census ------------------------------------------------------------
+    let mut counts = vec![0u64; p];
+    for turn in 0..p {
+        let write = (turn == i).then(|| (chan, MsMsg::Ctl(mine.len() as u64)));
+        let got = ctx.cycle(write, Some(chan));
+        counts[turn] = got.expect("census").expect_ctl();
+    }
+    let prefix: Vec<u64> = counts
+        .iter()
+        .scan(0u64, |acc, &c| {
+            *acc += c;
+            Some(*acc)
+        })
+        .collect();
+    let n = prefix[p - 1];
+    let target_lo = if i == 0 { 0 } else { prefix[i - 1] };
+    let target_hi = prefix[i];
+
+    // ---- local sort (free) and list construction ---------------------------
+    let mut stack = mine;
+    stack.sort_unstable();
+    let mut st = ListState {
+        stack,
+        rank: None,
+        ptr: None,
+    };
+    for turn in 0..p {
+        insert_top(ctx, chan, &mut st, turn == i);
+    }
+
+    // ---- main loop ----------------------------------------------------------
+    let mut out: Vec<K> = Vec::with_capacity((target_hi - target_lo) as usize);
+    for t in 0..n {
+        // Cycle 1: delivery, exactly as the buffered variant.
+        let i_am_head = st.rank == Some(1);
+        let write = i_am_head.then(|| (chan, MsMsg::Key(st.top().unwrap().clone())));
+        let got = ctx.cycle(write, Some(chan));
+        let i_am_target = t >= target_lo && t < target_hi;
+        if i_am_target {
+            out.push(got.expect("head always exists").expect_key());
+        }
+        if i_am_head {
+            st.stack.pop();
+            st.rank = None;
+            st.ptr = None;
+        } else if let Some(r) = st.rank {
+            st.rank = Some(r - 1);
+        }
+
+        // Cycle 2: eviction. The target replaces the stored output by
+        // shipping its smallest remaining input to the old head. When the
+        // target *is* the old head the exchange is internal — silence.
+        // Everyone listens: the evicted value is needed in cycle 3 to
+        // repair the linked list if it was the evictor's registered top.
+        let evict = i_am_target && !i_am_head && !st.stack.is_empty();
+        let self_removed = evict && st.stack.len() == 1 && st.rank.is_some();
+        let write = evict.then(|| (chan, MsMsg::Key(st.stack[0].clone())));
+        let got = ctx.cycle(write, Some(chan));
+        let evicted: Option<K> = got.map(MsMsg::expect_key);
+        if evict {
+            st.stack.remove(0);
+        }
+        if i_am_head {
+            if let Some(key) = evicted.clone() {
+                let pos = st.stack.partition_point(|x| *x < key);
+                st.stack.insert(pos, key);
+            }
+        }
+        debug_assert!(
+            st.stack.len() + out.len() <= n_i.max(1),
+            "storage invariant violated: {} inputs + {} outputs > n_i = {n_i}",
+            st.stack.len(),
+            out.len()
+        );
+
+        // Cycle 3: if the eviction took the evictor's last input (which was
+        // also its registered top — by the storage invariant this happens
+        // exactly when the evictor's target segment is complete), the
+        // evictor leaves the linked list: it announces its (rank, ptr);
+        // members below move up one rank and its predecessor repoints.
+        let write = self_removed.then(|| {
+            (
+                chan,
+                MsMsg::Ins {
+                    rank: st.rank.expect("self-removal implies membership"),
+                    ptr: st.ptr.clone(),
+                },
+            )
+        });
+        let leave = ctx.cycle(write, Some(chan));
+        if self_removed {
+            st.rank = None;
+            st.ptr = None;
+        } else if let Some(MsMsg::Ins { rank, ptr }) = leave {
+            if let Some(my_rank) = st.rank {
+                if my_rank > rank {
+                    st.rank = Some(my_rank - 1);
+                }
+                if st.ptr.is_some() && st.ptr == evicted {
+                    st.ptr = ptr;
+                }
+            }
+        }
+
+        // Cycles 4-6: the old head re-inserts its (possibly replenished) top.
+        let reinsert = i_am_head && st.top().is_some();
+        insert_top(ctx, chan, &mut st, reinsert);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::verify::verify_sorted;
+    use mcb_workloads::{distributions, rng, Placement};
+
+    fn check(placement: Placement) -> mcb_net::Metrics {
+        let report = merge_sort_single_channel(placement.lists().to_vec()).unwrap();
+        verify_sorted(placement.lists(), &report.lists).unwrap();
+        report.metrics
+    }
+
+    #[test]
+    fn sorts_even_and_uneven() {
+        check(distributions::even(4, 32, &mut rng(31)));
+        check(distributions::random_uneven(5, 41, &mut rng(32)));
+        check(distributions::single_heavy(3, 24, 0.7, &mut rng(33)));
+    }
+
+    #[test]
+    fn linear_cycles_and_messages() {
+        let pl = distributions::even(4, 80, &mut rng(34));
+        let (n, p) = (pl.n() as u64, pl.p() as u64);
+        let m = check(pl);
+        // census p + construction 3p + n * 4 cycles.
+        assert_eq!(m.cycles, p + 3 * p + 4 * n);
+        // At most 3 messages per output element plus construction traffic.
+        assert!(m.messages <= 3 * n + 3 * p, "messages {}", m.messages);
+    }
+
+    #[test]
+    fn single_processor_degenerates() {
+        let pl = Placement::new(vec![vec![2u64, 9, 4]]);
+        let report = merge_sort_single_channel(pl.lists().to_vec()).unwrap();
+        assert_eq!(report.lists, vec![vec![9, 4, 2]]);
+    }
+
+    #[test]
+    fn interleaved_inputs() {
+        // Adversarial for merge order: strictly alternating ownership.
+        let pl = Placement::new(vec![vec![10u64, 8, 6, 4, 2], vec![9u64, 7, 5, 3, 1]]);
+        let report = merge_sort_single_channel(pl.lists().to_vec()).unwrap();
+        assert_eq!(report.lists[0], vec![10, 9, 8, 7, 6]);
+        assert_eq!(report.lists[1], vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn agrees_with_ranksort() {
+        let pl = distributions::random_uneven(6, 60, &mut rng(35));
+        let a = merge_sort_single_channel(pl.lists().to_vec()).unwrap();
+        let b = crate::sort::ranksort::rank_sort_single_channel(pl.lists().to_vec()).unwrap();
+        assert_eq!(a.lists, b.lists);
+    }
+
+    #[test]
+    fn rejects_empty_list() {
+        assert!(merge_sort_single_channel(vec![vec![1u64], vec![]]).is_err());
+    }
+
+    #[test]
+    fn replacement_scheme_sorts_and_agrees() {
+        for seed in 40..46 {
+            let pl = distributions::random_uneven(5, 50, &mut rng(seed));
+            let buffered = merge_sort_single_channel(pl.lists().to_vec()).unwrap();
+            let o1 = merge_sort_replacement_single_channel(pl.lists().to_vec()).unwrap();
+            verify_sorted(pl.lists(), &o1.lists).unwrap();
+            assert_eq!(buffered.lists, o1.lists, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn replacement_scheme_even_and_heavy() {
+        let pl = distributions::even(4, 48, &mut rng(46));
+        let o1 = merge_sort_replacement_single_channel(pl.lists().to_vec()).unwrap();
+        verify_sorted(pl.lists(), &o1.lists).unwrap();
+        let pl = distributions::single_heavy(4, 40, 0.7, &mut rng(47));
+        let o1 = merge_sort_replacement_single_channel(pl.lists().to_vec()).unwrap();
+        verify_sorted(pl.lists(), &o1.lists).unwrap();
+    }
+
+    #[test]
+    fn replacement_scheme_costs_stay_linear() {
+        let pl = distributions::even(4, 80, &mut rng(48));
+        let (n, p) = (pl.n() as u64, pl.p() as u64);
+        let o1 = merge_sort_replacement_single_channel(pl.lists().to_vec()).unwrap();
+        verify_sorted(pl.lists(), &o1.lists).unwrap();
+        // census p + construction 3p + n * 6 cycles.
+        assert_eq!(o1.metrics.cycles, p + 3 * p + 6 * n);
+        // Delivery + eviction + <= 3 insertion messages per element.
+        assert!(o1.metrics.messages <= 5 * n + 3 * p);
+    }
+
+    #[test]
+    fn replacement_scheme_single_processor() {
+        let o1 = merge_sort_replacement_single_channel(vec![vec![3u64, 8, 1]]).unwrap();
+        assert_eq!(o1.lists, vec![vec![8, 3, 1]]);
+    }
+}

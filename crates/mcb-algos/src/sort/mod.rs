@@ -1,0 +1,28 @@
+//! Distributed sorting in the MCB model (paper §§5–7).
+//!
+//! * [`columns`] — Columnsort's phases executed over the network among
+//!   column-owning processors (the §5.2 core).
+//! * [`grouped`] — the full pipeline for arbitrary distributions (§7.2
+//!   group formation + collection + Columnsort + redistribution); the
+//!   main entry point [`sort_grouped`].
+//! * [`direct`] — the special case `p = k`, one column per processor, no
+//!   collection phases (§5.2's first construction).
+//! * [`ranksort`] — the single-channel Rank-Sort of §6.1.
+//! * [`mergesort`] — the single-channel distributed Merge-Sort of §6.1.
+//! * [`verify`] — §3 postcondition checking.
+
+pub mod columns;
+pub mod direct;
+pub mod grouped;
+pub mod mergesort;
+pub mod ranksort;
+pub mod recursive;
+pub mod verify;
+
+pub use columns::{columnsort_net_cycles, columnsort_net_in, ColumnRole};
+pub use direct::sort_direct;
+pub use grouped::{sort_grouped, sort_grouped_in, SortReport};
+pub use mergesort::{merge_sort_replacement_single_channel, merge_sort_single_channel};
+pub use ranksort::rank_sort_single_channel;
+pub use recursive::{rec_cycles, sort_virtual, Comm, MemberSchedule};
+pub use verify::{verify_sorted, SortViolation};

@@ -1,0 +1,167 @@
+//! Rank-Sort: the single-channel sorting algorithm of §6.1.
+//!
+//! "Each processor maintains a rank counter for each of its elements. …
+//! In the first phase, elements are broadcast in arbitrary order. After
+//! each broadcast, the counters of those elements which are smaller than
+//! the one broadcast are incremented by 1. Thus, at the end of the first
+//! phase each processor knows the rank of each of its elements. Then, in
+//! the second phase, the elements are broadcast in rank order and moved to
+//! the appropriate target processor."
+//!
+//! Linear cycles and messages on an `MCB(p, 1)`; `O(n_i)` auxiliary storage
+//! per processor (the rank counters). Works for arbitrary distributions —
+//! the paper uses it to sort the *virtual columns* of the
+//! memory-efficient Columnsort, where each column is spread over a group of
+//! processors sharing a single channel.
+
+use crate::msg::{Key, Word};
+use mcb_net::{ChanId, NetError, Network, ProcCtx};
+
+use super::grouped::SortReport;
+
+/// Sort `lists` (arbitrary distribution, distinct keys) on an `MCB(p, 1)`.
+pub fn rank_sort_single_channel<K: Key>(lists: Vec<Vec<K>>) -> Result<SortReport<K>, NetError> {
+    let p = lists.len();
+    if p == 0 || lists.iter().any(Vec::is_empty) {
+        return Err(NetError::BadConfig(
+            "need p >= 1 nonempty lists (paper model assumes n_i > 0)".into(),
+        ));
+    }
+    let input = lists;
+    let report = Network::new(p, 1).run(move |ctx| {
+        let mine = input[ctx.id().index()].clone();
+        rank_sort_in(ctx, ChanId(0), mine)
+    })?;
+    let metrics = report.metrics.clone();
+    Ok(SortReport {
+        lists: report.into_results(),
+        metrics,
+    })
+}
+
+/// Rank-Sort as a lock-step subroutine on one shared channel. All `p`
+/// processors of the network call it together; the channel carries one
+/// census round (`p` cycles), one ranking round (`n` cycles), and one
+/// delivery round (`n` cycles).
+pub fn rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, chan: ChanId, mine: Vec<K>) -> Vec<K> {
+    let p = ctx.p();
+    let i = ctx.id().index();
+
+    // ---- census: everyone learns all cardinalities ------------------------
+    let mut counts = vec![0u64; p];
+    for turn in 0..p {
+        let write = (turn == i).then(|| (chan, Word::Ctl(mine.len() as u64)));
+        let got = ctx.cycle(write, Some(chan));
+        counts[turn] = got.expect("every processor reports its count").expect_ctl();
+    }
+    let prefix: Vec<u64> = counts
+        .iter()
+        .scan(0u64, |acc, &c| {
+            *acc += c;
+            Some(*acc)
+        })
+        .collect();
+    let n = prefix[p - 1];
+    let my_start = if i == 0 { 0 } else { prefix[i - 1] };
+
+    // ---- phase 1: broadcast all, count ranks ------------------------------
+    // Descending rank r(x) = 1 + |{y : y > x}|. Each processor keeps one
+    // counter per own element (O(n_i) storage) and updates them against
+    // every broadcast, including its own (x > x is false, so an element
+    // never counts against itself).
+    let mut rank_above = vec![0u64; mine.len()]; // number of strictly larger keys
+    for t in 0..n {
+        let idx = t.wrapping_sub(my_start) as usize;
+        let write =
+            (t >= my_start && idx < mine.len()).then(|| (chan, Word::Key(mine[idx].clone())));
+        let heard = ctx
+            .cycle(write, Some(chan))
+            .expect("every slot carries an element")
+            .expect_key();
+        for (j, x) in mine.iter().enumerate() {
+            if heard > *x {
+                rank_above[j] += 1;
+            }
+        }
+    }
+
+    // ---- phase 2: broadcast in rank order, deliver ------------------------
+    // The element of (0-based) descending rank t is broadcast at cycle t by
+    // its owner; the processor whose target segment contains t keeps it.
+    let target_lo = my_start;
+    let target_hi = prefix[i];
+    let mut by_rank: Vec<(u64, usize)> = rank_above
+        .iter()
+        .enumerate()
+        .map(|(j, &r)| (r, j))
+        .collect();
+    by_rank.sort_unstable();
+    let mut send_iter = by_rank.into_iter().peekable();
+    let mut out: Vec<K> = Vec::with_capacity((target_hi - target_lo) as usize);
+    for t in 0..n {
+        let write = match send_iter.peek() {
+            Some(&(r, j)) if r == t => {
+                send_iter.next();
+                Some((chan, Word::Key(mine[j].clone())))
+            }
+            _ => None,
+        };
+        let want = t >= target_lo && t < target_hi;
+        let got = ctx.cycle(write, want.then_some(chan));
+        if want {
+            out.push(
+                got.expect("distinct keys give a collision-free rank schedule")
+                    .expect_key(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::verify::verify_sorted;
+    use mcb_workloads::{distributions, rng, Placement};
+
+    fn check(placement: Placement) -> mcb_net::Metrics {
+        let report = rank_sort_single_channel(placement.lists().to_vec()).unwrap();
+        verify_sorted(placement.lists(), &report.lists).unwrap();
+        report.metrics
+    }
+
+    #[test]
+    fn sorts_even_and_uneven() {
+        check(distributions::even(4, 32, &mut rng(21)));
+        check(distributions::random_uneven(5, 43, &mut rng(22)));
+        check(distributions::single_heavy(3, 30, 0.8, &mut rng(23)));
+    }
+
+    #[test]
+    fn linear_cycles_and_messages() {
+        let pl = distributions::even(4, 100, &mut rng(24));
+        let (n, p) = (pl.n() as u64, pl.p() as u64);
+        let m = check(pl);
+        assert_eq!(m.cycles, p + 2 * n);
+        assert_eq!(m.messages, p + 2 * n);
+    }
+
+    #[test]
+    fn single_processor_degenerates() {
+        let pl = Placement::new(vec![vec![2u64, 9, 4]]);
+        let report = rank_sort_single_channel(pl.lists().to_vec()).unwrap();
+        assert_eq!(report.lists, vec![vec![9, 4, 2]]);
+    }
+
+    #[test]
+    fn two_processors_swap_fully() {
+        let pl = Placement::new(vec![vec![1u64, 2], vec![10u64, 20]]);
+        let report = rank_sort_single_channel(pl.lists().to_vec()).unwrap();
+        assert_eq!(report.lists, vec![vec![20, 10], vec![2, 1]]);
+    }
+
+    #[test]
+    fn rejects_empty_list() {
+        assert!(rank_sort_single_channel(vec![vec![1u64], vec![]]).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Postcondition checking for distributed sorts.
+//!
+//! §3 defines sorting as "rearranging the distribution of N among the
+//! processors so that `N_i = N[n_{i-1}^+ + 1, n_i^+]`": cardinalities are
+//! preserved per processor, `P_1` ends up with the largest elements, and
+//! each processor's list is internally descending.
+
+/// Why a sort output is wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortViolation {
+    /// Output has a different number of processors than the input.
+    ProcessorCountChanged {
+        /// Expected processor count.
+        expected: usize,
+        /// Actual processor count.
+        actual: usize,
+    },
+    /// Processor `i`'s output cardinality differs from its input's.
+    CardinalityChanged {
+        /// Processor index.
+        proc: usize,
+        /// `n_i` before the sort.
+        expected: usize,
+        /// `|output_i]`.
+        actual: usize,
+    },
+    /// Processor `i`'s list is not descending at position `pos`.
+    NotDescendingWithin {
+        /// Processor index.
+        proc: usize,
+        /// Offset of the first out-of-order adjacent pair.
+        pos: usize,
+    },
+    /// The last element of processor `i` is smaller than the first element
+    /// of processor `i + 1`.
+    NotDescendingAcross {
+        /// The earlier processor.
+        proc: usize,
+    },
+    /// The output multiset differs from the input multiset.
+    MultisetChanged,
+}
+
+impl std::fmt::Display for SortViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SortViolation::ProcessorCountChanged { expected, actual } => {
+                write!(f, "processor count changed: {expected} -> {actual}")
+            }
+            SortViolation::CardinalityChanged {
+                proc,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "P{}'s cardinality changed: {expected} -> {actual}",
+                proc + 1
+            ),
+            SortViolation::NotDescendingWithin { proc, pos } => {
+                write!(f, "P{}'s list not descending at offset {pos}", proc + 1)
+            }
+            SortViolation::NotDescendingAcross { proc } => {
+                write!(f, "P{} ends smaller than P{} begins", proc + 1, proc + 2)
+            }
+            SortViolation::MultisetChanged => write!(f, "output multiset differs from input"),
+        }
+    }
+}
+
+impl std::error::Error for SortViolation {}
+
+/// Check the §3 sorting postcondition of `output` against the original
+/// `input` lists.
+pub fn verify_sorted<K: Ord + Clone>(
+    input: &[Vec<K>],
+    output: &[Vec<K>],
+) -> Result<(), SortViolation> {
+    if output.len() != input.len() {
+        return Err(SortViolation::ProcessorCountChanged {
+            expected: input.len(),
+            actual: output.len(),
+        });
+    }
+    for (i, (inp, out)) in input.iter().zip(output).enumerate() {
+        if inp.len() != out.len() {
+            return Err(SortViolation::CardinalityChanged {
+                proc: i,
+                expected: inp.len(),
+                actual: out.len(),
+            });
+        }
+        if let Some(pos) = out.windows(2).position(|w| w[0] < w[1]) {
+            return Err(SortViolation::NotDescendingWithin { proc: i, pos });
+        }
+    }
+    for i in 0..output.len() - 1 {
+        let last = output[i].last().expect("nonempty lists");
+        let first = output[i + 1].first().expect("nonempty lists");
+        if last < first {
+            return Err(SortViolation::NotDescendingAcross { proc: i });
+        }
+    }
+    let mut a: Vec<K> = output.iter().flatten().cloned().collect();
+    let mut b: Vec<K> = input.iter().flatten().cloned().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    if a != b {
+        return Err(SortViolation::MultisetChanged);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> Vec<Vec<u64>> {
+        vec![vec![5, 1], vec![9, 3, 7]]
+    }
+
+    #[test]
+    fn accepts_correct_output() {
+        let out = vec![vec![9, 7], vec![5, 3, 1]];
+        assert_eq!(verify_sorted(&input(), &out), Ok(()));
+    }
+
+    #[test]
+    fn rejects_cardinality_change() {
+        let out = vec![vec![9, 7, 5], vec![3, 1]];
+        assert!(matches!(
+            verify_sorted(&input(), &out),
+            Err(SortViolation::CardinalityChanged { proc: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_within() {
+        let out = vec![vec![7, 9], vec![5, 3, 1]];
+        assert!(matches!(
+            verify_sorted(&input(), &out),
+            Err(SortViolation::NotDescendingWithin { proc: 0, pos: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted_across() {
+        let out = vec![vec![9, 5], vec![7, 3, 1]];
+        assert_eq!(
+            verify_sorted(&input(), &out),
+            Err(SortViolation::NotDescendingAcross { proc: 0 })
+        );
+    }
+
+    #[test]
+    fn rejects_changed_multiset() {
+        let out = vec![vec![9, 7], vec![5, 3, 2]];
+        assert_eq!(
+            verify_sorted(&input(), &out),
+            Err(SortViolation::MultisetChanged)
+        );
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        let v = SortViolation::NotDescendingAcross { proc: 0 };
+        assert!(v.to_string().contains("P1"));
+        assert!(v.to_string().contains("P2"));
+    }
+}

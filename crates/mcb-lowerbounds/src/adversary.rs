@@ -1,0 +1,183 @@
+//! The Theorem 1/2 adversary as an executable ledger.
+//!
+//! The proof pairs processors and maintains *median candidates*; whenever a
+//! message carries a candidate of some pair, the adversary fixes element
+//! magnitudes so that **at most `m + 1` of the pair's `2m` candidates** are
+//! eliminated. Hence each pair with `2m_j` initial candidates forces
+//! `Ω(log 2m_j)` candidate-carrying messages, and in total
+//! `Σ_j log 2m_j / 2` messages are unavoidable.
+//!
+//! [`AdversaryLedger`] replays this bookkeeping against a recorded message
+//! trace of a real algorithm: every candidate-carrying message is charged
+//! to its writer's pair and the pair's candidate count is slashed by the
+//! *maximum* the adversary allows (`⌈m⌉ + 1`), i.e. the replay is as
+//! favourable to the algorithm as the proof permits. The number of charges
+//! needed before every pair is down to one candidate is therefore a valid
+//! lower bound on the messages *any* algorithm — including the one traced —
+//! must send, and the experiments check `measured >= forced`.
+
+use crate::hard_inputs::{pair_of_processor, paired_candidates};
+use mcb_net::{Event, ProcId};
+
+/// Replay state of the Theorem 1 adversary.
+#[derive(Debug, Clone)]
+pub struct AdversaryLedger {
+    pair_of: Vec<Option<usize>>,
+    /// Remaining candidates per pair (starts at `2·min(n_a, n_b)`).
+    remaining: Vec<u64>,
+    /// Candidate-carrying messages observed so far.
+    observed: u64,
+    /// Messages charged while their pair still had candidates to eliminate.
+    effective: u64,
+}
+
+impl AdversaryLedger {
+    /// Initialize from the per-processor input sizes (the adversary's
+    /// pairing and initial candidate pools are functions of the sizes
+    /// alone).
+    pub fn new(sizes: &[usize]) -> Self {
+        AdversaryLedger {
+            pair_of: pair_of_processor(sizes),
+            remaining: paired_candidates(sizes),
+            observed: 0,
+            effective: 0,
+        }
+    }
+
+    /// The number of candidate-carrying messages the adversary forces:
+    /// each pair of `2m` candidates needs `⌈log₂ 2m⌉` halvings to reach
+    /// one candidate (each message removes at most `m + 1` of `2m`).
+    pub fn forced_messages(&self) -> u64 {
+        self.remaining
+            .iter()
+            .map(|&c| {
+                let mut c = c;
+                let mut msgs = 0u64;
+                while c > 1 {
+                    let m = c / 2;
+                    c -= (m + 1).min(c - 1);
+                    msgs += 1;
+                }
+                msgs
+            })
+            .sum()
+    }
+
+    /// Feed one candidate-carrying message (identified by its writer).
+    pub fn observe(&mut self, writer: ProcId) {
+        self.observed += 1;
+        if let Some(pair) = self.pair_of.get(writer.index()).copied().flatten() {
+            let c = self.remaining[pair];
+            if c > 1 {
+                let m = c / 2;
+                self.remaining[pair] = c - (m + 1).min(c - 1);
+                self.effective += 1;
+            }
+        }
+    }
+
+    /// Replay a whole trace; `carries_candidate` says whether a message
+    /// payload contains an input element (as opposed to pure control data).
+    pub fn replay<M>(&mut self, events: &[Event<M>], carries_candidate: impl Fn(&M) -> bool) {
+        for e in events {
+            if carries_candidate(&e.msg) {
+                self.observe(e.writer);
+            }
+        }
+    }
+
+    /// Candidate-carrying messages seen so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// True when every pair has been cut down to at most one candidate —
+    /// i.e. the algorithm has sent at least the forced number of messages
+    /// towards every pair.
+    pub fn exhausted(&self) -> bool {
+        self.remaining.iter().all(|&c| c <= 1)
+    }
+
+    /// Remaining candidates per pair.
+    pub fn remaining(&self) -> &[u64] {
+        &self.remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_net::ChanId;
+
+    #[test]
+    fn forced_messages_is_logarithmic() {
+        // One pair with 2m = 16 candidates: 16 -> 16-9=7 -> 7-4=3 -> 3-2=1:
+        // 3 messages.
+        let ledger = AdversaryLedger::new(&[8, 8]);
+        assert_eq!(ledger.remaining(), &[16]);
+        assert_eq!(ledger.forced_messages(), 3);
+    }
+
+    #[test]
+    fn observe_halves_the_pair() {
+        let mut ledger = AdversaryLedger::new(&[8, 8]);
+        ledger.observe(ProcId(0));
+        assert_eq!(ledger.remaining(), &[7]);
+        ledger.observe(ProcId(1)); // same pair
+        assert_eq!(ledger.remaining(), &[3]);
+        ledger.observe(ProcId(0));
+        assert_eq!(ledger.remaining(), &[1]);
+        assert!(ledger.exhausted());
+        assert_eq!(ledger.observed(), 3);
+    }
+
+    #[test]
+    fn unpaired_processor_is_uncharged() {
+        // Three processors: largest is excluded from pairing when p is odd?
+        // Pairing is (largest, second), odd one out is the smallest.
+        let mut ledger = AdversaryLedger::new(&[4, 4, 4]);
+        assert_eq!(ledger.remaining().len(), 1);
+        let before = ledger.remaining()[0];
+        ledger.observe(ProcId(2)); // the unpaired processor
+        assert_eq!(ledger.remaining()[0], before);
+        assert_eq!(ledger.observed(), 1);
+    }
+
+    #[test]
+    fn replay_filters_control_messages() {
+        let events = vec![
+            Event {
+                cycle: 0,
+                writer: ProcId(0),
+                channel: ChanId(0),
+                msg: 10u64,
+            },
+            Event {
+                cycle: 1,
+                writer: ProcId(1),
+                channel: ChanId(0),
+                msg: 0u64, // "control" under the predicate below
+            },
+        ];
+        let mut ledger = AdversaryLedger::new(&[4, 4]);
+        ledger.replay(&events, |&m| m != 0);
+        assert_eq!(ledger.observed(), 1);
+    }
+
+    #[test]
+    fn forced_matches_formula_order() {
+        // forced ~ sum over pairs of log2(2 min) within rounding.
+        for sizes in [vec![16usize, 16, 16, 16], vec![100, 50, 20, 10, 5]] {
+            let ledger = AdversaryLedger::new(&sizes);
+            let forced = ledger.forced_messages() as f64;
+            let formula: f64 = paired_candidates(&sizes)
+                .iter()
+                .map(|&c| (c as f64).log2())
+                .sum();
+            assert!(
+                (forced - formula).abs() <= sizes.len() as f64,
+                "forced {forced} vs formula {formula}"
+            );
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Closed-form bound values from §4 and the matching upper bounds.
+//!
+//! These are the Ω/Θ expressions of Theorems 1–4 and Corollaries 1–7,
+//! evaluated as concrete numbers so that experiments can print
+//! "measured vs bound" rows. Logarithms are base 2, as in the paper.
+
+/// `log₂(x)` with the paper's convention that all bound logs are of values
+/// `>= 2` (the arguments are always `2·something positive`).
+fn lg(x: f64) -> f64 {
+    x.log2()
+}
+
+/// Theorem 1: messages to select the median are
+/// `Ω(Σ log 2n_i − log 2n_max)`. Returns the sum with the largest term
+/// dropped, halved as in the proof's final counting step.
+pub fn thm1_select_median_messages(sizes: &[usize]) -> f64 {
+    let mut s: Vec<usize> = sizes.to_vec();
+    s.sort_unstable_by(|a, b| b.cmp(a));
+    s.iter()
+        .skip(1)
+        .map(|&n_i| lg(2.0 * n_i as f64))
+        .sum::<f64>()
+        / 2.0
+}
+
+/// Corollary 1: cycles to select the median (Theorem 1 divided by `k`).
+pub fn cor1_select_median_cycles(sizes: &[usize], k: usize) -> f64 {
+    thm1_select_median_messages(sizes) / k as f64
+}
+
+/// Theorem 2: messages to select rank `d` (`p <= d <= ⌊n/2⌋`):
+/// `Ω((s−1)·log(2d/p) + Σ_{j>s} log 2n_{i_j})` where `s` counts processors
+/// with `n_i >= d/p` and sizes are taken in non-increasing order.
+pub fn thm2_select_rank_messages(sizes: &[usize], d: usize) -> f64 {
+    let p = sizes.len();
+    let mut s_desc: Vec<usize> = sizes.to_vec();
+    s_desc.sort_unstable_by(|a, b| b.cmp(a));
+    let thresh = d as f64 / p as f64;
+    let s = s_desc.iter().filter(|&&n_i| n_i as f64 >= thresh).count();
+    let head = (s.saturating_sub(1)) as f64 * lg(2.0 * d as f64 / p as f64);
+    let tail: f64 = s_desc[s.min(p)..]
+        .iter()
+        .map(|&n_i| lg(2.0 * n_i as f64))
+        .sum();
+    (head + tail) / 2.0
+}
+
+/// Corollary 2: cycles for rank-`d` selection (Theorem 2 over `k`).
+pub fn cor2_select_rank_cycles(sizes: &[usize], d: usize, k: usize) -> f64 {
+    thm2_select_rank_messages(sizes, d) / k as f64
+}
+
+/// Theorem 3: messages to sort are `Ω(n − n_max + n_max2)`; the proof's
+/// constant is 1/2 (each cross-processor adjacent pair costs a message,
+/// counted over disjoint pairs).
+pub fn thm3_sort_messages(sizes: &[usize]) -> f64 {
+    let n: usize = sizes.iter().sum();
+    let mut s: Vec<usize> = sizes.to_vec();
+    s.sort_unstable_by(|a, b| b.cmp(a));
+    let n_max = s.first().copied().unwrap_or(0);
+    let n_max2 = s.get(1).copied().unwrap_or(0);
+    (n - n_max + n_max2) as f64 / 2.0
+}
+
+/// Corollary 3: cycles to sort (Theorem 3 over `k`).
+pub fn cor3_sort_cycles(sizes: &[usize], k: usize) -> f64 {
+    thm3_sort_messages(sizes) / k as f64
+}
+
+/// Theorem 4 (printed as "Theorem 5" in the paper): cycles to sort are
+/// `Ω(min{n_max, n − n_max})`, independent of `k` — the heavy processor's
+/// port is the bottleneck.
+pub fn thm4_sort_cycles(sizes: &[usize]) -> f64 {
+    let n: usize = sizes.iter().sum();
+    let n_max = sizes.iter().copied().max().unwrap_or(0);
+    n_max.min(n - n_max) as f64
+}
+
+/// Corollary 5/6 upper-bound shape: sorting takes `Θ(max{n/k, n_max})`
+/// cycles.
+pub fn sort_cycles_theta(n: usize, k: usize, n_max: usize) -> f64 {
+    (n as f64 / k as f64).max(n_max as f64)
+}
+
+/// Corollary 5/6 upper-bound shape: sorting takes `Θ(n)` messages.
+pub fn sort_messages_theta(n: usize) -> f64 {
+    n as f64
+}
+
+/// Corollary 7 shape: selection takes `Θ(p·log(kn/p))` messages.
+pub fn select_messages_theta(n: usize, p: usize, k: usize) -> f64 {
+    p as f64 * lg((k * n) as f64 / p as f64)
+}
+
+/// Corollary 7 shape: selection takes `Θ((p/k)·log(kn/p))` cycles.
+pub fn select_cycles_theta(n: usize, p: usize, k: usize) -> f64 {
+    select_messages_theta(n, p, k) / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thm1_even_sizes() {
+        // p = 4, n_i = 8: sum over 3 processors of log 16 = 12, halved.
+        let b = thm1_select_median_messages(&[8, 8, 8, 8]);
+        assert!((b - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm1_drops_heaviest() {
+        let uneven = thm1_select_median_messages(&[1024, 2, 2, 2]);
+        // Only the three light processors count: 3·log 4 / 2 = 3.
+        assert!((uneven - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm2_reduces_to_thm1_at_median_even() {
+        // Even sizes, d = n/2: every processor has n_i >= d/p = n/(2p),
+        // s = p, and log(2d/p) = log(n/p) = log n_i: same value.
+        let sizes = [8usize; 4];
+        let d = 16;
+        let t2 = thm2_select_rank_messages(&sizes, d);
+        // (s-1) log(2·16/4) = 3·3 = 9, halved = 4.5; thm1 gives
+        // 3·log(16)/2 = 6 — same Θ, different constants.
+        assert!(t2 > 0.0 && t2 < thm1_select_median_messages(&sizes) * 2.0);
+    }
+
+    #[test]
+    fn thm3_even_vs_heavy() {
+        // Even: n - n_max + n_max2 = n.
+        assert!((thm3_sort_messages(&[4, 4, 4, 4]) - 8.0).abs() < 1e-9);
+        // One processor holding almost everything: bound collapses.
+        let b = thm3_sort_messages(&[100, 1, 1]);
+        assert!((b - (102 - 100 + 1) as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thm4_min_behaviour() {
+        assert_eq!(thm4_sort_cycles(&[10, 10, 10, 10]), 10.0);
+        assert_eq!(thm4_sort_cycles(&[90, 5, 5]), 10.0);
+        assert_eq!(thm4_sort_cycles(&[30, 60, 10]), 40.0);
+    }
+
+    #[test]
+    fn theta_shapes_behave() {
+        assert_eq!(sort_cycles_theta(1000, 10, 50), 100.0);
+        assert_eq!(sort_cycles_theta(1000, 10, 400), 400.0);
+        assert_eq!(sort_messages_theta(123), 123.0);
+        let m1 = select_messages_theta(1 << 10, 8, 4);
+        let m2 = select_messages_theta(1 << 20, 8, 4);
+        assert!(m2 > m1 && m2 < 3.0 * m1, "logarithmic growth");
+        assert!((select_cycles_theta(1 << 10, 8, 4) - m1 / 4.0).abs() < 1e-9);
+    }
+}

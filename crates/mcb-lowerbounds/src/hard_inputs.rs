@@ -1,0 +1,165 @@
+//! Hard-input constructions from the §4 proofs.
+//!
+//! The sorting lower bounds are proved by exhibiting placements on which
+//! any comparison-based algorithm must communicate a lot. These generators
+//! build exactly those placements so the experiments can run the real
+//! algorithms against them.
+
+/// Theorem 3's striped placement: the sorted sequence is dealt one element
+/// at a time, round-robin, over all processors that still have capacity
+/// (`N_i[j] = N[i + Σ_{l<j} q_l]`). In the resulting placement no two
+/// neighbours of the sorted order are co-located (within the first
+/// `n − (n_max − n_max2)` ranks), so `Ω(n − n_max + n_max2)` messages are
+/// unavoidable.
+///
+/// `sizes[i]` is the capacity of processor `i`; `values` must be the keys
+/// **already sorted descending** with `values.len() == Σ sizes`.
+pub fn striped_placement(sizes: &[usize], values: &[u64]) -> Vec<Vec<u64>> {
+    let n: usize = sizes.iter().sum();
+    assert_eq!(values.len(), n, "need one value per slot");
+    let mut lists: Vec<Vec<u64>> = sizes.iter().map(|&s| Vec::with_capacity(s)).collect();
+    let mut it = values.iter();
+    loop {
+        let mut placed = false;
+        for (i, list) in lists.iter_mut().enumerate() {
+            if list.len() < sizes[i] {
+                if let Some(&v) = it.next() {
+                    list.push(v);
+                    placed = true;
+                }
+            }
+        }
+        if !placed {
+            break;
+        }
+    }
+    debug_assert!(lists.iter().zip(sizes).all(|(l, &s)| l.len() == s));
+    lists
+}
+
+/// Theorem 4's alternating placement: the heavy processor (index 0, with
+/// `n_max` elements) holds every element of even sorted rank among the top
+/// `2·n_max`, while odd ranks (and any leftovers) go round-robin to the
+/// others. Any sort must then move `Ω(min{n_max, n − n_max})` elements
+/// through the heavy processor's single port.
+///
+/// `values` sorted descending; `others` is the number of light processors;
+/// each light processor receives at least one element (the model's
+/// `n_i > 0`), so `values.len()` must be at least `n_max + others`.
+pub fn alternating_placement(n_max: usize, others: usize, values: &[u64]) -> Vec<Vec<u64>> {
+    let n = values.len();
+    assert!(others >= 1, "need at least one light processor");
+    assert!(n >= n_max + others, "everyone needs an element");
+    assert!(2 * n_max <= n + 1, "heavy processor takes every other rank");
+    let mut lists: Vec<Vec<u64>> = vec![Vec::new(); others + 1];
+    let mut light = 0;
+    for (rank, &v) in values.iter().enumerate() {
+        if rank % 2 == 1 && lists[0].len() < n_max {
+            lists[0].push(v);
+        } else {
+            lists[1 + light % others].push(v);
+            light += 1;
+        }
+    }
+    // Guarantee nonemptiness of lights (holds by the assertion, since
+    // lights receive >= n - n_max >= others elements).
+    debug_assert!(lists.iter().all(|l| !l.is_empty()));
+    lists
+}
+
+/// Theorem 1's pairing: processors sorted by size descending are paired
+/// `(1,2), (3,4), …`; each pair holds `2·min(n_a, n_b)` median candidates
+/// (the odd processor out contributes none). Returns the per-pair
+/// candidate counts — the initial state of the
+/// [`AdversaryLedger`](crate::adversary::AdversaryLedger).
+pub fn paired_candidates(sizes: &[usize]) -> Vec<u64> {
+    let mut s: Vec<usize> = sizes.to_vec();
+    s.sort_unstable_by(|a, b| b.cmp(a));
+    s.chunks(2)
+        .filter(|c| c.len() == 2)
+        .map(|c| 2 * c[1] as u64)
+        .collect()
+}
+
+/// Map each processor to its Theorem-1 pair index (`None` for the odd
+/// processor out). Pairing follows size order, descending, ties broken by
+/// processor index.
+pub fn pair_of_processor(sizes: &[usize]) -> Vec<Option<usize>> {
+    let mut order: Vec<usize> = (0..sizes.len()).collect();
+    order.sort_unstable_by(|&a, &b| sizes[b].cmp(&sizes[a]).then(a.cmp(&b)));
+    let mut pair = vec![None; sizes.len()];
+    for (rank, &proc) in order.iter().enumerate() {
+        if rank / 2 < sizes.len() / 2 {
+            pair[proc] = Some(rank / 2);
+        }
+    }
+    pair
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(n: usize) -> Vec<u64> {
+        (0..n as u64).rev().map(|v| v * 10).collect()
+    }
+
+    #[test]
+    fn striped_respects_sizes() {
+        let sizes = [3usize, 1, 2];
+        let lists = striped_placement(&sizes, &desc(6));
+        assert_eq!(lists[0].len(), 3);
+        assert_eq!(lists[1].len(), 1);
+        assert_eq!(lists[2].len(), 2);
+        // Round-robin: ranks 0,1,2 go to procs 0,1,2; rank 3 to proc 0
+        // (proc 1 full after... proc 1 has capacity 1, so second round
+        // skips it): 0:[50,20,0] wait—values desc(6)=[50,40,30,20,10,0].
+        assert_eq!(lists[0], vec![50, 20, 0]);
+        assert_eq!(lists[1], vec![40]);
+        assert_eq!(lists[2], vec![30, 10]);
+    }
+
+    #[test]
+    fn striped_separates_neighbours() {
+        // Even sizes: NO two adjacent sorted ranks share a processor.
+        let sizes = [4usize, 4, 4];
+        let vals = desc(12);
+        let lists = striped_placement(&sizes, &vals);
+        let proc_of = |v: u64| lists.iter().position(|l| l.contains(&v)).unwrap();
+        for w in vals.windows(2) {
+            assert_ne!(proc_of(w[0]), proc_of(w[1]), "{w:?} co-located");
+        }
+    }
+
+    #[test]
+    fn alternating_gives_heavy_even_ranks() {
+        let vals = desc(12);
+        let lists = alternating_placement(6, 3, &vals);
+        assert_eq!(lists[0].len(), 6);
+        // Heavy processor holds ranks 1,3,5,... (0-based odd = paper's even).
+        assert_eq!(lists[0], vec![100, 80, 60, 40, 20, 0]);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+        assert!(lists.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn paired_candidates_take_min_of_pair() {
+        // sizes desc: 10, 8, 5, 2, 1 -> pairs (10,8), (5,2), odd 1 out.
+        let counts = paired_candidates(&[5, 10, 1, 8, 2]);
+        assert_eq!(counts, vec![16, 4]);
+    }
+
+    #[test]
+    fn pair_map_consistent() {
+        let sizes = [5usize, 10, 1, 8, 2];
+        let pairs = pair_of_processor(&sizes);
+        // Size order: P2(10), P4(8), P1(5), P5(2), P3(1):
+        // pair 0 = {P2, P4}, pair 1 = {P1, P5}, P3 unpaired.
+        assert_eq!(pairs[1], Some(0));
+        assert_eq!(pairs[3], Some(0));
+        assert_eq!(pairs[0], Some(1));
+        assert_eq!(pairs[4], Some(1));
+        assert_eq!(pairs[2], None);
+    }
+}

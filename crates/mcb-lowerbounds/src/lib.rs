@@ -1,0 +1,26 @@
+//! # mcb-lowerbounds — §4's lower bounds, executable
+//!
+//! Three artifacts make the paper's lower-bound section checkable against
+//! real runs of the algorithms in `mcb-algos`:
+//!
+//! * [`bounds`] — the closed-form Ω/Θ expressions of Theorems 1–4 and
+//!   Corollaries 1–7, as evaluable functions;
+//! * [`hard_inputs`] — the adversarial placements the proofs construct
+//!   (striped for Theorem 3, alternating for Theorem 4, candidate pairing
+//!   for Theorems 1–2);
+//! * [`adversary`] — the Theorem 1/2 candidate-elimination bookkeeping,
+//!   replayable against a recorded message [`mcb_net::Trace`].
+//!
+//! Experiments compare `measured >= bound` for every theorem and check
+//! that the algorithms' upper bounds track the Θ shapes.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod bounds;
+pub mod hard_inputs;
+
+pub use adversary::AdversaryLedger;
+pub use hard_inputs::{
+    alternating_placement, pair_of_processor, paired_candidates, striped_placement,
+};

@@ -1,0 +1,159 @@
+//! A reusable sense-reversing barrier.
+//!
+//! The lock-step engine synchronizes `p` processor threads three times per
+//! cycle, so the barrier is the hottest synchronization primitive in the
+//! whole simulator. `std::sync::Barrier` takes a mutex on every wait; this
+//! centralized sense-reversing barrier (the classic design, see e.g. *Rust
+//! Atomics and Locks* ch. 4/9 for the spin-then-yield idiom) needs one
+//! `fetch_add` per waiter and an exponential-backoff spin that degrades to
+//! `thread::yield_now` when the machine is oversubscribed — which it usually
+//! is, since we simulate `p` processors on fewer cores.
+
+use crossbeam::utils::{Backoff, CachePadded};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable barrier for a fixed set of `total` threads.
+///
+/// Each participating thread must own a [`Sense`] token and pass it to every
+/// [`wait`](SenseBarrier::wait) call. All participants must call `wait` the
+/// same number of times.
+pub struct SenseBarrier {
+    count: CachePadded<AtomicUsize>,
+    sense: CachePadded<AtomicBool>,
+    total: usize,
+}
+
+/// Per-thread barrier phase token. One per participating thread.
+#[derive(Debug, Default)]
+pub struct Sense(bool);
+
+impl Sense {
+    /// Fresh token for a thread about to start waiting on a barrier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SenseBarrier {
+    /// A barrier for exactly `total` threads. `total` must be nonzero.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "barrier needs at least one participant");
+        SenseBarrier {
+            count: CachePadded::new(AtomicUsize::new(0)),
+            sense: CachePadded::new(AtomicBool::new(false)),
+            total,
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn participants(&self) -> usize {
+        self.total
+    }
+
+    /// Block until all `total` threads have called `wait` with their tokens.
+    ///
+    /// Returns `true` on the thread that arrived last (the "winner"), which
+    /// is occasionally useful for electing a thread to do per-phase cleanup.
+    pub fn wait(&self, sense: &mut Sense) -> bool {
+        let my_sense = !sense.0;
+        sense.0 = my_sense;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            // Last arriver: reset the counter, then release everyone by
+            // flipping the global sense to match the waiters' new sense.
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(my_sense, Ordering::Release);
+            true
+        } else {
+            let backoff = Backoff::new();
+            while self.sense.load(Ordering::Acquire) != my_sense {
+                // `snooze` spins briefly then yields, which keeps latency
+                // low when p <= cores and avoids starvation when p > cores.
+                backoff.snooze();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_never_blocks() {
+        let b = SenseBarrier::new(1);
+        let mut s = Sense::new();
+        for _ in 0..100 {
+            assert!(b.wait(&mut s), "sole participant is always the winner");
+        }
+    }
+
+    #[test]
+    fn phases_are_strictly_separated() {
+        // Each thread increments a shared counter between barrier episodes;
+        // after every episode all threads must observe the same total.
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 200;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let mut sense = Sense::new();
+                    for round in 1..=ROUNDS {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait(&mut sense);
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert_eq!(
+                            seen as usize,
+                            THREADS * round,
+                            "phase leak at round {round}"
+                        );
+                        barrier.wait(&mut sense);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn exactly_one_winner_per_episode() {
+        const THREADS: usize = 6;
+        const ROUNDS: usize = 100;
+        let barrier = Arc::new(SenseBarrier::new(THREADS));
+        let winners = Arc::new(AtomicU64::new(0));
+
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let winners = Arc::clone(&winners);
+                std::thread::spawn(move || {
+                    let mut sense = Sense::new();
+                    for _ in 0..ROUNDS {
+                        if barrier.wait(&mut sense) {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::Relaxed) as usize, ROUNDS);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = SenseBarrier::new(0);
+    }
+}

@@ -1,0 +1,838 @@
+//! The lock-step execution engine.
+//!
+//! [`Network::run`] executes one protocol closure per processor, each on its
+//! own OS thread, in synchronous cycles. A cycle follows the paper's §2
+//! definition exactly:
+//!
+//! 1. every processor may **write one channel**;
+//! 2. every processor may **read one channel** (concurrent reads allowed,
+//!    empty channels detectable);
+//! 3. arbitrary **local computation** (the Rust code between two
+//!    [`ProcCtx::cycle`] calls — free in the cost model).
+//!
+//! Threads are synchronized with a [sense-reversing
+//! barrier](crate::barrier::SenseBarrier) three times per cycle: after
+//! writes, after reads, and after a per-cycle sweep (slot clearing, port
+//! validation, termination/failure checks) performed by the barrier winner.
+//!
+//! Although execution is multi-threaded, every observable quantity — results,
+//! cycle counts, message counts, traces — is deterministic for a
+//! collision-free protocol, because the protocol's visible state only changes
+//! at barrier-separated phase boundaries.
+//!
+//! # Failure semantics
+//!
+//! A write collision "fails the computation" in the model; the engine
+//! records the first failure ([`NetError`]), force-unwinds every still-active
+//! protocol at the next cycle boundary, and returns `Err`. Protocol panics
+//! are caught per-thread and reported the same way, so a buggy protocol can
+//! never deadlock or poison the harness.
+
+use crate::barrier::{Sense, SenseBarrier};
+use crate::error::NetError;
+use crate::ids::{ChanId, ProcId};
+use crate::message::MsgWidth;
+use crate::metrics::{LocalMetrics, Metrics};
+use crate::trace::{Event, Trace};
+use parking_lot::{Mutex, RwLock};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Default bound on engine rounds; exceeding it fails the run with
+/// [`NetError::CycleBudgetExhausted`] instead of hanging.
+pub const DEFAULT_CYCLE_BUDGET: u64 = 10_000_000;
+
+/// An `MCB(p, k)` network ready to execute protocols.
+///
+/// ```
+/// use mcb_net::{Network, ChanId};
+///
+/// // Two processors, one channel: P1 sends its value to P2.
+/// let report = Network::new(2, 1)
+///     .run(|ctx| {
+///         if ctx.id().index() == 0 {
+///             ctx.write(ChanId(0), 42u64);
+///             None
+///         } else {
+///             ctx.read(ChanId(0))
+///         }
+///     })
+///     .unwrap();
+/// assert_eq!(report.results[1], Some(Some(42)));
+/// assert_eq!(report.metrics.messages, 1);
+/// assert_eq!(report.metrics.cycles, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Network {
+    procs: usize,
+    channels: usize,
+    record_trace: bool,
+    proc_groups: Option<Vec<usize>>,
+    cycle_budget: u64,
+}
+
+impl Network {
+    /// An `MCB(p, k)` network. The model requires `1 <= k <= p`; violations
+    /// surface as [`NetError::BadConfig`] when [`run`](Self::run) is called.
+    pub fn new(p: usize, k: usize) -> Self {
+        Network {
+            procs: p,
+            channels: k,
+            record_trace: false,
+            proc_groups: None,
+            cycle_budget: DEFAULT_CYCLE_BUDGET,
+        }
+    }
+
+    /// Number of processors `p`.
+    pub fn p(&self) -> usize {
+        self.procs
+    }
+
+    /// Number of channels `k`.
+    pub fn k(&self) -> usize {
+        self.channels
+    }
+
+    /// Record a full message [`Trace`] (off by default; adds a lock on the
+    /// write path).
+    pub fn record_trace(mut self, yes: bool) -> Self {
+        self.record_trace = yes;
+        self
+    }
+
+    /// Group threads into physical processors for virtualization (§2
+    /// simulation lemma): `groups[i]` is the physical processor hosting
+    /// thread `i`. Each group is held to the model's one-write/one-read
+    /// port budget per cycle, enforced via [`NetError::PortViolation`].
+    pub fn proc_groups(mut self, groups: Vec<usize>) -> Self {
+        self.proc_groups = Some(groups);
+        self
+    }
+
+    /// Replace the default runaway-protection cycle budget.
+    pub fn cycle_budget(mut self, budget: u64) -> Self {
+        self.cycle_budget = budget;
+        self
+    }
+
+    fn validate(&self) -> Result<(), NetError> {
+        if self.procs == 0 {
+            return Err(NetError::BadConfig("p must be >= 1".into()));
+        }
+        if self.channels == 0 {
+            return Err(NetError::BadConfig("k must be >= 1".into()));
+        }
+        if self.proc_groups.is_none() && self.channels > self.procs {
+            // The model assumes k <= p. Virtualized runs (proc_groups set)
+            // may use more threads than physical processors, so the check
+            // applies to the physical group count there.
+            return Err(NetError::BadConfig(format!(
+                "model requires k <= p (got k = {}, p = {})",
+                self.channels, self.procs
+            )));
+        }
+        if let Some(groups) = &self.proc_groups {
+            if groups.len() != self.procs {
+                return Err(NetError::BadConfig(format!(
+                    "proc_groups has {} entries for {} threads",
+                    groups.len(),
+                    self.procs
+                )));
+            }
+            let g = groups.iter().copied().max().map_or(0, |m| m + 1);
+            if self.channels > g {
+                return Err(NetError::BadConfig(format!(
+                    "model requires k <= physical p (got k = {}, groups = {g})",
+                    self.channels
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute `protocol` on every processor and collect results and costs.
+    ///
+    /// The closure is invoked once per processor with that processor's
+    /// [`ProcCtx`]; `ctx.id()` distinguishes the replicas. Processors that
+    /// return early idle (invisibly to the cost model) until all are done.
+    pub fn run<M, R, F>(&self, protocol: F) -> Result<RunReport<R, M>, NetError>
+    where
+        M: Clone + Send + Sync + MsgWidth,
+        R: Send,
+        F: Fn(&mut ProcCtx<'_, M>) -> R + Sync,
+    {
+        self.validate()?;
+        let p = self.procs;
+        let shared = Shared::new(self);
+
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
+        let locals: Mutex<Vec<LocalMetrics>> = Mutex::new(vec![LocalMetrics::default(); p]);
+
+        std::thread::scope(|scope| {
+            for i in 0..p {
+                let shared = &shared;
+                let protocol = &protocol;
+                let results = &results;
+                let locals = &locals;
+                scope.spawn(move || {
+                    let mut ctx = ProcCtx {
+                        id: ProcId::from_index(i),
+                        shared,
+                        sense: Sense::new(),
+                        local: LocalMetrics::default(),
+                    };
+                    let outcome = catch_unwind(AssertUnwindSafe(|| protocol(&mut ctx)));
+                    match outcome {
+                        Ok(r) => {
+                            results.lock()[i] = Some(r);
+                        }
+                        Err(payload) => {
+                            if payload.downcast_ref::<Aborted>().is_none() {
+                                // Genuine protocol panic (not our forced
+                                // shutdown): report it as the run's failure.
+                                let message = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "<non-string panic>".into());
+                                shared.fail(NetError::ProcPanicked {
+                                    proc: ProcId::from_index(i),
+                                    message,
+                                });
+                            }
+                        }
+                    }
+                    shared.finished.fetch_add(1, Ordering::AcqRel);
+                    // Keep participating in barrier rounds until everyone is
+                    // done, so stragglers can continue their protocol. If the
+                    // run is already over (this thread was force-unwound when
+                    // `done` was raised), every other thread is exiting at
+                    // this same round boundary, so joining another round
+                    // would desynchronize the barrier.
+                    if !shared.done.load(Ordering::Acquire) {
+                        loop {
+                            if ctx.drain_round() {
+                                break;
+                            }
+                        }
+                    }
+                    locals.lock()[i] = ctx.local;
+                });
+            }
+        });
+
+        if let Some(err) = shared.failure.lock().take() {
+            return Err(err);
+        }
+
+        let locals = locals.into_inner();
+        let metrics = Metrics {
+            cycles: locals.iter().map(|l| l.cycles).max().unwrap_or(0),
+            rounds: shared.round.load(Ordering::Relaxed),
+            messages: locals.iter().map(|l| l.messages).sum(),
+            total_bits: locals.iter().map(|l| l.total_bits).sum(),
+            max_msg_bits: locals.iter().map(|l| l.max_msg_bits).max().unwrap_or(0),
+            per_proc_messages: locals.iter().map(|l| l.messages).collect(),
+            per_proc_cycles: locals.iter().map(|l| l.cycles).collect(),
+            per_channel_messages: shared
+                .chan_msgs
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        };
+        let trace = shared.trace.map(|m| Trace::new(m.into_inner()));
+        let results = results.into_inner().into_iter().collect::<Vec<Option<R>>>();
+        Ok(RunReport {
+            results,
+            metrics,
+            trace,
+        })
+    }
+}
+
+/// Everything a completed run produced.
+#[derive(Debug)]
+pub struct RunReport<R, M> {
+    /// Per-processor protocol return values, indexed by processor.
+    ///
+    /// Entries are `Some` for every processor on a successful run; the
+    /// `Option` exists because partial results are collected even when a run
+    /// fails mid-way (in which case `run` returns `Err` instead).
+    pub results: Vec<Option<R>>,
+    /// Cycle/message accounting.
+    pub metrics: Metrics,
+    /// Message trace, when [`Network::record_trace`] was enabled.
+    pub trace: Option<Trace<M>>,
+}
+
+impl<R, M> RunReport<R, M> {
+    /// Unwrap all per-processor results (panics if any is missing, which
+    /// cannot happen on an `Ok` report).
+    pub fn into_results(self) -> Vec<R> {
+        self.results
+            .into_iter()
+            .map(|r| r.expect("successful run has a result per processor"))
+            .collect()
+    }
+}
+
+/// Forced-shutdown unwind token; never observed by user code.
+struct Aborted;
+
+struct GroupState {
+    map: Vec<usize>,
+    writes: Vec<AtomicU32>,
+    reads: Vec<AtomicU32>,
+}
+
+struct Shared<M> {
+    k: usize,
+    slots: Vec<RwLock<Option<(ProcId, M)>>>,
+    barrier: SenseBarrier,
+    done: AtomicBool,
+    failed: AtomicBool,
+    finished: AtomicUsize,
+    round: AtomicU64,
+    failure: Mutex<Option<NetError>>,
+    chan_msgs: Vec<AtomicU64>,
+    trace: Option<Mutex<Vec<Event<M>>>>,
+    groups: Option<GroupState>,
+    cycle_budget: u64,
+    total_procs: usize,
+}
+
+impl<M: Clone + Send + Sync> Shared<M> {
+    fn new(net: &Network) -> Self {
+        let groups = net.proc_groups.clone().map(|map| {
+            let g = map.iter().copied().max().map_or(0, |m| m + 1);
+            GroupState {
+                map,
+                writes: (0..g).map(|_| AtomicU32::new(0)).collect(),
+                reads: (0..g).map(|_| AtomicU32::new(0)).collect(),
+            }
+        });
+        Shared {
+            k: net.channels,
+            slots: (0..net.channels).map(|_| RwLock::new(None)).collect(),
+            barrier: SenseBarrier::new(net.procs),
+            done: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            finished: AtomicUsize::new(0),
+            round: AtomicU64::new(0),
+            failure: Mutex::new(None),
+            chan_msgs: (0..net.channels).map(|_| AtomicU64::new(0)).collect(),
+            trace: net.record_trace.then(|| Mutex::new(Vec::new())),
+            groups,
+            cycle_budget: net.cycle_budget,
+            total_procs: net.procs,
+        }
+    }
+
+    /// Record the run's first failure; later failures are dropped.
+    fn fail(&self, err: NetError) {
+        let mut slot = self.failure.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.failed.store(true, Ordering::Release);
+    }
+}
+
+/// A processor's handle to the network, passed to the protocol closure.
+///
+/// All communication goes through [`cycle`](Self::cycle) (or the
+/// [`write`](Self::write) / [`read`](Self::read) / [`idle`](Self::idle)
+/// shorthands); each call advances the global clock by exactly one cycle
+/// across the entire network.
+pub struct ProcCtx<'a, M> {
+    id: ProcId,
+    shared: &'a Shared<M>,
+    sense: Sense,
+    local: LocalMetrics,
+}
+
+impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
+    /// This processor's identity.
+    #[inline]
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+
+    /// `p`: total processors in the network.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.shared.total_procs
+    }
+
+    /// `k`: total channels in the network.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.shared.k
+    }
+
+    /// Global cycle index: number of completed cycles so far. Only
+    /// meaningful between [`cycle`](Self::cycle) calls.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.shared.round.load(Ordering::Relaxed)
+    }
+
+    /// Cycles this processor's protocol has executed.
+    #[inline]
+    pub fn cycles_used(&self) -> u64 {
+        self.local.cycles
+    }
+
+    /// Messages this processor has sent.
+    #[inline]
+    pub fn messages_sent(&self) -> u64 {
+        self.local.messages
+    }
+
+    /// Execute one synchronous cycle: optionally write one channel,
+    /// optionally read one channel. Returns the message read, or `None`
+    /// when no read was requested *or* the read channel was empty (the
+    /// model's detectable-empty-channel semantics).
+    pub fn cycle(&mut self, write: Option<(ChanId, M)>, read: Option<ChanId>) -> Option<M> {
+        // ---- write phase -------------------------------------------------
+        if let Some((c, m)) = write {
+            if c.index() >= self.shared.k {
+                self.shared.fail(NetError::BadChannel {
+                    cycle: self.now(),
+                    proc: self.id,
+                    channel: c,
+                    k: self.shared.k,
+                });
+            } else {
+                let bits = m.bits();
+                if let Some(gs) = &self.shared.groups {
+                    gs.writes[gs.map[self.id.index()]].fetch_add(1, Ordering::Relaxed);
+                }
+                let mut slot = self.shared.slots[c.index()].write();
+                match &*slot {
+                    Some((first, _)) => {
+                        let first = *first;
+                        drop(slot);
+                        self.shared.fail(NetError::Collision {
+                            cycle: self.now(),
+                            channel: c,
+                            first,
+                            second: self.id,
+                        });
+                    }
+                    None => {
+                        if let Some(tr) = &self.shared.trace {
+                            tr.lock().push(Event {
+                                cycle: self.now(),
+                                writer: self.id,
+                                channel: c,
+                                msg: m.clone(),
+                            });
+                        }
+                        *slot = Some((self.id, m));
+                        drop(slot);
+                        self.local.record_message(bits);
+                        self.shared.chan_msgs[c.index()].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        self.shared.barrier.wait(&mut self.sense); // writes visible
+
+        // ---- read phase --------------------------------------------------
+        let got = match read {
+            Some(c) if c.index() >= self.shared.k => {
+                self.shared.fail(NetError::BadChannel {
+                    cycle: self.now(),
+                    proc: self.id,
+                    channel: c,
+                    k: self.shared.k,
+                });
+                None
+            }
+            Some(c) => {
+                if let Some(gs) = &self.shared.groups {
+                    gs.reads[gs.map[self.id.index()]].fetch_add(1, Ordering::Relaxed);
+                }
+                self.shared.slots[c.index()]
+                    .read()
+                    .as_ref()
+                    .map(|(_, m)| m.clone())
+            }
+            None => None,
+        };
+        self.local.cycles += 1;
+
+        if self.finish_round() {
+            // The run was aborted (failure elsewhere, or cycle budget):
+            // unwind out of the protocol without invoking the panic hook.
+            std::panic::resume_unwind(Box::new(Aborted));
+        }
+        got
+    }
+
+    /// Write-only cycle.
+    pub fn write(&mut self, chan: ChanId, msg: M) {
+        self.cycle(Some((chan, msg)), None);
+    }
+
+    /// Read-only cycle.
+    pub fn read(&mut self, chan: ChanId) -> Option<M> {
+        self.cycle(None, Some(chan))
+    }
+
+    /// Do-nothing cycle (keeps this processor in lock-step).
+    pub fn idle(&mut self) {
+        self.cycle(None, None);
+    }
+
+    /// Idle for `n` cycles.
+    pub fn idle_for(&mut self, n: u64) {
+        for _ in 0..n {
+            self.idle();
+        }
+    }
+
+    /// Shared tail of every round: sweep barrier + cleanup + final barrier.
+    /// Returns true when the run is over (normally or by abort).
+    fn finish_round(&mut self) -> bool {
+        let winner = self.shared.barrier.wait(&mut self.sense); // reads done
+        if winner {
+            // Elected sweeper for this cycle: clear slots, validate ports,
+            // advance the clock, decide termination.
+            for slot in &self.shared.slots {
+                let mut s = slot.write();
+                if s.is_some() {
+                    *s = None;
+                }
+            }
+            if let Some(gs) = &self.shared.groups {
+                let cycle = self.shared.round.load(Ordering::Relaxed);
+                for g in 0..gs.writes.len() {
+                    let w = gs.writes[g].swap(0, Ordering::Relaxed);
+                    let r = gs.reads[g].swap(0, Ordering::Relaxed);
+                    if w > 1 || r > 1 {
+                        self.shared.fail(NetError::PortViolation {
+                            cycle,
+                            group: g,
+                            writes: w,
+                            reads: r,
+                        });
+                    }
+                }
+            }
+            let completed = self.shared.round.fetch_add(1, Ordering::Relaxed) + 1;
+            if completed >= self.shared.cycle_budget {
+                self.shared.fail(NetError::CycleBudgetExhausted {
+                    budget: self.shared.cycle_budget,
+                });
+            }
+            let all_finished =
+                self.shared.finished.load(Ordering::Acquire) == self.shared.total_procs;
+            if all_finished || self.shared.failed.load(Ordering::Acquire) {
+                self.shared.done.store(true, Ordering::Release);
+            }
+        }
+        self.shared.barrier.wait(&mut self.sense); // sweep visible
+        self.shared.done.load(Ordering::Acquire)
+    }
+
+    /// One no-op round for a finished processor; returns true when the run
+    /// is over. Drain rounds are excluded from the processor's cycle count.
+    fn drain_round(&mut self) -> bool {
+        self.shared.barrier.wait(&mut self.sense); // write phase (no-op)
+        let saved = self.local.cycles;
+        let over = self.finish_round();
+        self.local.cycles = saved;
+        over
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every processor broadcasts once on its own channel; everyone reads a
+    /// ring neighbour. Exercises p = k full-parallel traffic.
+    #[test]
+    fn ring_exchange_p_equals_k() {
+        let p = 8;
+        let report = Network::new(p, p)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                let from = ChanId::from_index((me + 1) % ctx.p());
+                ctx.cycle(Some((ChanId::from_index(me), me as u64 * 10)), Some(from))
+            })
+            .unwrap();
+        for (i, r) in report.results.iter().enumerate() {
+            let expect = ((i + 1) % p) as u64 * 10;
+            assert_eq!(r.unwrap(), Some(expect), "processor {i}");
+        }
+        assert_eq!(report.metrics.messages, p as u64);
+        assert_eq!(report.metrics.cycles, 1);
+        assert_eq!(report.metrics.per_channel_messages, vec![1; p]);
+    }
+
+    #[test]
+    fn empty_channel_is_detectable() {
+        let report = Network::new(2, 2)
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(0), 5u64);
+                    None
+                } else {
+                    // Reads the *other* channel, which nobody wrote.
+                    ctx.read(ChanId(1))
+                }
+            })
+            .unwrap();
+        assert_eq!(report.results[1], Some(None));
+    }
+
+    #[test]
+    fn collision_fails_the_run() {
+        let err = Network::new(4, 2)
+            .run(|ctx| {
+                // P1 and P2 both write channel 0 in cycle 0.
+                if ctx.id().index() < 2 {
+                    ctx.write(ChanId(0), 1u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap_err();
+        match err {
+            NetError::Collision { channel, cycle, .. } => {
+                assert_eq!(channel, ChanId(0));
+                assert_eq!(cycle, 0);
+            }
+            other => panic!("expected collision, got {other}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_are_fine() {
+        let p = 16;
+        let report = Network::new(p, 4)
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.cycle(Some((ChanId(2), 99u64)), Some(ChanId(2)))
+                } else {
+                    ctx.read(ChanId(2))
+                }
+            })
+            .unwrap();
+        for r in report.into_results() {
+            assert_eq!(r, Some(99));
+        }
+    }
+
+    #[test]
+    fn early_finishers_idle_while_stragglers_run() {
+        let p = 4;
+        let report = Network::new(p, p)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                // Processor i runs i+1 cycles, each broadcasting once.
+                for c in 0..=me {
+                    ctx.write(ChanId::from_index(me), c as u64);
+                }
+                ctx.cycles_used()
+            })
+            .unwrap();
+        assert_eq!(report.metrics.cycles, p as u64);
+        assert_eq!(report.metrics.messages, (1 + 2 + 3 + 4) as u64);
+        assert_eq!(report.metrics.per_proc_cycles, vec![1, 2, 3, 4]);
+        assert!(report.metrics.rounds >= report.metrics.cycles);
+    }
+
+    #[test]
+    fn protocol_panic_is_reported_not_hung() {
+        let err = Network::new(3, 3)
+            .run(|ctx: &mut ProcCtx<'_, u64>| {
+                if ctx.id().index() == 1 {
+                    panic!("injected bug");
+                }
+                // Others would wait forever for a message that never comes;
+                // the abort machinery must still terminate them.
+                loop {
+                    if ctx.read(ChanId(0)).is_some() {
+                        break;
+                    }
+                }
+            })
+            .unwrap_err();
+        match err {
+            NetError::ProcPanicked { proc, message } => {
+                assert_eq!(proc, ProcId(1));
+                assert!(message.contains("injected bug"));
+            }
+            other => panic!("expected panic report, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cycle_budget_stops_livelock() {
+        let err = Network::new(2, 2)
+            .cycle_budget(100)
+            .run(|ctx: &mut ProcCtx<'_, u64>| loop {
+                ctx.idle();
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::CycleBudgetExhausted { budget: 100 });
+    }
+
+    #[test]
+    fn bad_channel_index_is_reported() {
+        let err = Network::new(2, 2)
+            .run(|ctx| {
+                ctx.write(ChanId(7), 1u64);
+            })
+            .unwrap_err();
+        match err {
+            NetError::BadChannel { channel, k, .. } => {
+                assert_eq!(channel, ChanId(7));
+                assert_eq!(k, 2);
+            }
+            other => panic!("expected bad channel, got {other}"),
+        }
+    }
+
+    #[test]
+    fn k_greater_than_p_rejected() {
+        let err = Network::new(2, 3)
+            .run(|ctx: &mut ProcCtx<'_, u64>| ctx.idle())
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadConfig(_)));
+    }
+
+    #[test]
+    fn zero_sizes_rejected() {
+        assert!(matches!(
+            Network::new(0, 1)
+                .run(|ctx: &mut ProcCtx<'_, u64>| ctx.idle())
+                .unwrap_err(),
+            NetError::BadConfig(_)
+        ));
+        assert!(matches!(
+            Network::new(1, 0)
+                .run(|ctx: &mut ProcCtx<'_, u64>| ctx.idle())
+                .unwrap_err(),
+            NetError::BadConfig(_)
+        ));
+    }
+
+    #[test]
+    fn trace_records_all_messages_in_order() {
+        let report = Network::new(3, 3)
+            .record_trace(true)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                ctx.write(ChanId::from_index(me), me as u64);
+                ctx.idle();
+                ctx.write(ChanId::from_index(me), 10 + me as u64);
+            })
+            .unwrap();
+        let trace = report.trace.unwrap();
+        assert_eq!(trace.len(), 6);
+        let cycles: Vec<u64> = trace.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![0, 0, 0, 2, 2, 2]);
+        assert_eq!(trace.cycle_events(0).count(), 3);
+        assert_eq!(trace.cycle_events(1).count(), 0);
+    }
+
+    #[test]
+    fn port_violation_detected_for_groups() {
+        // Threads 0 and 1 form one physical processor; both writing in the
+        // same cycle (on different channels) exceeds the physical write port.
+        let err = Network::new(4, 2)
+            .proc_groups(vec![0, 0, 1, 1])
+            .run(|ctx| {
+                let me = ctx.id().index();
+                if me < 2 {
+                    ctx.write(ChanId::from_index(me), 1u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap_err();
+        match err {
+            NetError::PortViolation { group, writes, .. } => {
+                assert_eq!(group, 0);
+                assert_eq!(writes, 2);
+            }
+            other => panic!("expected port violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn group_budget_allows_one_write_one_read() {
+        let report = Network::new(4, 2)
+            .proc_groups(vec![0, 0, 1, 1])
+            .run(|ctx| {
+                // Within each group one thread writes and one reads: both
+                // physical processors stay inside the 1/1 port budget.
+                match ctx.id().index() {
+                    0 => {
+                        ctx.write(ChanId(0), 9u64);
+                        None
+                    }
+                    1 => ctx.read(ChanId(1)),
+                    2 => {
+                        ctx.write(ChanId(1), 8u64);
+                        None
+                    }
+                    _ => ctx.read(ChanId(0)),
+                }
+            })
+            .unwrap();
+        assert_eq!(report.results[1], Some(Some(8)));
+        assert_eq!(report.results[3], Some(Some(9)));
+    }
+
+    #[test]
+    fn bit_accounting_tracks_payload_widths() {
+        let report = Network::new(2, 2)
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(0), 255u64); // 8 bits
+                    ctx.write(ChanId(0), 65536u64); // 17 bits
+                } else {
+                    ctx.idle_for(2);
+                }
+            })
+            .unwrap();
+        assert_eq!(report.metrics.messages, 2);
+        assert_eq!(report.metrics.total_bits, 25);
+        assert_eq!(report.metrics.max_msg_bits, 17);
+    }
+
+    #[test]
+    fn determinism_across_repeated_runs() {
+        let run = || {
+            Network::new(6, 3)
+                .run(|ctx| {
+                    let me = ctx.id().index();
+                    let mut acc = 0u64;
+                    for round in 0..10u64 {
+                        let writer = (round as usize) % ctx.p();
+                        let chan = ChanId::from_index(writer % ctx.k());
+                        let msg = if me == writer {
+                            Some((chan, round * 7 + me as u64))
+                        } else {
+                            None
+                        };
+                        if let Some(v) = ctx.cycle(msg, Some(chan)) {
+                            acc = acc.wrapping_mul(31).wrapping_add(v);
+                        }
+                    }
+                    acc
+                })
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.into_results(), b.into_results());
+    }
+}

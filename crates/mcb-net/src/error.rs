@@ -1,0 +1,132 @@
+//! Error types for MCB network runs.
+
+use crate::ids::{ChanId, ProcId};
+use std::fmt;
+
+/// A fatal condition detected while executing a protocol on the network.
+///
+/// The MCB model requires protocols to be *collision-free* (paper §2): "if
+/// more than one processor attempts to write on the same channel in the same
+/// cycle, the computation fails". The engine detects this at run time and
+/// fails the whole run, rather than silently picking a winner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Two processors wrote the same channel in the same cycle.
+    Collision {
+        /// Global cycle index at which the collision occurred.
+        cycle: u64,
+        /// The contested channel.
+        channel: ChanId,
+        /// The processor whose write landed first (engine order, arbitrary).
+        first: ProcId,
+        /// The processor whose write collided.
+        second: ProcId,
+    },
+    /// A processor addressed a channel outside `0..k`.
+    BadChannel {
+        /// Global cycle index.
+        cycle: u64,
+        /// The offending processor.
+        proc: ProcId,
+        /// The out-of-range channel index.
+        channel: ChanId,
+        /// Number of channels in the network.
+        k: usize,
+    },
+    /// With processor grouping enabled (virtualization), a physical
+    /// processor exceeded its one-write or one-read port budget in a cycle.
+    PortViolation {
+        /// Global cycle index.
+        cycle: u64,
+        /// The physical processor (group) that over-used a port.
+        group: usize,
+        /// Number of writes the group attempted this cycle.
+        writes: u32,
+        /// Number of reads the group attempted this cycle.
+        reads: u32,
+    },
+    /// A processor's protocol closure panicked.
+    ProcPanicked {
+        /// The processor whose closure panicked.
+        proc: ProcId,
+        /// Panic payload rendered to a string when possible.
+        message: String,
+    },
+    /// The run exceeded the configured cycle budget (likely livelock).
+    CycleBudgetExhausted {
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The network was configured with invalid parameters.
+    BadConfig(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Collision {
+                cycle,
+                channel,
+                first,
+                second,
+            } => write!(
+                f,
+                "write collision on {channel} at cycle {cycle}: {first} and {second}"
+            ),
+            NetError::BadChannel {
+                cycle,
+                proc,
+                channel,
+                k,
+            } => write!(
+                f,
+                "{proc} addressed out-of-range channel index {} (k = {k}) at cycle {cycle}",
+                channel.0
+            ),
+            NetError::PortViolation {
+                cycle,
+                group,
+                writes,
+                reads,
+            } => write!(
+                f,
+                "physical processor {group} used {writes} write / {reads} read ports at cycle {cycle} (budget is 1/1)"
+            ),
+            NetError::ProcPanicked { proc, message } => {
+                write!(f, "protocol on {proc} panicked: {message}")
+            }
+            NetError::CycleBudgetExhausted { budget } => {
+                write!(f, "run exceeded cycle budget of {budget} cycles")
+            }
+            NetError::BadConfig(msg) => write!(f, "bad network configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_facts() {
+        let e = NetError::Collision {
+            cycle: 7,
+            channel: ChanId(2),
+            first: ProcId(0),
+            second: ProcId(3),
+        };
+        let s = e.to_string();
+        assert!(s.contains("C3"));
+        assert!(s.contains("cycle 7"));
+        assert!(s.contains("P1"));
+        assert!(s.contains("P4"));
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(NetError::BadConfig("k > p".into()));
+        assert!(e.to_string().contains("k > p"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Strongly-typed identifiers for processors and channels.
+//!
+//! The paper denotes processors `P_1 .. P_p` and channels `C_1 .. C_k`.
+//! Internally we use zero-based indices; the `Display` impls print the
+//! one-based paper notation to keep logs and traces readable next to the
+//! paper text.
+
+use std::fmt;
+
+/// Identifier of a processor in an `MCB(p, k)` network (zero-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcId(pub u32);
+
+/// Identifier of a broadcast channel in an `MCB(p, k)` network (zero-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChanId(pub u32);
+
+impl ProcId {
+    /// Zero-based index, usable for slicing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a zero-based index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ProcId(i as u32)
+    }
+}
+
+impl ChanId {
+    /// Zero-based index, usable for slicing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a zero-based index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        ChanId(i as u32)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // One-based, matching the paper's P_1..P_p.
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+impl fmt::Display for ChanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0 + 1)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(i: usize) -> Self {
+        ProcId::from_index(i)
+    }
+}
+
+impl From<usize> for ChanId {
+    fn from(i: usize) -> Self {
+        ChanId::from_index(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(ProcId(0).to_string(), "P1");
+        assert_eq!(ChanId(3).to_string(), "C4");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for i in [0usize, 1, 17, 4095] {
+            assert_eq!(ProcId::from_index(i).index(), i);
+            assert_eq!(ChanId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ProcId(1) < ProcId(2));
+        assert!(ChanId(0) < ChanId(1));
+    }
+}

@@ -1,0 +1,75 @@
+//! # mcb-net — the Multi-Channel Broadcast network model
+//!
+//! A cycle-accurate simulator for the **MCB(p, k)** distributed computation
+//! model of Marberg & Gafni, *Sorting and Selection in Multi-Channel
+//! Broadcast Networks* (UCLA CSD-850002, 1985):
+//!
+//! * `p` independent processors, `k <= p` shared broadcast channels;
+//! * computation proceeds in globally synchronized cycles;
+//! * per cycle, each processor may **write one channel** and **read one
+//!   channel**, then compute locally (local work is free in the cost model);
+//! * protocols must be **collision-free**: two writers on one channel in one
+//!   cycle fail the computation (detected and reported by the engine);
+//! * channels are memoryless: a message exists only in the cycle it is
+//!   written, and reading an empty channel is detectable;
+//! * complexity is the total number of **cycles** and **messages**, with
+//!   messages limited to O(log β) bits (audited via [`MsgWidth`]).
+//!
+//! Each processor's protocol runs as a real OS thread; cycles are enforced
+//! with a sense-reversing barrier, so execution is genuinely parallel yet
+//! all observable quantities are deterministic for collision-free protocols.
+//!
+//! ## Quick example
+//!
+//! Find the maximum of `p` values in `p - 1` cycles on one channel (each
+//! processor in turn broadcasts only if it beats the running maximum —
+//! not optimal, just illustrative):
+//!
+//! ```
+//! use mcb_net::{ChanId, Network};
+//!
+//! let values = [3u64, 1, 4, 1, 5];
+//! let report = Network::new(5, 1)
+//!     .run(|ctx| {
+//!         let mut best = values[ctx.id().index()];
+//!         for turn in 0..ctx.p() {
+//!             let mine = turn == ctx.id().index();
+//!             let write = (mine && best == values[ctx.id().index()])
+//!                 .then(|| (ChanId(0), best));
+//!             if let Some(seen) = ctx.cycle(write, Some(ChanId(0))) {
+//!                 best = best.max(seen);
+//!             }
+//!         }
+//!         best
+//!     })
+//!     .unwrap();
+//! assert!(report.into_results().into_iter().all(|b| b == 5));
+//! ```
+//!
+//! ## Modules
+//!
+//! * [`engine`] — the lock-step executor ([`Network`], [`ProcCtx`]).
+//! * [`virt`] — §2's simulation of a larger MCB on a smaller one.
+//! * [`metrics`] — cycle/message accounting ([`Metrics`]).
+//! * [`trace`] — optional wire traces feeding the lower-bound adversary.
+//! * [`message`] — O(log β) message-width accounting ([`MsgWidth`]).
+//! * [`barrier`] — the sense-reversing barrier underneath it all.
+
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod engine;
+pub mod error;
+pub mod ids;
+pub mod message;
+pub mod metrics;
+pub mod trace;
+pub mod virt;
+
+pub use engine::{Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET};
+pub use error::NetError;
+pub use ids::{ChanId, ProcId};
+pub use message::{bits_for_i64, bits_for_u64, MsgWidth};
+pub use metrics::Metrics;
+pub use trace::{Event, Trace};
+pub use virt::{VirtCtx, VirtReport, VirtualNetwork};

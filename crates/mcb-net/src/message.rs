@@ -1,0 +1,107 @@
+//! Message-width accounting.
+//!
+//! The MCB model (paper §2) charges one message per broadcast and stipulates
+//! that "a message consists of at most O(log β) bits, where β is the value of
+//! the largest parameter or datum involved in the computation". The engine
+//! therefore records, for every broadcast, the bit width of the payload; the
+//! run report exposes the maximum and total widths so that experiments can
+//! verify the O(log β) discipline (a protocol smuggling whole lists in one
+//! message would show up immediately as an oversized `max_msg_bits`).
+
+/// Types that know how many bits their wire encoding needs.
+///
+/// Implementations should return the *semantic* width (bits of the numbers
+/// carried), not `size_of` of the in-memory representation. A small constant
+/// number of tag bits for enum discriminants is fine and expected.
+pub trait MsgWidth {
+    /// Number of bits a broadcast of this value occupies on a channel.
+    fn bits(&self) -> u32;
+}
+
+/// Bits needed to represent `v` as an unsigned integer (at least 1).
+#[inline]
+pub fn bits_for_u64(v: u64) -> u32 {
+    (64 - v.leading_zeros()).max(1)
+}
+
+/// Bits needed to represent `v` as a sign-magnitude integer (at least 2).
+#[inline]
+pub fn bits_for_i64(v: i64) -> u32 {
+    bits_for_u64(v.unsigned_abs()) + 1
+}
+
+impl MsgWidth for u64 {
+    fn bits(&self) -> u32 {
+        bits_for_u64(*self)
+    }
+}
+
+impl MsgWidth for u32 {
+    fn bits(&self) -> u32 {
+        bits_for_u64(u64::from(*self))
+    }
+}
+
+impl MsgWidth for i64 {
+    fn bits(&self) -> u32 {
+        bits_for_i64(*self)
+    }
+}
+
+impl MsgWidth for () {
+    fn bits(&self) -> u32 {
+        1
+    }
+}
+
+impl<T: MsgWidth> MsgWidth for Option<T> {
+    fn bits(&self) -> u32 {
+        1 + self.as_ref().map_or(0, MsgWidth::bits)
+    }
+}
+
+impl<A: MsgWidth, B: MsgWidth> MsgWidth for (A, B) {
+    fn bits(&self) -> u32 {
+        self.0.bits() + self.1.bits()
+    }
+}
+
+impl<A: MsgWidth, B: MsgWidth, C: MsgWidth> MsgWidth for (A, B, C) {
+    fn bits(&self) -> u32 {
+        self.0.bits() + self.1.bits() + self.2.bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_widths() {
+        assert_eq!(bits_for_u64(0), 1);
+        assert_eq!(bits_for_u64(1), 1);
+        assert_eq!(bits_for_u64(2), 2);
+        assert_eq!(bits_for_u64(255), 8);
+        assert_eq!(bits_for_u64(256), 9);
+        assert_eq!(bits_for_u64(u64::MAX), 64);
+    }
+
+    #[test]
+    fn i64_widths_add_sign_bit() {
+        assert_eq!(bits_for_i64(0), 2);
+        assert_eq!(bits_for_i64(-1), 2);
+        assert_eq!(bits_for_i64(-256), 10);
+        assert_eq!(bits_for_i64(i64::MIN), 65);
+    }
+
+    #[test]
+    fn tuple_widths_sum() {
+        assert_eq!((3u64, 4u64).bits(), 2 + 3);
+        assert_eq!((1u64, 1u64, 1u64).bits(), 3);
+    }
+
+    #[test]
+    fn unit_width_is_one() {
+        assert_eq!(().bits(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Cost accounting for network runs.
+//!
+//! Complexity in the MCB model (paper §2) is "measured in terms of the total
+//! number of cycles and the total number of broadcast messages required by
+//! the computation". The engine additionally records per-processor and
+//! per-channel breakdowns (useful for spotting hot channels and validating
+//! load balance) and message bit widths (to audit the O(log β) message-size
+//! discipline).
+
+/// Aggregated costs of one network run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Metrics {
+    /// Algorithm cycles: the maximum number of cycles any processor's
+    /// protocol executed. This is the quantity the paper's Θ-bounds refer to.
+    pub cycles: u64,
+    /// Engine rounds actually executed, including the trailing rounds in
+    /// which already-finished processors idle while stragglers complete.
+    /// Always `>= cycles`; equal when all processors finish together.
+    pub rounds: u64,
+    /// Total broadcast messages sent.
+    pub messages: u64,
+    /// Sum of bit widths over all messages.
+    pub total_bits: u64,
+    /// Largest single-message bit width observed.
+    pub max_msg_bits: u32,
+    /// Messages sent by each processor.
+    pub per_proc_messages: Vec<u64>,
+    /// Cycles executed by each processor's protocol.
+    pub per_proc_cycles: Vec<u64>,
+    /// Messages carried by each channel.
+    pub per_channel_messages: Vec<u64>,
+}
+
+impl Metrics {
+    /// Mean messages per channel; 0.0 for an empty run.
+    pub fn mean_channel_load(&self) -> f64 {
+        if self.per_channel_messages.is_empty() {
+            return 0.0;
+        }
+        self.messages as f64 / self.per_channel_messages.len() as f64
+    }
+
+    /// Ratio of the busiest channel's load to the mean channel load.
+    ///
+    /// 1.0 means perfectly balanced; large values mean one channel is a
+    /// bottleneck. Returns 0.0 when no messages were sent.
+    pub fn channel_imbalance(&self) -> f64 {
+        let mean = self.mean_channel_load();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let max = self.per_channel_messages.iter().copied().max().unwrap_or(0);
+        max as f64 / mean
+    }
+
+    /// Average bits per message; 0.0 when no messages were sent.
+    pub fn mean_msg_bits(&self) -> f64 {
+        if self.messages == 0 {
+            0.0
+        } else {
+            self.total_bits as f64 / self.messages as f64
+        }
+    }
+
+    /// Channel-time utilization: fraction of (cycles × k) slots that carried
+    /// a message. An algorithm keeping all channels busy every cycle scores
+    /// 1.0.
+    pub fn channel_utilization(&self) -> f64 {
+        let slots = self
+            .cycles
+            .saturating_mul(self.per_channel_messages.len() as u64);
+        if slots == 0 {
+            0.0
+        } else {
+            self.messages as f64 / slots as f64
+        }
+    }
+}
+
+/// Per-thread accumulator merged into [`Metrics`] when a run completes.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LocalMetrics {
+    pub cycles: u64,
+    pub messages: u64,
+    pub total_bits: u64,
+    pub max_msg_bits: u32,
+}
+
+impl LocalMetrics {
+    pub(crate) fn record_message(&mut self, bits: u32) {
+        self.messages += 1;
+        self.total_bits += u64::from(bits);
+        self.max_msg_bits = self.max_msg_bits.max(bits);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metrics {
+        Metrics {
+            cycles: 10,
+            rounds: 12,
+            messages: 30,
+            total_bits: 300,
+            max_msg_bits: 16,
+            per_proc_messages: vec![10, 10, 10],
+            per_proc_cycles: vec![10, 9, 8],
+            per_channel_messages: vec![20, 10],
+        }
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let m = sample();
+        assert_eq!(m.mean_channel_load(), 15.0);
+        assert!((m.channel_imbalance() - 20.0 / 15.0).abs() < 1e-12);
+        assert_eq!(m.mean_msg_bits(), 10.0);
+        assert!((m.channel_utilization() - 30.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeroes() {
+        let m = Metrics::default();
+        assert_eq!(m.mean_channel_load(), 0.0);
+        assert_eq!(m.channel_imbalance(), 0.0);
+        assert_eq!(m.mean_msg_bits(), 0.0);
+        assert_eq!(m.channel_utilization(), 0.0);
+    }
+
+    #[test]
+    fn local_metrics_accumulate() {
+        let mut l = LocalMetrics::default();
+        l.record_message(8);
+        l.record_message(16);
+        l.record_message(4);
+        assert_eq!(l.messages, 3);
+        assert_eq!(l.total_bits, 28);
+        assert_eq!(l.max_msg_bits, 16);
+    }
+}

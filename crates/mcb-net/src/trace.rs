@@ -1,0 +1,123 @@
+//! Optional per-message event recording.
+//!
+//! Traces exist to make the paper's lower bounds *executable*: the adversary
+//! of Theorems 1–2 watches the messages an algorithm sends and eliminates
+//! median candidates accordingly. `mcb-lowerbounds` replays a recorded trace
+//! through that bookkeeping. Recording is off by default because it puts a
+//! mutex on the write path.
+
+use crate::ids::{ChanId, ProcId};
+
+/// One broadcast, as observed on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event<M> {
+    /// Global cycle index (engine round) in which the message was sent.
+    pub cycle: u64,
+    /// The sending processor.
+    pub writer: ProcId,
+    /// The channel written.
+    pub channel: ChanId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A complete run trace: all broadcasts in (cycle, channel) order.
+///
+/// Within a cycle, events are serialized in an arbitrary order — exactly the
+/// license the paper's adversary takes ("concurrent messages are serialized
+/// in some arbitrary order", proof of Theorem 1). [`Trace::sorted`] fixes a
+/// deterministic order for reproducibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace<M> {
+    events: Vec<Event<M>>,
+}
+
+impl<M> Trace<M> {
+    pub(crate) fn new(mut events: Vec<Event<M>>) -> Self
+    where
+        M: Clone,
+    {
+        // Engine threads append concurrently; normalize to a canonical order.
+        events.sort_by_key(|e| (e.cycle, e.channel.0, e.writer.0));
+        Trace { events }
+    }
+
+    /// All events, in (cycle, channel, writer) order.
+    pub fn events(&self) -> &[Event<M>] {
+        &self.events
+    }
+
+    /// Alias for [`events`](Self::events) emphasizing the canonical order.
+    pub fn sorted(&self) -> &[Event<M>] {
+        &self.events
+    }
+
+    /// Number of recorded messages.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no messages were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events sent within one cycle.
+    pub fn cycle_events(&self, cycle: u64) -> impl Iterator<Item = &Event<M>> {
+        self.events.iter().filter(move |e| e.cycle == cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_normalizes_order() {
+        let t = Trace::new(vec![
+            Event {
+                cycle: 2,
+                writer: ProcId(0),
+                channel: ChanId(0),
+                msg: 7u64,
+            },
+            Event {
+                cycle: 1,
+                writer: ProcId(1),
+                channel: ChanId(1),
+                msg: 8u64,
+            },
+            Event {
+                cycle: 1,
+                writer: ProcId(0),
+                channel: ChanId(0),
+                msg: 9u64,
+            },
+        ]);
+        let cycles: Vec<u64> = t.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![1, 1, 2]);
+        assert_eq!(t.events()[0].msg, 9);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn cycle_events_filters() {
+        let t = Trace::new(vec![
+            Event {
+                cycle: 5,
+                writer: ProcId(0),
+                channel: ChanId(0),
+                msg: 1u64,
+            },
+            Event {
+                cycle: 6,
+                writer: ProcId(0),
+                channel: ChanId(0),
+                msg: 2u64,
+            },
+        ]);
+        assert_eq!(t.cycle_events(5).count(), 1);
+        assert_eq!(t.cycle_events(7).count(), 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! Simulating a larger MCB on a smaller one (paper §2).
+//!
+//! The paper notes that one cycle of an `MCB(p', k')` can be simulated on an
+//! `MCB(p, k)` (`p' >= p`, `k' >= k`) by hosting `p'/p` virtual processors on
+//! each physical processor and `k'/k` virtual channels on each physical
+//! channel, repeating each message `p'/p` times. This is what licenses the
+//! paper's "w.l.o.g." normalizations (`p` a power of two, `k` divides `p`,
+//! …).
+//!
+//! # Schedule
+//!
+//! Let `g = p'/p` and `h = k'/k`. A virtual cycle is executed as `g·h·g`
+//! physical cycles indexed `(a_w, b, a_r)`:
+//!
+//! * in slot `(a_w, b, a_r)` a physical processor performs the **write** of
+//!   its virtual processor with local index `a_w`, provided that write
+//!   targets a virtual channel of class `b` — so each virtual message is
+//!   physically repeated `g` times (once per `a_r`), matching the paper's
+//!   repetition count;
+//! * in the same slot it performs the **read** of its virtual processor with
+//!   local index `a_r`, provided that read targets a class-`b` channel. The
+//!   reader scans all `g` repetition slots and keeps the unique non-empty
+//!   one, so it needs no knowledge of the writer's identity.
+//!
+//! Virtual channel `c` maps to physical channel `c mod k` with class
+//! `c div k`; virtual processor `v` lives on physical processor `v div g`
+//! with local index `v mod g`.
+//!
+//! The engine's [`proc_groups`](crate::Network::proc_groups) port validation
+//! runs underneath, so any schedule bug would surface as a
+//! [`PortViolation`](crate::NetError::PortViolation) rather than silent
+//! corruption.
+//!
+//! # Fidelity note
+//!
+//! This *oblivious* schedule costs `O((p'/p)² · (k'/k))` physical cycles per
+//! virtual cycle — a factor `p'/p` above the paper's `O((p'/p)(k'/k))`
+//! claim, which requires readers to know when their writer transmits (true
+//! for the oblivious schedules used inside Columnsort, but not for arbitrary
+//! protocols). Message overhead is exactly the paper's `p'/p` per original
+//! message. Experiment E10 measures both. In the paper's own uses of the
+//! lemma the ratios `p'/p` and `k'/k` are constants (< 2), so the distinction
+//! never affects the asymptotic results.
+
+use crate::engine::{Network, ProcCtx};
+use crate::error::NetError;
+use crate::ids::ChanId;
+use crate::message::MsgWidth;
+use crate::metrics::Metrics;
+
+/// A virtual `MCB(p', k')` hosted on a physical `MCB(p, k)`.
+#[derive(Debug, Clone)]
+pub struct VirtualNetwork {
+    virt_p: usize,
+    virt_k: usize,
+    phys_p: usize,
+    phys_k: usize,
+}
+
+/// Costs of a virtualized run, on both the virtual and the physical level.
+#[derive(Debug, Clone)]
+pub struct VirtReport<R> {
+    /// Per-virtual-processor protocol results.
+    pub results: Vec<R>,
+    /// Costs as measured on the physical network.
+    pub phys: Metrics,
+    /// Virtual cycles: max number of virtual cycles any virtual processor ran.
+    pub virt_cycles: u64,
+    /// Virtual messages: total virtual broadcasts requested.
+    pub virt_messages: u64,
+}
+
+impl VirtualNetwork {
+    /// Host `MCB(virt_p, virt_k)` on `MCB(phys_p, phys_k)`.
+    ///
+    /// Requires `phys_p | virt_p` and `phys_k | virt_k` (the paper's
+    /// flooring/padding is left to the caller, who can simply round the
+    /// virtual sizes up).
+    pub fn new(
+        virt_p: usize,
+        virt_k: usize,
+        phys_p: usize,
+        phys_k: usize,
+    ) -> Result<Self, NetError> {
+        if phys_p == 0 || phys_k == 0 || virt_p == 0 || virt_k == 0 {
+            return Err(NetError::BadConfig("all dimensions must be >= 1".into()));
+        }
+        if !virt_p.is_multiple_of(phys_p) {
+            return Err(NetError::BadConfig(format!(
+                "phys_p = {phys_p} must divide virt_p = {virt_p}"
+            )));
+        }
+        if !virt_k.is_multiple_of(phys_k) {
+            return Err(NetError::BadConfig(format!(
+                "phys_k = {phys_k} must divide virt_k = {virt_k}"
+            )));
+        }
+        if virt_k > virt_p || phys_k > phys_p {
+            return Err(NetError::BadConfig(
+                "model requires k <= p on both levels".into(),
+            ));
+        }
+        Ok(VirtualNetwork {
+            virt_p,
+            virt_k,
+            phys_p,
+            phys_k,
+        })
+    }
+
+    /// Virtual processors per physical processor (`g = p'/p`).
+    pub fn proc_ratio(&self) -> usize {
+        self.virt_p / self.phys_p
+    }
+
+    /// Virtual channels per physical channel (`h = k'/k`).
+    pub fn chan_ratio(&self) -> usize {
+        self.virt_k / self.phys_k
+    }
+
+    /// Physical cycles consumed per virtual cycle (`g²·h`).
+    pub fn slots_per_virtual_cycle(&self) -> usize {
+        let g = self.proc_ratio();
+        g * g * self.chan_ratio()
+    }
+
+    /// Run a protocol written against the *virtual* network.
+    ///
+    /// The closure receives a [`VirtCtx`] whose `cycle` has the same
+    /// semantics as [`ProcCtx::cycle`], but addressed in virtual processor
+    /// and channel identifiers.
+    pub fn run<M, R, F>(&self, protocol: F) -> Result<VirtReport<R>, NetError>
+    where
+        M: Clone + Send + Sync + MsgWidth,
+        R: Send,
+        F: Fn(&mut VirtCtx<'_, '_, M>) -> R + Sync,
+    {
+        let g = self.proc_ratio();
+        let groups: Vec<usize> = (0..self.virt_p).map(|v| v / g).collect();
+        let net = Network::new(self.virt_p, self.phys_k).proc_groups(groups);
+        let virt_p = self.virt_p;
+        let virt_k = self.virt_k;
+        let phys_k = self.phys_k;
+        let report = net.run(move |inner: &mut ProcCtx<'_, M>| {
+            let mut vctx = VirtCtx {
+                inner,
+                virt_p,
+                virt_k,
+                phys_k,
+                g,
+                h: virt_k / phys_k,
+                v_cycles: 0,
+                v_messages: 0,
+            };
+            let r = protocol(&mut vctx);
+            (r, vctx.v_cycles, vctx.v_messages)
+        })?;
+        let phys = report.metrics;
+        let mut results = Vec::with_capacity(self.virt_p);
+        let mut virt_cycles = 0u64;
+        let mut virt_messages = 0u64;
+        for item in report.results {
+            let (r, c, m) = item.expect("successful run yields all results");
+            virt_cycles = virt_cycles.max(c);
+            virt_messages += m;
+            results.push(r);
+        }
+        Ok(VirtReport {
+            results,
+            phys,
+            virt_cycles,
+            virt_messages,
+        })
+    }
+}
+
+/// A virtual processor's handle to the virtual network.
+pub struct VirtCtx<'a, 'b, M> {
+    inner: &'a mut ProcCtx<'b, M>,
+    virt_p: usize,
+    virt_k: usize,
+    phys_k: usize,
+    g: usize,
+    h: usize,
+    v_cycles: u64,
+    v_messages: u64,
+}
+
+impl<'a, 'b, M: Clone + Send + Sync + MsgWidth> VirtCtx<'a, 'b, M> {
+    /// This virtual processor's index in `0..p'`.
+    pub fn id(&self) -> usize {
+        self.inner.id().index()
+    }
+
+    /// `p'`: virtual processor count.
+    pub fn p(&self) -> usize {
+        self.virt_p
+    }
+
+    /// `k'`: virtual channel count.
+    pub fn k(&self) -> usize {
+        self.virt_k
+    }
+
+    /// Virtual cycles executed so far by this virtual processor.
+    pub fn cycles_used(&self) -> u64 {
+        self.v_cycles
+    }
+
+    fn phys_chan(&self, c: usize) -> usize {
+        c % self.phys_k
+    }
+
+    fn chan_class(&self, c: usize) -> usize {
+        c / self.phys_k
+    }
+
+    /// One *virtual* cycle: optionally write virtual channel, optionally
+    /// read virtual channel. Semantics mirror [`ProcCtx::cycle`].
+    pub fn cycle(&mut self, write: Option<(usize, M)>, read: Option<usize>) -> Option<M> {
+        if let Some((c, _)) = &write {
+            assert!(*c < self.virt_k, "virtual channel {c} out of range");
+            self.v_messages += 1;
+        }
+        if let Some(c) = &read {
+            assert!(*c < self.virt_k, "virtual channel {c} out of range");
+        }
+        let my_local = self.id() % self.g;
+        let mut got: Option<M> = None;
+        for a_w in 0..self.g {
+            for b in 0..self.h {
+                for a_r in 0..self.g {
+                    let w = match &write {
+                        Some((c, m)) if my_local == a_w && self.chan_class(*c) == b => {
+                            Some((ChanId::from_index(self.phys_chan(*c)), m.clone()))
+                        }
+                        _ => None,
+                    };
+                    let r = match &read {
+                        Some(c) if my_local == a_r && self.chan_class(*c) == b => {
+                            Some(ChanId::from_index(self.phys_chan(*c)))
+                        }
+                        _ => None,
+                    };
+                    if let Some(m) = self.inner.cycle(w, r) {
+                        got = Some(m);
+                    }
+                }
+            }
+        }
+        self.v_cycles += 1;
+        got
+    }
+
+    /// Write-only virtual cycle.
+    pub fn write(&mut self, chan: usize, msg: M) {
+        self.cycle(Some((chan, msg)), None);
+    }
+
+    /// Read-only virtual cycle.
+    pub fn read(&mut self, chan: usize) -> Option<M> {
+        self.cycle(None, Some(chan))
+    }
+
+    /// Do-nothing virtual cycle.
+    pub fn idle(&mut self) {
+        self.cycle(None, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ring exchange on a virtual MCB(8, 8) hosted on MCB(4, 2).
+    #[test]
+    fn virtual_ring_exchange() {
+        let vnet = VirtualNetwork::new(8, 8, 4, 2).unwrap();
+        assert_eq!(vnet.proc_ratio(), 2);
+        assert_eq!(vnet.chan_ratio(), 4);
+        assert_eq!(vnet.slots_per_virtual_cycle(), 16);
+        let report = vnet
+            .run(|ctx| {
+                let me = ctx.id();
+                let from = (me + 1) % ctx.p();
+                ctx.cycle(Some((me, me as u64 * 100)), Some(from))
+            })
+            .unwrap();
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(*r, Some(((i + 1) % 8) as u64 * 100), "vproc {i}");
+        }
+        assert_eq!(report.virt_cycles, 1);
+        assert_eq!(report.virt_messages, 8);
+        // Each virtual message repeated g = 2 times physically.
+        assert_eq!(report.phys.messages, 16);
+        assert_eq!(report.phys.cycles, 16);
+    }
+
+    /// Pure channel reduction (g = 1) costs exactly h physical cycles and
+    /// one physical message per virtual message — the paper's bound exactly.
+    #[test]
+    fn channel_reduction_is_exact() {
+        let vnet = VirtualNetwork::new(4, 4, 4, 1).unwrap();
+        assert_eq!(vnet.slots_per_virtual_cycle(), 4);
+        let report = vnet
+            .run(|ctx| {
+                let me = ctx.id();
+                ctx.cycle(Some((me, me as u64)), Some((me + 2) % 4))
+            })
+            .unwrap();
+        for (i, r) in report.results.iter().enumerate() {
+            assert_eq!(*r, Some(((i + 2) % 4) as u64));
+        }
+        assert_eq!(report.phys.messages, report.virt_messages);
+        assert_eq!(report.phys.cycles, 4);
+    }
+
+    #[test]
+    fn empty_virtual_channel_reads_none() {
+        let vnet = VirtualNetwork::new(4, 4, 2, 2).unwrap();
+        let report = vnet
+            .run(|ctx| {
+                if ctx.id() == 0 {
+                    ctx.write(0, 1u64);
+                    None
+                } else {
+                    ctx.read(3)
+                }
+            })
+            .unwrap();
+        assert_eq!(report.results[1], None);
+    }
+
+    #[test]
+    fn virtual_collision_still_fails() {
+        let vnet = VirtualNetwork::new(4, 4, 2, 2).unwrap();
+        let err = vnet
+            .run(|ctx| {
+                // Virtual processors 0 and 2 share a local index (both have
+                // v mod g == 0) on different physical processors, and both
+                // write virtual channel 1 — a genuine virtual collision.
+                if ctx.id() % 2 == 0 {
+                    ctx.write(1, 1u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, NetError::Collision { .. }), "{err}");
+    }
+
+    /// Randomized configurations and traffic: the virtualization must
+    /// deliver exactly what a direct MCB(p', k') run would.
+    #[test]
+    fn random_configs_match_direct_execution() {
+        let configs = [
+            (4usize, 2usize, 2usize, 1usize),
+            (6, 3, 3, 3),
+            (8, 4, 4, 2),
+            (12, 6, 4, 2),
+            (8, 2, 2, 2),
+        ];
+        for (ci, &(vp, vk, pp, pk)) in configs.iter().enumerate() {
+            let vnet = VirtualNetwork::new(vp, vk, pp, pk).unwrap();
+            // Deterministic pseudo-random single-writer traffic: in round
+            // r, the writer of channel c is vproc (c * 7 + r * 3) % vp
+            // when that value is < vp... readers rotate too.
+            let rounds = 4u64;
+            let run_virtual = vnet
+                .run(|ctx| {
+                    let me = ctx.id();
+                    let mut acc = 0u64;
+                    for r in 0..rounds {
+                        let my_chan =
+                            (0..ctx.k()).find(|&c| (c * 7 + r as usize * 3) % ctx.p() == me);
+                        let w = my_chan.map(|c| (c, (me as u64) << (8 + r)));
+                        let read = (me + r as usize) % ctx.k();
+                        if let Some(v) = ctx.cycle(w, Some(read)) {
+                            acc = acc.wrapping_mul(1000003).wrapping_add(v);
+                        }
+                    }
+                    acc
+                })
+                .unwrap();
+            // Direct execution of the same protocol on a real MCB(vp, vk).
+            let direct = Network::new(vp, vk)
+                .run(|ctx| {
+                    let me = ctx.id().index();
+                    let mut acc = 0u64;
+                    for r in 0..rounds {
+                        let my_chan =
+                            (0..ctx.k()).find(|&c| (c * 7 + r as usize * 3) % ctx.p() == me);
+                        let w =
+                            my_chan.map(|c| (crate::ChanId::from_index(c), (me as u64) << (8 + r)));
+                        let read = crate::ChanId::from_index((me + r as usize) % ctx.k());
+                        if let Some(v) = ctx.cycle(w, Some(read)) {
+                            acc = acc.wrapping_mul(1000003).wrapping_add(v);
+                        }
+                    }
+                    acc
+                })
+                .unwrap();
+            assert_eq!(
+                run_virtual.results,
+                direct.into_results(),
+                "config {ci}: virtualized run diverged from direct run"
+            );
+            assert_eq!(
+                run_virtual.phys.messages,
+                run_virtual.virt_messages * vnet.proc_ratio() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn non_dividing_ratios_rejected() {
+        assert!(VirtualNetwork::new(6, 4, 4, 2).is_err());
+        assert!(VirtualNetwork::new(8, 6, 4, 4).is_err());
+        assert!(VirtualNetwork::new(8, 0, 4, 1).is_err());
+    }
+
+    #[test]
+    fn multi_cycle_virtual_protocol() {
+        // Virtual token ring: value accumulates as it passes through all
+        // 6 virtual processors on a 3-processor physical network.
+        let vnet = VirtualNetwork::new(6, 3, 3, 3).unwrap();
+        let report = vnet
+            .run(|ctx| {
+                let me = ctx.id();
+                let p = ctx.p();
+                let mut token: Option<u64> = (me == 0).then_some(1);
+                let mut last_seen = 0u64;
+                for round in 0..p {
+                    let holder = round % p;
+                    let chan = holder % ctx.k();
+                    let w = (me == holder).then(|| (chan, token.unwrap_or(0) * 2));
+                    let got = ctx.cycle(w, Some(chan));
+                    if let Some(v) = got {
+                        last_seen = v;
+                        if me == (holder + 1) % p {
+                            token = Some(v);
+                        }
+                    }
+                }
+                last_seen
+            })
+            .unwrap();
+        // Token starts at 1, doubles at each hop: everyone's last
+        // observation is the final broadcast 2^6 = 64... except the value
+        // depends on who held it; just check all processors agree.
+        let first = report.results[0];
+        assert!(report.results.iter().all(|&r| r == first));
+        assert_eq!(report.virt_cycles, 6);
+    }
+}

@@ -1,0 +1,192 @@
+//! Ways of splitting `n` keys over `p` processors.
+//!
+//! The paper's complexity bounds depend on the *shape* of the distribution
+//! (`n_max`, `n_max2`, how many processors hold at least `d/p` candidates,
+//! …), so the experiments need precise control over it. Each generator
+//! returns a [`Placement`] built from distinct random keys.
+
+use crate::placement::Placement;
+use crate::values::distinct_keys;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Split sizes: `n` elements over `p` processors, every processor nonempty.
+fn split(keys: Vec<u64>, sizes: &[usize]) -> Placement {
+    assert_eq!(keys.len(), sizes.iter().sum::<usize>());
+    let mut lists = Vec::with_capacity(sizes.len());
+    let mut it = keys.into_iter();
+    for &s in sizes {
+        lists.push((&mut it).take(s).collect());
+    }
+    Placement::new(lists)
+}
+
+/// Even distribution: every processor holds exactly `n / p` keys.
+/// Panics unless `p` divides `n` (pad `n` up if needed, as the paper does).
+pub fn even(p: usize, n: usize, rng: &mut StdRng) -> Placement {
+    assert!(
+        p > 0 && n.is_multiple_of(p),
+        "even distribution needs p | n"
+    );
+    let keys = distinct_keys(n, rng);
+    split(keys, &vec![n / p; p])
+}
+
+/// Uneven sizes that sum to `n`, drawn by repeatedly giving a random
+/// processor one extra key (each processor keeps at least one).
+pub fn random_uneven(p: usize, n: usize, rng: &mut StdRng) -> Placement {
+    assert!(n >= p, "need n >= p");
+    let mut sizes = vec![1usize; p];
+    for _ in 0..n - p {
+        sizes[rng.random_range(0..p)] += 1;
+    }
+    let keys = distinct_keys(n, rng);
+    split(keys, &sizes)
+}
+
+/// One "heavy" processor holding `heavy_frac` of all keys, the rest spread
+/// evenly. Drives the `n_max` term of Corollary 6 / Theorem 4.
+pub fn single_heavy(p: usize, n: usize, heavy_frac: f64, rng: &mut StdRng) -> Placement {
+    assert!(p >= 2 && n >= p);
+    assert!((0.0..1.0).contains(&heavy_frac));
+    let heavy = ((n as f64 * heavy_frac) as usize).clamp(1, n - (p - 1));
+    let rest = n - heavy;
+    let base = rest / (p - 1);
+    let extra = rest % (p - 1);
+    let mut sizes = vec![heavy];
+    for i in 0..p - 1 {
+        sizes.push(base + usize::from(i < extra));
+    }
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "heavy_frac leaves a processor empty"
+    );
+    let keys = distinct_keys(n, rng);
+    split(keys, &sizes)
+}
+
+/// Geometric sizes: processor `i` holds about `ratio` times the keys of
+/// processor `i+1` (clamped so everyone keeps at least one key).
+pub fn geometric(p: usize, n: usize, ratio: f64, rng: &mut StdRng) -> Placement {
+    assert!(p > 0 && n >= p && ratio > 0.0);
+    // Ideal weights r^0, r^1, … normalized to n, then fixed up to sum to n.
+    let weights: Vec<f64> = (0..p).map(|i| ratio.powi(-(i as i32))).collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor().max(1.0) as usize)
+        .collect();
+    let mut diff = n as i64 - sizes.iter().sum::<usize>() as i64;
+    let mut i = 0;
+    while diff != 0 {
+        if diff > 0 {
+            sizes[i % p] += 1;
+            diff -= 1;
+        } else if sizes[i % p] > 1 {
+            sizes[i % p] -= 1;
+            diff += 1;
+        }
+        i += 1;
+    }
+    let keys = distinct_keys(n, rng);
+    split(keys, &sizes)
+}
+
+/// Zipf-like sizes with exponent `s` (size of processor `i` proportional to
+/// `1/(i+1)^s`), at least one key each.
+pub fn zipf(p: usize, n: usize, s: f64, rng: &mut StdRng) -> Placement {
+    assert!(p > 0 && n >= p && s >= 0.0);
+    let weights: Vec<f64> = (0..p).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / total) * n as f64).floor().max(1.0) as usize)
+        .collect();
+    let mut diff = n as i64 - sizes.iter().sum::<usize>() as i64;
+    let mut i = 0;
+    while diff != 0 {
+        if diff > 0 {
+            sizes[i % p] += 1;
+            diff -= 1;
+        } else if sizes[i % p] > 1 {
+            sizes[i % p] -= 1;
+            diff += 1;
+        }
+        i += 1;
+    }
+    let keys = distinct_keys(n, rng);
+    split(keys, &sizes)
+}
+
+/// Shuffle which processor gets which *size* while keeping the multiset of
+/// sizes — used to decouple "shape" from "which processor is heavy".
+pub fn shuffle_roles(placement: Placement, rng: &mut StdRng) -> Placement {
+    let mut lists = placement.into_lists();
+    lists.shuffle(rng);
+    Placement::new(lists)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::rng;
+
+    #[test]
+    fn even_is_even() {
+        let pl = even(8, 64, &mut rng(1));
+        assert!(pl.is_even());
+        assert_eq!(pl.n(), 64);
+        assert_eq!(pl.n_max(), 8);
+        assert!(pl.keys_distinct());
+    }
+
+    #[test]
+    #[should_panic(expected = "p | n")]
+    fn even_requires_divisibility() {
+        even(8, 63, &mut rng(1));
+    }
+
+    #[test]
+    fn random_uneven_preserves_totals() {
+        let pl = random_uneven(5, 57, &mut rng(2));
+        assert_eq!(pl.p(), 5);
+        assert_eq!(pl.n(), 57);
+        assert!(pl.sizes().iter().all(|&s| s >= 1));
+        assert!(pl.keys_distinct());
+    }
+
+    #[test]
+    fn single_heavy_shapes() {
+        let pl = single_heavy(4, 100, 0.7, &mut rng(3));
+        assert_eq!(pl.n(), 100);
+        assert_eq!(pl.n_max(), 70);
+        assert!(pl.sizes()[0] == 70);
+    }
+
+    #[test]
+    fn geometric_is_monotone_decreasing_roughly() {
+        let pl = geometric(6, 600, 2.0, &mut rng(4));
+        assert_eq!(pl.n(), 600);
+        let sizes = pl.sizes();
+        assert!(sizes[0] > sizes[5], "head should dominate tail: {sizes:?}");
+    }
+
+    #[test]
+    fn zipf_sums_to_n() {
+        let pl = zipf(7, 333, 1.2, &mut rng(5));
+        assert_eq!(pl.n(), 333);
+        assert!(pl.sizes().iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn shuffle_roles_keeps_size_multiset() {
+        let pl = geometric(6, 120, 2.0, &mut rng(6));
+        let mut before = pl.sizes();
+        let shuffled = shuffle_roles(pl, &mut rng(7));
+        let mut after = shuffled.sizes();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,22 @@
+//! # mcb-workloads — inputs for MCB sorting/selection experiments
+//!
+//! Generators for the distributed input sets the paper's algorithms and
+//! bounds are parameterized by: a [`Placement`] is the paper's "collection
+//! `N` of elements distributed arbitrarily among the processors" (§3), and
+//! the [`distributions`] module controls its shape (even, uneven, heavy-
+//! tailed, …). The [`values`] module handles key generation, including the
+//! paper's lexicographic-triple construction that reduces multisets to sets.
+//!
+//! All generators are deterministic given a seed, so every experiment in
+//! `mcb-bench` is exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod placement;
+pub mod values;
+
+pub use placement::Placement;
+pub use values::{
+    disambiguate, distinct_keys, keys_with_duplicates, original_proc, original_value, rng,
+};

@@ -1,0 +1,197 @@
+//! Distributed input sets.
+//!
+//! The paper's input is "a collection `N` of elements distributed
+//! arbitrarily among the processors" (§3): processor `P_i` holds the subset
+//! `N_i`, with `|N| = n`, `|N_i| = n_i > 0` and `n >= p`. A [`Placement`]
+//! captures exactly that: one list of keys per processor.
+//!
+//! Keys are `u64` and are assumed **distinct** (the paper's w.l.o.g.; see
+//! [`disambiguate`](crate::values::disambiguate) for the lexicographic
+//! tie-breaking construction that justifies it).
+//!
+//! All ordering conventions follow the paper: `N[1]` is the **largest**
+//! element, and sorting moves the largest elements to `P_1` (descending
+//! order by processor and within each processor).
+
+/// A distribution of `n` distinct keys over `p` processors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    lists: Vec<Vec<u64>>,
+}
+
+impl Placement {
+    /// Wrap per-processor lists. Panics if any processor is empty or the
+    /// placement has no processors (the paper assumes `n_i > 0`).
+    pub fn new(lists: Vec<Vec<u64>>) -> Self {
+        assert!(!lists.is_empty(), "placement needs at least one processor");
+        assert!(
+            lists.iter().all(|l| !l.is_empty()),
+            "paper model assumes n_i > 0 for every processor"
+        );
+        Placement { lists }
+    }
+
+    /// Number of processors `p`.
+    pub fn p(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of elements `n`.
+    pub fn n(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// The per-processor cardinalities `n_1 .. n_p`.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(Vec::len).collect()
+    }
+
+    /// `n_max`: the largest `n_i`.
+    pub fn n_max(&self) -> usize {
+        self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// `n_max2`: the second largest `n_i` (equal to `n_max` when two
+    /// processors tie for the largest).
+    pub fn n_max2(&self) -> usize {
+        let mut sizes = self.sizes();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes.get(1).copied().unwrap_or(0)
+    }
+
+    /// True when all `n_i` are equal (the paper's "even distribution").
+    pub fn is_even(&self) -> bool {
+        self.lists.iter().all(|l| l.len() == self.lists[0].len())
+    }
+
+    /// Partial sums `n_i^+ = n_1 + … + n_i`, with the convention
+    /// `n_0^+ = 0`: returns `p + 1` values starting at 0.
+    pub fn partial_sums(&self) -> Vec<usize> {
+        let mut sums = Vec::with_capacity(self.p() + 1);
+        sums.push(0);
+        let mut acc = 0;
+        for l in &self.lists {
+            acc += l.len();
+            sums.push(acc);
+        }
+        sums
+    }
+
+    /// Per-processor lists.
+    pub fn lists(&self) -> &[Vec<u64>] {
+        &self.lists
+    }
+
+    /// Consume into per-processor lists.
+    pub fn into_lists(self) -> Vec<Vec<u64>> {
+        self.lists
+    }
+
+    /// One processor's list.
+    pub fn list(&self, i: usize) -> &[u64] {
+        &self.lists[i]
+    }
+
+    /// All keys, in descending order (the paper's sorted order `N[1..n]`).
+    pub fn sorted_desc(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self.lists.iter().flatten().copied().collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        all
+    }
+
+    /// The element of rank `d` (1-based, `N[d]` = the `d`'th largest).
+    /// Panics if `d` is out of `1..=n`.
+    pub fn rank(&self, d: usize) -> u64 {
+        let all = self.sorted_desc();
+        assert!(
+            d >= 1 && d <= all.len(),
+            "rank {d} out of 1..={}",
+            all.len()
+        );
+        all[d - 1]
+    }
+
+    /// The paper's sorting postcondition: the same cardinalities, but
+    /// processor `i` holds `N[n_{i-1}^+ + 1 .. n_i^+]` in descending order.
+    pub fn sorted_target(&self) -> Placement {
+        let all = self.sorted_desc();
+        let mut out = Vec::with_capacity(self.p());
+        let mut at = 0;
+        for l in &self.lists {
+            out.push(all[at..at + l.len()].to_vec());
+            at += l.len();
+        }
+        Placement::new(out)
+    }
+
+    /// Verify that all keys are pairwise distinct (the model's w.l.o.g.).
+    pub fn keys_distinct(&self) -> bool {
+        let mut all: Vec<u64> = self.lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.windows(2).all(|w| w[0] != w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Placement {
+        Placement::new(vec![vec![5, 1], vec![9, 3, 7], vec![2]])
+    }
+
+    #[test]
+    fn cardinalities() {
+        let pl = sample();
+        assert_eq!(pl.p(), 3);
+        assert_eq!(pl.n(), 6);
+        assert_eq!(pl.sizes(), vec![2, 3, 1]);
+        assert_eq!(pl.n_max(), 3);
+        assert_eq!(pl.n_max2(), 2);
+        assert!(!pl.is_even());
+        assert_eq!(pl.partial_sums(), vec![0, 2, 5, 6]);
+    }
+
+    #[test]
+    fn n_max2_with_tie() {
+        let pl = Placement::new(vec![vec![1, 2], vec![3, 4], vec![5]]);
+        assert_eq!(pl.n_max(), 2);
+        assert_eq!(pl.n_max2(), 2);
+    }
+
+    #[test]
+    fn sorted_order_is_descending() {
+        let pl = sample();
+        assert_eq!(pl.sorted_desc(), vec![9, 7, 5, 3, 2, 1]);
+        assert_eq!(pl.rank(1), 9);
+        assert_eq!(pl.rank(6), 1);
+        assert_eq!(pl.rank(3), 5);
+    }
+
+    #[test]
+    fn sorted_target_respects_cardinalities() {
+        let pl = sample();
+        let t = pl.sorted_target();
+        assert_eq!(t.sizes(), pl.sizes());
+        assert_eq!(t.lists(), &[vec![9, 7], vec![5, 3, 2], vec![1]]);
+    }
+
+    #[test]
+    fn distinctness_check() {
+        assert!(sample().keys_distinct());
+        let dup = Placement::new(vec![vec![1], vec![1]]);
+        assert!(!dup.keys_distinct());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_i > 0")]
+    fn empty_processor_rejected() {
+        let _ = Placement::new(vec![vec![1], vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rank_out_of_range_panics() {
+        sample().rank(7);
+    }
+}

@@ -1,0 +1,128 @@
+//! Key-value generation.
+//!
+//! The paper assumes w.l.o.g. that all elements are distinct: "if not, we
+//! can replace each element ξ in `P_i` with the triple `(ξ, i, j_ξ)` where
+//! `j_ξ` is a unique index within `P_i`, and use lexicographic order among
+//! the triples" (§3). [`disambiguate`] implements exactly that construction
+//! by packing the triple into a single `u64` whose integer order *is* the
+//! lexicographic order.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `count` distinct pseudo-random `u64` keys (a random subset of a large
+/// range, shuffled).
+pub fn distinct_keys(count: usize, rng: &mut StdRng) -> Vec<u64> {
+    // Sample keys spaced out with random jitter, then shuffle: distinctness
+    // by construction, no rejection loop.
+    let mut keys: Vec<u64> = (0..count as u64)
+        .map(|i| i * 1000 + rng.random_range(0..1000))
+        .collect();
+    keys.shuffle(rng);
+    keys
+}
+
+/// `count` keys drawn uniformly from `0..universe`, duplicates allowed.
+pub fn keys_with_duplicates(count: usize, universe: u64, rng: &mut StdRng) -> Vec<u64> {
+    (0..count).map(|_| rng.random_range(0..universe)).collect()
+}
+
+/// Number of bits [`disambiguate`] reserves for the processor index.
+pub const PROC_BITS: u32 = 12;
+/// Number of bits [`disambiguate`] reserves for the within-processor index.
+pub const IDX_BITS: u32 = 20;
+
+/// The paper's §3 lexicographic triple `(ξ, i, j_ξ)`, packed so that
+/// ordinary `u64` comparison realizes lexicographic order.
+///
+/// `value` must fit in `64 - PROC_BITS - IDX_BITS = 32` bits, `proc` in
+/// [`PROC_BITS`] bits (up to 4096 processors), `idx` in [`IDX_BITS`] bits
+/// (up to ~1M elements per processor).
+pub fn disambiguate(value: u64, proc: usize, idx: usize) -> u64 {
+    let value_bits = 64 - PROC_BITS - IDX_BITS;
+    assert!(
+        value < 1 << value_bits,
+        "value {value} needs > {value_bits} bits"
+    );
+    assert!((proc as u64) < 1 << PROC_BITS, "proc {proc} out of range");
+    assert!((idx as u64) < 1 << IDX_BITS, "idx {idx} out of range");
+    (value << (PROC_BITS + IDX_BITS)) | ((proc as u64) << IDX_BITS) | idx as u64
+}
+
+/// Recover the original value from a [`disambiguate`]d key.
+pub fn original_value(key: u64) -> u64 {
+    key >> (PROC_BITS + IDX_BITS)
+}
+
+/// Recover the processor index from a [`disambiguate`]d key.
+pub fn original_proc(key: u64) -> usize {
+    ((key >> IDX_BITS) & ((1 << PROC_BITS) - 1)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_are_distinct() {
+        let mut r = rng(42);
+        let keys = distinct_keys(10_000, &mut r);
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
+    }
+
+    #[test]
+    fn distinct_keys_are_deterministic_per_seed() {
+        let a = distinct_keys(100, &mut rng(7));
+        let b = distinct_keys(100, &mut rng(7));
+        let c = distinct_keys(100, &mut rng(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn disambiguation_is_lexicographic() {
+        // Primary order by value…
+        assert!(disambiguate(5, 9, 9) < disambiguate(6, 0, 0));
+        // …ties broken by processor…
+        assert!(disambiguate(5, 1, 9) < disambiguate(5, 2, 0));
+        // …then by index.
+        assert!(disambiguate(5, 1, 3) < disambiguate(5, 1, 4));
+    }
+
+    #[test]
+    fn disambiguation_round_trips() {
+        let k = disambiguate(123456, 37, 999);
+        assert_eq!(original_value(k), 123456);
+        assert_eq!(original_proc(k), 37);
+    }
+
+    #[test]
+    fn disambiguated_duplicates_become_distinct() {
+        let mut r = rng(3);
+        let vals = keys_with_duplicates(1000, 10, &mut r); // heavy duplication
+        let keys: Vec<u64> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| disambiguate(v, i % 4, i / 4))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_proc_rejected() {
+        disambiguate(1, 1 << 13, 0);
+    }
+}

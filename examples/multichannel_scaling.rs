@@ -1,0 +1,47 @@
+//! Why multiple channels: cycle scaling as k grows.
+//!
+//! ```text
+//! cargo run --release --example multichannel_scaling
+//! ```
+//!
+//! The paper's motivation (§1): multi-channel LANs trade longer individual
+//! transmissions for reduced contention. In the MCB cost model this
+//! appears as the `1/k` factor in every cycle bound. This example fixes
+//! `p` and `n` and sweeps `k`, sorting the same input each time, to show
+//! cycles dropping ~linearly in `k` while messages stay `Θ(n)` — and the
+//! same for selection with its logarithmic costs.
+
+use mcb::algos::select::select_rank;
+use mcb::algos::sort::sort_grouped;
+use mcb::workloads::{distributions, rng};
+
+fn main() {
+    let (p, n) = (16usize, 960usize);
+    let input = distributions::even(p, n, &mut rng(88));
+    let d = n / 2;
+
+    println!("MCB(p = {p}, k) scaling, n = {n}\n");
+    println!("          |        sorting          |        selection");
+    println!("     k    |   cycles     messages   |   cycles     messages");
+    let mut first_sort_cycles = None;
+    for k in [1usize, 2, 4, 8, 16] {
+        let sort = sort_grouped(k, input.lists().to_vec()).expect("sort");
+        let sel = select_rank(k, input.lists().to_vec(), d).expect("select");
+        assert_eq!(sel.value, input.rank(d));
+        let speedup = match first_sort_cycles {
+            None => {
+                first_sort_cycles = Some(sort.metrics.cycles);
+                1.0
+            }
+            Some(c1) => c1 as f64 / sort.metrics.cycles as f64,
+        };
+        println!(
+            "  {k:4}    | {:8} {:12}   | {:8} {:12}    (sort speedup {speedup:4.1}x)",
+            sort.metrics.cycles, sort.metrics.messages, sel.metrics.cycles, sel.metrics.messages,
+        );
+    }
+    println!(
+        "\nsort cycles fall ~linearly with k (the Θ(n/k) bound) while messages\n\
+         stay Θ(n): more channels buy parallel broadcasts, not fewer of them."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: sort and select on a simulated MCB(8, 4) network.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a network of 8 processors sharing 4 broadcast channels, spreads
+//! 256 random keys over it, sorts them with the paper's Columnsort-based
+//! algorithm, then selects the median with the filtering algorithm — and
+//! prints the cycle/message price of each, next to the paper's Θ-bounds.
+
+use mcb::algos::select::select_rank;
+use mcb::algos::sort::{sort_grouped, verify_sorted};
+use mcb::lowerbounds::bounds;
+use mcb::workloads::{distributions, rng};
+
+fn main() {
+    let (p, k, n) = (8usize, 4usize, 256usize);
+    let input = distributions::even(p, n, &mut rng(2024));
+    println!("MCB({p}, {k}): {n} keys, {} per processor\n", n / p);
+
+    // ---- sorting -----------------------------------------------------------
+    let sorted = sort_grouped(k, input.lists().to_vec()).expect("sort runs");
+    verify_sorted(input.lists(), &sorted.lists).expect("postcondition");
+    println!("sorting (§5/§7):");
+    println!(
+        "  cycles   : {:6}   Θ(max(n/k, n_max)) = {}",
+        sorted.metrics.cycles,
+        bounds::sort_cycles_theta(n, k, n / p)
+    );
+    println!("  messages : {:6}   Θ(n) = {}", sorted.metrics.messages, n);
+    println!("  max bits per message: {}", sorted.metrics.max_msg_bits);
+    println!(
+        "  P1 now holds {}..{} (descending)\n",
+        sorted.lists[0].first().unwrap(),
+        sorted.lists[0].last().unwrap()
+    );
+
+    // ---- selection ---------------------------------------------------------
+    let d = n / 2;
+    let selected = select_rank(k, input.lists().to_vec(), d).expect("select runs");
+    assert_eq!(selected.value, input.rank(d));
+    println!("selection of rank d = {d} (§8):");
+    println!(
+        "  cycles   : {:6}   Θ((p/k)·log(kn/p)) = {:.1}",
+        selected.metrics.cycles,
+        bounds::select_cycles_theta(n, p, k)
+    );
+    println!(
+        "  messages : {:6}   Θ(p·log(kn/p)) = {:.1}",
+        selected.metrics.messages,
+        bounds::select_messages_theta(n, p, k)
+    );
+    println!("  filtering phases: {}", selected.phases.len());
+    for (i, ph) in selected.phases.iter().enumerate() {
+        println!(
+            "    phase {}: {:4} candidates, purged {:4} ({:4.1}%) [{:?}]",
+            i + 1,
+            ph.before,
+            ph.purged,
+            100.0 * ph.purge_fraction(),
+            ph.case
+        );
+    }
+    println!(
+        "\nselection sent {:.1}x fewer messages than sorting ({} vs {})",
+        sorted.metrics.messages as f64 / selected.metrics.messages as f64,
+        selected.metrics.messages,
+        sorted.metrics.messages
+    );
+}

@@ -1,0 +1,45 @@
+//! # mcb — Sorting and Selection in Multi-Channel Broadcast Networks
+//!
+//! A faithful, executable reproduction of **Marberg & Gafni, "Sorting and
+//! Selection in Multi-Channel Broadcast Networks"** (UCLA CSD-850002 /
+//! ICPP 1985), as a Rust workspace:
+//!
+//! * [`net`] ([`mcb_net`]) — the cycle-accurate `MCB(p, k)` network model:
+//!   `p` processors, `k` shared broadcast channels, synchronous cycles of
+//!   one write + one read + free local computation, runtime-checked
+//!   collision freedom, cycle/message metrics, wire traces, and the §2
+//!   virtualization lemma.
+//! * [`algos`] ([`mcb_algos`]) — the paper's algorithms: Columnsort over
+//!   the network (even, uneven, memory-efficient, recursive), Rank-Sort and
+//!   Merge-Sort on a single channel, Partial-Sums, and filtering selection
+//!   with its sort-based baseline.
+//! * [`lowerbounds`] ([`mcb_lowerbounds`]) — §4's lower bounds as
+//!   evaluable formulas, hard-input generators, and an adversary-trace
+//!   replayer.
+//! * [`workloads`] ([`mcb_workloads`]) — seeded input-distribution
+//!   generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcb::algos::select::select_rank;
+//! use mcb::algos::sort::sort_grouped;
+//! use mcb::workloads::{distributions, rng};
+//!
+//! // 120 keys spread unevenly over 6 processors, 3 channels.
+//! let input = distributions::random_uneven(6, 120, &mut rng(7));
+//!
+//! // Sort: P1 ends with the largest keys (the paper's order).
+//! let sorted = sort_grouped(3, input.lists().to_vec()).unwrap();
+//! assert!(sorted.lists[0][0] >= sorted.lists[5].last().copied().unwrap());
+//!
+//! // Select the median with Θ(p log(kn/p)) messages instead of Θ(n).
+//! let med = select_rank(3, input.lists().to_vec(), 60).unwrap();
+//! assert_eq!(med.value, input.rank(60));
+//! assert!(med.metrics.messages < sorted.metrics.messages);
+//! ```
+
+pub use mcb_algos as algos;
+pub use mcb_lowerbounds as lowerbounds;
+pub use mcb_net as net;
+pub use mcb_workloads as workloads;

@@ -1,0 +1,81 @@
+//! Integration: §4 lower bounds hold against real algorithm runs.
+
+use mcb::algos::msg::Word;
+use mcb::algos::select::{select_rank_in, MedEntry};
+use mcb::algos::sort::{sort_grouped, verify_sorted};
+use mcb::lowerbounds::bounds::{thm3_sort_messages, thm4_sort_cycles};
+use mcb::lowerbounds::{alternating_placement, striped_placement, AdversaryLedger};
+use mcb::net::Network;
+use mcb::workloads::{distinct_keys, rng};
+
+#[test]
+fn thm3_striped_input_message_bound() {
+    let (p, n, k) = (8usize, 256usize, 4usize);
+    let sizes = vec![n / p; p];
+    let mut vals = distinct_keys(n, &mut rng(21));
+    vals.sort_unstable_by(|a, b| b.cmp(a));
+    let lists = striped_placement(&sizes, &vals);
+    let report = sort_grouped(k, lists.clone()).unwrap();
+    verify_sorted(&lists, &report.lists).unwrap();
+    assert!(report.metrics.messages as f64 >= thm3_sort_messages(&sizes));
+}
+
+#[test]
+fn thm4_alternating_input_cycle_bound() {
+    let n_max = 64usize;
+    let mut vals = distinct_keys(2 * n_max, &mut rng(22));
+    vals.sort_unstable_by(|a, b| b.cmp(a));
+    let lists = alternating_placement(n_max, 7, &vals);
+    let sizes: Vec<usize> = lists.iter().map(Vec::len).collect();
+    let report = sort_grouped(4, lists.clone()).unwrap();
+    verify_sorted(&lists, &report.lists).unwrap();
+    assert!(report.metrics.cycles as f64 >= thm4_sort_cycles(&sizes));
+}
+
+#[test]
+fn thm1_adversary_replay_on_selection_trace() {
+    let (p, k, n) = (8usize, 2usize, 256usize);
+    let per = n / p;
+    let lists: Vec<Vec<u64>> = {
+        let keys = distinct_keys(n, &mut rng(23));
+        keys.chunks(per).map(<[u64]>::to_vec).collect()
+    };
+    let sizes = vec![per; p];
+    let d = (n / 2) as u64;
+    let moved = lists.clone();
+    let report = Network::new(p, k)
+        .record_trace(true)
+        .run(move |ctx| {
+            let mine = moved[ctx.id().index()].clone();
+            select_rank_in(ctx, mine, d)
+        })
+        .unwrap();
+    let mut ledger = AdversaryLedger::new(&sizes);
+    let forced = ledger.forced_messages();
+    ledger.replay(report.trace.as_ref().unwrap().events(), |msg| {
+        matches!(msg, Word::Key(MedEntry { med: Some(_), .. }))
+    });
+    assert!(forced > 0);
+    assert!(
+        ledger.observed() >= forced,
+        "{} < {forced}",
+        ledger.observed()
+    );
+    assert!(ledger.exhausted());
+}
+
+#[test]
+fn message_widths_respect_log_beta() {
+    // O(log β): with keys < 2^20, no message may exceed ~3 log β bits
+    // (key + small tags); audits the model's message-size discipline.
+    let n = 128usize;
+    let keys = distinct_keys(n, &mut rng(24)); // values < n*1000 < 2^18
+    let lists: Vec<Vec<u64>> = keys.chunks(n / 4).map(<[u64]>::to_vec).collect();
+    let report = sort_grouped(2, lists).unwrap();
+    let beta_bits = 18.0f64;
+    assert!(
+        (report.metrics.max_msg_bits as f64) <= 3.0 * beta_bits,
+        "oversized message: {} bits",
+        report.metrics.max_msg_bits
+    );
+}

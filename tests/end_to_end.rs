@@ -1,0 +1,116 @@
+//! Integration: the full pipeline through the `mcb` facade.
+
+use mcb::algos::select::{select_by_sorting, select_rank};
+use mcb::algos::sort::{
+    merge_sort_single_channel, rank_sort_single_channel, sort_direct, sort_grouped, sort_virtual,
+    verify_sorted,
+};
+use mcb::workloads::{distributions, rng, Placement};
+
+#[test]
+fn sorting_matches_oracle_across_configs() {
+    for (p, k, n, seed) in [
+        (4usize, 1usize, 32usize, 1u64),
+        (4, 2, 48, 2),
+        (8, 4, 160, 3),
+        (9, 3, 90, 4),
+        (6, 6, 72, 5),
+    ] {
+        let pl = distributions::random_uneven(p, n, &mut rng(seed));
+        let report = sort_grouped(k, pl.lists().to_vec()).unwrap();
+        verify_sorted(pl.lists(), &report.lists).unwrap();
+        assert_eq!(report.lists, pl.sorted_target().into_lists(), "p={p} k={k}");
+    }
+}
+
+#[test]
+fn all_sorting_algorithms_agree() {
+    let pl = distributions::even(8, 128, &mut rng(11));
+    let expect = pl.sorted_target().into_lists();
+    assert_eq!(sort_grouped(4, pl.lists().to_vec()).unwrap().lists, expect);
+    assert_eq!(sort_direct(pl.lists().to_vec()).unwrap().lists, expect);
+    assert_eq!(
+        sort_virtual(4, pl.lists().to_vec(), 1).unwrap().lists,
+        expect
+    );
+    assert_eq!(
+        sort_virtual(4, pl.lists().to_vec(), 2).unwrap().lists,
+        expect
+    );
+    assert_eq!(
+        rank_sort_single_channel(pl.lists().to_vec()).unwrap().lists,
+        expect
+    );
+    assert_eq!(
+        merge_sort_single_channel(pl.lists().to_vec())
+            .unwrap()
+            .lists,
+        expect
+    );
+}
+
+#[test]
+fn selection_agrees_with_oracle_and_baseline() {
+    let pl = distributions::zipf(6, 150, 1.0, &mut rng(12));
+    for d in [1usize, 25, 75, 149, 150] {
+        let smart = select_rank(3, pl.lists().to_vec(), d).unwrap();
+        let naive = select_by_sorting(3, pl.lists().to_vec(), d).unwrap();
+        assert_eq!(smart.value, pl.rank(d), "rank {d}");
+        assert_eq!(naive.value, pl.rank(d), "rank {d}");
+    }
+}
+
+#[test]
+fn selection_message_advantage_grows_with_n() {
+    let mut ratios = Vec::new();
+    for n in [128usize, 512, 2048] {
+        let pl = distributions::even(8, n, &mut rng(13));
+        let smart = select_rank(4, pl.lists().to_vec(), n / 2).unwrap();
+        let naive = select_by_sorting(4, pl.lists().to_vec(), n / 2).unwrap();
+        ratios.push(naive.metrics.messages as f64 / smart.metrics.messages as f64);
+    }
+    assert!(
+        ratios.windows(2).all(|w| w[0] < w[1]),
+        "advantage should grow: {ratios:?}"
+    );
+}
+
+#[test]
+fn duplicate_values_handled_by_disambiguation() {
+    use mcb::workloads::{disambiguate, keys_with_duplicates, original_value};
+    let mut r = rng(14);
+    let lists: Vec<Vec<u64>> = (0..4)
+        .map(|proc| {
+            keys_with_duplicates(20, 5, &mut r) // values 0..5: heavy duplication
+                .into_iter()
+                .enumerate()
+                .map(|(idx, v)| disambiguate(v, proc, idx))
+                .collect()
+        })
+        .collect();
+    let pl = Placement::new(lists.clone());
+    assert!(pl.keys_distinct());
+    let report = sort_grouped(2, lists.clone()).unwrap();
+    verify_sorted(&lists, &report.lists).unwrap();
+    // Underlying values are descending across the disambiguated order too.
+    let vals: Vec<u64> = report
+        .lists
+        .iter()
+        .flatten()
+        .map(|&k| original_value(k))
+        .collect();
+    assert!(vals.windows(2).all(|w| w[0] >= w[1]));
+}
+
+#[test]
+fn metrics_are_deterministic_across_runs() {
+    let pl = distributions::random_uneven(6, 96, &mut rng(15));
+    let a = sort_grouped(3, pl.lists().to_vec()).unwrap();
+    let b = sort_grouped(3, pl.lists().to_vec()).unwrap();
+    assert_eq!(a.lists, b.lists);
+    assert_eq!(a.metrics, b.metrics);
+    let sa = select_rank(3, pl.lists().to_vec(), 48).unwrap();
+    let sb = select_rank(3, pl.lists().to_vec(), 48).unwrap();
+    assert_eq!(sa.metrics, sb.metrics);
+    assert_eq!(sa.phases, sb.phases);
+}

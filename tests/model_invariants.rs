@@ -1,0 +1,92 @@
+//! Integration: accounting invariants of the network model that every
+//! algorithm implicitly relies on.
+
+use mcb::algos::partial_sums::{partial_sums_in, Op};
+use mcb::algos::sort::sort_grouped_in;
+use mcb::algos::Word;
+use mcb::net::{ChanId, Network};
+use mcb::workloads::{distributions, rng};
+
+#[test]
+fn trace_agrees_with_message_metrics() {
+    let pl = distributions::random_uneven(5, 60, &mut rng(31));
+    let lists = pl.lists().to_vec();
+    let report = Network::new(5, 2)
+        .record_trace(true)
+        .run(move |ctx| sort_grouped_in(ctx, lists[ctx.id().index()].clone()))
+        .unwrap();
+    let trace = report.trace.as_ref().unwrap();
+    assert_eq!(trace.len() as u64, report.metrics.messages);
+    // Every traced event sits within the cycle horizon and channel range.
+    for e in trace.events() {
+        assert!(e.cycle < report.metrics.rounds);
+        assert!(e.channel.index() < 2);
+        assert!(e.writer.index() < 5);
+    }
+}
+
+#[test]
+fn per_proc_and_per_channel_totals_match() {
+    let pl = distributions::even(6, 120, &mut rng(32));
+    let lists = pl.lists().to_vec();
+    let report = Network::new(6, 3)
+        .run(move |ctx| sort_grouped_in(ctx, lists[ctx.id().index()].clone()))
+        .unwrap();
+    let m = &report.metrics;
+    assert_eq!(m.per_proc_messages.iter().sum::<u64>(), m.messages);
+    assert_eq!(m.per_channel_messages.iter().sum::<u64>(), m.messages);
+    assert_eq!(m.per_proc_cycles.iter().copied().max().unwrap(), m.cycles);
+    assert!(m.rounds >= m.cycles);
+    assert!(m.total_bits >= m.messages, "every message has >= 1 bit");
+    assert!(u64::from(m.max_msg_bits) <= m.total_bits.max(1));
+}
+
+#[test]
+fn reading_own_broadcast_is_allowed() {
+    let report = Network::new(2, 2)
+        .run(|ctx| {
+            let me = ctx.id().index();
+            ctx.cycle(
+                Some((ChanId::from_index(me), me as u64 + 5)),
+                Some(ChanId::from_index(me)),
+            )
+        })
+        .unwrap();
+    assert_eq!(report.results[0], Some(Some(5)));
+    assert_eq!(report.results[1], Some(Some(6)));
+}
+
+#[test]
+fn subroutines_compose_in_one_protocol() {
+    // Partial sums, then a full sort, then partial sums again — all in one
+    // protocol run: the lock-step composition the paper's algorithms use.
+    let pl = distributions::random_uneven(4, 40, &mut rng(33));
+    let lists = pl.lists().to_vec();
+    let sorted_target = pl.sorted_target().into_lists();
+    let report = Network::new(4, 2)
+        .run(move |ctx| {
+            let mine = lists[ctx.id().index()].clone();
+            let enc = |v: u64| Word::Ctl(v);
+            let dec = |m: Word<u64>| m.expect_ctl();
+            let before = partial_sums_in(ctx, mine.len() as u64, Op::Add, &enc, &dec);
+            let sorted = sort_grouped_in(ctx, mine);
+            let after = partial_sums_in(ctx, sorted.len() as u64, Op::Add, &enc, &dec);
+            // Sorting preserves cardinalities, hence the prefix sums.
+            assert_eq!(before.mine, after.mine);
+            sorted
+        })
+        .unwrap();
+    assert_eq!(report.into_results(), sorted_target);
+}
+
+#[test]
+fn channel_utilization_is_sane() {
+    let pl = distributions::even(4, 64, &mut rng(34));
+    let lists = pl.lists().to_vec();
+    let report = Network::new(4, 4)
+        .run(move |ctx| sort_grouped_in(ctx, lists[ctx.id().index()].clone()))
+        .unwrap();
+    let u = report.metrics.channel_utilization();
+    assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    assert!(report.metrics.channel_imbalance() >= 1.0);
+}
