@@ -1,51 +1,219 @@
-//! E12c — wall-clock of the bare engine (Criterion): cycle overhead per
-//! barrier round, message throughput, partial-sums round trip.
+//! E12c — threaded vs pooled backend wall-clock comparison.
+//!
+//! Runs the same single-channel rank sort (paper §5 flavor: broadcast every
+//! key, count smaller keys, then emit in rank order — `2p` cycles, `2p`
+//! messages, one channel) as a [`StepProtocol`] on both execution backends
+//! and reports the wall-clock speedup of `Backend::Pooled` over
+//! `Backend::Threaded` as `p` grows. At `p = 2048` on a small host the
+//! pooled backend is expected to win by well over 5x: the threaded backend
+//! pays for 2048 OS threads crossing three barriers per cycle, while the
+//! pooled backend advances 2048 state machines on `min(p, cores)` workers.
+//!
+//! Emits `target/experiments/crit_net.csv` (the table) and refreshes the
+//! checked-in `BENCH_backend.json` at the repository root (the acceptance
+//! artifact). Set `MCB_BENCH_QUICK=1` to skip the slow `p = 2048` threaded
+//! run during development.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mcb_algos::partial_sums::{partial_sums_in, Op};
-use mcb_net::{ChanId, Network};
 use std::time::Duration;
 
-fn bench_net(c: &mut Criterion) {
-    let mut group = c.benchmark_group("net");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3));
+use mcb_bench::timing::{fmt_duration, measure, Stats};
+use mcb_bench::Table;
+use mcb_net::{Backend, ChanId, Network, ProcId, Step, StepEnv, StepProtocol};
 
-    for &p in &[4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("idle_100_cycles", p), &p, |b, &p| {
-            b.iter(|| {
-                Network::new(p, p)
-                    .run(|ctx: &mut mcb_net::ProcCtx<'_, u64>| ctx.idle_for(100))
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("allchannel_100_cycles", p), &p, |b, &p| {
-            b.iter(|| {
-                Network::new(p, p)
-                    .run(|ctx| {
-                        let me = ctx.id().index();
-                        let chan = ChanId::from_index(me);
-                        for t in 0..100u64 {
-                            ctx.cycle(Some((chan, t)), Some(chan));
-                        }
-                    })
-                    .unwrap()
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("partial_sums", p), &p, |b, &p| {
-            b.iter(|| {
-                Network::new(p, (p / 2).max(1))
-                    .run(|ctx| {
-                        let v = ctx.id().index() as u64;
-                        partial_sums_in(ctx, v, Op::Add, &|x| x, &|m: u64| m).mine
-                    })
-                    .unwrap()
-            })
-        });
-    }
-    group.finish();
+/// Single-channel rank sort over one key per processor, as a state machine.
+///
+/// Phase 1 (cycles `0..p`): processor `t` broadcasts its key in cycle `t`;
+/// everyone counts how many keys beat theirs. Phase 2 (cycles `p..2p`): the
+/// processor whose key has rank `t - p` broadcasts in cycle `t`; processor
+/// `i` keeps the key announced in cycle `p + i`, so the results vector is
+/// the sorted sequence.
+struct RankSort {
+    key: u64,
+    /// Next cycle index this machine will request (0..2p).
+    turn: usize,
+    /// Number of keys strictly smaller than ours seen so far.
+    rank: usize,
+    /// The sorted key this processor ends up holding.
+    out: u64,
 }
 
-criterion_group!(benches, bench_net);
-criterion_main!(benches);
+impl RankSort {
+    fn new(id: ProcId) -> Self {
+        // Odd-multiplier hash: bijective on u64, so keys are distinct and
+        // the rank order is a nontrivial permutation of the id order.
+        let key = (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RankSort {
+            key,
+            turn: 0,
+            rank: 0,
+            out: 0,
+        }
+    }
+}
+
+impl StepProtocol<u64> for RankSort {
+    type Output = u64;
+
+    fn step(&mut self, env: &StepEnv, input: Option<u64>) -> Step<u64, u64> {
+        let p = env.p;
+        if let Some(seen) = input {
+            let prev = self.turn - 1;
+            if prev < p {
+                if seen < self.key {
+                    self.rank += 1;
+                }
+            } else if prev - p == env.id.index() {
+                self.out = seen;
+            }
+        }
+        if self.turn == 2 * p {
+            return Step::Done(self.out);
+        }
+        let t = self.turn;
+        self.turn += 1;
+        let my_slot = if t < p { env.id.index() } else { p + self.rank };
+        let write = (t == my_slot).then_some((ChanId(0), self.key));
+        Step::Yield {
+            write,
+            read: Some(ChanId(0)),
+        }
+    }
+}
+
+fn rank_sort_once(p: usize, backend: Backend) -> Vec<u64> {
+    let report = Network::new(p, 1)
+        .backend(backend)
+        .run_steps(RankSort::new)
+        .unwrap();
+    assert_eq!(report.metrics.messages, 2 * p as u64);
+    report.into_results().into_iter().collect()
+}
+
+struct Measurement {
+    p: usize,
+    threaded: Stats,
+    pooled: Stats,
+}
+
+fn main() {
+    let quick = std::env::var_os("MCB_BENCH_QUICK").is_some();
+    let ps: &[usize] = if quick { &[64, 256] } else { &[64, 512, 2048] };
+
+    // Correctness gate before timing anything: both backends must produce
+    // the sorted sequence.
+    for backend in [Backend::Threaded, Backend::Pooled] {
+        let sorted = rank_sort_once(64, backend);
+        assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "{backend:?}: rank sort output not sorted"
+        );
+    }
+
+    let mut table = Table::new(
+        "crit_net",
+        "E12c: threaded vs pooled backend, single-channel rank sort (2p cycles)",
+        &["p", "backend", "median", "mean", "speedup"],
+    );
+    let mut measurements = Vec::new();
+    for &p in ps {
+        // The threaded backend spawns p OS threads per run; keep its sample
+        // count minimal at large p (the gap it measures is order-of-magnitude).
+        let threaded_samples = if p >= 1024 { 1 } else { 3 };
+        let threaded = measure(threaded_samples, || rank_sort_once(p, Backend::Threaded));
+        let pooled = measure(5, || rank_sort_once(p, Backend::Pooled));
+        let speedup = pooled.speedup_over(&threaded);
+        table.row(vec![
+            p.to_string(),
+            "threaded".into(),
+            fmt_duration(threaded.median),
+            fmt_duration(threaded.mean),
+            "1.00".into(),
+        ]);
+        table.row(vec![
+            p.to_string(),
+            "pooled".into(),
+            fmt_duration(pooled.median),
+            fmt_duration(pooled.mean),
+            format!("{speedup:.2}"),
+        ]);
+        measurements.push(Measurement {
+            p,
+            threaded,
+            pooled,
+        });
+    }
+    table.emit();
+
+    if !quick {
+        write_bench_json(&measurements);
+    }
+}
+
+/// Refresh the checked-in `BENCH_backend.json` acceptance artifact.
+fn write_bench_json(measurements: &[Measurement]) {
+    let secs = |d: Duration| format!("{:.6}", d.as_secs_f64());
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = String::new();
+    for (i, m) in measurements.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            concat!(
+                "    {{\"p\": {}, \"cycles\": {}, ",
+                "\"threaded_median_s\": {}, \"threaded_samples\": {}, ",
+                "\"pooled_median_s\": {}, \"pooled_samples\": {}, ",
+                "\"speedup\": {:.2}}}"
+            ),
+            m.p,
+            2 * m.p,
+            secs(m.threaded.median),
+            m.threaded.samples,
+            secs(m.pooled.median),
+            m.pooled.samples,
+            m.pooled.speedup_over(&m.threaded),
+        ));
+    }
+    let gate = measurements
+        .iter()
+        .filter(|m| m.p >= 2048)
+        .map(|m| m.pooled.speedup_over(&m.threaded))
+        .fold(0.0f64, f64::max);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"crit_net (E12c)\",\n",
+            "  \"command\": \"cargo bench -p mcb-bench --bench crit_net\",\n",
+            "  \"protocol\": \"single-channel rank sort as StepProtocol, 2p cycles, 2p messages\",\n",
+            "  \"unix_time\": {epoch},\n",
+            "  \"host_cores\": {cores},\n",
+            "  \"results\": [\n{rows}\n  ],\n",
+            "  \"acceptance\": {{\n",
+            "    \"criterion\": \"pooled >= 5x faster than threaded at p >= 2048\",\n",
+            "    \"measured_speedup\": {gate:.2},\n",
+            "    \"pass\": {pass}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        epoch = epoch,
+        cores = cores,
+        rows = rows,
+        gate = gate,
+        pass = gate >= 5.0,
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_backend.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[json written to {}]", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

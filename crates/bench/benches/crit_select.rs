@@ -1,26 +1,40 @@
-//! E12b — wall-clock of the simulator selecting (Criterion).
+//! E12b — wall-clock of the simulator selecting.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcb_algos::select::{select_by_sorting, select_rank};
+use mcb_bench::timing::{fmt_duration, measure};
+use mcb_bench::Table;
 use mcb_workloads::{distributions, rng};
-use std::time::Duration;
 
-fn bench_select(c: &mut Criterion) {
-    let mut group = c.benchmark_group("select");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3));
+const SAMPLES: usize = 5;
+
+fn main() {
+    let mut table = Table::new(
+        "crit_select",
+        "E12b: simulator wall-clock, selection (p=8, k=4)",
+        &["algorithm", "n", "min", "median", "mean"],
+    );
     for &n in &[256usize, 1024] {
         let pl = distributions::even(8, n, &mut rng(1300 + n as u64));
-        group.bench_with_input(BenchmarkId::new("filtering_p8_k4", n), &pl, |b, pl| {
-            b.iter(|| select_rank(4, pl.lists().to_vec(), n / 2).unwrap())
+        let filtering = measure(SAMPLES, || {
+            select_rank(4, pl.lists().to_vec(), n / 2).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("naive_p8_k4", n), &pl, |b, pl| {
-            b.iter(|| select_by_sorting(4, pl.lists().to_vec(), n / 2).unwrap())
+        table.row(vec![
+            "filtering_p8_k4".into(),
+            n.to_string(),
+            fmt_duration(filtering.min),
+            fmt_duration(filtering.median),
+            fmt_duration(filtering.mean),
+        ]);
+        let naive = measure(SAMPLES, || {
+            select_by_sorting(4, pl.lists().to_vec(), n / 2).unwrap()
         });
+        table.row(vec![
+            "naive_p8_k4".into(),
+            n.to_string(),
+            fmt_duration(naive.min),
+            fmt_duration(naive.median),
+            fmt_duration(naive.mean),
+        ]);
     }
-    group.finish();
+    table.emit();
 }
-
-criterion_group!(benches, bench_select);
-criterion_main!(benches);

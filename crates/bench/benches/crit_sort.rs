@@ -1,29 +1,39 @@
-//! E12a — wall-clock of the simulator sorting (Criterion).
+//! E12a — wall-clock of the simulator sorting.
 //!
 //! Not a model-cost experiment (those are the tab_* targets): this times
 //! the simulator itself, so regressions in the engine or schedules show up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mcb_algos::sort::{sort_grouped, sort_virtual};
+use mcb_bench::timing::{fmt_duration, measure};
+use mcb_bench::Table;
 use mcb_workloads::{distributions, rng};
-use std::time::Duration;
 
-fn bench_sort(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sort");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3));
+const SAMPLES: usize = 5;
+
+fn main() {
+    let mut table = Table::new(
+        "crit_sort",
+        "E12a: simulator wall-clock, sorting (p=8, k=4)",
+        &["algorithm", "n", "min", "median", "mean"],
+    );
     for &n in &[128usize, 512] {
         let pl = distributions::even(8, n, &mut rng(1200 + n as u64));
-        group.bench_with_input(BenchmarkId::new("grouped_p8_k4", n), &pl, |b, pl| {
-            b.iter(|| sort_grouped(4, pl.lists().to_vec()).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("virtual_d1_p8_k4", n), &pl, |b, pl| {
-            b.iter(|| sort_virtual(4, pl.lists().to_vec(), 1).unwrap())
-        });
+        let grouped = measure(SAMPLES, || sort_grouped(4, pl.lists().to_vec()).unwrap());
+        table.row(vec![
+            "grouped_p8_k4".into(),
+            n.to_string(),
+            fmt_duration(grouped.min),
+            fmt_duration(grouped.median),
+            fmt_duration(grouped.mean),
+        ]);
+        let virt = measure(SAMPLES, || sort_virtual(4, pl.lists().to_vec(), 1).unwrap());
+        table.row(vec![
+            "virtual_d1_p8_k4".into(),
+            n.to_string(),
+            fmt_duration(virt.min),
+            fmt_duration(virt.median),
+            fmt_duration(virt.mean),
+        ]);
     }
-    group.finish();
+    table.emit();
 }
-
-criterion_group!(benches, bench_sort);
-criterion_main!(benches);

@@ -4,8 +4,9 @@
 //! the experiment index). Targets named `tab_*` / `fig_*` are plain
 //! binaries (`harness = false`) that deterministically regenerate their
 //! artifact — run them all with `cargo bench`, or one with
-//! `cargo bench --bench tab_select`. Targets named `crit_*` are Criterion
-//! wall-clock benchmarks of the simulator itself.
+//! `cargo bench --bench tab_select`. Targets named `crit_*` are wall-clock
+//! benchmarks of the simulator itself, timed with the self-contained
+//! [`timing`] harness (no external benchmarking framework).
 //!
 //! Every table is printed to stdout *and* written as CSV under
 //! `target/experiments/`, so EXPERIMENTS.md rows can be re-derived
@@ -108,6 +109,70 @@ pub fn ratio(measured: u64, bound: f64) -> String {
         "-".into()
     } else {
         format!("{:.2}", measured as f64 / bound)
+    }
+}
+
+/// Minimal wall-clock measurement harness for the `crit_*` targets.
+///
+/// Runs a closure a configurable number of times after a warmup pass and
+/// reports min / median / mean. Deliberately tiny: the `crit_*` benches
+/// compare backends and watch for order-of-magnitude regressions, not
+/// microsecond-level noise, so a full statistics framework is unnecessary
+/// (and unavailable — the build is dependency-free by design).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Summary statistics over the collected samples.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Stats {
+        /// Fastest sample.
+        pub min: Duration,
+        /// Middle sample (lower median for even counts).
+        pub median: Duration,
+        /// Arithmetic mean of all samples.
+        pub mean: Duration,
+        /// Number of samples taken.
+        pub samples: usize,
+    }
+
+    impl Stats {
+        /// `other.median / self.median` — how many times faster `self` is.
+        pub fn speedup_over(&self, other: &Stats) -> f64 {
+            other.median.as_secs_f64() / self.median.as_secs_f64()
+        }
+    }
+
+    /// Time `f` over `samples` runs (after one untimed warmup run).
+    pub fn measure<R>(samples: usize, mut f: impl FnMut() -> R) -> Stats {
+        assert!(samples > 0, "need at least one sample");
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..samples)
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        Stats {
+            min: times[0],
+            median: times[(times.len() - 1) / 2],
+            mean: total / samples as u32,
+            samples,
+        }
+    }
+
+    /// Render a duration with a sensible unit for table cells.
+    pub fn fmt_duration(d: Duration) -> String {
+        let s = d.as_secs_f64();
+        if s >= 1.0 {
+            format!("{s:.3}s")
+        } else if s >= 1e-3 {
+            format!("{:.3}ms", s * 1e3)
+        } else {
+            format!("{:.1}us", s * 1e6)
+        }
     }
 }
 

@@ -116,7 +116,7 @@ pub fn is_sorted_matrix<T: Ord + Clone>(matrix: &Matrix<T>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mcb_rng::Rng64;
 
     fn matrix_from_seed(m: usize, k: usize, seed: u64) -> Matrix<u64> {
         let vals: Vec<u64> = (0..(m * k) as u64)
@@ -206,23 +206,22 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn columnsort_sorts_random_matrices(
-            k in 1usize..6,
-            mult in 1usize..4,
-            seed in any::<u64>(),
-        ) {
+    #[test]
+    fn columnsort_sorts_random_matrices() {
+        let mut rng = Rng64::seed_from_u64(0xc01a);
+        for case in 0..64 {
+            let k = rng.random_range(1usize..6);
+            let mult = rng.random_range(1usize..4);
+            let seed = rng.next_u64();
             let m = (min_column_length(k) * mult).max(1);
             let mat = matrix_from_seed(m, k, seed);
             let sorted = columnsort(&mat).unwrap();
-            prop_assert!(is_sorted_matrix(&sorted));
+            assert!(is_sorted_matrix(&sorted), "case {case}: k={k} m={m}");
             let mut a = sorted.to_linear();
             let mut b = mat.to_linear();
             a.sort_unstable();
             b.sort_unstable();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "case {case}: k={k} m={m}");
         }
     }
 }

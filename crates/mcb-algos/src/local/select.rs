@@ -107,7 +107,7 @@ fn partition3<T: Ord>(work: &mut [T], pivot: &T) -> (usize, usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mcb_rng::Rng64;
 
     fn oracle(items: &[u64], d: usize) -> u64 {
         let mut s = items.to_vec();
@@ -169,31 +169,41 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn select_matches_sort_oracle(
-            v in proptest::collection::vec(any::<u64>(), 1..300),
-            d_seed in any::<usize>(),
-        ) {
-            let d = d_seed % v.len() + 1;
-            prop_assert_eq!(select_rank_desc(&v, d), oracle(&v, d));
+    #[test]
+    fn select_matches_sort_oracle() {
+        let mut rng = Rng64::seed_from_u64(0x5e1e);
+        for case in 0..256 {
+            let len = rng.random_range(1usize..300);
+            let v = rng.vec_u64(len);
+            let d = rng.random_range(0usize..len) + 1;
+            assert_eq!(select_rank_desc(&v, d), oracle(&v, d), "case {case}");
         }
+    }
 
-        #[test]
-        fn median_is_rank_half(v in proptest::collection::vec(any::<u64>(), 1..200)) {
+    #[test]
+    fn median_is_rank_half() {
+        let mut rng = Rng64::seed_from_u64(0x3ed1);
+        for case in 0..256 {
+            let len = rng.random_range(1usize..200);
+            let v = rng.vec_u64(len);
             let d = v.len().div_ceil(2);
-            prop_assert_eq!(median_desc(&v), oracle(&v, d));
+            assert_eq!(median_desc(&v), oracle(&v, d), "case {case}");
         }
+    }
 
-        /// The §8.2 precondition the filtering analysis needs: at least
-        /// s/2 elements on each side of the median (inclusive).
-        #[test]
-        fn median_splits_both_sides(v in proptest::collection::vec(any::<u64>(), 1..100)) {
+    /// The §8.2 precondition the filtering analysis needs: at least
+    /// s/2 elements on each side of the median (inclusive).
+    #[test]
+    fn median_splits_both_sides() {
+        let mut rng = Rng64::seed_from_u64(0x5b17);
+        for case in 0..256 {
+            let len = rng.random_range(1usize..100);
+            let v = rng.vec_u64(len);
             let med = median_desc(&v);
             let ge = v.iter().filter(|x| **x >= med).count() * 2;
             let le = v.iter().filter(|x| **x <= med).count() * 2;
-            prop_assert!(ge >= v.len(), "ge {ge} < s {}", v.len());
-            prop_assert!(le >= v.len(), "le {le} < s {}", v.len());
+            assert!(ge >= v.len(), "case {case}: ge {ge} < s {}", v.len());
+            assert!(le >= v.len(), "case {case}: le {le} < s {}", v.len());
         }
     }
 }

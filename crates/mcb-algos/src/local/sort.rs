@@ -82,7 +82,7 @@ pub fn is_sorted_desc<T: Ord>(items: &[T]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mcb_rng::Rng64;
 
     #[test]
     fn sort_desc_basic() {
@@ -119,21 +119,29 @@ mod tests {
         assert!(is_sorted_desc(&[7u64]));
     }
 
-    proptest! {
-        #[test]
-        fn odd_even_sorts_arbitrary(mut v in proptest::collection::vec(any::<u64>(), 0..200)) {
+    #[test]
+    fn odd_even_sorts_arbitrary() {
+        let mut rng = Rng64::seed_from_u64(0x0dde);
+        for case in 0..256 {
+            let len = rng.random_range(0usize..200);
+            let mut v = rng.vec_u64(len);
             let mut expect = v.clone();
             sort_desc(&mut expect);
             odd_even_merge_sort_desc(&mut v);
-            prop_assert_eq!(v, expect);
+            assert_eq!(v, expect, "case {case} (len {len})");
         }
+    }
 
-        #[test]
-        fn insertion_sorts_arbitrary(mut v in proptest::collection::vec(any::<u64>(), 0..64)) {
+    #[test]
+    fn insertion_sorts_arbitrary() {
+        let mut rng = Rng64::seed_from_u64(0x1257);
+        for case in 0..256 {
+            let len = rng.random_range(0usize..64);
+            let mut v = rng.vec_u64(len);
             let mut expect = v.clone();
             sort_desc(&mut expect);
             insertion_sort_desc(&mut v);
-            prop_assert_eq!(v, expect);
+            assert_eq!(v, expect, "case {case} (len {len})");
         }
     }
 }

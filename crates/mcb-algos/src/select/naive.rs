@@ -87,8 +87,8 @@ mod tests {
 
     #[test]
     fn agrees_with_filtering_selection() {
-        let pl = distributions::even(4, 64, &mut rng(52));
-        let d = 20;
+        let pl = distributions::even(4, 256, &mut rng(52));
+        let d = 100;
         let naive = select_by_sorting(4, pl.lists().to_vec(), d).unwrap();
         let smart = crate::select::select_rank(4, pl.lists().to_vec(), d).unwrap();
         assert_eq!(naive.value, smart.value);

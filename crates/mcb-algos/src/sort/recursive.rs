@@ -387,8 +387,8 @@ pub fn sort_virtual<K: Key>(
 mod tests {
     use super::*;
     use crate::sort::verify::verify_sorted;
+    use mcb_rng::Rng64;
     use mcb_workloads::{distributions, rng};
-    use proptest::prelude::*;
 
     fn check(k: usize, p: usize, n: usize, depth: usize, seed: u64) -> Metrics {
         let pl = distributions::even(p, n, &mut rng(seed));
@@ -437,46 +437,34 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-
-        /// MemberSchedule realizes arbitrary permutations for arbitrary
-        /// block/channel shapes, within its cycle bound.
-        #[test]
-        fn member_schedule_random_permutations(
-            procs_log in 0u32..4,
-            chans_log in 0u32..3,
-            b in 1usize..9,
-            seed in any::<u64>(),
-        ) {
-            let procs = 1usize << procs_log;
-            let chans = (1usize << chans_log).min(procs);
+    /// MemberSchedule realizes arbitrary permutations for arbitrary
+    /// block/channel shapes, within its cycle bound.
+    #[test]
+    fn member_schedule_random_permutations() {
+        let mut rng = Rng64::seed_from_u64(0x5c4e);
+        for _case in 0..48 {
+            let procs = 1usize << rng.random_range(0u32..4);
+            let chans = (1usize << rng.random_range(0u32..3)).min(procs);
+            let b = rng.random_range(1usize..9);
             let m_total = procs * b;
-            // Deterministic Fisher-Yates from the seed.
             let mut perm: Vec<usize> = (0..m_total).collect();
-            let mut state = seed | 1;
-            for i in (1..m_total).rev() {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                let j = (state >> 33) as usize % (i + 1);
-                perm.swap(i, j);
-            }
+            rng.shuffle(&mut perm);
             validate_member_schedule(&perm, procs, chans);
         }
+    }
 
-        /// The four Columnsort transforms under MemberSchedule, any shape.
-        #[test]
-        fn member_schedule_transforms(
-            procs_log in 1u32..4,
-            chans_log in 0u32..3,
-            b in 1usize..6,
-            k2_log in 1u32..3,
-        ) {
-            let procs = 1usize << procs_log;
-            let chans = (1usize << chans_log).min(procs);
-            let k2 = (1usize << k2_log).min(procs);
+    /// The four Columnsort transforms under MemberSchedule, any shape.
+    #[test]
+    fn member_schedule_transforms() {
+        let mut rng = Rng64::seed_from_u64(0x7a45);
+        for _case in 0..48 {
+            let procs = 1usize << rng.random_range(1u32..4);
+            let chans = (1usize << rng.random_range(0u32..3)).min(procs);
+            let b = rng.random_range(1usize..6);
+            let k2 = (1usize << rng.random_range(1u32..3)).min(procs);
             let m_total = procs * b;
             if !m_total.is_multiple_of(k2) {
-                return Ok(());
+                continue;
             }
             for tf in crate::columnsort::ALL_TRANSFORMS {
                 let perm = tf.permutation(m_total / k2, k2);

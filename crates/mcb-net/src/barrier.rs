@@ -9,7 +9,7 @@
 //! `thread::yield_now` when the machine is oversubscribed — which it usually
 //! is, since we simulate `p` processors on fewer cores.
 
-use crossbeam::utils::{Backoff, CachePadded};
+use crate::sync::{Backoff, CachePadded};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// A reusable barrier for a fixed set of `total` threads.
@@ -64,7 +64,7 @@ impl SenseBarrier {
             self.sense.store(my_sense, Ordering::Release);
             true
         } else {
-            let backoff = Backoff::new();
+            let mut backoff = Backoff::new();
             while self.sense.load(Ordering::Acquire) != my_sense {
                 // `snooze` spins briefly then yields, which keeps latency
                 // low when p <= cores and avoids starvation when p > cores.

@@ -33,14 +33,91 @@ use crate::error::NetError;
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
 use crate::metrics::{LocalMetrics, Metrics};
+use crate::step::{Step, StepEnv, StepProtocol};
+use crate::sync::{Mutex, RwLock};
 use crate::trace::{Event, Trace};
-use parking_lot::{Mutex, RwLock};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Default bound on engine rounds; exceeding it fails the run with
 /// [`NetError::CycleBudgetExhausted`] instead of hanging.
 pub const DEFAULT_CYCLE_BUDGET: u64 = 10_000_000;
+
+/// How [`Network::run`] maps logical processors onto OS threads.
+///
+/// Both backends execute the same cycle semantics and produce **identical**
+/// observable behavior — results, [`Metrics`], [`Trace`], and error
+/// classification — for any collision-free protocol; they differ only in
+/// wall-clock cost:
+///
+/// * [`Threaded`](Backend::Threaded) runs each logical processor on its own
+///   OS thread, synchronized by a sense-reversing barrier three times per
+///   cycle. Lowest latency while `p` is at most a few times the core count;
+///   degrades badly when thousands of threads contend for a few cores.
+/// * [`Pooled`](Backend::Pooled) batches all `p` logical processors across
+///   `min(p, available cores)` worker threads that advance them
+///   cycle-by-cycle, so barrier width is the worker count, not `p`. Closure
+///   protocols are suspended on parked helper threads that wake only for
+///   their own compute slice; [`StepProtocol`] state machines (see
+///   [`Network::run_steps`]) need no per-processor threads at all. This is
+///   the backend that makes `p >= 2048` simulations practical.
+///
+/// ```
+/// use mcb_net::{Backend, ChanId, Network};
+///
+/// let run = |backend: Backend| {
+///     Network::new(64, 8)
+///         .backend(backend)
+///         .run(|ctx| {
+///             let me = ctx.id().index();
+///             let chan = ChanId::from_index(me % ctx.k());
+///             let write = (me < ctx.k()).then_some((chan, me as u64));
+///             ctx.cycle(write, Some(chan))
+///         })
+///         .unwrap()
+/// };
+/// let threaded = run(Backend::Threaded);
+/// let pooled = run(Backend::Pooled);
+/// assert_eq!(threaded.results, pooled.results);
+/// assert_eq!(threaded.metrics, pooled.metrics);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pick automatically from `p`: [`Pooled`](Backend::Pooled) when `p`
+    /// far exceeds the core count (`p > max(32, 2 * cores)`), otherwise
+    /// [`Threaded`](Backend::Threaded). The `MCB_BACKEND` environment
+    /// variable (`"threaded"` / `"pooled"`) overrides the heuristic.
+    #[default]
+    Auto,
+    /// One OS thread per logical processor.
+    Threaded,
+    /// `min(p, cores)` workers drive all logical processors.
+    Pooled,
+}
+
+impl Backend {
+    /// Resolve `Auto` to a concrete backend for a `p`-processor run.
+    pub fn resolve(self, p: usize) -> Backend {
+        match self {
+            Backend::Auto => {
+                if let Ok(var) = std::env::var("MCB_BACKEND") {
+                    match var.to_ascii_lowercase().as_str() {
+                        "threaded" => return Backend::Threaded,
+                        "pooled" => return Backend::Pooled,
+                        _ => {}
+                    }
+                }
+                let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+                if p > (2 * cores).max(32) {
+                    Backend::Pooled
+                } else {
+                    Backend::Threaded
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
 
 /// An `MCB(p, k)` network ready to execute protocols.
 ///
@@ -69,6 +146,7 @@ pub struct Network {
     record_trace: bool,
     proc_groups: Option<Vec<usize>>,
     cycle_budget: u64,
+    backend: Backend,
 }
 
 impl Network {
@@ -81,6 +159,7 @@ impl Network {
             record_trace: false,
             proc_groups: None,
             cycle_budget: DEFAULT_CYCLE_BUDGET,
+            backend: Backend::Auto,
         }
     }
 
@@ -113,6 +192,12 @@ impl Network {
     /// Replace the default runaway-protection cycle budget.
     pub fn cycle_budget(mut self, budget: u64) -> Self {
         self.cycle_budget = budget;
+        self
+    }
+
+    /// Select the execution [`Backend`] (default: [`Backend::Auto`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -156,6 +241,28 @@ impl Network {
     /// The closure is invoked once per processor with that processor's
     /// [`ProcCtx`]; `ctx.id()` distinguishes the replicas. Processors that
     /// return early idle (invisibly to the cost model) until all are done.
+    ///
+    /// Runs on the configured [`Backend`] (default [`Backend::Auto`]); the
+    /// backend never changes observable behavior, only wall-clock cost.
+    ///
+    /// ```
+    /// use mcb_net::{ChanId, Network};
+    ///
+    /// // Two processors, one channel: P1 sends its value to P2.
+    /// let report = Network::new(2, 1)
+    ///     .run(|ctx| {
+    ///         if ctx.id().index() == 0 {
+    ///             ctx.write(ChanId(0), 42u64);
+    ///             None
+    ///         } else {
+    ///             ctx.read(ChanId(0))
+    ///         }
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(report.results[1], Some(Some(42)));
+    /// assert_eq!(report.metrics.messages, 1);
+    /// assert_eq!(report.metrics.cycles, 1);
+    /// ```
     pub fn run<M, R, F>(&self, protocol: F) -> Result<RunReport<R, M>, NetError>
     where
         M: Clone + Send + Sync + MsgWidth,
@@ -163,8 +270,54 @@ impl Network {
         F: Fn(&mut ProcCtx<'_, M>) -> R + Sync,
     {
         self.validate()?;
+        match self.backend.resolve(self.procs) {
+            Backend::Pooled => crate::pooled::run_closures(self, &protocol),
+            _ => self.run_threaded(&protocol),
+        }
+    }
+
+    /// Execute a [`StepProtocol`] state machine on every processor.
+    ///
+    /// `factory` builds processor `id`'s machine; the engine then advances
+    /// all `p` machines in lock-step (see [`StepProtocol`] for the driving
+    /// contract). Equivalent to [`run`](Self::run) with a closure that loops
+    /// over [`StepProtocol::step`] — and exactly that is how it executes on
+    /// the [`Threaded`](Backend::Threaded) backend — but on the
+    /// [`Pooled`](Backend::Pooled) backend state machines are advanced
+    /// directly by the worker pool with **no** per-processor threads, which
+    /// is the cheapest way to simulate very large `p`.
+    pub fn run_steps<M, S, F>(&self, factory: F) -> Result<RunReport<S::Output, M>, NetError>
+    where
+        M: Clone + Send + Sync + MsgWidth,
+        S: StepProtocol<M> + Send,
+        S::Output: Send,
+        F: Fn(ProcId) -> S + Sync,
+    {
+        self.validate()?;
+        match self.backend.resolve(self.procs) {
+            Backend::Pooled => crate::pooled::run_steps(self, &factory),
+            _ => self.run_threaded(&|ctx: &mut ProcCtx<'_, M>| {
+                let mut machine = factory(ctx.id());
+                let mut input = None;
+                loop {
+                    match machine.step(&ctx.step_env(), input.take()) {
+                        Step::Yield { write, read } => input = ctx.cycle(write, read),
+                        Step::Done(r) => break r,
+                    }
+                }
+            }),
+        }
+    }
+
+    /// The one-OS-thread-per-processor execution path.
+    fn run_threaded<M, R, F>(&self, protocol: &F) -> Result<RunReport<R, M>, NetError>
+    where
+        M: Clone + Send + Sync + MsgWidth,
+        R: Send,
+        F: Fn(&mut ProcCtx<'_, M>) -> R + Sync,
+    {
         let p = self.procs;
-        let shared = Shared::new(self);
+        let shared = Shared::new(self, p);
 
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
         let locals: Mutex<Vec<LocalMetrics>> = Mutex::new(vec![LocalMetrics::default(); p]);
@@ -172,15 +325,16 @@ impl Network {
         std::thread::scope(|scope| {
             for i in 0..p {
                 let shared = &shared;
-                let protocol = &protocol;
                 let results = &results;
                 let locals = &locals;
                 scope.spawn(move || {
                     let mut ctx = ProcCtx {
                         id: ProcId::from_index(i),
-                        shared,
-                        sense: Sense::new(),
                         local: LocalMetrics::default(),
+                        inner: CtxInner::Lockstep {
+                            shared,
+                            sense: Sense::new(),
+                        },
                     };
                     let outcome = catch_unwind(AssertUnwindSafe(|| protocol(&mut ctx)));
                     match outcome {
@@ -191,14 +345,9 @@ impl Network {
                             if payload.downcast_ref::<Aborted>().is_none() {
                                 // Genuine protocol panic (not our forced
                                 // shutdown): report it as the run's failure.
-                                let message = payload
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.to_string())
-                                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "<non-string panic>".into());
                                 shared.fail(NetError::ProcPanicked {
                                     proc: ProcId::from_index(i),
-                                    message,
+                                    message: panic_message(payload.as_ref()),
                                 });
                             }
                         }
@@ -222,33 +371,41 @@ impl Network {
             }
         });
 
-        if let Some(err) = shared.failure.lock().take() {
-            return Err(err);
-        }
-
-        let locals = locals.into_inner();
-        let metrics = Metrics {
-            cycles: locals.iter().map(|l| l.cycles).max().unwrap_or(0),
-            rounds: shared.round.load(Ordering::Relaxed),
-            messages: locals.iter().map(|l| l.messages).sum(),
-            total_bits: locals.iter().map(|l| l.total_bits).sum(),
-            max_msg_bits: locals.iter().map(|l| l.max_msg_bits).max().unwrap_or(0),
-            per_proc_messages: locals.iter().map(|l| l.messages).collect(),
-            per_proc_cycles: locals.iter().map(|l| l.cycles).collect(),
-            per_channel_messages: shared
-                .chan_msgs
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-        };
-        let trace = shared.trace.map(|m| Trace::new(m.into_inner()));
-        let results = results.into_inner().into_iter().collect::<Vec<Option<R>>>();
-        Ok(RunReport {
-            results,
-            metrics,
-            trace,
-        })
+        assemble_report(shared, locals.into_inner(), results.into_inner())
     }
+}
+
+/// Turn a finished run's shared state into the caller-facing report (or the
+/// recorded failure). Both backends go through here, so the report shape
+/// cannot drift between them.
+pub(crate) fn assemble_report<R, M: Clone>(
+    shared: Shared<M>,
+    locals: Vec<LocalMetrics>,
+    results: Vec<Option<R>>,
+) -> Result<RunReport<R, M>, NetError> {
+    if let Some(err) = shared.failure.lock().take() {
+        return Err(err);
+    }
+    let metrics = Metrics {
+        cycles: locals.iter().map(|l| l.cycles).max().unwrap_or(0),
+        rounds: shared.round.load(Ordering::Relaxed),
+        messages: locals.iter().map(|l| l.messages).sum(),
+        total_bits: locals.iter().map(|l| l.total_bits).sum(),
+        max_msg_bits: locals.iter().map(|l| l.max_msg_bits).max().unwrap_or(0),
+        per_proc_messages: locals.iter().map(|l| l.messages).collect(),
+        per_proc_cycles: locals.iter().map(|l| l.cycles).collect(),
+        per_channel_messages: shared
+            .chan_msgs
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+    };
+    let trace = shared.trace.map(|m| Trace::new(m.into_inner()));
+    Ok(RunReport {
+        results,
+        metrics,
+        trace,
+    })
 }
 
 /// Everything a completed run produced.
@@ -278,7 +435,16 @@ impl<R, M> RunReport<R, M> {
 }
 
 /// Forced-shutdown unwind token; never observed by user code.
-struct Aborted;
+pub(crate) struct Aborted;
+
+/// Best-effort text of a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
 
 struct GroupState {
     map: Vec<usize>,
@@ -286,24 +452,33 @@ struct GroupState {
     reads: Vec<AtomicU32>,
 }
 
-struct Shared<M> {
-    k: usize,
+/// Run state shared by all executors of one run: the channel slots, the
+/// clock, and the termination/failure machinery. The *semantics* of a cycle
+/// live in the methods here ([`apply_write`](Shared::apply_write),
+/// [`apply_read`](Shared::apply_read), [`sweep`](Shared::sweep)); backends
+/// only differ in who calls them and how the calls are synchronized
+/// (`barrier` spans all `p` processor threads on the threaded backend, but
+/// only the workers on the pooled one).
+pub(crate) struct Shared<M> {
+    pub(crate) k: usize,
     slots: Vec<RwLock<Option<(ProcId, M)>>>,
-    barrier: SenseBarrier,
-    done: AtomicBool,
+    pub(crate) barrier: SenseBarrier,
+    pub(crate) done: AtomicBool,
     failed: AtomicBool,
-    finished: AtomicUsize,
-    round: AtomicU64,
+    pub(crate) finished: AtomicUsize,
+    pub(crate) round: AtomicU64,
     failure: Mutex<Option<NetError>>,
     chan_msgs: Vec<AtomicU64>,
     trace: Option<Mutex<Vec<Event<M>>>>,
     groups: Option<GroupState>,
     cycle_budget: u64,
-    total_procs: usize,
+    pub(crate) total_procs: usize,
 }
 
 impl<M: Clone + Send + Sync> Shared<M> {
-    fn new(net: &Network) -> Self {
+    /// Shared state for one run; `participants` is the barrier width (`p`
+    /// for the threaded backend, the worker count for the pooled one).
+    pub(crate) fn new(net: &Network, participants: usize) -> Self {
         let groups = net.proc_groups.clone().map(|map| {
             let g = map.iter().copied().max().map_or(0, |m| m + 1);
             GroupState {
@@ -315,7 +490,7 @@ impl<M: Clone + Send + Sync> Shared<M> {
         Shared {
             k: net.channels,
             slots: (0..net.channels).map(|_| RwLock::new(None)).collect(),
-            barrier: SenseBarrier::new(net.procs),
+            barrier: SenseBarrier::new(participants),
             done: AtomicBool::new(false),
             failed: AtomicBool::new(false),
             finished: AtomicUsize::new(0),
@@ -330,12 +505,118 @@ impl<M: Clone + Send + Sync> Shared<M> {
     }
 
     /// Record the run's first failure; later failures are dropped.
-    fn fail(&self, err: NetError) {
+    pub(crate) fn fail(&self, err: NetError) {
         let mut slot = self.failure.lock();
         if slot.is_none() {
             *slot = Some(err);
         }
         self.failed.store(true, Ordering::Release);
+    }
+}
+
+impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
+    /// Write phase for one processor: validate the channel, detect
+    /// collisions, record trace/metrics, deposit the message.
+    pub(crate) fn apply_write(&self, id: ProcId, c: ChanId, m: M, local: &mut LocalMetrics) {
+        let now = self.round.load(Ordering::Relaxed);
+        if c.index() >= self.k {
+            self.fail(NetError::BadChannel {
+                cycle: now,
+                proc: id,
+                channel: c,
+                k: self.k,
+            });
+            return;
+        }
+        let bits = m.bits();
+        if let Some(gs) = &self.groups {
+            gs.writes[gs.map[id.index()]].fetch_add(1, Ordering::Relaxed);
+        }
+        let mut slot = self.slots[c.index()].write();
+        match &*slot {
+            Some((first, _)) => {
+                let first = *first;
+                drop(slot);
+                self.fail(NetError::Collision {
+                    cycle: now,
+                    channel: c,
+                    first,
+                    second: id,
+                });
+            }
+            None => {
+                if let Some(tr) = &self.trace {
+                    tr.lock().push(Event {
+                        cycle: now,
+                        writer: id,
+                        channel: c,
+                        msg: m.clone(),
+                    });
+                }
+                *slot = Some((id, m));
+                drop(slot);
+                local.record_message(bits);
+                self.chan_msgs[c.index()].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Read phase for one processor: validate the channel and return the
+    /// message currently in it, if any.
+    pub(crate) fn apply_read(&self, id: ProcId, c: ChanId) -> Option<M> {
+        if c.index() >= self.k {
+            self.fail(NetError::BadChannel {
+                cycle: self.round.load(Ordering::Relaxed),
+                proc: id,
+                channel: c,
+                k: self.k,
+            });
+            return None;
+        }
+        if let Some(gs) = &self.groups {
+            gs.reads[gs.map[id.index()]].fetch_add(1, Ordering::Relaxed);
+        }
+        self.slots[c.index()]
+            .read()
+            .as_ref()
+            .map(|(_, m)| m.clone())
+    }
+
+    /// Per-cycle sweep, run by exactly one executor after all reads: clear
+    /// slots, validate group ports, advance the clock, check the budget,
+    /// decide termination. Sets `done` when the run is over.
+    pub(crate) fn sweep(&self) {
+        for slot in &self.slots {
+            let mut s = slot.write();
+            if s.is_some() {
+                *s = None;
+            }
+        }
+        if let Some(gs) = &self.groups {
+            let cycle = self.round.load(Ordering::Relaxed);
+            for g in 0..gs.writes.len() {
+                let w = gs.writes[g].swap(0, Ordering::Relaxed);
+                let r = gs.reads[g].swap(0, Ordering::Relaxed);
+                if w > 1 || r > 1 {
+                    self.fail(NetError::PortViolation {
+                        cycle,
+                        group: g,
+                        writes: w,
+                        reads: r,
+                    });
+                }
+            }
+        }
+        let completed = self.round.fetch_add(1, Ordering::Relaxed) + 1;
+        if completed >= self.cycle_budget {
+            self.fail(NetError::CycleBudgetExhausted {
+                budget: self.cycle_budget,
+            });
+        }
+        let all_finished = self.finished.load(Ordering::Acquire) == self.total_procs;
+        if all_finished || self.failed.load(Ordering::Acquire) {
+            self.done.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -347,12 +628,37 @@ impl<M: Clone + Send + Sync> Shared<M> {
 /// across the entire network.
 pub struct ProcCtx<'a, M> {
     id: ProcId,
-    shared: &'a Shared<M>,
-    sense: Sense,
     local: LocalMetrics,
+    inner: CtxInner<'a, M>,
+}
+
+/// How a `ProcCtx` reaches the network.
+enum CtxInner<'a, M> {
+    /// Threaded backend: this context owns an OS thread that participates
+    /// directly in the run's barrier and applies its own writes/reads.
+    Lockstep { shared: &'a Shared<M>, sense: Sense },
+    /// Pooled backend: this context lives on a parked helper thread; each
+    /// `cycle` is a rendezvous with a pool worker, which applies the
+    /// write/read on the context's behalf and sends back the read result
+    /// plus refreshed clocks.
+    Fiber {
+        p: usize,
+        k: usize,
+        now: u64,
+        port: crate::pooled::FiberPort<M>,
+    },
 }
 
 impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
+    /// A fiber-mode context for the pooled backend (see [`CtxInner::Fiber`]).
+    pub(crate) fn fiber(id: ProcId, p: usize, k: usize, port: crate::pooled::FiberPort<M>) -> Self {
+        ProcCtx {
+            id,
+            local: LocalMetrics::default(),
+            inner: CtxInner::Fiber { p, k, now: 0, port },
+        }
+    }
+
     /// This processor's identity.
     #[inline]
     pub fn id(&self) -> ProcId {
@@ -362,20 +668,29 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
     /// `p`: total processors in the network.
     #[inline]
     pub fn p(&self) -> usize {
-        self.shared.total_procs
+        match &self.inner {
+            CtxInner::Lockstep { shared, .. } => shared.total_procs,
+            CtxInner::Fiber { p, .. } => *p,
+        }
     }
 
     /// `k`: total channels in the network.
     #[inline]
     pub fn k(&self) -> usize {
-        self.shared.k
+        match &self.inner {
+            CtxInner::Lockstep { shared, .. } => shared.k,
+            CtxInner::Fiber { k, .. } => *k,
+        }
     }
 
     /// Global cycle index: number of completed cycles so far. Only
     /// meaningful between [`cycle`](Self::cycle) calls.
     #[inline]
     pub fn now(&self) -> u64 {
-        self.shared.round.load(Ordering::Relaxed)
+        match &self.inner {
+            CtxInner::Lockstep { shared, .. } => shared.round.load(Ordering::Relaxed),
+            CtxInner::Fiber { now, .. } => *now,
+        }
     }
 
     /// Cycles this processor's protocol has executed.
@@ -395,81 +710,52 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
     /// when no read was requested *or* the read channel was empty (the
     /// model's detectable-empty-channel semantics).
     pub fn cycle(&mut self, write: Option<(ChanId, M)>, read: Option<ChanId>) -> Option<M> {
-        // ---- write phase -------------------------------------------------
-        if let Some((c, m)) = write {
-            if c.index() >= self.shared.k {
-                self.shared.fail(NetError::BadChannel {
-                    cycle: self.now(),
-                    proc: self.id,
-                    channel: c,
-                    k: self.shared.k,
-                });
-            } else {
-                let bits = m.bits();
-                if let Some(gs) = &self.shared.groups {
-                    gs.writes[gs.map[self.id.index()]].fetch_add(1, Ordering::Relaxed);
+        match &mut self.inner {
+            CtxInner::Lockstep { shared, sense } => {
+                // ---- write phase -----------------------------------------
+                if let Some((c, m)) = write {
+                    shared.apply_write(self.id, c, m, &mut self.local);
                 }
-                let mut slot = self.shared.slots[c.index()].write();
-                match &*slot {
-                    Some((first, _)) => {
-                        let first = *first;
-                        drop(slot);
-                        self.shared.fail(NetError::Collision {
-                            cycle: self.now(),
-                            channel: c,
-                            first,
-                            second: self.id,
-                        });
+                shared.barrier.wait(sense); // writes visible
+
+                // ---- read phase ------------------------------------------
+                let got = read.and_then(|c| shared.apply_read(self.id, c));
+                self.local.cycles += 1;
+
+                if self.finish_round() {
+                    // The run was aborted (failure elsewhere, or cycle
+                    // budget): unwind out of the protocol without invoking
+                    // the panic hook.
+                    std::panic::resume_unwind(Box::new(Aborted));
+                }
+                got
+            }
+            CtxInner::Fiber { now, port, .. } => {
+                match port.rendezvous(write, read) {
+                    Some(resume) => {
+                        // The worker applied our write/read under the pool's
+                        // round structure; adopt its authoritative clocks.
+                        self.local = resume.local;
+                        *now = resume.now;
+                        resume.read
                     }
-                    None => {
-                        if let Some(tr) = &self.shared.trace {
-                            tr.lock().push(Event {
-                                cycle: self.now(),
-                                writer: self.id,
-                                channel: c,
-                                msg: m.clone(),
-                            });
-                        }
-                        *slot = Some((self.id, m));
-                        drop(slot);
-                        self.local.record_message(bits);
-                        self.shared.chan_msgs[c.index()].fetch_add(1, Ordering::Relaxed);
-                    }
+                    // The run is over (failure elsewhere, or cycle budget).
+                    None => std::panic::resume_unwind(Box::new(Aborted)),
                 }
             }
         }
-        self.shared.barrier.wait(&mut self.sense); // writes visible
+    }
 
-        // ---- read phase --------------------------------------------------
-        let got = match read {
-            Some(c) if c.index() >= self.shared.k => {
-                self.shared.fail(NetError::BadChannel {
-                    cycle: self.now(),
-                    proc: self.id,
-                    channel: c,
-                    k: self.shared.k,
-                });
-                None
-            }
-            Some(c) => {
-                if let Some(gs) = &self.shared.groups {
-                    gs.reads[gs.map[self.id.index()]].fetch_add(1, Ordering::Relaxed);
-                }
-                self.shared.slots[c.index()]
-                    .read()
-                    .as_ref()
-                    .map(|(_, m)| m.clone())
-            }
-            None => None,
-        };
-        self.local.cycles += 1;
-
-        if self.finish_round() {
-            // The run was aborted (failure elsewhere, or cycle budget):
-            // unwind out of the protocol without invoking the panic hook.
-            std::panic::resume_unwind(Box::new(Aborted));
+    /// Snapshot of the identity/clock accessors, for [`StepProtocol`]s.
+    pub(crate) fn step_env(&self) -> StepEnv {
+        StepEnv {
+            id: self.id,
+            p: self.p(),
+            k: self.k(),
+            now: self.now(),
+            cycles_used: self.local.cycles,
+            messages_sent: self.local.messages,
         }
-        got
     }
 
     /// Write-only cycle.
@@ -494,54 +780,29 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         }
     }
 
-    /// Shared tail of every round: sweep barrier + cleanup + final barrier.
-    /// Returns true when the run is over (normally or by abort).
+    /// Shared tail of every lockstep round: sweep barrier + cleanup + final
+    /// barrier. Returns true when the run is over (normally or by abort).
     fn finish_round(&mut self) -> bool {
-        let winner = self.shared.barrier.wait(&mut self.sense); // reads done
+        let CtxInner::Lockstep { shared, sense } = &mut self.inner else {
+            unreachable!("finish_round is a lockstep-only path");
+        };
+        let winner = shared.barrier.wait(sense); // reads done
         if winner {
             // Elected sweeper for this cycle: clear slots, validate ports,
             // advance the clock, decide termination.
-            for slot in &self.shared.slots {
-                let mut s = slot.write();
-                if s.is_some() {
-                    *s = None;
-                }
-            }
-            if let Some(gs) = &self.shared.groups {
-                let cycle = self.shared.round.load(Ordering::Relaxed);
-                for g in 0..gs.writes.len() {
-                    let w = gs.writes[g].swap(0, Ordering::Relaxed);
-                    let r = gs.reads[g].swap(0, Ordering::Relaxed);
-                    if w > 1 || r > 1 {
-                        self.shared.fail(NetError::PortViolation {
-                            cycle,
-                            group: g,
-                            writes: w,
-                            reads: r,
-                        });
-                    }
-                }
-            }
-            let completed = self.shared.round.fetch_add(1, Ordering::Relaxed) + 1;
-            if completed >= self.shared.cycle_budget {
-                self.shared.fail(NetError::CycleBudgetExhausted {
-                    budget: self.shared.cycle_budget,
-                });
-            }
-            let all_finished =
-                self.shared.finished.load(Ordering::Acquire) == self.shared.total_procs;
-            if all_finished || self.shared.failed.load(Ordering::Acquire) {
-                self.shared.done.store(true, Ordering::Release);
-            }
+            shared.sweep();
         }
-        self.shared.barrier.wait(&mut self.sense); // sweep visible
-        self.shared.done.load(Ordering::Acquire)
+        shared.barrier.wait(sense); // sweep visible
+        shared.done.load(Ordering::Acquire)
     }
 
     /// One no-op round for a finished processor; returns true when the run
     /// is over. Drain rounds are excluded from the processor's cycle count.
     fn drain_round(&mut self) -> bool {
-        self.shared.barrier.wait(&mut self.sense); // write phase (no-op)
+        let CtxInner::Lockstep { shared, sense } = &mut self.inner else {
+            unreachable!("drain_round is a lockstep-only path");
+        };
+        shared.barrier.wait(sense); // write phase (no-op)
         let saved = self.local.cycles;
         let over = self.finish_round();
         self.local.cycles = saved;

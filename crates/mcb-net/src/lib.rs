@@ -15,9 +15,13 @@
 //! * complexity is the total number of **cycles** and **messages**, with
 //!   messages limited to O(log β) bits (audited via [`MsgWidth`]).
 //!
-//! Each processor's protocol runs as a real OS thread; cycles are enforced
-//! with a sense-reversing barrier, so execution is genuinely parallel yet
-//! all observable quantities are deterministic for collision-free protocols.
+//! Two interchangeable execution backends implement the model (selected via
+//! [`Backend`]): the **threaded** engine runs each processor's protocol as a
+//! real OS thread in lock-step behind a sense-reversing barrier, while the
+//! **pooled** engine batches all `p` logical processors across
+//! `min(p, cores)` workers — the practical choice for `p` in the thousands.
+//! Either way, all observable quantities are deterministic for
+//! collision-free protocols and identical across backends.
 //!
 //! ## Quick example
 //!
@@ -48,7 +52,9 @@
 //!
 //! ## Modules
 //!
-//! * [`engine`] — the lock-step executor ([`Network`], [`ProcCtx`]).
+//! * [`engine`] — the executor ([`Network`], [`ProcCtx`], [`Backend`]).
+//! * [`step`] — protocols as resumable state machines ([`StepProtocol`],
+//!   run thread-free at scale by the pooled backend).
 //! * [`virt`] — §2's simulation of a larger MCB on a smaller one.
 //! * [`metrics`] — cycle/message accounting ([`Metrics`]).
 //! * [`trace`] — optional wire traces feeding the lower-bound adversary.
@@ -63,13 +69,17 @@ pub mod error;
 pub mod ids;
 pub mod message;
 pub mod metrics;
+mod pooled;
+pub mod step;
+mod sync;
 pub mod trace;
 pub mod virt;
 
-pub use engine::{Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET};
+pub use engine::{Backend, Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET};
 pub use error::NetError;
 pub use ids::{ChanId, ProcId};
 pub use message::{bits_for_i64, bits_for_u64, MsgWidth};
 pub use metrics::Metrics;
+pub use step::{Step, StepEnv, StepProtocol};
 pub use trace::{Event, Trace};
 pub use virt::{VirtCtx, VirtReport, VirtualNetwork};

@@ -8,6 +8,30 @@
 //! discipline).
 
 /// Aggregated costs of one network run.
+///
+/// Identical across execution backends (see [`Backend`](crate::Backend)) —
+/// metrics count model quantities, not wall-clock.
+///
+/// ```
+/// use mcb_net::{ChanId, Network};
+///
+/// // Two processors; P1 broadcasts one message, P2 reads it.
+/// let report = Network::new(2, 1)
+///     .run(|ctx| {
+///         if ctx.id().index() == 0 {
+///             ctx.write(ChanId(0), 5u64);
+///             None
+///         } else {
+///             ctx.read(ChanId(0))
+///         }
+///     })
+///     .unwrap();
+/// let m = &report.metrics;
+/// assert_eq!((m.cycles, m.messages), (1, 1));
+/// assert_eq!(m.per_proc_messages, vec![1, 0]);
+/// assert_eq!(m.per_channel_messages, vec![1]);
+/// assert_eq!(m.channel_utilization(), 1.0);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Metrics {
     /// Algorithm cycles: the maximum number of cycles any processor's

@@ -1,0 +1,429 @@
+//! The pooled (coarse-grained) execution backend.
+//!
+//! The threaded backend gives every logical processor an OS thread and
+//! synchronizes all `p` of them with a barrier three times per cycle —
+//! faithful, but catastrophically slow once `p` is far beyond the core
+//! count, because every barrier episode makes the OS schedule `p` mostly
+//! idle threads. This backend inverts the arrangement: a handful of
+//! **workers** (`min(p, cores)`, one contiguous chunk of logical processors
+//! each) drive all `p` processors through the same round structure, so the
+//! per-cycle barrier spans only the workers.
+//!
+//! A round here mirrors [`ProcCtx::cycle`](crate::ProcCtx::cycle) on the
+//! threaded backend phase for phase, calling the *same*
+//! [`Shared`] methods:
+//!
+//! 1. **write phase** — each worker applies its units' pending writes
+//!    ([`Shared::apply_write`]); worker barrier;
+//! 2. **read phase** — each worker applies its units' reads
+//!    ([`Shared::apply_read`]); worker barrier;
+//! 3. **sweep** — the barrier winner runs [`Shared::sweep`] (slot clearing,
+//!    port validation, clock advance, budget and termination checks);
+//!    worker barrier;
+//! 4. **resume** — each worker hands every unit its read result and
+//!    collects the unit's next request (or its completion).
+//!
+//! Because the semantics live in `Shared` and are shared by construction,
+//! the two backends produce identical results, metrics, traces, and error
+//! classification; the equivalence is additionally pinned by the
+//! `backend_equivalence` integration tests.
+//!
+//! Two kinds of **unit** plug into the round loop:
+//!
+//! * [`StepUnit`] — a [`StepProtocol`] state machine, advanced in place on
+//!   the worker. No per-processor thread exists at all.
+//! * [`FiberUnit`] — a closure protocol suspended on a parked helper
+//!   thread ("fiber"). Each cycle is one rendezvous: the worker sends the
+//!   read result over a channel, the fiber computes until its next
+//!   [`cycle`](crate::ProcCtx::cycle) call, and sends back its next
+//!   write/read request. The fiber's thread is parked except during its
+//!   own compute slice, so there is no barrier-wide contention — this is
+//!   what lets arbitrary closure protocols run unchanged on this backend.
+
+use crate::barrier::Sense;
+use crate::engine::{assemble_report, panic_message, Aborted, Network, ProcCtx, RunReport, Shared};
+use crate::error::NetError;
+use crate::ids::{ChanId, ProcId};
+use crate::message::MsgWidth;
+use crate::metrics::LocalMetrics;
+use crate::step::{Step, StepEnv, StepProtocol};
+use crate::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// One cycle's worth of intent from a suspended unit.
+pub(crate) struct Request<M> {
+    write: Option<(ChanId, M)>,
+    read: Option<ChanId>,
+}
+
+/// Worker → unit resumption payload: the read result plus the unit's
+/// refreshed clocks (the worker's copies are authoritative).
+pub(crate) struct Resume<M> {
+    pub(crate) read: Option<M>,
+    pub(crate) local: LocalMetrics,
+    pub(crate) now: u64,
+}
+
+/// The fiber-side half of the rendezvous, owned by a fiber-mode
+/// [`ProcCtx`].
+pub(crate) struct FiberPort<M> {
+    requests: Sender<FiberEvent<M>>,
+    resume: Receiver<Option<Resume<M>>>,
+}
+
+impl<M> FiberPort<M> {
+    /// Send this cycle's intent and block until the worker has executed it.
+    /// `None` means the run is over and the caller must unwind.
+    pub(crate) fn rendezvous(
+        &self,
+        write: Option<(ChanId, M)>,
+        read: Option<ChanId>,
+    ) -> Option<Resume<M>> {
+        if self
+            .requests
+            .send(FiberEvent::Yielded(Request { write, read }))
+            .is_err()
+        {
+            return None;
+        }
+        self.resume.recv().ok().flatten()
+    }
+}
+
+/// Unit → worker events.
+enum FiberEvent<M> {
+    /// The protocol reached its next `cycle` call.
+    Yielded(Request<M>),
+    /// The protocol returned; its result is already in the results table.
+    Finished,
+    /// The protocol panicked with this message.
+    Panicked(String),
+}
+
+/// A unit's answer to "what do you do next?".
+enum UnitStatus<M> {
+    Yielded(Request<M>),
+    Finished,
+    Panicked(String),
+}
+
+/// A logical processor the pooled driver can advance cycle-by-cycle.
+trait Unit<M>: Send {
+    /// Hand the unit its read result; must not block.
+    fn resume(&mut self, resume: Resume<M>);
+    /// Advance the unit to its next `cycle` call (may block on a fiber's
+    /// compute slice) and return its next request or completion.
+    fn collect(&mut self, now: u64) -> UnitStatus<M>;
+    /// The run is over; release the unit (unblocks a fiber's thread).
+    fn abort(&mut self);
+}
+
+/// A closure protocol suspended on a parked helper thread.
+struct FiberUnit<M> {
+    to_fiber: Sender<Option<Resume<M>>>,
+    from_fiber: Receiver<FiberEvent<M>>,
+}
+
+impl<M: Send> Unit<M> for FiberUnit<M> {
+    fn resume(&mut self, resume: Resume<M>) {
+        // A send can only fail if the fiber already exited, which it never
+        // does while it owes us a request.
+        let _ = self.to_fiber.send(Some(resume));
+    }
+
+    fn collect(&mut self, _now: u64) -> UnitStatus<M> {
+        match self.from_fiber.recv() {
+            Ok(FiberEvent::Yielded(req)) => UnitStatus::Yielded(req),
+            Ok(FiberEvent::Finished) => UnitStatus::Finished,
+            Ok(FiberEvent::Panicked(msg)) => UnitStatus::Panicked(msg),
+            // Disconnected without a final event: treat as a panic so the
+            // run fails loudly instead of hanging.
+            Err(_) => UnitStatus::Panicked("fiber exited without reporting".into()),
+        }
+    }
+
+    fn abort(&mut self) {
+        let _ = self.to_fiber.send(None);
+    }
+}
+
+/// A [`StepProtocol`] state machine advanced in place on the worker.
+struct StepUnit<'e, M, S: StepProtocol<M>> {
+    machine: S,
+    id: ProcId,
+    p: usize,
+    k: usize,
+    input: Option<M>,
+    cycles_used: u64,
+    messages_sent: u64,
+    results: &'e Mutex<Vec<Option<S::Output>>>,
+}
+
+impl<M, S> Unit<M> for StepUnit<'_, M, S>
+where
+    M: Send,
+    S: StepProtocol<M> + Send,
+    S::Output: Send,
+{
+    fn resume(&mut self, resume: Resume<M>) {
+        self.input = resume.read;
+        self.cycles_used = resume.local.cycles;
+        self.messages_sent = resume.local.messages;
+    }
+
+    fn collect(&mut self, now: u64) -> UnitStatus<M> {
+        let env = StepEnv {
+            id: self.id,
+            p: self.p,
+            k: self.k,
+            now,
+            cycles_used: self.cycles_used,
+            messages_sent: self.messages_sent,
+        };
+        let input = self.input.take();
+        match catch_unwind(AssertUnwindSafe(|| self.machine.step(&env, input))) {
+            Ok(Step::Yield { write, read }) => UnitStatus::Yielded(Request { write, read }),
+            Ok(Step::Done(r)) => {
+                self.results.lock()[self.id.index()] = Some(r);
+                UnitStatus::Finished
+            }
+            Err(payload) => UnitStatus::Panicked(panic_message(payload.as_ref())),
+        }
+    }
+
+    fn abort(&mut self) {}
+}
+
+/// Driver-side bookkeeping for one logical processor.
+struct UnitSlot<M, U> {
+    id: ProcId,
+    local: LocalMetrics,
+    pending: Option<Request<M>>,
+    read_val: Option<M>,
+    awaiting: bool,
+    unit: U,
+}
+
+impl<M, U> UnitSlot<M, U> {
+    fn new(id: ProcId, unit: U) -> Self {
+        UnitSlot {
+            id,
+            local: LocalMetrics::default(),
+            pending: None,
+            read_val: None,
+            awaiting: false,
+            unit,
+        }
+    }
+}
+
+/// Worker count and chunking for `p` logical processors.
+fn chunking(p: usize) -> (usize, usize) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let chunk = p.div_ceil(p.min(cores));
+    (chunk, p.div_ceil(chunk))
+}
+
+/// Absorb one unit's status into the slot and the shared run state.
+fn absorb<M, U>(slot: &mut UnitSlot<M, U>, status: UnitStatus<M>, shared: &Shared<M>)
+where
+    M: Clone + Send + Sync + MsgWidth,
+{
+    match status {
+        UnitStatus::Yielded(req) => slot.pending = Some(req),
+        UnitStatus::Finished => {
+            shared.finished.fetch_add(1, Ordering::AcqRel);
+        }
+        UnitStatus::Panicked(message) => {
+            shared.fail(NetError::ProcPanicked {
+                proc: slot.id,
+                message,
+            });
+            shared.finished.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Advance one worker's chunk of units until the run is over. Mirrors the
+/// threaded backend's `cycle`/`finish_round` phase structure exactly.
+fn drive<M, U>(shared: &Shared<M>, chunk: &mut [UnitSlot<M, U>])
+where
+    M: Clone + Send + Sync + MsgWidth,
+    U: Unit<M>,
+{
+    let mut sense = Sense::new();
+    // Bring every unit to its first `cycle` call (or completion).
+    for slot in chunk.iter_mut() {
+        let status = slot.unit.collect(0);
+        absorb(slot, status, shared);
+    }
+    loop {
+        // ---- write phase -------------------------------------------------
+        for slot in chunk.iter_mut() {
+            if let Some(req) = &mut slot.pending {
+                if let Some((c, m)) = req.write.take() {
+                    shared.apply_write(slot.id, c, m, &mut slot.local);
+                }
+            }
+        }
+        shared.barrier.wait(&mut sense); // writes visible
+
+        // ---- read phase --------------------------------------------------
+        for slot in chunk.iter_mut() {
+            if let Some(req) = &slot.pending {
+                slot.read_val = req.read.and_then(|c| shared.apply_read(slot.id, c));
+                slot.local.cycles += 1;
+            }
+        }
+        let winner = shared.barrier.wait(&mut sense); // reads done
+        if winner {
+            shared.sweep();
+        }
+        shared.barrier.wait(&mut sense); // sweep visible
+
+        if shared.done.load(Ordering::Acquire) {
+            for slot in chunk.iter_mut() {
+                if slot.pending.is_some() {
+                    slot.unit.abort();
+                }
+            }
+            return;
+        }
+
+        // ---- resume + collect (the units' compute phase) -----------------
+        let now = shared.round.load(Ordering::Relaxed);
+        for slot in chunk.iter_mut() {
+            if slot.pending.take().is_some() {
+                slot.awaiting = true;
+                slot.unit.resume(Resume {
+                    read: slot.read_val.take(),
+                    local: slot.local.clone(),
+                    now,
+                });
+            }
+        }
+        for slot in chunk.iter_mut() {
+            if std::mem::take(&mut slot.awaiting) {
+                let status = slot.unit.collect(now);
+                absorb(slot, status, shared);
+            }
+        }
+    }
+}
+
+/// Pooled execution of a closure protocol: every logical processor gets a
+/// parked fiber thread, advanced by the worker pool.
+pub(crate) fn run_closures<M, R, F>(
+    net: &Network,
+    protocol: &F,
+) -> Result<RunReport<R, M>, NetError>
+where
+    M: Clone + Send + Sync + MsgWidth,
+    R: Send,
+    F: Fn(&mut ProcCtx<'_, M>) -> R + Sync,
+{
+    let p = net.p();
+    let k = net.k();
+    let (chunk_size, workers) = chunking(p);
+    let shared = Shared::new(net, workers);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
+
+    let mut slots = Vec::with_capacity(p);
+    let mut ports = Vec::with_capacity(p);
+    for i in 0..p {
+        let (req_tx, req_rx) = channel();
+        let (res_tx, res_rx) = channel();
+        slots.push(UnitSlot::new(
+            ProcId::from_index(i),
+            FiberUnit {
+                to_fiber: res_tx,
+                from_fiber: req_rx,
+            },
+        ));
+        ports.push((
+            FiberPort {
+                requests: req_tx.clone(),
+                resume: res_rx,
+            },
+            req_tx,
+        ));
+    }
+
+    std::thread::scope(|scope| {
+        for (i, (port, events)) in ports.into_iter().enumerate() {
+            let results = &results;
+            scope.spawn(move || {
+                let mut ctx = ProcCtx::fiber(ProcId::from_index(i), p, k, port);
+                match catch_unwind(AssertUnwindSafe(|| protocol(&mut ctx))) {
+                    Ok(r) => {
+                        results.lock()[i] = Some(r);
+                        let _ = events.send(FiberEvent::Finished);
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<Aborted>().is_none() {
+                            let _ =
+                                events.send(FiberEvent::Panicked(panic_message(payload.as_ref())));
+                        }
+                    }
+                }
+            });
+        }
+        let shared = &shared;
+        for chunk in slots.chunks_mut(chunk_size) {
+            scope.spawn(move || drive(shared, chunk));
+        }
+    });
+
+    let locals = slots.iter().map(|s| s.local.clone()).collect();
+    assemble_report(shared, locals, results.into_inner())
+}
+
+/// Pooled execution of [`StepProtocol`] state machines: no per-processor
+/// threads at all.
+pub(crate) fn run_steps<M, S, F>(
+    net: &Network,
+    factory: &F,
+) -> Result<RunReport<S::Output, M>, NetError>
+where
+    M: Clone + Send + Sync + MsgWidth,
+    S: StepProtocol<M> + Send,
+    S::Output: Send,
+    F: Fn(ProcId) -> S + Sync,
+{
+    let p = net.p();
+    let k = net.k();
+    let (chunk_size, workers) = chunking(p);
+    let shared = Shared::new(net, workers);
+    let results: Mutex<Vec<Option<S::Output>>> = Mutex::new((0..p).map(|_| None).collect());
+
+    let mut slots = Vec::with_capacity(p);
+    for i in 0..p {
+        let id = ProcId::from_index(i);
+        slots.push(UnitSlot::new(
+            id,
+            StepUnit {
+                machine: factory(id),
+                id,
+                p,
+                k,
+                input: None,
+                cycles_used: 0,
+                messages_sent: 0,
+                results: &results,
+            },
+        ));
+    }
+
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        for chunk in slots.chunks_mut(chunk_size) {
+            scope.spawn(move || drive(shared, chunk));
+        }
+    });
+
+    let locals = slots.iter().map(|s| s.local.clone()).collect();
+    drop(slots); // release the units' borrow of `results`
+    assemble_report(shared, locals, results.into_inner())
+}

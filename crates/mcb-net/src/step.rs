@@ -1,0 +1,175 @@
+//! Resumable per-processor protocols as explicit state machines.
+//!
+//! [`Network::run`](crate::Network::run) expresses a protocol as a closure
+//! that *blocks* inside [`ProcCtx::cycle`](crate::ProcCtx::cycle) — natural
+//! to write, but a blocked closure needs a call stack, which ties every
+//! logical processor to an OS thread. A [`StepProtocol`] turns the same
+//! protocol inside-out: the engine calls [`step`](StepProtocol::step) with
+//! the previous cycle's read result, and the protocol returns what it wants
+//! to do in the next cycle (a [`Step`]). All suspended state lives in the
+//! implementing struct, so thousands of logical processors can be advanced
+//! by a handful of worker threads — this is what makes the pooled backend
+//! (see [`Backend`](crate::Backend)) cheap at large `p`.
+//!
+//! The two forms are interchangeable: [`Network::run_steps`] executes a
+//! `StepProtocol` on **either** backend with identical observable behavior
+//! (results, [`Metrics`](crate::Metrics), [`Trace`](crate::Trace), errors).
+//!
+//! ```
+//! use mcb_net::{ChanId, Network, Step, StepEnv, StepProtocol};
+//!
+//! /// Processor `turn` broadcasts in cycle `turn`; everyone tracks the max.
+//! struct MaxOfAll {
+//!     mine: u64,
+//!     best: u64,
+//!     turn: usize,
+//! }
+//!
+//! impl StepProtocol<u64> for MaxOfAll {
+//!     type Output = u64;
+//!
+//!     fn step(&mut self, env: &StepEnv, input: Option<u64>) -> Step<u64, u64> {
+//!         if let Some(seen) = input {
+//!             self.best = self.best.max(seen);
+//!         }
+//!         if self.turn == env.p {
+//!             return Step::Done(self.best);
+//!         }
+//!         let write = (self.turn == env.id.index()).then(|| (ChanId(0), self.mine));
+//!         self.turn += 1;
+//!         Step::Yield {
+//!             write,
+//!             read: Some(ChanId(0)),
+//!         }
+//!     }
+//! }
+//!
+//! let values = [3u64, 1, 4, 1, 5];
+//! let report = Network::new(5, 1)
+//!     .run_steps(|id| MaxOfAll {
+//!         mine: values[id.index()],
+//!         best: values[id.index()],
+//!         turn: 0,
+//!     })
+//!     .unwrap();
+//! assert!(report.into_results().into_iter().all(|b| b == 5));
+//! ```
+//!
+//! [`Network::run_steps`]: crate::Network::run_steps
+
+use crate::ids::{ChanId, ProcId};
+
+/// What a [`StepProtocol`] wants to do next: execute one more network cycle,
+/// or finish with an output value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step<M, R> {
+    /// Execute one synchronous cycle: optionally write one channel,
+    /// optionally read one channel. The read's result (or `None` for an
+    /// empty channel / no read) is the `input` of the next
+    /// [`step`](StepProtocol::step) call.
+    Yield {
+        /// At most one `(channel, message)` broadcast this cycle.
+        write: Option<(ChanId, M)>,
+        /// At most one channel to read this cycle.
+        read: Option<ChanId>,
+    },
+    /// The protocol is finished; `R` becomes this processor's entry in
+    /// [`RunReport::results`](crate::RunReport::results).
+    Done(R),
+}
+
+impl<M, R> Step<M, R> {
+    /// A do-nothing cycle (keeps this processor in lock-step).
+    pub fn idle() -> Self {
+        Step::Yield {
+            write: None,
+            read: None,
+        }
+    }
+
+    /// A write-only cycle.
+    pub fn write(chan: ChanId, msg: M) -> Self {
+        Step::Yield {
+            write: Some((chan, msg)),
+            read: None,
+        }
+    }
+
+    /// A read-only cycle.
+    pub fn read(chan: ChanId) -> Self {
+        Step::Yield {
+            write: None,
+            read: Some(chan),
+        }
+    }
+}
+
+/// Read-only view of a processor's identity and clocks, passed to every
+/// [`StepProtocol::step`] call. Mirrors the accessor methods of
+/// [`ProcCtx`](crate::ProcCtx).
+#[derive(Debug, Clone, Copy)]
+pub struct StepEnv {
+    /// This processor's identity.
+    pub id: ProcId,
+    /// `p`: total processors in the network.
+    pub p: usize,
+    /// `k`: total channels in the network.
+    pub k: usize,
+    /// Global cycle index: number of completed cycles so far.
+    pub now: u64,
+    /// Cycles this processor's protocol has executed.
+    pub cycles_used: u64,
+    /// Messages this processor has sent.
+    pub messages_sent: u64,
+}
+
+/// A protocol written as a resumable state machine.
+///
+/// The engine drives it as: `step(env, None)` first, then for every
+/// [`Step::Yield`] it executes the requested cycle and calls `step` again
+/// with the read result, until the protocol returns [`Step::Done`].
+///
+/// Implementations may panic; a panic is caught and reported as
+/// [`NetError::ProcPanicked`](crate::NetError::ProcPanicked) exactly like a
+/// panic inside a closure protocol.
+pub trait StepProtocol<M> {
+    /// The per-processor result type.
+    type Output;
+
+    /// Advance the state machine by one cycle.
+    ///
+    /// `input` is the message read in the cycle requested by the previous
+    /// `step` call (`None` before the first cycle, when no read was
+    /// requested, or when the read channel was empty).
+    fn step(&mut self, env: &StepEnv, input: Option<M>) -> Step<M, Self::Output>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_shorthands() {
+        assert_eq!(
+            Step::<u64, ()>::idle(),
+            Step::Yield {
+                write: None,
+                read: None
+            }
+        );
+        assert_eq!(
+            Step::<u64, ()>::write(ChanId(1), 7),
+            Step::Yield {
+                write: Some((ChanId(1), 7)),
+                read: None
+            }
+        );
+        assert_eq!(
+            Step::<u64, ()>::read(ChanId(2)),
+            Step::Yield {
+                write: None,
+                read: Some(ChanId(2))
+            }
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal synchronization utilities over `std::sync`.
+//!
+//! The workspace builds offline with no external crates, so the handful of
+//! primitives the engine previously took from `parking_lot` and
+//! `crossbeam-utils` live here instead:
+//!
+//! * [`Mutex`] / [`RwLock`] — thin wrappers whose `lock`/`read`/`write`
+//!   return guards directly. Poisoning is deliberately ignored: the engine
+//!   converts protocol panics into reported [`NetError`]s itself, so a
+//!   poisoned lock only ever means "a panic we already handled crossed this
+//!   lock", and propagating the poison would turn one reported failure
+//!   into a cascade.
+//! * [`CachePadded`] — aligns a value to 128 bytes so two hot atomics never
+//!   share a cache line (128 covers the spatial prefetcher pair on x86 and
+//!   the 128-byte lines on some aarch64 parts).
+//! * [`Backoff`] — bounded exponential spin that degrades to
+//!   `thread::yield_now`, for the sense-reversing barrier's wait loop.
+//!
+//! [`NetError`]: crate::NetError
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+
+/// Mutex whose `lock` never fails (poison is stripped, see module docs).
+#[derive(Debug, Default)]
+pub(crate) struct Mutex<T>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RwLock whose `read`/`write` never fail (poison is stripped).
+#[derive(Debug, Default)]
+pub(crate) struct RwLock<T>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub(crate) fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub(crate) fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Pads and aligns a value to 128 bytes to defeat false sharing.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub(crate) struct CachePadded<T>(T);
+
+impl<T> CachePadded<T> {
+    pub(crate) fn new(value: T) -> Self {
+        CachePadded(value)
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Exponential spin-then-yield backoff for barrier wait loops.
+///
+/// Spins `2^step` pauses while `step` is small, then switches to
+/// `thread::yield_now` — low latency when waiters fit on free cores,
+/// no starvation when the machine is oversubscribed (the usual case,
+/// since we simulate `p` processors on fewer cores).
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+/// Spin this many doublings before yielding to the scheduler.
+const SPIN_LIMIT: u32 = 6;
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    /// One wait episode: spin briefly or yield, and escalate.
+    pub(crate) fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step {
+                std::hint::spin_loop();
+            }
+            self.step += 1;
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_survives_panic_poisoning() {
+        let m = std::sync::Arc::new(Mutex::new(1u32));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        *m.lock() += 1; // would panic on unwrap() semantics
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn cache_padded_is_big_and_aligned() {
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let c = CachePadded::new(7u8);
+        assert_eq!(*c, 7);
+    }
+
+    #[test]
+    fn backoff_terminates() {
+        let mut b = Backoff::new();
+        for _ in 0..100 {
+            b.snooze();
+        }
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+}

@@ -27,6 +27,27 @@ pub struct Event<M> {
 /// license the paper's adversary takes ("concurrent messages are serialized
 /// in some arbitrary order", proof of Theorem 1). [`Trace::sorted`] fixes a
 /// deterministic order for reproducibility.
+///
+/// ```
+/// use mcb_net::{ChanId, Network};
+///
+/// let report = Network::new(3, 1)
+///     .record_trace(true) // off by default
+///     .run(|ctx| {
+///         // P1, P2, P3 broadcast in successive cycles.
+///         for turn in 0..ctx.p() {
+///             let write = (turn == ctx.id().index()).then(|| (ChanId(0), turn as u64));
+///             ctx.cycle(write, None);
+///         }
+///     })
+///     .unwrap();
+/// let trace = report.trace.unwrap();
+/// assert_eq!(trace.len(), 3);
+/// // Canonical (cycle, channel, writer) order, identical on both backends.
+/// let cycles: Vec<u64> = trace.events().iter().map(|e| e.cycle).collect();
+/// assert_eq!(cycles, vec![0, 1, 2]);
+/// assert_eq!(trace.cycle_events(1).count(), 1);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace<M> {
     events: Vec<Event<M>>,

@@ -1,0 +1,177 @@
+//! # mcb-rng — a small deterministic PRNG
+//!
+//! The workspace builds in fully offline environments, so it vendors no
+//! external crates. Workload generation, property tests and benches all
+//! need seeded pseudo-randomness; this crate provides one shared,
+//! dependency-free generator so every experiment stays exactly
+//! reproducible from a `u64` seed.
+//!
+//! The core is SplitMix64 (Steele, Lea & Flood, *Fast Splittable
+//! Pseudorandom Number Generators*, OOPSLA 2014) — a tiny, statistically
+//! solid 64-bit mixer. It is **not** cryptographic; it exists to make
+//! experiments deterministic, not to make anything secret.
+//!
+//! ```
+//! use mcb_rng::Rng64;
+//!
+//! let mut rng = Rng64::seed_from_u64(7);
+//! let die = rng.random_range(1u64..7);
+//! assert!((1..7).contains(&die));
+//!
+//! let mut deck: Vec<u32> = (0..52).collect();
+//! rng.shuffle(&mut deck);
+//! assert_eq!(deck.len(), 52);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// A seeded SplitMix64 pseudo-random generator.
+///
+/// The same seed always yields the same stream, on every platform: the
+/// whole experiment suite keys off this guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Generator seeded with `seed`. Distinct seeds give (practically)
+    /// uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        // SplitMix64: add the Weyl constant, then mix.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample from `range` (half-open). Panics on an empty range.
+    ///
+    /// Uses rejection sampling from the top bits, so the distribution is
+    /// exactly uniform (no modulo bias).
+    pub fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Uniform `u64` in `[0, bound)`; `bound` must be nonzero.
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample an empty range");
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        // Reject into the largest multiple of `bound`; expected < 2 draws.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fisher–Yates shuffle of `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// `len` raw draws, as a vector. Convenience for randomized tests.
+    pub fn vec_u64(&mut self, len: usize) -> Vec<u64> {
+        (0..len).map(|_| self.next_u64()).collect()
+    }
+}
+
+/// Types [`Rng64::random_range`] can sample. Implemented for the integer
+/// types the workspace actually uses.
+pub trait SampleRange: Sized {
+    /// Uniform sample from the half-open `range`.
+    fn sample(rng: &mut Rng64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng64, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample an empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample!(u64, u32, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = Rng64::seed_from_u64(1).vec_u64(16);
+        let b: Vec<u64> = Rng64::seed_from_u64(1).vec_u64(16);
+        let c: Vec<u64> = Rng64::seed_from_u64(2).vec_u64(16);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_stays_in_bounds() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..17);
+            assert!((10..17).contains(&v));
+            let u = rng.random_range(0usize..5);
+            assert!(u < 5);
+        }
+    }
+
+    #[test]
+    fn range_hits_every_value() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::seed_from_u64(0).random_range(5u64..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed_from_u64(5);
+        let mut v: Vec<u64> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u64>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut rng = Rng64::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+}

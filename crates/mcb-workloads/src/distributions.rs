@@ -7,9 +7,7 @@
 
 use crate::placement::Placement;
 use crate::values::distinct_keys;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use mcb_rng::Rng64;
 
 /// Split sizes: `n` elements over `p` processors, every processor nonempty.
 fn split(keys: Vec<u64>, sizes: &[usize]) -> Placement {
@@ -24,7 +22,7 @@ fn split(keys: Vec<u64>, sizes: &[usize]) -> Placement {
 
 /// Even distribution: every processor holds exactly `n / p` keys.
 /// Panics unless `p` divides `n` (pad `n` up if needed, as the paper does).
-pub fn even(p: usize, n: usize, rng: &mut StdRng) -> Placement {
+pub fn even(p: usize, n: usize, rng: &mut Rng64) -> Placement {
     assert!(
         p > 0 && n.is_multiple_of(p),
         "even distribution needs p | n"
@@ -35,7 +33,7 @@ pub fn even(p: usize, n: usize, rng: &mut StdRng) -> Placement {
 
 /// Uneven sizes that sum to `n`, drawn by repeatedly giving a random
 /// processor one extra key (each processor keeps at least one).
-pub fn random_uneven(p: usize, n: usize, rng: &mut StdRng) -> Placement {
+pub fn random_uneven(p: usize, n: usize, rng: &mut Rng64) -> Placement {
     assert!(n >= p, "need n >= p");
     let mut sizes = vec![1usize; p];
     for _ in 0..n - p {
@@ -47,7 +45,7 @@ pub fn random_uneven(p: usize, n: usize, rng: &mut StdRng) -> Placement {
 
 /// One "heavy" processor holding `heavy_frac` of all keys, the rest spread
 /// evenly. Drives the `n_max` term of Corollary 6 / Theorem 4.
-pub fn single_heavy(p: usize, n: usize, heavy_frac: f64, rng: &mut StdRng) -> Placement {
+pub fn single_heavy(p: usize, n: usize, heavy_frac: f64, rng: &mut Rng64) -> Placement {
     assert!(p >= 2 && n >= p);
     assert!((0.0..1.0).contains(&heavy_frac));
     let heavy = ((n as f64 * heavy_frac) as usize).clamp(1, n - (p - 1));
@@ -68,7 +66,7 @@ pub fn single_heavy(p: usize, n: usize, heavy_frac: f64, rng: &mut StdRng) -> Pl
 
 /// Geometric sizes: processor `i` holds about `ratio` times the keys of
 /// processor `i+1` (clamped so everyone keeps at least one key).
-pub fn geometric(p: usize, n: usize, ratio: f64, rng: &mut StdRng) -> Placement {
+pub fn geometric(p: usize, n: usize, ratio: f64, rng: &mut Rng64) -> Placement {
     assert!(p > 0 && n >= p && ratio > 0.0);
     // Ideal weights r^0, r^1, … normalized to n, then fixed up to sum to n.
     let weights: Vec<f64> = (0..p).map(|i| ratio.powi(-(i as i32))).collect();
@@ -95,7 +93,7 @@ pub fn geometric(p: usize, n: usize, ratio: f64, rng: &mut StdRng) -> Placement 
 
 /// Zipf-like sizes with exponent `s` (size of processor `i` proportional to
 /// `1/(i+1)^s`), at least one key each.
-pub fn zipf(p: usize, n: usize, s: f64, rng: &mut StdRng) -> Placement {
+pub fn zipf(p: usize, n: usize, s: f64, rng: &mut Rng64) -> Placement {
     assert!(p > 0 && n >= p && s >= 0.0);
     let weights: Vec<f64> = (0..p).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
     let total: f64 = weights.iter().sum();
@@ -121,9 +119,9 @@ pub fn zipf(p: usize, n: usize, s: f64, rng: &mut StdRng) -> Placement {
 
 /// Shuffle which processor gets which *size* while keeping the multiset of
 /// sizes — used to decouple "shape" from "which processor is heavy".
-pub fn shuffle_roles(placement: Placement, rng: &mut StdRng) -> Placement {
+pub fn shuffle_roles(placement: Placement, rng: &mut Rng64) -> Placement {
     let mut lists = placement.into_lists();
-    lists.shuffle(rng);
+    rng.shuffle(&mut lists);
     Placement::new(lists)
 }
 

@@ -7,29 +7,27 @@
 //! by packing the triple into a single `u64` whose integer order *is* the
 //! lexicographic order.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use mcb_rng::Rng64;
 
 /// Deterministic RNG for workload generation.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> Rng64 {
+    Rng64::seed_from_u64(seed)
 }
 
 /// `count` distinct pseudo-random `u64` keys (a random subset of a large
 /// range, shuffled).
-pub fn distinct_keys(count: usize, rng: &mut StdRng) -> Vec<u64> {
+pub fn distinct_keys(count: usize, rng: &mut Rng64) -> Vec<u64> {
     // Sample keys spaced out with random jitter, then shuffle: distinctness
     // by construction, no rejection loop.
     let mut keys: Vec<u64> = (0..count as u64)
-        .map(|i| i * 1000 + rng.random_range(0..1000))
+        .map(|i| i * 1000 + rng.random_range(0u64..1000))
         .collect();
-    keys.shuffle(rng);
+    rng.shuffle(&mut keys);
     keys
 }
 
 /// `count` keys drawn uniformly from `0..universe`, duplicates allowed.
-pub fn keys_with_duplicates(count: usize, universe: u64, rng: &mut StdRng) -> Vec<u64> {
+pub fn keys_with_duplicates(count: usize, universe: u64, rng: &mut Rng64) -> Vec<u64> {
     (0..count).map(|_| rng.random_range(0..universe)).collect()
 }
 

@@ -1,0 +1,20 @@
+//! Deliberately violates collision-freedom to show the engine's error
+//! reporting: every processor writes channel 0 in the same cycle, which
+//! "fails the computation" (§2) — the run returns `NetError::Collision`
+//! instead of picking a winner. Works identically on either backend
+//! (try `MCB_BACKEND=pooled`).
+
+use mcb::net::{Backend, ChanId, Network};
+
+fn main() {
+    for backend in [Backend::Threaded, Backend::Pooled] {
+        let err = Network::new(4, 2)
+            .backend(backend)
+            .run(|ctx| {
+                ctx.idle(); // cycle 0: all quiet
+                ctx.write(ChanId(0), ctx.id().index() as u64); // cycle 1: everyone shouts
+            })
+            .unwrap_err();
+        println!("{backend:?}: {err}");
+    }
+}

@@ -39,6 +39,12 @@
 //! assert!(med.metrics.messages < sorted.metrics.messages);
 //! ```
 
+/// Compile-checks every Rust snippet in `README.md` as a doctest, so the
+/// README quickstart can never silently rot.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
 pub use mcb_algos as algos;
 pub use mcb_lowerbounds as lowerbounds;
 pub use mcb_net as net;

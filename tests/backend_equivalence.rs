@@ -1,0 +1,315 @@
+//! Cross-backend equivalence: the threaded and pooled engines must be
+//! observationally identical. For collision-free protocols that means
+//! byte-identical results, [`Metrics`], and [`Trace`]; for failing
+//! protocols it means identical error *classification* (variant, channel,
+//! cycle — the colliding-writer pair is scheduling-dependent on the
+//! threaded backend, so it is deliberately excluded).
+
+use mcb::net::{
+    Backend, ChanId, Metrics, NetError, Network, ProcId, RunReport, Step, StepEnv, StepProtocol,
+    Trace,
+};
+use mcb_rng::Rng64;
+
+const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Pooled];
+
+/// A seeded, collision-free, straggler-heavy protocol schedule.
+///
+/// For each round and channel at most one distinct processor writes (so the
+/// run never fails), every processor reads a pseudo-random channel, and
+/// processor `i` idles `i % 3` extra cycles at the end so early finishers
+/// exercise the drain path.
+struct Schedule {
+    p: usize,
+    k: usize,
+    rounds: usize,
+    /// `writers[r][c]` = the processor writing channel `c` in round `r`.
+    writers: Vec<Vec<Option<usize>>>,
+    /// `reads[r][i]` = the channel processor `i` reads in round `r`.
+    reads: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    fn generate(seed: u64, p: usize, k: usize, rounds: usize) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut writers = Vec::with_capacity(rounds);
+        let mut reads = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            // Distinct writers per channel: shuffle processors, take one
+            // per channel, then keep each with probability ~0.7.
+            let mut order: Vec<usize> = (0..p).collect();
+            rng.shuffle(&mut order);
+            let row: Vec<Option<usize>> = (0..k)
+                .map(|c| (rng.random_bool(0.7)).then(|| order[c % p]))
+                .collect();
+            writers.push(row);
+            reads.push((0..p).map(|_| rng.random_range(0usize..k)).collect());
+        }
+        Schedule {
+            p,
+            k,
+            rounds,
+            writers,
+            reads,
+        }
+    }
+
+    fn run(&self, backend: Backend) -> RunReport<u64, u64> {
+        Network::new(self.p, self.k)
+            .backend(backend)
+            .record_trace(true)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                let mut acc = 0u64;
+                for r in 0..self.rounds {
+                    let write = (0..self.k)
+                        .find(|&c| self.writers[r][c] == Some(me))
+                        .map(|c| (ChanId::from_index(c), (r * 1000 + c * 10 + me) as u64));
+                    let read = ChanId::from_index(self.reads[r][me]);
+                    if let Some(v) = ctx.cycle(write, Some(read)) {
+                        acc = acc.wrapping_mul(31).wrapping_add(v);
+                    }
+                }
+                ctx.idle_for((me % 3) as u64);
+                acc
+            })
+            .unwrap()
+    }
+}
+
+fn assert_reports_identical(a: &RunReport<u64, u64>, b: &RunReport<u64, u64>, label: &str) {
+    assert_eq!(a.results, b.results, "{label}: results differ");
+    assert_eq!(a.metrics, b.metrics, "{label}: metrics differ");
+    let (ta, tb): (&Trace<u64>, &Trace<u64>) =
+        (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
+    assert_eq!(ta.events(), tb.events(), "{label}: traces differ");
+}
+
+#[test]
+fn random_collision_free_protocols_agree() {
+    let mut rng = Rng64::seed_from_u64(0xe901);
+    for case in 0..8 {
+        let p = rng.random_range(2usize..12);
+        let k = rng.random_range(1usize..6).min(p);
+        let rounds = rng.random_range(3usize..30);
+        let sched = Schedule::generate(rng.next_u64(), p, k, rounds);
+        let threaded = sched.run(Backend::Threaded);
+        let pooled = sched.run(Backend::Pooled);
+        assert_reports_identical(
+            &threaded,
+            &pooled,
+            &format!("case {case} (p={p} k={k} rounds={rounds})"),
+        );
+    }
+}
+
+#[test]
+fn collision_classification_agrees() {
+    // Processors 1 and 2 both write channel 0 in cycle 3.
+    let run = |backend: Backend| {
+        Network::new(4, 2)
+            .backend(backend)
+            .run(|ctx| {
+                ctx.idle_for(3);
+                if (1..=2).contains(&ctx.id().index()) {
+                    ctx.write(ChanId(0), 7u64);
+                } else {
+                    ctx.idle();
+                }
+                ctx.idle();
+            })
+            .unwrap_err()
+    };
+    for backend in BACKENDS {
+        match run(backend) {
+            NetError::Collision {
+                cycle,
+                channel,
+                first,
+                second,
+            } => {
+                assert_eq!(cycle, 3, "{backend:?}");
+                assert_eq!(channel, ChanId(0), "{backend:?}");
+                // The loser/winner pair is scheduling-dependent on the
+                // threaded backend; only its membership is guaranteed.
+                let mut pair = [first.index(), second.index()];
+                pair.sort_unstable();
+                assert_eq!(pair, [1, 2], "{backend:?}");
+            }
+            other => panic!("{backend:?}: expected collision, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn error_classification_agrees_across_backends() {
+    // Bad channel index.
+    for backend in BACKENDS {
+        let err = Network::new(3, 2)
+            .backend(backend)
+            .run(|ctx| {
+                ctx.idle();
+                ctx.write(ChanId(9), 1u64);
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::BadChannel {
+                cycle: 1,
+                proc: ProcId(0),
+                channel: ChanId(9),
+                k: 2
+            },
+            "{backend:?}"
+        );
+    }
+    // Protocol panic.
+    for backend in BACKENDS {
+        let err = Network::new(3, 3)
+            .backend(backend)
+            .run(|ctx: &mut mcb::net::ProcCtx<'_, u64>| {
+                ctx.idle();
+                if ctx.id().index() == 2 {
+                    panic!("boom at cycle one");
+                }
+                loop {
+                    if ctx.read(ChanId(0)).is_some() {
+                        break;
+                    }
+                }
+            })
+            .unwrap_err();
+        match err {
+            NetError::ProcPanicked { proc, message } => {
+                assert_eq!(proc, ProcId(2), "{backend:?}");
+                assert!(message.contains("boom at cycle one"), "{backend:?}");
+            }
+            other => panic!("{backend:?}: expected panic report, got {other}"),
+        }
+    }
+    // Cycle budget exhaustion.
+    for backend in BACKENDS {
+        let err = Network::new(2, 1)
+            .backend(backend)
+            .cycle_budget(40)
+            .run(|ctx: &mut mcb::net::ProcCtx<'_, u64>| loop {
+                ctx.idle();
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::CycleBudgetExhausted { budget: 40 },
+            "{backend:?}"
+        );
+    }
+    // Port violation under proc_groups.
+    for backend in BACKENDS {
+        let err = Network::new(4, 2)
+            .backend(backend)
+            .proc_groups(vec![0, 0, 1, 1])
+            .run(|ctx| {
+                let me = ctx.id().index();
+                if me < 2 {
+                    ctx.write(ChanId::from_index(me), 1u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::PortViolation {
+                cycle: 0,
+                group: 0,
+                writes: 2,
+                reads: 0
+            },
+            "{backend:?}"
+        );
+    }
+}
+
+/// A token ring as a state machine: processor 0 injects a token, each
+/// processor increments and forwards it on its own channel.
+struct Ring {
+    hops: u64,
+}
+
+impl StepProtocol<u64> for Ring {
+    type Output = u64;
+
+    fn step(&mut self, env: &StepEnv, input: Option<u64>) -> Step<u64, u64> {
+        let me = env.id.index();
+        let turn = (env.now % env.p as u64) as usize;
+        if env.now == self.hops {
+            return Step::Done(env.messages_sent);
+        }
+        let write = if turn == me {
+            let token = input.unwrap_or(0) + 1;
+            Some((ChanId::from_index(me), token))
+        } else {
+            None
+        };
+        let read = ChanId::from_index(turn);
+        Step::Yield {
+            write,
+            read: Some(read),
+        }
+    }
+}
+
+#[test]
+fn run_steps_agrees_across_backends() {
+    let run = |backend: Backend| {
+        Network::new(5, 5)
+            .backend(backend)
+            .record_trace(true)
+            .run_steps(|_| Ring { hops: 12 })
+            .unwrap()
+    };
+    let threaded = run(Backend::Threaded);
+    let pooled = run(Backend::Pooled);
+    assert_eq!(threaded.results, pooled.results);
+    assert_eq!(threaded.metrics, pooled.metrics);
+    assert_eq!(
+        threaded.trace.as_ref().unwrap().events(),
+        pooled.trace.as_ref().unwrap().events()
+    );
+    // Each processor forwarded the token once per full ring pass.
+    assert_eq!(threaded.metrics.messages, 12);
+}
+
+#[test]
+fn metrics_details_agree_for_stragglers() {
+    // The early-finisher/drain bookkeeping (rounds vs cycles, per-proc
+    // cycle counts) must match exactly.
+    let run = |backend: Backend| {
+        Network::new(6, 6)
+            .backend(backend)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                for c in 0..=me {
+                    ctx.write(ChanId::from_index(me), c as u64);
+                }
+                ctx.cycles_used()
+            })
+            .unwrap()
+    };
+    let threaded = run(Backend::Threaded);
+    let pooled = run(Backend::Pooled);
+    assert_eq!(threaded.results, pooled.results);
+    assert_eq!(threaded.metrics, pooled.metrics);
+    let m: &Metrics = &pooled.metrics;
+    assert_eq!(m.per_proc_cycles, vec![1, 2, 3, 4, 5, 6]);
+    assert_eq!(m.cycles, 6);
+}
+
+#[test]
+fn backend_resolution() {
+    // Concrete choices pass through untouched.
+    assert_eq!(Backend::Threaded.resolve(1 << 20), Backend::Threaded);
+    assert_eq!(Backend::Pooled.resolve(1), Backend::Pooled);
+    // Auto resolves to something concrete.
+    let auto = Backend::Auto.resolve(64);
+    assert!(matches!(auto, Backend::Threaded | Backend::Pooled));
+}

@@ -1,97 +1,114 @@
-//! Property-based integration tests: random shapes, random seeds, paper
+//! Property-style integration tests: random shapes, random seeds, paper
 //! invariants. Network-running properties use few cases (each case spawns
-//! real threads); pure properties use the proptest default.
+//! real threads); pure properties use more. All cases are driven by a
+//! fixed-seed [`mcb_rng::Rng64`], so every run checks the same inputs.
 
 use mcb::algos::select::select_rank;
 use mcb::algos::sort::{sort_grouped, verify_sorted};
 use mcb::workloads::{distributions, rng};
-use proptest::prelude::*;
+use mcb_rng::Rng64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// §3 postcondition for arbitrary (p, k, n, shape).
-    #[test]
-    fn sort_postcondition_random_shapes(
-        p in 2usize..8,
-        k_seed in 1usize..8,
-        n_mult in 2usize..12,
-        seed in any::<u64>(),
-    ) {
-        let k = k_seed.min(p);
-        let n = p * n_mult;
+/// §3 postcondition for arbitrary (p, k, n, shape).
+#[test]
+fn sort_postcondition_random_shapes() {
+    let mut r = Rng64::seed_from_u64(0x5047);
+    for case in 0..12 {
+        let p = r.random_range(2usize..8);
+        let k = r.random_range(1usize..8).min(p);
+        let n = p * r.random_range(2usize..12);
+        let seed = r.next_u64();
         let pl = distributions::random_uneven(p, n, &mut rng(seed));
         let report = sort_grouped(k, pl.lists().to_vec()).unwrap();
         verify_sorted(pl.lists(), &report.lists).unwrap();
-        prop_assert_eq!(&report.lists, &pl.sorted_target().into_lists());
+        assert_eq!(
+            &report.lists,
+            &pl.sorted_target().into_lists(),
+            "case {case}: p={p} k={k} n={n}"
+        );
     }
+}
 
-    /// Selection equals the sort oracle for arbitrary ranks.
-    #[test]
-    fn select_equals_oracle_random_shapes(
-        p in 2usize..7,
-        k_seed in 1usize..7,
-        n_mult in 2usize..10,
-        d_seed in any::<usize>(),
-        seed in any::<u64>(),
-    ) {
-        let k = k_seed.min(p);
-        let n = p * n_mult;
-        let d = d_seed % n + 1;
+/// Selection equals the sort oracle for arbitrary ranks.
+#[test]
+fn select_equals_oracle_random_shapes() {
+    let mut r = Rng64::seed_from_u64(0x5e1c);
+    for case in 0..12 {
+        let p = r.random_range(2usize..7);
+        let k = r.random_range(1usize..7).min(p);
+        let n = p * r.random_range(2usize..10);
+        let d = r.random_range(0usize..n) + 1;
+        let seed = r.next_u64();
         let pl = distributions::random_uneven(p, n, &mut rng(seed));
         let report = select_rank(k, pl.lists().to_vec(), d).unwrap();
-        prop_assert_eq!(report.value, pl.rank(d));
+        assert_eq!(
+            report.value,
+            pl.rank(d),
+            "case {case}: p={p} k={k} n={n} d={d}"
+        );
     }
+}
 
-    /// Every filtering phase purges at least ⌊m/4⌋ candidates (§8.2).
-    #[test]
-    fn filtering_always_purges_a_quarter(
-        p in 2usize..7,
-        n_mult in 4usize..20,
-        seed in any::<u64>(),
-    ) {
-        let n = p * n_mult;
+/// Every filtering phase purges at least ⌊m/4⌋ candidates (§8.2).
+#[test]
+fn filtering_always_purges_a_quarter() {
+    let mut r = Rng64::seed_from_u64(0xf117);
+    for case in 0..12 {
+        let p = r.random_range(2usize..7);
+        let n = p * r.random_range(4usize..20);
+        let seed = r.next_u64();
         let pl = distributions::random_uneven(p, n, &mut rng(seed));
         let report = select_rank(2.min(p), pl.lists().to_vec(), n / 2).unwrap();
         for ph in &report.phases {
-            prop_assert!(
+            assert!(
                 ph.purged >= ph.before / 4,
-                "phase purged {} of {}", ph.purged, ph.before
+                "case {case}: phase purged {} of {}",
+                ph.purged,
+                ph.before
             );
         }
     }
+}
 
-    /// Sorting messages stay linear and cycles stay within the Θ bound
-    /// with a fixed constant, for random uneven shapes.
-    #[test]
-    fn sort_costs_track_theta_bounds(
-        p in 2usize..8,
-        n_mult in 4usize..16,
-        seed in any::<u64>(),
-    ) {
-        let n = p * n_mult;
+/// Sorting messages stay linear and cycles stay within the Θ bound
+/// with a fixed constant, for random uneven shapes.
+#[test]
+fn sort_costs_track_theta_bounds() {
+    let mut r = Rng64::seed_from_u64(0xc057);
+    for case in 0..12 {
+        let p = r.random_range(2usize..8);
+        let n = p * r.random_range(4usize..16);
         let k = 2.min(p);
+        let seed = r.next_u64();
         let pl = distributions::random_uneven(p, n, &mut rng(seed));
         let n_max = pl.n_max();
         let report = sort_grouped(k, pl.lists().to_vec()).unwrap();
         let cycle_bound = 20.0 * ((n as f64 / k as f64).max(n_max as f64)) + 300.0;
         let msg_bound = 12 * n as u64 + 100;
-        prop_assert!(report.metrics.cycles as f64 <= cycle_bound,
-            "cycles {} > {}", report.metrics.cycles, cycle_bound);
-        prop_assert!(report.metrics.messages <= msg_bound,
-            "messages {} > {}", report.metrics.messages, msg_bound);
+        assert!(
+            report.metrics.cycles as f64 <= cycle_bound,
+            "case {case}: cycles {} > {}",
+            report.metrics.cycles,
+            cycle_bound
+        );
+        assert!(
+            report.metrics.messages <= msg_bound,
+            "case {case}: messages {} > {}",
+            report.metrics.messages,
+            msg_bound
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Pure: the Columnsort transforms are permutations and the full pure
-    /// Columnsort sorts, for random shapes (integration re-check through
-    /// the facade).
-    #[test]
-    fn pure_columnsort_sorts(k in 1usize..5, mult in 1usize..4, seed in any::<u64>()) {
-        use mcb::algos::columnsort::{columnsort, min_column_length, Matrix};
+/// Pure: the full pure Columnsort sorts, for random shapes (integration
+/// re-check through the facade).
+#[test]
+fn pure_columnsort_sorts() {
+    use mcb::algos::columnsort::{columnsort, min_column_length, Matrix};
+    let mut r = Rng64::seed_from_u64(0xc015);
+    for case in 0..64 {
+        let k = r.random_range(1usize..5);
+        let mult = r.random_range(1usize..4);
+        let seed = r.next_u64();
         let m = min_column_length(k) * mult.max(1);
         let vals: Vec<u64> = (0..(m * k) as u64)
             .map(|i| i.wrapping_mul(seed | 1) >> 7)
@@ -99,17 +116,34 @@ proptest! {
         let mat = Matrix::from_linear(vals, m);
         let sorted = columnsort(&mat).unwrap();
         let lin = sorted.to_linear();
-        prop_assert!(lin.windows(2).all(|w| w[0] >= w[1]));
+        assert!(
+            lin.windows(2).all(|w| w[0] >= w[1]),
+            "case {case}: k={k} m={m}"
+        );
     }
+}
 
-    /// Pure: bound formulas are monotone in the input size.
-    #[test]
-    fn bounds_are_monotone(base in 2usize..64, p in 2usize..16) {
-        use mcb::lowerbounds::bounds::*;
+/// Pure: bound formulas are monotone in the input size.
+#[test]
+fn bounds_are_monotone() {
+    use mcb::lowerbounds::bounds::*;
+    let mut r = Rng64::seed_from_u64(0xb0d5);
+    for case in 0..64 {
+        let base = r.random_range(2usize..64);
+        let p = r.random_range(2usize..16);
         let small = vec![base; p];
         let large = vec![base * 2; p];
-        prop_assert!(thm1_select_median_messages(&small) <= thm1_select_median_messages(&large));
-        prop_assert!(thm3_sort_messages(&small) <= thm3_sort_messages(&large));
-        prop_assert!(thm4_sort_cycles(&small) <= thm4_sort_cycles(&large));
+        assert!(
+            thm1_select_median_messages(&small) <= thm1_select_median_messages(&large),
+            "case {case}: base={base} p={p}"
+        );
+        assert!(
+            thm3_sort_messages(&small) <= thm3_sort_messages(&large),
+            "case {case}: base={base} p={p}"
+        );
+        assert!(
+            thm4_sort_cycles(&small) <= thm4_sort_cycles(&large),
+            "case {case}: base={base} p={p}"
+        );
     }
 }
