@@ -1,0 +1,246 @@
+//! E13 — observability overhead of phase labels, tracing, and profiling.
+//!
+//! Runs the same single-channel rank sort (2p cycles, 2p messages, as a
+//! [`StepProtocol`]) on the pooled backend at `p = 512` under four
+//! instrumentation configurations:
+//!
+//! | config            | phase labels | trace | profile |
+//! |-------------------|--------------|-------|---------|
+//! | `baseline`        | no           | off   | off     |
+//! | `phased`          | yes          | off   | off     |
+//! | `traced`          | no           | on    | off     |
+//! | `full`            | yes          | on    | on      |
+//!
+//! The acceptance gate is the *disabled-instrumentation* cost: a protocol
+//! that labels phases but records nothing (`phased`) must run within 25% of
+//! the uninstrumented `baseline` — phase labelling is two string compares
+//! and a `u16` store per transition, and transitions are rare relative to
+//! cycles. Tracing and profiling may cost more (they allocate per message /
+//! read clocks per barrier) and are reported but not gated.
+//!
+//! Emits `target/experiments/crit_obs.csv` and refreshes the checked-in
+//! `BENCH_obs.json` at the repository root. Set `MCB_BENCH_QUICK=1` for a
+//! fast development run at `p = 128` (no JSON refresh).
+
+use std::time::Duration;
+
+use mcb_bench::timing::{fmt_duration, measure, Stats};
+use mcb_bench::Table;
+use mcb_net::{Backend, ChanId, Network, ProcId, Step, StepEnv, StepProtocol};
+
+/// Single-channel rank sort (see `crit_net` for the protocol), optionally
+/// labelling its two stages as phases.
+struct RankSort {
+    key: u64,
+    turn: usize,
+    rank: usize,
+    out: u64,
+    label_phases: bool,
+}
+
+impl RankSort {
+    fn new(id: ProcId, label_phases: bool) -> Self {
+        let key = (id.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RankSort {
+            key,
+            turn: 0,
+            rank: 0,
+            out: 0,
+            label_phases,
+        }
+    }
+}
+
+impl StepProtocol<u64> for RankSort {
+    type Output = u64;
+
+    fn step(&mut self, env: &StepEnv, input: Option<u64>) -> Step<u64, u64> {
+        let p = env.p;
+        if let Some(seen) = input {
+            let prev = self.turn - 1;
+            if prev < p {
+                if seen < self.key {
+                    self.rank += 1;
+                }
+            } else if prev - p == env.id.index() {
+                self.out = seen;
+            }
+        }
+        if self.turn == 2 * p {
+            return Step::Done(self.out);
+        }
+        if self.label_phases && (self.turn == 0 || self.turn == p) {
+            env.phase(if self.turn == 0 {
+                "rs:census"
+            } else {
+                "rs:deliver"
+            });
+        }
+        let t = self.turn;
+        self.turn += 1;
+        let my_slot = if t < p { env.id.index() } else { p + self.rank };
+        let write = (t == my_slot).then_some((ChanId(0), self.key));
+        Step::Yield {
+            write,
+            read: Some(ChanId(0)),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    name: &'static str,
+    phases: bool,
+    trace: bool,
+    profile: bool,
+}
+
+const CONFIGS: [Config; 4] = [
+    Config {
+        name: "baseline",
+        phases: false,
+        trace: false,
+        profile: false,
+    },
+    Config {
+        name: "phased",
+        phases: true,
+        trace: false,
+        profile: false,
+    },
+    Config {
+        name: "traced",
+        phases: false,
+        trace: true,
+        profile: false,
+    },
+    Config {
+        name: "full",
+        phases: true,
+        trace: true,
+        profile: true,
+    },
+];
+
+fn run_once(p: usize, cfg: Config) -> u64 {
+    let report = Network::new(p, 1)
+        .backend(Backend::Pooled)
+        .record_trace(cfg.trace)
+        .profile(cfg.profile)
+        .run_steps(|id| RankSort::new(id, cfg.phases))
+        .unwrap();
+    assert_eq!(report.metrics.messages, 2 * p as u64);
+    if cfg.phases {
+        assert_eq!(
+            report.metrics.phases.len(),
+            2,
+            "expected rs:census+rs:deliver"
+        );
+    }
+    if cfg.trace {
+        assert_eq!(report.trace.as_ref().unwrap().len() as u64, 2 * p as u64);
+    }
+    report.metrics.cycles
+}
+
+fn main() {
+    let quick = std::env::var_os("MCB_BENCH_QUICK").is_some();
+    let p = if quick { 128 } else { 512 };
+    let samples = if quick { 3 } else { 7 };
+
+    let mut table = Table::new(
+        "crit_obs",
+        format!("E13: instrumentation overhead, pooled rank sort p={p} (2p cycles)"),
+        &["config", "median", "mean", "vs baseline"],
+    );
+    let mut stats: Vec<(Config, Stats)> = Vec::new();
+    for cfg in CONFIGS {
+        let s = measure(samples, || run_once(p, cfg));
+        stats.push((cfg, s));
+    }
+    let base = stats[0].1;
+    for (cfg, s) in &stats {
+        let ratio = s.median.as_secs_f64() / base.median.as_secs_f64();
+        table.row(vec![
+            cfg.name.into(),
+            fmt_duration(s.median),
+            fmt_duration(s.mean),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    table.emit();
+
+    if !quick {
+        write_bench_json(p, &stats);
+    }
+}
+
+/// Refresh the checked-in `BENCH_obs.json` acceptance artifact.
+fn write_bench_json(p: usize, stats: &[(Config, Stats)]) {
+    let secs = |d: Duration| format!("{:.6}", d.as_secs_f64());
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let base = stats[0].1;
+
+    let mut rows = String::new();
+    for (i, (cfg, s)) in stats.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            concat!(
+                "    {{\"config\": \"{}\", \"phases\": {}, \"trace\": {}, ",
+                "\"profile\": {}, \"median_s\": {}, \"samples\": {}, ",
+                "\"vs_baseline\": {:.3}}}"
+            ),
+            cfg.name,
+            cfg.phases,
+            cfg.trace,
+            cfg.profile,
+            secs(s.median),
+            s.samples,
+            s.median.as_secs_f64() / base.median.as_secs_f64(),
+        ));
+    }
+    let phased_ratio = stats
+        .iter()
+        .find(|(c, _)| c.name == "phased")
+        .map(|(_, s)| s.median.as_secs_f64() / base.median.as_secs_f64())
+        .unwrap_or(f64::NAN);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"crit_obs (E13)\",\n",
+            "  \"command\": \"cargo bench -p mcb-bench --bench crit_obs\",\n",
+            "  \"protocol\": \"single-channel rank sort as StepProtocol, pooled backend, p={p}\",\n",
+            "  \"unix_time\": {epoch},\n",
+            "  \"host_cores\": {cores},\n",
+            "  \"results\": [\n{rows}\n  ],\n",
+            "  \"acceptance\": {{\n",
+            "    \"criterion\": \"phase labels with recording disabled cost <= 1.25x baseline\",\n",
+            "    \"measured_ratio\": {ratio:.3},\n",
+            "    \"pass\": {pass}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        p = p,
+        epoch = epoch,
+        cores = cores,
+        rows = rows,
+        ratio = phased_ratio,
+        pass = phased_ratio <= 1.25,
+    );
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("BENCH_obs.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("[json written to {}]", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -112,6 +112,8 @@ where
     let k = ctx.k();
     let i = ctx.id().index();
     let levels = tree_levels(p);
+    // Label the sweeps unless a caller already owns the phase.
+    let label = ctx.phase_label().is_empty();
 
     // subtree[l] = combined value of my node at level l (I host node
     // (l, i / 2^l) whenever 2^l divides i).
@@ -119,6 +121,9 @@ where
     subtree[0] = value;
 
     // ---- bottom-up ----
+    if label {
+        ctx.phase("ps:up");
+    }
     for l in 0..levels {
         let span = 1usize << (l + 1);
         let half = 1usize << l;
@@ -153,6 +158,9 @@ where
 
     // ---- top-down ----
     // f[l] = prefix of everything left of my node at level l.
+    if label {
+        ctx.phase("ps:down");
+    }
     let mut f = op.identity(); // at the root (only proc 0 hosts it)
     for l in (0..levels).rev() {
         let span = 1usize << (l + 1);
@@ -195,6 +203,9 @@ where
     // Slot s (for s in 0..p-1): P_{s+1} writes channel s mod k in cycle
     // s / k; P_s reads it. (Writing slot i-1 and reading slot i may land in
     // the same cycle: one write + one read, within the port budget.)
+    if label {
+        ctx.phase("ps:exchange");
+    }
     let cycles = p.div_ceil(k);
     let mut next = None;
     for t in 0..cycles {
@@ -210,6 +221,9 @@ where
         if i + 1 < p && i / k == t {
             next = Some(dec(got.expect("neighbour always sends")));
         }
+    }
+    if label {
+        ctx.phase("");
     }
     Sums { prev, mine, next }
 }
@@ -227,6 +241,10 @@ where
     let k = ctx.k();
     let i = ctx.id().index();
     let levels = tree_levels(p);
+    let label = ctx.phase_label().is_empty();
+    if label {
+        ctx.phase("ps:total");
+    }
 
     let mut subtree = vec![op.identity(); levels as usize + 1];
     subtree[0] = value;
@@ -266,6 +284,9 @@ where
     } else {
         ctx.read(ChanId(0))
     };
+    if label {
+        ctx.phase("");
+    }
     dec(total_msg.expect("root broadcasts the total"))
 }
 

@@ -161,12 +161,22 @@ pub fn select_rank_in<K: Key>(
 
     let mut candidates = mine;
     let mut d = d;
+    // Phase labels: one span per filtering round (filter:1, filter:2, ...)
+    // plus "terminate" — set only when no outer algorithm owns the phase.
+    // Each round subsumes its inner sort / partial-sums subroutines.
+    let label = ctx.phase_label().is_empty();
+    if label {
+        ctx.phase("census");
+    }
     // Candidate count m is tracked identically by every processor.
     let mut m = total_in(ctx, candidates.len() as u64, Op::Add, &enc, &dec);
     let mut phases: Vec<PhaseStats> = Vec::new();
 
     // ---- filtering ---------------------------------------------------------
     while m > m_star {
+        if label {
+            ctx.phase(&format!("filter:{}", phases.len() + 1));
+        }
         let before = m;
         // (1) local median of candidates.
         let entry = MedEntry {
@@ -205,6 +215,9 @@ pub fn select_rank_in<K: Key>(
                 purged: before,
                 case: FilterCase::Exact,
             });
+            if label {
+                ctx.phase("");
+            }
             return (med_star, phases);
         } else if m_ge > d {
             candidates.retain(|x| *x > med_star);
@@ -229,6 +242,9 @@ pub fn select_rank_in<K: Key>(
     // ---- termination -------------------------------------------------------
     // Partial sums give each processor its write offset; survivors stream
     // to P_1 (processor 0), which selects locally and broadcasts.
+    if label {
+        ctx.phase("terminate");
+    }
     let sums = partial_sums_in(ctx, candidates.len() as u64, Op::Add, &enc, &dec);
     let mut pool: Vec<K> = if i == 0 {
         Vec::with_capacity(m as usize)
@@ -265,6 +281,9 @@ pub fn select_rank_in<K: Key>(
             .med
             .expect("answer is a real element")
     };
+    if label {
+        ctx.phase("");
+    }
     (answer, phases)
 }
 

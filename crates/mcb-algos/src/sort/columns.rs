@@ -73,7 +73,25 @@ where
     }
     let mut data = role.map(|r| (r.col, r.data));
 
-    for phase in PHASES {
+    // Phase labels for the run report (paper Figure 1 numbering). Only set
+    // when the caller hasn't already established a coarser phase — outer
+    // algorithms (selection, recursive sort) label whole invocations.
+    const PHASE_NAMES: [&str; 8] = [
+        "cs1:sort",
+        "cs2:transpose",
+        "cs3:sort",
+        "cs4:undiagonalize",
+        "cs5:sort",
+        "cs6:upshift",
+        "cs7:sort-rest",
+        "cs8:downshift",
+    ];
+    let label = ctx.phase_label().is_empty();
+
+    for (pi, phase) in PHASES.into_iter().enumerate() {
+        if label {
+            ctx.phase(PHASE_NAMES[pi]);
+        }
         match phase {
             Phase::SortColumns => {
                 if let Some((_, col)) = &mut data {
@@ -120,6 +138,9 @@ where
                 }
             }
         }
+    }
+    if label {
+        ctx.phase("");
     }
     Ok(data.map(|(_, col)| col))
 }

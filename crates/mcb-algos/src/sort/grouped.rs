@@ -86,8 +86,14 @@ pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> 
     let k = ctx.k();
     let n_i = mine.len() as u64;
     assert!(n_i > 0, "paper model assumes n_i > 0");
+    // Label the pipeline's stages unless an outer algorithm (e.g. §8's
+    // selection) already established a coarser phase.
+    let label = ctx.phase_label().is_empty();
 
     // ---- 0a. census -------------------------------------------------------
+    if label {
+        ctx.phase("sort:census");
+    }
     let sums = partial_sums_in(ctx, n_i, Op::Add, &enc_ctl, &dec_ctl);
     let n = total_in(ctx, n_i, Op::Add, &enc_ctl, &dec_ctl);
     let n_max = total_in(ctx, n_i, Op::Max, &enc_ctl, &dec_ctl);
@@ -99,6 +105,9 @@ pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> 
     // Iteratively peel off the maximal prefix of processors whose revised
     // partial sum fits under the threshold; its representative broadcasts
     // the group's element count.
+    if label {
+        ctx.phase("sort:groups");
+    }
     let mut consumed = 0u64; // elements in groups formed so far
     let mut group_sizes: Vec<u64> = Vec::new();
     let mut my_group: Option<usize> = None;
@@ -139,6 +148,9 @@ pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> 
     // Group members broadcast their elements on the group's channel in
     // partial-sum order; the representative assembles the column. The
     // representative's own block moves locally (no messages).
+    if label {
+        ctx.phase("sort:collect");
+    }
     let mut column: Option<Vec<Option<K>>> = am_rep.then(|| vec![None; m_pad]);
     for t in 0..m_col as u64 {
         let idx = t.wrapping_sub(my_start) as usize;
@@ -169,6 +181,10 @@ pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> 
     }
 
     // ---- 1..8. Columnsort among representatives ---------------------------
+    // Clear our label so columnsort_net_in stamps its own cs1..cs8 phases.
+    if label {
+        ctx.phase("");
+    }
     let role = column.map(|data| ColumnRole {
         col: my_group,
         data,
@@ -178,6 +194,9 @@ pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> 
 
     // ---- 10. redistribution ------------------------------------------------
     // My target range in global descending ranks (= padded positions).
+    if label {
+        ctx.phase("sort:redistribute");
+    }
     let lo = sums.prev;
     let hi = sums.mine;
     let lo_col = (lo / m_pad as u64) as usize;
@@ -204,6 +223,9 @@ pub fn sort_grouped_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, mine: Vec<K>) -> 
                 out.push(dec_key(got.expect("real target ranks are broadcast")));
             }
         }
+    }
+    if label {
+        ctx.phase("");
     }
     debug_assert_eq!(out.len() as u64, n_i);
     out

@@ -194,8 +194,12 @@ pub fn merge_sort_in<K: Key>(
 ) -> Vec<K> {
     let p = ctx.p();
     let i = ctx.id().index();
+    let label = ctx.phase_label().is_empty();
 
     // ---- census ------------------------------------------------------------
+    if label {
+        ctx.phase("ms:census");
+    }
     let mut counts = vec![0u64; p];
     for turn in 0..p {
         let write = (turn == i).then(|| (chan, MsMsg::Ctl(mine.len() as u64)));
@@ -221,11 +225,17 @@ pub fn merge_sort_in<K: Key>(
         rank: None,
         ptr: None,
     };
+    if label {
+        ctx.phase("ms:build");
+    }
     for turn in 0..p {
         insert_top(ctx, chan, &mut st, turn == i);
     }
 
     // ---- main loop: extract n elements -------------------------------------
+    if label {
+        ctx.phase("ms:extract");
+    }
     let mut out: Vec<K> = Vec::with_capacity((target_hi - target_lo) as usize);
     for t in 0..n {
         // Cycle 1: the head broadcasts its top; the target processor for
@@ -249,6 +259,9 @@ pub fn merge_sort_in<K: Key>(
         // Cycles 2-4: the old head re-inserts its new top (or silence).
         let reinsert = i_am_head && st.top().is_some();
         insert_top(ctx, chan, &mut st, reinsert);
+    }
+    if label {
+        ctx.phase("");
     }
     out
 }
@@ -295,8 +308,12 @@ pub fn merge_sort_replacement_in<K: Key>(
     let p = ctx.p();
     let i = ctx.id().index();
     let n_i = mine.len();
+    let label = ctx.phase_label().is_empty();
 
     // ---- census ------------------------------------------------------------
+    if label {
+        ctx.phase("ms:census");
+    }
     let mut counts = vec![0u64; p];
     for turn in 0..p {
         let write = (turn == i).then(|| (chan, MsMsg::Ctl(mine.len() as u64)));
@@ -322,11 +339,17 @@ pub fn merge_sort_replacement_in<K: Key>(
         rank: None,
         ptr: None,
     };
+    if label {
+        ctx.phase("ms:build");
+    }
     for turn in 0..p {
         insert_top(ctx, chan, &mut st, turn == i);
     }
 
     // ---- main loop ----------------------------------------------------------
+    if label {
+        ctx.phase("ms:extract");
+    }
     let mut out: Vec<K> = Vec::with_capacity((target_hi - target_lo) as usize);
     for t in 0..n {
         // Cycle 1: delivery, exactly as the buffered variant.

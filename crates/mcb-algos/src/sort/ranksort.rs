@@ -46,8 +46,12 @@ pub fn rank_sort_single_channel<K: Key>(lists: Vec<Vec<K>>) -> Result<SortReport
 pub fn rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, chan: ChanId, mine: Vec<K>) -> Vec<K> {
     let p = ctx.p();
     let i = ctx.id().index();
+    let label = ctx.phase_label().is_empty();
 
     // ---- census: everyone learns all cardinalities ------------------------
+    if label {
+        ctx.phase("rs:census");
+    }
     let mut counts = vec![0u64; p];
     for turn in 0..p {
         let write = (turn == i).then(|| (chan, Word::Ctl(mine.len() as u64)));
@@ -69,6 +73,9 @@ pub fn rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, chan: ChanId, mine: 
     // counter per own element (O(n_i) storage) and updates them against
     // every broadcast, including its own (x > x is false, so an element
     // never counts against itself).
+    if label {
+        ctx.phase("rs:rank");
+    }
     let mut rank_above = vec![0u64; mine.len()]; // number of strictly larger keys
     for t in 0..n {
         let idx = t.wrapping_sub(my_start) as usize;
@@ -88,6 +95,9 @@ pub fn rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, chan: ChanId, mine: 
     // ---- phase 2: broadcast in rank order, deliver ------------------------
     // The element of (0-based) descending rank t is broadcast at cycle t by
     // its owner; the processor whose target segment contains t keeps it.
+    if label {
+        ctx.phase("rs:deliver");
+    }
     let target_lo = my_start;
     let target_hi = prefix[i];
     let mut by_rank: Vec<(u64, usize)> = rank_above
@@ -114,6 +124,9 @@ pub fn rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, chan: ChanId, mine: 
                     .expect_key(),
             );
         }
+    }
+    if label {
+        ctx.phase("");
     }
     out
 }

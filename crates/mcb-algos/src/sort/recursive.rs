@@ -221,6 +221,12 @@ fn block_rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, comm: &Comm, mine:
     let chan = ChanId::from_index(comm.chan_lo);
     let me = ctx.id().index() - comm.proc_lo;
     let my_start = me * b;
+    // The recursion base case labels itself (parents clear their label
+    // before descending, so deeper levels get their own phase rows).
+    let label = ctx.phase_label().is_empty();
+    if label {
+        ctx.phase("rec:ranksort");
+    }
 
     // Ranking pass: row t broadcast at cycle t by its holder; ties (which
     // cannot occur for distinct keys, but keep Rank-Sort general) break by
@@ -261,6 +267,9 @@ fn block_rank_sort_in<K: Key>(ctx: &mut ProcCtx<'_, Word<K>>, comm: &Comm, mine:
             out[idx] = Some(got.expect("every rank is broadcast").expect_key());
         }
     }
+    if label {
+        ctx.phase("");
+    }
     out.into_iter().map(|x| x.expect("block filled")).collect()
 }
 
@@ -298,12 +307,24 @@ pub fn vcol_sort_rec_in<K: Key>(
     };
     let my_start = me * b;
 
+    // Per-level labels: this level stamps its four transformations as
+    // "rec<depth>:<transform>" and clears the label before descending so
+    // each recursion level (and the Rank-Sort base case) tags its own
+    // sorting cycles.
+    let label = ctx.phase_label().is_empty();
+
     for phase in PHASES {
         match phase {
             Phase::SortColumns => {
+                if label {
+                    ctx.phase("");
+                }
                 mine = vcol_sort_rec_in(ctx, &sub, mine, depth - 1);
             }
             Phase::SortColumnsExceptFirst => {
+                if label {
+                    ctx.phase("");
+                }
                 if my_col == 0 {
                     ctx.idle_for(rec_cycles(b, sub.procs, sub.chans, depth - 1));
                 } else {
@@ -311,6 +332,15 @@ pub fn vcol_sort_rec_in<K: Key>(
                 }
             }
             Phase::Apply(tf) => {
+                if label {
+                    let name = match tf {
+                        Transform::Transpose => "transpose",
+                        Transform::UnDiagonalize => "undiagonalize",
+                        Transform::UpShift => "upshift",
+                        Transform::DownShift => "downshift",
+                    };
+                    ctx.phase(&format!("rec{depth}:{name}"));
+                }
                 let sched = MemberSchedule::new(&tf.permutation(m2, k2), comm.procs, comm.chans);
                 let mut out: Vec<Option<K>> = vec![None; b];
                 for &(sr, dr) in sched.local_moves(me) {
@@ -337,6 +367,9 @@ pub fn vcol_sort_rec_in<K: Key>(
                     .collect();
             }
         }
+    }
+    if label {
+        ctx.phase("");
     }
     mine
 }

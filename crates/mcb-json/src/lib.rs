@@ -1,0 +1,233 @@
+//! # mcb-json — a minimal, deterministic JSON writer
+//!
+//! The workspace builds fully offline (no external crates), so structured
+//! export gets the same treatment as randomness (`mcb-rng`): a small in-repo
+//! crate. This is a *writer*, not a parser, and it is deliberately
+//! deterministic:
+//!
+//! * object keys keep **insertion order** — no hashing, no re-sorting, so
+//!   two semantically equal values render to identical bytes;
+//! * output is compact (no whitespace), one value per [`Json::render`] call,
+//!   suitable for JSONL (one record per line);
+//! * only the types the exporters need: `null`, booleans, unsigned/signed
+//!   integers, strings, arrays, objects. Floats are intentionally absent —
+//!   every consumer of `BENCH_*.json`-style files that needs a ratio can
+//!   derive it from the exact integer counts, and omitting floats keeps the
+//!   byte-for-byte determinism trivial.
+//!
+//! ```
+//! use mcb_json::Json;
+//!
+//! let rec = Json::obj()
+//!     .field("record", "run")
+//!     .field("schema", 1u64)
+//!     .field("channels", Json::from_u64s([3, 1, 4]));
+//! assert_eq!(
+//!     rec.render(),
+//!     r#"{"record":"run","schema":1,"channels":[3,1,4]}"#
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array, in element order.
+    Arr(Vec<Json>),
+    /// An object, in **insertion** order (never re-sorted).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`field`](Json::field) chaining.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a key/value pair to an object (panics on non-objects — that
+    /// is a programming error, not a data error).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value.into())),
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// An array of unsigned integers.
+    pub fn from_u64s(values: impl IntoIterator<Item = u64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::U64).collect())
+    }
+
+    /// Render to a compact single-line JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Write `s` as a JSON string literal, escaping per RFC 8259 (the two
+/// mandatory escapes plus `\u` forms for other control characters).
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U64(u64::MAX).render(), "18446744073709551615");
+        assert_eq!(Json::I64(-7).render(), "-7");
+        assert_eq!(Json::Str("hi".into()).render(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::Str("a\"b\\c\nd\te\u{1}".into());
+        assert_eq!(s.render(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let o = Json::obj().field("z", 1u64).field("a", 2u64);
+        assert_eq!(o.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn nested_values() {
+        let v = Json::obj()
+            .field("xs", Json::from_u64s([1, 2]))
+            .field("inner", Json::obj().field("ok", true))
+            .field("none", Json::from(None::<u64>));
+        assert_eq!(
+            v.render(),
+            r#"{"xs":[1,2],"inner":{"ok":true},"none":null}"#
+        );
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            Json::obj()
+                .field("b", "x")
+                .field("a", Json::Arr(vec![Json::Null, Json::U64(3)]))
+        };
+        assert_eq!(build().render(), build().render());
+    }
+}

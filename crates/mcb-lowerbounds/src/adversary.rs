@@ -150,12 +150,14 @@ mod tests {
                 cycle: 0,
                 writer: ProcId(0),
                 channel: ChanId(0),
+                phase: None,
                 msg: 10u64,
             },
             Event {
                 cycle: 1,
                 writer: ProcId(1),
                 channel: ChanId(0),
+                phase: None,
                 msg: 0u64, // "control" under the predicate below
             },
         ];

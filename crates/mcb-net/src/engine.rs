@@ -32,12 +32,14 @@ use crate::barrier::{Sense, SenseBarrier};
 use crate::error::NetError;
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
-use crate::metrics::{LocalMetrics, Metrics};
+use crate::metrics::{EngineProfile, LocalMetrics, Metrics, PhaseMetrics};
+use crate::phase::{PhaseScope, PhaseTarget};
 use crate::step::{Step, StepEnv, StepProtocol};
 use crate::sync::{Mutex, RwLock};
 use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Default bound on engine rounds; exceeding it fails the run with
 /// [`NetError::CycleBudgetExhausted`] instead of hanging.
@@ -144,6 +146,7 @@ pub struct Network {
     procs: usize,
     channels: usize,
     record_trace: bool,
+    profile: bool,
     proc_groups: Option<Vec<usize>>,
     cycle_budget: u64,
     backend: Backend,
@@ -157,6 +160,7 @@ impl Network {
             procs: p,
             channels: k,
             record_trace: false,
+            profile: false,
             proc_groups: None,
             cycle_budget: DEFAULT_CYCLE_BUDGET,
             backend: Backend::Auto,
@@ -173,10 +177,19 @@ impl Network {
         self.channels
     }
 
-    /// Record a full message [`Trace`] (off by default; adds a lock on the
-    /// write path).
+    /// Record a full message [`Trace`] (off by default). Recording is
+    /// lock-free: each executor appends to a private buffer, merged into
+    /// the canonical (cycle, channel, writer) order at run end.
     pub fn record_trace(mut self, yes: bool) -> Self {
         self.record_trace = yes;
+        self
+    }
+
+    /// Record wall-clock engine profiling counters (off by default),
+    /// surfaced as [`RunReport::profile`]. Adds two clock reads around
+    /// every barrier wait, so leave it off for cost-model measurements.
+    pub fn profile(mut self, yes: bool) -> Self {
+        self.profile = yes;
         self
     }
 
@@ -300,7 +313,14 @@ impl Network {
                 let mut machine = factory(ctx.id());
                 let mut input = None;
                 loop {
-                    match machine.step(&ctx.step_env(), input.take()) {
+                    let env = ctx.step_env();
+                    let step = machine.step(&env, input.take());
+                    // A phase requested during `step` labels the yielded
+                    // cycle (same ordering as the pooled driver).
+                    if let Some(name) = env.take_phase() {
+                        ctx.phase(&name);
+                    }
+                    match step {
                         Step::Yield { write, read } => input = ctx.cycle(write, read),
                         Step::Done(r) => break r,
                     }
@@ -318,19 +338,27 @@ impl Network {
     {
         let p = self.procs;
         let shared = Shared::new(self, p);
+        let started = Instant::now();
 
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
         let locals: Mutex<Vec<LocalMetrics>> = Mutex::new(vec![LocalMetrics::default(); p]);
+        // Per-thread trace buffers are merged here once per thread at run
+        // end; the write path itself never takes a lock.
+        let all_events: Mutex<Vec<Event<M>>> = Mutex::new(Vec::new());
 
         std::thread::scope(|scope| {
             for i in 0..p {
                 let shared = &shared;
                 let results = &results;
                 let locals = &locals;
+                let all_events = &all_events;
                 scope.spawn(move || {
                     let mut ctx = ProcCtx {
                         id: ProcId::from_index(i),
                         local: LocalMetrics::default(),
+                        phase_name: String::new(),
+                        events: Vec::new(),
+                        prof_barrier_ns: 0,
                         inner: CtxInner::Lockstep {
                             shared,
                             sense: Sense::new(),
@@ -366,26 +394,112 @@ impl Network {
                             }
                         }
                     }
+                    if shared.profile {
+                        shared.prof.lock().barrier_wait_ns += ctx.prof_barrier_ns;
+                    }
+                    if !ctx.events.is_empty() {
+                        all_events.lock().append(&mut ctx.events);
+                    }
                     locals.lock()[i] = ctx.local;
                 });
             }
         });
 
-        assemble_report(shared, locals.into_inner(), results.into_inner())
+        let profile = self.profile.then(|| {
+            let agg = shared.prof.lock().clone();
+            EngineProfile {
+                backend: Backend::Threaded,
+                workers: p,
+                wall_ns: started.elapsed().as_nanos() as u64,
+                barrier_wait_ns: agg.barrier_wait_ns,
+                stall_ns: agg.stall_ns,
+            }
+        });
+        assemble_report(
+            shared,
+            locals.into_inner(),
+            results.into_inner(),
+            all_events.into_inner(),
+            profile,
+        )
     }
 }
 
 /// Turn a finished run's shared state into the caller-facing report (or the
 /// recorded failure). Both backends go through here, so the report shape
 /// cannot drift between them.
+///
+/// `events` is the concatenation of every executor's private trace buffer
+/// (empty unless tracing was on); [`Trace::new`] re-sorts it into the
+/// canonical (cycle, channel, writer) order, which is a *total* order for a
+/// collision-free run — at most one writer per (cycle, channel) — so the
+/// merged trace is identical no matter how the buffers were split across
+/// executors.
 pub(crate) fn assemble_report<R, M: Clone>(
     shared: Shared<M>,
     locals: Vec<LocalMetrics>,
     results: Vec<Option<R>>,
+    mut events: Vec<Event<M>>,
+    profile: Option<EngineProfile>,
 ) -> Result<RunReport<R, M>, NetError> {
     if let Some(err) = shared.failure.lock().take() {
         return Err(err);
     }
+    let k = shared.k;
+    let names = shared.phases.into_inner();
+
+    // Aggregate the per-processor phase tallies by interner id: cycles by
+    // max (same convention as whole-run `Metrics::cycles`), everything else
+    // by sum.
+    let mut agg: Vec<PhaseMetrics> = names
+        .iter()
+        .map(|n| PhaseMetrics {
+            name: n.clone(),
+            first_cycle: u64::MAX,
+            ..PhaseMetrics::default()
+        })
+        .collect();
+    for l in &locals {
+        for (id, row) in l.phases.iter().enumerate() {
+            if row.cycles == 0 && row.messages == 0 {
+                continue;
+            }
+            let pm = &mut agg[id];
+            pm.cycles = pm.cycles.max(row.cycles);
+            pm.messages += row.messages;
+            pm.total_bits += row.total_bits;
+            pm.first_cycle = pm.first_cycle.min(row.first_round);
+            pm.last_cycle = pm.last_cycle.max(row.last_round);
+            if pm.per_channel_messages.len() < row.per_channel.len() {
+                pm.per_channel_messages.resize(row.per_channel.len(), 0);
+            }
+            for (c, n) in row.per_channel.iter().enumerate() {
+                pm.per_channel_messages[c] += n;
+            }
+        }
+    }
+
+    // Interner ids depend on which executor interned a label first, which
+    // is scheduling-dependent; re-key the table by (first activity, name) —
+    // both deterministic — and drop labels that never saw a cycle or a
+    // message, so the exported table is identical across backends.
+    let mut used: Vec<(u16, PhaseMetrics)> = agg
+        .into_iter()
+        .enumerate()
+        .skip(1) // id 0 is the unlabelled sentinel
+        .filter(|(_, pm)| pm.cycles > 0 || pm.messages > 0)
+        .map(|(id, mut pm)| {
+            pm.per_channel_messages.resize(k, 0);
+            (id as u16, pm)
+        })
+        .collect();
+    used.sort_by(|a, b| (a.1.first_cycle, &a.1.name).cmp(&(b.1.first_cycle, &b.1.name)));
+    let mut remap: Vec<Option<u16>> = vec![None; names.len()];
+    for (new, (old, _)) in used.iter().enumerate() {
+        remap[*old as usize] = Some(new as u16);
+    }
+    let phases: Vec<PhaseMetrics> = used.into_iter().map(|(_, pm)| pm).collect();
+
     let metrics = Metrics {
         cycles: locals.iter().map(|l| l.cycles).max().unwrap_or(0),
         rounds: shared.round.load(Ordering::Relaxed),
@@ -399,12 +513,21 @@ pub(crate) fn assemble_report<R, M: Clone>(
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
+        phases,
     };
-    let trace = shared.trace.map(|m| Trace::new(m.into_inner()));
+    let trace = shared.record_trace.then(|| {
+        // Events carry interner ids at recording time; translate them to
+        // canonical table indices.
+        for e in &mut events {
+            e.phase = e.phase.and_then(|old| remap[old as usize]);
+        }
+        Trace::new(events)
+    });
     Ok(RunReport {
         results,
         metrics,
         trace,
+        profile,
     })
 }
 
@@ -421,6 +544,10 @@ pub struct RunReport<R, M> {
     pub metrics: Metrics,
     /// Message trace, when [`Network::record_trace`] was enabled.
     pub trace: Option<Trace<M>>,
+    /// Wall-clock engine counters, when [`Network::profile`] was enabled.
+    /// Unlike everything else in the report these are *not* deterministic
+    /// and are excluded from the JSONL export.
+    pub profile: Option<EngineProfile>,
 }
 
 impl<R, M> RunReport<R, M> {
@@ -469,10 +596,26 @@ pub(crate) struct Shared<M> {
     pub(crate) round: AtomicU64,
     failure: Mutex<Option<NetError>>,
     chan_msgs: Vec<AtomicU64>,
-    trace: Option<Mutex<Vec<Event<M>>>>,
+    /// Whether executors should record trace events (into their own
+    /// buffers; this struct holds no event storage).
+    pub(crate) record_trace: bool,
+    /// Whether executors should time their barrier waits / stalls.
+    pub(crate) profile: bool,
+    /// Wall-clock counters, contributed once per executor at run end.
+    pub(crate) prof: Mutex<ProfAgg>,
+    /// Phase-label interner: id -> name, id 0 reserved for "unlabelled".
+    /// Locked only on label *transitions*, never per cycle or message.
+    phases: Mutex<Vec<String>>,
     groups: Option<GroupState>,
     cycle_budget: u64,
     pub(crate) total_procs: usize,
+}
+
+/// Summed wall-clock engine counters (see [`EngineProfile`]).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ProfAgg {
+    pub(crate) barrier_wait_ns: u64,
+    pub(crate) stall_ns: u64,
 }
 
 impl<M: Clone + Send + Sync> Shared<M> {
@@ -497,7 +640,10 @@ impl<M: Clone + Send + Sync> Shared<M> {
             round: AtomicU64::new(0),
             failure: Mutex::new(None),
             chan_msgs: (0..net.channels).map(|_| AtomicU64::new(0)).collect(),
-            trace: net.record_trace.then(|| Mutex::new(Vec::new())),
+            record_trace: net.record_trace,
+            profile: net.profile,
+            prof: Mutex::new(ProfAgg::default()),
+            phases: Mutex::new(vec![String::new()]),
             groups,
             cycle_budget: net.cycle_budget,
             total_procs: net.procs,
@@ -512,12 +658,55 @@ impl<M: Clone + Send + Sync> Shared<M> {
         }
         self.failed.store(true, Ordering::Release);
     }
+
+    /// Intern a phase label, returning its run-wide id (0 for `""`). Called
+    /// only on label transitions; a label seen before is a linear scan of
+    /// the (short) table, a new one is a push.
+    pub(crate) fn phase_id(&self, name: &str) -> u16 {
+        if name.is_empty() {
+            return 0;
+        }
+        let mut table = self.phases.lock();
+        if let Some(i) = table.iter().position(|n| n == name) {
+            return i as u16;
+        }
+        assert!(
+            table.len() <= u16::MAX as usize,
+            "too many distinct phase labels (max 65535)"
+        );
+        table.push(name.to_owned());
+        (table.len() - 1) as u16
+    }
+
+    /// Barrier wait, timed into `acc` when profiling is on.
+    #[inline]
+    pub(crate) fn barrier_wait(&self, sense: &mut Sense, acc: &mut u64) -> bool {
+        if self.profile {
+            let t = Instant::now();
+            let winner = self.barrier.wait(sense);
+            *acc += t.elapsed().as_nanos() as u64;
+            winner
+        } else {
+            self.barrier.wait(sense)
+        }
+    }
 }
 
 impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
     /// Write phase for one processor: validate the channel, detect
     /// collisions, record trace/metrics, deposit the message.
-    pub(crate) fn apply_write(&self, id: ProcId, c: ChanId, m: M, local: &mut LocalMetrics) {
+    ///
+    /// `events` is the calling executor's *private* trace buffer (`None`
+    /// when tracing is off): appending is lock-free, and the buffers are
+    /// merged into canonical order by `assemble_report`.
+    pub(crate) fn apply_write(
+        &self,
+        id: ProcId,
+        c: ChanId,
+        m: M,
+        local: &mut LocalMetrics,
+        events: Option<&mut Vec<Event<M>>>,
+    ) {
         let now = self.round.load(Ordering::Relaxed);
         if c.index() >= self.k {
             self.fail(NetError::BadChannel {
@@ -545,17 +734,20 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
                 });
             }
             None => {
-                if let Some(tr) = &self.trace {
-                    tr.lock().push(Event {
+                if let Some(buf) = events {
+                    buf.push(Event {
                         cycle: now,
                         writer: id,
                         channel: c,
+                        // Interner id for now; remapped to the canonical
+                        // table index by `assemble_report`.
+                        phase: (local.cur_phase != 0).then_some(local.cur_phase),
                         msg: m.clone(),
                     });
                 }
                 *slot = Some((id, m));
                 drop(slot);
-                local.record_message(bits);
+                local.record_message(bits, c.index(), now);
                 self.chan_msgs[c.index()].fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -629,6 +821,14 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
 pub struct ProcCtx<'a, M> {
     id: ProcId,
     local: LocalMetrics,
+    /// Current phase label as text (`""` = unlabelled); kept here so the
+    /// [`PhaseScope`] guard can restore it in both execution modes.
+    phase_name: String,
+    /// This processor's private trace buffer (threaded backend only; the
+    /// pooled backend buffers per worker slot instead).
+    events: Vec<Event<M>>,
+    /// Nanoseconds spent in barrier waits (threaded backend, profiling on).
+    prof_barrier_ns: u64,
     inner: CtxInner<'a, M>,
 }
 
@@ -645,6 +845,10 @@ enum CtxInner<'a, M> {
         p: usize,
         k: usize,
         now: u64,
+        /// Phase-label change not yet shipped to the worker; travels with
+        /// the next rendezvous so the worker stamps it before applying the
+        /// cycle.
+        pending_phase: Option<String>,
         port: crate::pooled::FiberPort<M>,
     },
 }
@@ -655,7 +859,16 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         ProcCtx {
             id,
             local: LocalMetrics::default(),
-            inner: CtxInner::Fiber { p, k, now: 0, port },
+            phase_name: String::new(),
+            events: Vec::new(),
+            prof_barrier_ns: 0,
+            inner: CtxInner::Fiber {
+                p,
+                k,
+                now: 0,
+                pending_phase: None,
+                port,
+            },
         }
     }
 
@@ -714,13 +927,15 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
             CtxInner::Lockstep { shared, sense } => {
                 // ---- write phase -----------------------------------------
                 if let Some((c, m)) = write {
-                    shared.apply_write(self.id, c, m, &mut self.local);
+                    let events = shared.record_trace.then_some(&mut self.events);
+                    shared.apply_write(self.id, c, m, &mut self.local, events);
                 }
-                shared.barrier.wait(sense); // writes visible
+                shared.barrier_wait(sense, &mut self.prof_barrier_ns); // writes visible
 
                 // ---- read phase ------------------------------------------
                 let got = read.and_then(|c| shared.apply_read(self.id, c));
-                self.local.cycles += 1;
+                self.local
+                    .record_cycle(shared.round.load(Ordering::Relaxed));
 
                 if self.finish_round() {
                     // The run was aborted (failure elsewhere, or cycle
@@ -730,12 +945,20 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
                 }
                 got
             }
-            CtxInner::Fiber { now, port, .. } => {
-                match port.rendezvous(write, read) {
+            CtxInner::Fiber {
+                now,
+                port,
+                pending_phase,
+                ..
+            } => {
+                match port.rendezvous(pending_phase.take(), write, read) {
                     Some(resume) => {
                         // The worker applied our write/read under the pool's
-                        // round structure; adopt its authoritative clocks.
-                        self.local = resume.local;
+                        // round structure; adopt its authoritative clocks
+                        // (the full per-phase tallies stay on the worker's
+                        // side — only the scalars matter to the protocol).
+                        self.local.cycles = resume.cycles;
+                        self.local.messages = resume.messages;
                         *now = resume.now;
                         resume.read
                     }
@@ -746,16 +969,49 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         }
     }
 
+    /// Label all subsequent cycles and messages of this processor with
+    /// `name`, until the label changes ( `""` returns to unlabelled).
+    ///
+    /// Labels feed the per-phase breakdown in
+    /// [`Metrics::phases`](crate::Metrics::phases) and stamp trace events;
+    /// setting one is free in the cost model (no cycle, no message). See
+    /// [`crate::phase`] for the aggregation and nesting conventions.
+    pub fn phase(&mut self, name: &str) {
+        self.phase_name.clear();
+        self.phase_name.push_str(name);
+        match &mut self.inner {
+            CtxInner::Lockstep { shared, .. } => {
+                self.local.cur_phase = shared.phase_id(name);
+            }
+            CtxInner::Fiber { pending_phase, .. } => {
+                *pending_phase = Some(name.to_owned());
+            }
+        }
+    }
+
+    /// The currently active phase label (`""` when unlabelled). Subroutines
+    /// use this to only label phases when their caller has not (see
+    /// [`crate::phase`]).
+    pub fn phase_label(&self) -> &str {
+        &self.phase_name
+    }
+
+    /// Set phase `name` for a scope: the returned guard derefs to this
+    /// context and restores the previous label when dropped.
+    pub fn phase_scope<'s>(&'s mut self, name: &str) -> PhaseScope<'s, Self> {
+        PhaseScope::enter(self, name)
+    }
+
     /// Snapshot of the identity/clock accessors, for [`StepProtocol`]s.
     pub(crate) fn step_env(&self) -> StepEnv {
-        StepEnv {
-            id: self.id,
-            p: self.p(),
-            k: self.k(),
-            now: self.now(),
-            cycles_used: self.local.cycles,
-            messages_sent: self.local.messages,
-        }
+        StepEnv::new(
+            self.id,
+            self.p(),
+            self.k(),
+            self.now(),
+            self.local.cycles,
+            self.local.messages,
+        )
     }
 
     /// Write-only cycle.
@@ -786,13 +1042,13 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         let CtxInner::Lockstep { shared, sense } = &mut self.inner else {
             unreachable!("finish_round is a lockstep-only path");
         };
-        let winner = shared.barrier.wait(sense); // reads done
+        let winner = shared.barrier_wait(sense, &mut self.prof_barrier_ns); // reads done
         if winner {
             // Elected sweeper for this cycle: clear slots, validate ports,
             // advance the clock, decide termination.
             shared.sweep();
         }
-        shared.barrier.wait(sense); // sweep visible
+        shared.barrier_wait(sense, &mut self.prof_barrier_ns); // sweep visible
         shared.done.load(Ordering::Acquire)
     }
 
@@ -802,11 +1058,18 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         let CtxInner::Lockstep { shared, sense } = &mut self.inner else {
             unreachable!("drain_round is a lockstep-only path");
         };
-        shared.barrier.wait(sense); // write phase (no-op)
-        let saved = self.local.cycles;
-        let over = self.finish_round();
-        self.local.cycles = saved;
-        over
+        shared.barrier_wait(sense, &mut self.prof_barrier_ns); // write phase (no-op)
+        self.finish_round()
+    }
+}
+
+impl<M: Clone + Send + Sync + MsgWidth> PhaseTarget for ProcCtx<'_, M> {
+    fn set_phase_label(&mut self, name: &str) {
+        self.phase(name);
+    }
+
+    fn phase_label(&self) -> &str {
+        &self.phase_name
     }
 }
 

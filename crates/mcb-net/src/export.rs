@@ -1,0 +1,216 @@
+//! Deterministic JSONL export of a [`RunReport`].
+//!
+//! One JSON object per line, built with [`mcb_json`] (insertion-ordered
+//! keys, integers only — no floats), so the export of a collision-free run
+//! is **byte-identical** across execution backends and across repeated
+//! runs. That property is what makes the export useful as a golden
+//! artifact: the `backend_equivalence` tests and the `trace_timeline`
+//! example both diff exports byte-for-byte.
+//!
+//! # Record stream
+//!
+//! | `record`  | when                        | contents                      |
+//! |-----------|-----------------------------|-------------------------------|
+//! | `run`     | always, first line          | `schema`, `p`, `k`            |
+//! | `metrics` | always, second line         | every integer [`Metrics`] field |
+//! | `phase`   | one per labelled phase      | the [`PhaseMetrics`] fields   |
+//! | `event`   | one per traced message      | cycle/writer/channel/phase/msg |
+//!
+//! Wall-clock profiling data ([`EngineProfile`](crate::EngineProfile)) is
+//! deliberately **excluded**: it is nondeterministic by nature. Derived
+//! ratios (`channel_utilization` etc.) are excluded because they are floats
+//! and recomputable.
+//!
+//! ```
+//! use mcb_net::{ChanId, Network};
+//!
+//! let report = Network::new(2, 1)
+//!     .record_trace(true)
+//!     .run(|ctx| {
+//!         ctx.phase("exchange");
+//!         if ctx.id().index() == 0 {
+//!             ctx.write(ChanId(0), 7u64);
+//!         } else {
+//!             ctx.read(ChanId(0));
+//!         }
+//!     })
+//!     .unwrap();
+//! let jsonl = report.to_jsonl();
+//! let lines: Vec<&str> = jsonl.lines().collect();
+//! assert!(lines[0].starts_with("{\"record\":\"run\",\"schema\":"));
+//! assert!(lines.iter().any(|l| l.contains("\"record\":\"phase\"")));
+//! assert!(lines.iter().any(|l| l.contains("\"record\":\"event\"")));
+//! ```
+
+use crate::engine::RunReport;
+use crate::metrics::{Metrics, PhaseMetrics};
+use crate::trace::Event;
+use mcb_json::Json;
+use std::fmt::Debug;
+
+/// Version stamped into every export's `run` header line. Bump when a
+/// record gains, loses, or renames a field.
+pub const JSONL_SCHEMA_VERSION: u64 = 1;
+
+fn metrics_record(m: &Metrics) -> Json {
+    Json::obj()
+        .field("record", "metrics")
+        .field("cycles", m.cycles)
+        .field("rounds", m.rounds)
+        .field("messages", m.messages)
+        .field("total_bits", m.total_bits)
+        .field("max_msg_bits", m.max_msg_bits)
+        .field(
+            "per_proc_messages",
+            Json::from_u64s(m.per_proc_messages.iter().copied()),
+        )
+        .field(
+            "per_proc_cycles",
+            Json::from_u64s(m.per_proc_cycles.iter().copied()),
+        )
+        .field(
+            "per_channel_messages",
+            Json::from_u64s(m.per_channel_messages.iter().copied()),
+        )
+}
+
+fn phase_record(index: usize, ph: &PhaseMetrics) -> Json {
+    Json::obj()
+        .field("record", "phase")
+        .field("index", index)
+        .field("name", ph.name.as_str())
+        .field("first_cycle", ph.first_cycle)
+        .field("last_cycle", ph.last_cycle)
+        .field("cycles", ph.cycles)
+        .field("messages", ph.messages)
+        .field("total_bits", ph.total_bits)
+        .field(
+            "per_channel_messages",
+            Json::from_u64s(ph.per_channel_messages.iter().copied()),
+        )
+}
+
+fn event_record<M: Debug>(e: &Event<M>, phases: &[PhaseMetrics]) -> Json {
+    let phase = e
+        .phase
+        .and_then(|i| phases.get(i as usize))
+        .map(|ph| ph.name.clone());
+    Json::obj()
+        .field("record", "event")
+        .field("cycle", e.cycle)
+        .field("writer", e.writer.index())
+        .field("channel", e.channel.index())
+        .field("phase", phase)
+        .field("msg", format!("{:?}", e.msg))
+}
+
+impl<R, M: Debug> RunReport<R, M> {
+    /// Serialize this report as deterministic JSONL (see the [module
+    /// docs](self) for the record stream). Identical byte-for-byte across
+    /// backends for collision-free protocols; event lines appear only when
+    /// the run recorded a trace. Message payloads are rendered via their
+    /// `Debug` form.
+    pub fn to_jsonl(&self) -> String {
+        let m = &self.metrics;
+        let mut out = String::new();
+        let header = Json::obj()
+            .field("record", "run")
+            .field("schema", JSONL_SCHEMA_VERSION)
+            .field("p", m.per_proc_cycles.len())
+            .field("k", m.per_channel_messages.len());
+        out.push_str(&header.render());
+        out.push('\n');
+        out.push_str(&metrics_record(m).render());
+        out.push('\n');
+        for (i, ph) in m.phases.iter().enumerate() {
+            out.push_str(&phase_record(i, ph).render());
+            out.push('\n');
+        }
+        if let Some(trace) = &self.trace {
+            for e in trace.events() {
+                out.push_str(&event_record(e, &m.phases).render());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Network;
+    use crate::ids::ChanId;
+
+    fn sample_report() -> RunReport<(), u64> {
+        Network::new(3, 2)
+            .record_trace(true)
+            .run(|ctx| {
+                ctx.phase("spread");
+                let me = ctx.id().index();
+                if me < 2 {
+                    ctx.write(ChanId(me as u32), me as u64 + 10);
+                } else {
+                    ctx.read(ChanId(0));
+                }
+                ctx.phase("");
+                ctx.idle();
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn export_shape_and_order() {
+        let jsonl = sample_report().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        // run, metrics, 1 phase, 2 events.
+        assert_eq!(lines.len(), 5, "{jsonl}");
+        assert_eq!(
+            lines[0],
+            format!("{{\"record\":\"run\",\"schema\":{JSONL_SCHEMA_VERSION},\"p\":3,\"k\":2}}")
+        );
+        assert!(lines[1].starts_with("{\"record\":\"metrics\",\"cycles\":2,"));
+        assert!(lines[2].contains("\"record\":\"phase\",\"index\":0,\"name\":\"spread\""));
+        assert!(lines[3].contains("\"phase\":\"spread\""));
+        assert!(lines[3].contains("\"msg\":\"10\""));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = sample_report().to_jsonl();
+        let b = sample_report().to_jsonl();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_trace_means_no_event_lines() {
+        let report = Network::new(2, 1)
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(0), 1u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap();
+        let jsonl = report.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(!jsonl.contains("\"record\":\"event\""));
+    }
+
+    #[test]
+    fn unlabelled_event_phase_is_null() {
+        let report = Network::new(2, 1)
+            .record_trace(true)
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(0), 1u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap();
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"phase\":null"), "{jsonl}");
+    }
+}

@@ -56,8 +56,13 @@
 //! * [`step`] — protocols as resumable state machines ([`StepProtocol`],
 //!   run thread-free at scale by the pooled backend).
 //! * [`virt`] — §2's simulation of a larger MCB on a smaller one.
-//! * [`metrics`] — cycle/message accounting ([`Metrics`]).
+//! * [`metrics`] — cycle/message/per-phase accounting ([`Metrics`],
+//!   [`PhaseMetrics`], [`EngineProfile`]).
+//! * [`phase`] — labelled phase scopes attributing costs to algorithm
+//!   stages ([`PhaseScope`]).
 //! * [`trace`] — optional wire traces feeding the lower-bound adversary.
+//! * [`export`] — deterministic JSONL serialization of a [`RunReport`].
+//! * [`timeline`] — ASCII cycle × channel timeline rendering of a trace.
 //! * [`message`] — O(log β) message-width accounting ([`MsgWidth`]).
 //! * [`barrier`] — the sense-reversing barrier underneath it all.
 
@@ -66,20 +71,26 @@
 pub mod barrier;
 pub mod engine;
 pub mod error;
+pub mod export;
 pub mod ids;
 pub mod message;
 pub mod metrics;
+pub mod phase;
 mod pooled;
 pub mod step;
 mod sync;
+pub mod timeline;
 pub mod trace;
 pub mod virt;
 
 pub use engine::{Backend, Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET};
 pub use error::NetError;
+pub use export::JSONL_SCHEMA_VERSION;
 pub use ids::{ChanId, ProcId};
 pub use message::{bits_for_i64, bits_for_u64, MsgWidth};
-pub use metrics::Metrics;
+pub use metrics::{EngineProfile, Metrics, PhaseMetrics};
+pub use phase::{PhaseScope, PhaseTarget};
 pub use step::{Step, StepEnv, StepProtocol};
+pub use timeline::render_timeline;
 pub use trace::{Event, Trace};
 pub use virt::{VirtCtx, VirtReport, VirtualNetwork};

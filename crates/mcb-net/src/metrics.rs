@@ -2,15 +2,17 @@
 //!
 //! Complexity in the MCB model (paper §2) is "measured in terms of the total
 //! number of cycles and the total number of broadcast messages required by
-//! the computation". The engine additionally records per-processor and
-//! per-channel breakdowns (useful for spotting hot channels and validating
-//! load balance) and message bit widths (to audit the O(log β) message-size
+//! the computation". The engine additionally records per-processor,
+//! per-channel, and per-*phase* breakdowns (useful for spotting hot channels
+//! and for comparing measured constants against the paper's per-phase
+//! Θ-bounds) and message bit widths (to audit the O(log β) message-size
 //! discipline).
 
 /// Aggregated costs of one network run.
 ///
 /// Identical across execution backends (see [`Backend`](crate::Backend)) —
-/// metrics count model quantities, not wall-clock.
+/// metrics count model quantities, not wall-clock. Wall-clock engine costs
+/// are reported separately via [`EngineProfile`] when profiling is enabled.
 ///
 /// ```
 /// use mcb_net::{ChanId, Network};
@@ -30,7 +32,10 @@
 /// assert_eq!((m.cycles, m.messages), (1, 1));
 /// assert_eq!(m.per_proc_messages, vec![1, 0]);
 /// assert_eq!(m.per_channel_messages, vec![1]);
-/// assert_eq!(m.channel_utilization(), 1.0);
+/// // 1 message in rounds × k = 2 × 1 channel-slots (the engine ran one
+/// // trailing drain round after both protocols returned).
+/// assert_eq!(m.rounds, 2);
+/// assert_eq!(m.channel_utilization(), 0.5);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Metrics {
@@ -53,6 +58,9 @@ pub struct Metrics {
     pub per_proc_cycles: Vec<u64>,
     /// Messages carried by each channel.
     pub per_channel_messages: Vec<u64>,
+    /// Per-phase breakdown, in order of first activity (see
+    /// [`PhaseMetrics`]). Empty when the protocol never labelled a phase.
+    pub phases: Vec<PhaseMetrics>,
 }
 
 impl Metrics {
@@ -86,18 +94,96 @@ impl Metrics {
         }
     }
 
-    /// Channel-time utilization: fraction of (cycles × k) slots that carried
-    /// a message. An algorithm keeping all channels busy every cycle scores
-    /// 1.0.
+    /// Channel-time utilization: the fraction of `rounds × k` channel-slots
+    /// that carried a message. An algorithm keeping all channels busy every
+    /// round scores 1.0.
+    ///
+    /// **Invariant**: collision-freedom means each channel carries at most
+    /// one message per engine round, so `messages <= rounds * k` and the
+    /// ratio never exceeds 1.0 for a successful run. The denominator is
+    /// [`rounds`](Metrics::rounds) (global engine rounds), not
+    /// [`cycles`](Metrics::cycles) (the per-processor maximum): channels
+    /// exist — and can carry traffic — during the trailing rounds in which
+    /// stragglers finish, so dividing by `cycles` could exceed 1.0.
     pub fn channel_utilization(&self) -> f64 {
         let slots = self
-            .cycles
+            .rounds
             .saturating_mul(self.per_channel_messages.len() as u64);
         if slots == 0 {
             0.0
         } else {
             self.messages as f64 / slots as f64
         }
+    }
+}
+
+/// Costs attributed to one labelled phase (see [`crate::phase`]).
+///
+/// `cycles` is the maximum over processors of the cycles each spent in the
+/// phase — the same convention as [`Metrics::cycles`]. For the lock-step
+/// subroutines in `mcb-algos` (every processor enters/leaves each phase at
+/// the same cycle), per-phase cycle counts sum exactly to the whole-run
+/// total; `messages`, `total_bits`, and `per_channel_messages` always
+/// partition their whole-run counterparts over phases plus the unlabelled
+/// remainder.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PhaseMetrics {
+    /// The label passed to [`ProcCtx::phase`](crate::ProcCtx::phase).
+    pub name: String,
+    /// Global round of the first cycle/message attributed to this phase.
+    pub first_cycle: u64,
+    /// Global round of the last cycle/message attributed to this phase.
+    pub last_cycle: u64,
+    /// Max over processors of cycles spent in this phase.
+    pub cycles: u64,
+    /// Messages sent while this phase was active.
+    pub messages: u64,
+    /// Sum of bit widths over this phase's messages.
+    pub total_bits: u64,
+    /// This phase's messages, broken down by channel (length `k`).
+    pub per_channel_messages: Vec<u64>,
+}
+
+/// Wall-clock engine costs of one run, recorded when
+/// [`Network::profile`](crate::Network::profile) is enabled.
+///
+/// These are *engine* quantities — they depend on the backend, the host,
+/// and the scheduler — and are deliberately kept out of [`Metrics`] and the
+/// JSONL export so those stay deterministic and backend-identical. Use them
+/// to separate model cost (cycles, messages) from simulation cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// The resolved backend that executed the run.
+    pub backend: crate::Backend,
+    /// Barrier width: `p` on the threaded backend, the worker count on the
+    /// pooled one.
+    pub workers: usize,
+    /// Wall-clock duration of the whole run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Total time executors spent blocked in barrier waits, summed across
+    /// all of them (so it can exceed `wall_ns`), in nanoseconds.
+    pub barrier_wait_ns: u64,
+    /// Pooled backend only: total time workers spent waiting for protocol
+    /// compute (fiber rendezvous and state-machine steps), summed across
+    /// workers, in nanoseconds. Always 0 on the threaded backend, where
+    /// protocol compute runs on the processor's own thread.
+    pub stall_ns: u64,
+}
+
+/// Per-processor, per-phase accumulator (see [`LocalMetrics::phases`]).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PhaseLocal {
+    pub cycles: u64,
+    pub messages: u64,
+    pub total_bits: u64,
+    pub first_round: u64,
+    pub last_round: u64,
+    pub per_channel: Vec<u64>,
+}
+
+impl PhaseLocal {
+    fn is_empty(&self) -> bool {
+        self.cycles == 0 && self.messages == 0
     }
 }
 
@@ -108,13 +194,54 @@ pub(crate) struct LocalMetrics {
     pub messages: u64,
     pub total_bits: u64,
     pub max_msg_bits: u32,
+    /// Currently active phase id (index into the run's interner; 0 = none).
+    pub cur_phase: u16,
+    /// Per-phase tallies, indexed by phase id; row 0 is never populated
+    /// (unlabelled activity is derived by subtraction at aggregation).
+    pub phases: Vec<PhaseLocal>,
 }
 
 impl LocalMetrics {
-    pub(crate) fn record_message(&mut self, bits: u32) {
+    fn phase_row(&mut self) -> &mut PhaseLocal {
+        let idx = self.cur_phase as usize;
+        if self.phases.len() <= idx {
+            self.phases.resize_with(idx + 1, PhaseLocal::default);
+        }
+        &mut self.phases[idx]
+    }
+
+    /// Account one executed cycle at global round `now`.
+    pub(crate) fn record_cycle(&mut self, now: u64) {
+        self.cycles += 1;
+        if self.cur_phase != 0 {
+            let row = self.phase_row();
+            if row.is_empty() {
+                row.first_round = now;
+            }
+            row.cycles += 1;
+            row.last_round = now;
+        }
+    }
+
+    /// Account one sent message of `bits` bits on channel index `chan` at
+    /// global round `now`.
+    pub(crate) fn record_message(&mut self, bits: u32, chan: usize, now: u64) {
         self.messages += 1;
         self.total_bits += u64::from(bits);
         self.max_msg_bits = self.max_msg_bits.max(bits);
+        if self.cur_phase != 0 {
+            let row = self.phase_row();
+            if row.is_empty() {
+                row.first_round = now;
+            }
+            row.messages += 1;
+            row.total_bits += u64::from(bits);
+            row.last_round = row.last_round.max(now);
+            if row.per_channel.len() <= chan {
+                row.per_channel.resize(chan + 1, 0);
+            }
+            row.per_channel[chan] += 1;
+        }
     }
 }
 
@@ -123,25 +250,46 @@ mod tests {
     use super::*;
 
     fn sample() -> Metrics {
+        // Physically consistent with a collision-free run: 18 messages fit
+        // in rounds * k = 12 * 2 = 24 channel-slots.
         Metrics {
             cycles: 10,
             rounds: 12,
-            messages: 30,
-            total_bits: 300,
+            messages: 18,
+            total_bits: 180,
             max_msg_bits: 16,
-            per_proc_messages: vec![10, 10, 10],
+            per_proc_messages: vec![6, 6, 6],
             per_proc_cycles: vec![10, 9, 8],
-            per_channel_messages: vec![20, 10],
+            per_channel_messages: vec![12, 6],
+            phases: vec![],
         }
     }
 
     #[test]
     fn derived_ratios() {
         let m = sample();
-        assert_eq!(m.mean_channel_load(), 15.0);
-        assert!((m.channel_imbalance() - 20.0 / 15.0).abs() < 1e-12);
+        assert_eq!(m.mean_channel_load(), 9.0);
+        assert!((m.channel_imbalance() - 12.0 / 9.0).abs() < 1e-12);
         assert_eq!(m.mean_msg_bits(), 10.0);
-        assert!((m.channel_utilization() - 30.0 / 20.0).abs() < 1e-12);
+        // 18 messages over 12 rounds * 2 channels.
+        assert!((m.channel_utilization() - 18.0 / 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_is_capped_at_one() {
+        // A run that fills every channel-slot of every round scores exactly
+        // 1.0; collision-freedom makes more than that impossible.
+        let m = Metrics {
+            cycles: 12,
+            rounds: 12,
+            messages: 24,
+            per_proc_messages: vec![8, 8, 8],
+            per_proc_cycles: vec![12, 12, 12],
+            per_channel_messages: vec![12, 12],
+            ..Metrics::default()
+        };
+        assert_eq!(m.channel_utilization(), 1.0);
+        assert!(m.messages <= m.rounds * m.per_channel_messages.len() as u64);
     }
 
     #[test]
@@ -156,11 +304,31 @@ mod tests {
     #[test]
     fn local_metrics_accumulate() {
         let mut l = LocalMetrics::default();
-        l.record_message(8);
-        l.record_message(16);
-        l.record_message(4);
+        l.record_message(8, 0, 0);
+        l.record_message(16, 1, 1);
+        l.record_message(4, 0, 2);
         assert_eq!(l.messages, 3);
         assert_eq!(l.total_bits, 28);
         assert_eq!(l.max_msg_bits, 16);
+        // No phase active: nothing attributed per-phase.
+        assert!(l.phases.is_empty());
+    }
+
+    #[test]
+    fn local_metrics_attribute_phases() {
+        let mut l = LocalMetrics {
+            cur_phase: 2,
+            ..LocalMetrics::default()
+        };
+        l.record_message(8, 1, 5);
+        l.record_cycle(5);
+        l.record_cycle(6);
+        l.cur_phase = 0;
+        l.record_cycle(7); // unlabelled: whole-run tally only
+        assert_eq!(l.cycles, 3);
+        let row = &l.phases[2];
+        assert_eq!((row.cycles, row.messages, row.total_bits), (2, 1, 8));
+        assert_eq!((row.first_round, row.last_round), (5, 6));
+        assert_eq!(row.per_channel, vec![0, 1]);
     }
 }

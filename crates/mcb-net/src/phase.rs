@@ -1,0 +1,108 @@
+//! Phase-scoped attribution of cycles and messages.
+//!
+//! The paper states every cost bound *per phase* — Columnsort's eight
+//! transform phases (§5), selection's filtering rounds (§8), Partial-Sums'
+//! tree sweeps (§7.1) — so the engine lets protocols label the cycles they
+//! execute. A label set with [`ProcCtx::phase`](crate::ProcCtx::phase) (or
+//! [`StepEnv::phase`](crate::StepEnv::phase) / `VirtCtx::phase`) applies to
+//! every subsequent cycle and message of that processor until the label
+//! changes; the engine aggregates the per-processor tallies into the
+//! [`Metrics::phases`](crate::Metrics::phases) table and stamps trace
+//! events with the phase they were sent in.
+//!
+//! # The lock-step invariant
+//!
+//! Per-phase `cycles` is the **maximum** over processors of the cycles each
+//! spent in that phase (the same convention as whole-run
+//! [`Metrics::cycles`](crate::Metrics::cycles)). The repo's algorithm
+//! subroutines are *lock-step*: every processor enters and leaves each
+//! labelled phase at the same cycle (non-participants idle inside the same
+//! subroutine), so each processor spends the identical cycle count in each
+//! phase and the per-phase cycle counts sum exactly to the whole-run total.
+//! Protocols that label phases at different times on different processors
+//! still get correct per-phase message counts, but the per-phase cycle
+//! *maxima* may then overlap and sum to more than the whole-run maximum.
+//!
+//! # Nesting convention
+//!
+//! Subroutines meant to be callable both standalone and from a larger
+//! labelled algorithm only set their own labels when the caller has not set
+//! one (checked via [`phase_label`](PhaseTarget::phase_label)); that way
+//! selection's `filter:N` rounds subsume the sorts and partial-sums sweeps
+//! they contain, while a standalone partial-sums run still reports its
+//! sweeps.
+
+use std::ops::{Deref, DerefMut};
+
+/// Anything that carries a current phase label ([`ProcCtx`](crate::ProcCtx)
+/// and [`VirtCtx`](crate::VirtCtx)).
+///
+/// The label is plain data: setting it never costs a cycle or a message.
+pub trait PhaseTarget {
+    /// Label all subsequent cycles/messages of this processor; `""` returns
+    /// to unlabelled.
+    fn set_phase_label(&mut self, name: &str);
+
+    /// The currently active label (`""` when unlabelled).
+    fn phase_label(&self) -> &str;
+}
+
+/// RAII guard that restores the previous phase label on drop.
+///
+/// Created by [`ProcCtx::phase_scope`](crate::ProcCtx::phase_scope) (or the
+/// `VirtCtx` equivalent); derefs to the underlying context so the guarded
+/// region can keep issuing cycles:
+///
+/// ```
+/// use mcb_net::{ChanId, Network};
+///
+/// let report = Network::new(2, 1)
+///     .run(|ctx| {
+///         {
+///             let mut ctx = ctx.phase_scope("exchange");
+///             if ctx.id().index() == 0 {
+///                 ctx.write(ChanId(0), 1u64);
+///             } else {
+///                 ctx.read(ChanId(0));
+///             }
+///         } // label restored here
+///         ctx.idle();
+///     })
+///     .unwrap();
+/// let table = &report.metrics.phases;
+/// assert_eq!(table.len(), 1);
+/// assert_eq!(table[0].name, "exchange");
+/// assert_eq!((table[0].cycles, table[0].messages), (1, 1));
+/// ```
+pub struct PhaseScope<'s, C: PhaseTarget> {
+    ctx: &'s mut C,
+    prev: String,
+}
+
+impl<'s, C: PhaseTarget> PhaseScope<'s, C> {
+    pub(crate) fn enter(ctx: &'s mut C, name: &str) -> Self {
+        let prev = ctx.phase_label().to_owned();
+        ctx.set_phase_label(name);
+        PhaseScope { ctx, prev }
+    }
+}
+
+impl<C: PhaseTarget> Deref for PhaseScope<'_, C> {
+    type Target = C;
+    fn deref(&self) -> &C {
+        self.ctx
+    }
+}
+
+impl<C: PhaseTarget> DerefMut for PhaseScope<'_, C> {
+    fn deref_mut(&mut self) -> &mut C {
+        self.ctx
+    }
+}
+
+impl<C: PhaseTarget> Drop for PhaseScope<'_, C> {
+    fn drop(&mut self) {
+        let prev = std::mem::take(&mut self.prev);
+        self.ctx.set_phase_label(&prev);
+    }
+}

@@ -41,28 +41,37 @@
 //!   what lets arbitrary closure protocols run unchanged on this backend.
 
 use crate::barrier::Sense;
-use crate::engine::{assemble_report, panic_message, Aborted, Network, ProcCtx, RunReport, Shared};
+use crate::engine::{
+    assemble_report, panic_message, Aborted, Backend, Network, ProcCtx, RunReport, Shared,
+};
 use crate::error::NetError;
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
-use crate::metrics::LocalMetrics;
+use crate::metrics::{EngineProfile, LocalMetrics};
 use crate::step::{Step, StepEnv, StepProtocol};
 use crate::sync::Mutex;
+use crate::trace::Event;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
 
 /// One cycle's worth of intent from a suspended unit.
 pub(crate) struct Request<M> {
+    /// Phase-label change to apply before this cycle executes, if any.
+    phase: Option<String>,
     write: Option<(ChanId, M)>,
     read: Option<ChanId>,
 }
 
 /// Worker → unit resumption payload: the read result plus the unit's
-/// refreshed clocks (the worker's copies are authoritative).
+/// refreshed clocks (the worker's copies are authoritative; the fiber only
+/// needs the scalars, so the per-phase tallies stay worker-side and are
+/// never cloned per cycle).
 pub(crate) struct Resume<M> {
     pub(crate) read: Option<M>,
-    pub(crate) local: LocalMetrics,
+    pub(crate) cycles: u64,
+    pub(crate) messages: u64,
     pub(crate) now: u64,
 }
 
@@ -78,12 +87,13 @@ impl<M> FiberPort<M> {
     /// `None` means the run is over and the caller must unwind.
     pub(crate) fn rendezvous(
         &self,
+        phase: Option<String>,
         write: Option<(ChanId, M)>,
         read: Option<ChanId>,
     ) -> Option<Resume<M>> {
         if self
             .requests
-            .send(FiberEvent::Yielded(Request { write, read }))
+            .send(FiberEvent::Yielded(Request { phase, write, read }))
             .is_err()
         {
             return None;
@@ -169,22 +179,28 @@ where
 {
     fn resume(&mut self, resume: Resume<M>) {
         self.input = resume.read;
-        self.cycles_used = resume.local.cycles;
-        self.messages_sent = resume.local.messages;
+        self.cycles_used = resume.cycles;
+        self.messages_sent = resume.messages;
     }
 
     fn collect(&mut self, now: u64) -> UnitStatus<M> {
-        let env = StepEnv {
-            id: self.id,
-            p: self.p,
-            k: self.k,
+        let env = StepEnv::new(
+            self.id,
+            self.p,
+            self.k,
             now,
-            cycles_used: self.cycles_used,
-            messages_sent: self.messages_sent,
-        };
+            self.cycles_used,
+            self.messages_sent,
+        );
         let input = self.input.take();
         match catch_unwind(AssertUnwindSafe(|| self.machine.step(&env, input))) {
-            Ok(Step::Yield { write, read }) => UnitStatus::Yielded(Request { write, read }),
+            Ok(Step::Yield { write, read }) => UnitStatus::Yielded(Request {
+                // A phase requested during `step` labels the yielded cycle
+                // (same ordering as the threaded driver).
+                phase: env.take_phase(),
+                write,
+                read,
+            }),
             Ok(Step::Done(r)) => {
                 self.results.lock()[self.id.index()] = Some(r);
                 UnitStatus::Finished
@@ -200,6 +216,8 @@ where
 struct UnitSlot<M, U> {
     id: ProcId,
     local: LocalMetrics,
+    /// This slot's private trace buffer (lock-free; merged at run end).
+    events: Vec<Event<M>>,
     pending: Option<Request<M>>,
     read_val: Option<M>,
     awaiting: bool,
@@ -211,6 +229,7 @@ impl<M, U> UnitSlot<M, U> {
         UnitSlot {
             id,
             local: LocalMetrics::default(),
+            events: Vec::new(),
             pending: None,
             read_val: None,
             awaiting: false,
@@ -254,34 +273,48 @@ where
     U: Unit<M>,
 {
     let mut sense = Sense::new();
+    // Wall-clock profiling accumulators (contributed to the run once, at
+    // the end): time blocked in barriers vs. time waiting for the units'
+    // protocol compute (fiber rendezvous / state-machine steps).
+    let mut barrier_ns = 0u64;
+    let mut stall_ns = 0u64;
     // Bring every unit to its first `cycle` call (or completion).
+    let t0 = shared.profile.then(Instant::now);
     for slot in chunk.iter_mut() {
         let status = slot.unit.collect(0);
         absorb(slot, status, shared);
+    }
+    if let Some(t) = t0 {
+        stall_ns += t.elapsed().as_nanos() as u64;
     }
     loop {
         // ---- write phase -------------------------------------------------
         for slot in chunk.iter_mut() {
             if let Some(req) = &mut slot.pending {
+                if let Some(name) = req.phase.take() {
+                    slot.local.cur_phase = shared.phase_id(&name);
+                }
                 if let Some((c, m)) = req.write.take() {
-                    shared.apply_write(slot.id, c, m, &mut slot.local);
+                    let events = shared.record_trace.then_some(&mut slot.events);
+                    shared.apply_write(slot.id, c, m, &mut slot.local, events);
                 }
             }
         }
-        shared.barrier.wait(&mut sense); // writes visible
+        shared.barrier_wait(&mut sense, &mut barrier_ns); // writes visible
 
         // ---- read phase --------------------------------------------------
+        let now = shared.round.load(Ordering::Relaxed);
         for slot in chunk.iter_mut() {
             if let Some(req) = &slot.pending {
                 slot.read_val = req.read.and_then(|c| shared.apply_read(slot.id, c));
-                slot.local.cycles += 1;
+                slot.local.record_cycle(now);
             }
         }
-        let winner = shared.barrier.wait(&mut sense); // reads done
+        let winner = shared.barrier_wait(&mut sense, &mut barrier_ns); // reads done
         if winner {
             shared.sweep();
         }
-        shared.barrier.wait(&mut sense); // sweep visible
+        shared.barrier_wait(&mut sense, &mut barrier_ns); // sweep visible
 
         if shared.done.load(Ordering::Acquire) {
             for slot in chunk.iter_mut() {
@@ -289,17 +322,24 @@ where
                     slot.unit.abort();
                 }
             }
+            if shared.profile {
+                let mut prof = shared.prof.lock();
+                prof.barrier_wait_ns += barrier_ns;
+                prof.stall_ns += stall_ns;
+            }
             return;
         }
 
         // ---- resume + collect (the units' compute phase) -----------------
         let now = shared.round.load(Ordering::Relaxed);
+        let t0 = shared.profile.then(Instant::now);
         for slot in chunk.iter_mut() {
             if slot.pending.take().is_some() {
                 slot.awaiting = true;
                 slot.unit.resume(Resume {
                     read: slot.read_val.take(),
-                    local: slot.local.clone(),
+                    cycles: slot.local.cycles,
+                    messages: slot.local.messages,
                     now,
                 });
             }
@@ -309,6 +349,9 @@ where
                 let status = slot.unit.collect(now);
                 absorb(slot, status, shared);
             }
+        }
+        if let Some(t) = t0 {
+            stall_ns += t.elapsed().as_nanos() as u64;
         }
     }
 }
@@ -328,6 +371,7 @@ where
     let k = net.k();
     let (chunk_size, workers) = chunking(p);
     let shared = Shared::new(net, workers);
+    let started = Instant::now();
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..p).map(|_| None).collect());
 
     let mut slots = Vec::with_capacity(p);
@@ -377,7 +421,18 @@ where
     });
 
     let locals = slots.iter().map(|s| s.local.clone()).collect();
-    assemble_report(shared, locals, results.into_inner())
+    let events: Vec<Event<M>> = slots.iter_mut().flat_map(|s| s.events.drain(..)).collect();
+    let profile = shared.profile.then(|| {
+        let agg = shared.prof.lock().clone();
+        EngineProfile {
+            backend: Backend::Pooled,
+            workers,
+            wall_ns: started.elapsed().as_nanos() as u64,
+            barrier_wait_ns: agg.barrier_wait_ns,
+            stall_ns: agg.stall_ns,
+        }
+    });
+    assemble_report(shared, locals, results.into_inner(), events, profile)
 }
 
 /// Pooled execution of [`StepProtocol`] state machines: no per-processor
@@ -396,6 +451,7 @@ where
     let k = net.k();
     let (chunk_size, workers) = chunking(p);
     let shared = Shared::new(net, workers);
+    let started = Instant::now();
     let results: Mutex<Vec<Option<S::Output>>> = Mutex::new((0..p).map(|_| None).collect());
 
     let mut slots = Vec::with_capacity(p);
@@ -424,6 +480,17 @@ where
     });
 
     let locals = slots.iter().map(|s| s.local.clone()).collect();
+    let events: Vec<Event<M>> = slots.iter_mut().flat_map(|s| s.events.drain(..)).collect();
     drop(slots); // release the units' borrow of `results`
-    assemble_report(shared, locals, results.into_inner())
+    let profile = shared.profile.then(|| {
+        let agg = shared.prof.lock().clone();
+        EngineProfile {
+            backend: Backend::Pooled,
+            workers,
+            wall_ns: started.elapsed().as_nanos() as u64,
+            barrier_wait_ns: agg.barrier_wait_ns,
+            stall_ns: agg.stall_ns,
+        }
+    });
+    assemble_report(shared, locals, results.into_inner(), events, profile)
 }

@@ -107,7 +107,6 @@ impl<M, R> Step<M, R> {
 /// Read-only view of a processor's identity and clocks, passed to every
 /// [`StepProtocol::step`] call. Mirrors the accessor methods of
 /// [`ProcCtx`](crate::ProcCtx).
-#[derive(Debug, Clone, Copy)]
 pub struct StepEnv {
     /// This processor's identity.
     pub id: ProcId,
@@ -121,6 +120,58 @@ pub struct StepEnv {
     pub cycles_used: u64,
     /// Messages this processor has sent.
     pub messages_sent: u64,
+    /// Requested phase-label change, applied by the engine after this
+    /// `step` call returns and before the yielded cycle executes.
+    phase: std::cell::Cell<Option<String>>,
+}
+
+impl StepEnv {
+    pub(crate) fn new(
+        id: ProcId,
+        p: usize,
+        k: usize,
+        now: u64,
+        cycles_used: u64,
+        messages_sent: u64,
+    ) -> Self {
+        StepEnv {
+            id,
+            p,
+            k,
+            now,
+            cycles_used,
+            messages_sent,
+            phase: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Label all cycles/messages from the next yielded cycle on with
+    /// `name` (`""` returns to unlabelled) — the [`StepProtocol`]
+    /// counterpart of [`ProcCtx::phase`](crate::ProcCtx::phase).
+    ///
+    /// The request takes effect when this `step` call returns; calling it
+    /// repeatedly within one step keeps only the last label.
+    pub fn phase(&self, name: &str) {
+        self.phase.set(Some(name.to_owned()));
+    }
+
+    /// Engine side: collect the pending label change, if any.
+    pub(crate) fn take_phase(&self) -> Option<String> {
+        self.phase.take()
+    }
+}
+
+impl std::fmt::Debug for StepEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepEnv")
+            .field("id", &self.id)
+            .field("p", &self.p)
+            .field("k", &self.k)
+            .field("now", &self.now)
+            .field("cycles_used", &self.cycles_used)
+            .field("messages_sent", &self.messages_sent)
+            .finish()
+    }
 }
 
 /// A protocol written as a resumable state machine.

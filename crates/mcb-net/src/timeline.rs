@@ -1,0 +1,198 @@
+//! ASCII cycle-timeline inspector for traced runs.
+//!
+//! [`render_timeline`] turns a [`Trace`] plus its [`Metrics`] into a
+//! terminal picture of *when* each channel carried traffic and *which*
+//! phase was active: one heat-map row per channel (time flows left to
+//! right, darker glyphs mean more messages per column), phase spans packed
+//! into lanes above the grid, and a per-channel load summary next to each
+//! row. The `trace_timeline` example renders the paper's Columnsort and
+//! selection algorithms this way.
+//!
+//! The rendering is a pure function of deterministic inputs, so — like the
+//! JSONL export — it is identical across execution backends.
+
+use crate::metrics::Metrics;
+use crate::trace::Trace;
+
+/// Glyph ramp for per-column message counts, lightest to densest. Index 0
+/// (a space) is reserved for "no traffic".
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Map `cycle` to a column in `0..cols` given `rounds` total rounds.
+fn col_of(cycle: u64, rounds: u64, cols: usize) -> usize {
+    ((cycle as u128 * cols as u128 / rounds as u128) as usize).min(cols - 1)
+}
+
+/// Render a cycle × channel timeline of `trace` at most `width` columns
+/// wide (each column aggregates a contiguous span of rounds; narrower runs
+/// get one column per round). Returns a multi-line string:
+///
+/// 1. a header with run totals and the column scale,
+/// 2. one lane per row of non-overlapping phase spans (`[name====]`),
+///    greedily packed, in [`Metrics::phases`] order,
+/// 3. one heat-map row per channel (` .:-=+*#%@` by per-column messages),
+/// 4. a per-channel total-load summary.
+///
+/// Panics if `width == 0`. An un-traced or empty run renders a header and
+/// empty grid rather than panicking.
+pub fn render_timeline<M>(metrics: &Metrics, trace: &Trace<M>, width: usize) -> String {
+    assert!(width > 0, "timeline width must be >= 1");
+    let rounds = metrics.rounds.max(1);
+    let k = metrics.per_channel_messages.len().max(1);
+    let cols = (width as u64).min(rounds) as usize;
+    let cycles_per_col = rounds as f64 / cols as f64;
+
+    // Per-channel, per-column message counts.
+    let mut grid = vec![vec![0u64; cols]; k];
+    for e in trace.events() {
+        grid[e.channel.index() % k][col_of(e.cycle, rounds, cols)] += 1;
+    }
+    let peak = grid
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .max()
+        .unwrap_or(0);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: rounds={} messages={} k={} | {} col(s), ~{:.1} cycle(s)/col, peak {} msg/col\n",
+        metrics.rounds,
+        metrics.messages,
+        metrics.per_channel_messages.len(),
+        cols,
+        cycles_per_col,
+        peak,
+    ));
+
+    // ---- phase lanes (greedy packing; phases arrive sorted by first_cycle).
+    let gutter = "         "; // aligns lanes with the grid body
+    let mut lanes: Vec<(Vec<u8>, usize)> = Vec::new(); // (row, next free col)
+    for ph in &metrics.phases {
+        let lo = col_of(ph.first_cycle, rounds, cols);
+        let hi = col_of(ph.last_cycle, rounds, cols).max(lo);
+        let lane = match lanes.iter_mut().find(|(_, free)| *free <= lo) {
+            Some(lane) => lane,
+            None => {
+                lanes.push((vec![b' '; cols], 0));
+                lanes.last_mut().expect("just pushed")
+            }
+        };
+        // Span glyph: `[name====]`, name truncated to fit the span; a
+        // single-column span collapses to `|`.
+        let span = &mut lane.0[lo..=hi];
+        span.fill(b'=');
+        span[0] = b'[';
+        let last = span.len() - 1;
+        span[last] = if last == 0 { b'|' } else { b']' };
+        let room = span.len().saturating_sub(2);
+        for (i, b) in ph.name.bytes().take(room).enumerate() {
+            span[1 + i] = b;
+        }
+        lane.1 = hi + 1;
+    }
+    for (lane, _) in &lanes {
+        out.push_str(gutter);
+        out.push(' ');
+        out.push_str(std::str::from_utf8(lane).expect("ASCII lane"));
+        out.push('\n');
+    }
+
+    // ---- heat grid, one row per channel, plus total load.
+    for (c, row) in grid.iter().enumerate() {
+        let load = metrics.per_channel_messages.get(c).copied().unwrap_or(0);
+        out.push_str(&format!("chan {c:>3} |"));
+        for &n in row {
+            let glyph = if n == 0 || peak == 0 {
+                b' '
+            } else {
+                // 1..=peak maps onto ramp indices 1..=9 (peak always '@').
+                let idx = ((n as usize) * (RAMP.len() - 1)).div_ceil(peak as usize);
+                RAMP[idx.min(RAMP.len() - 1)]
+            };
+            out.push(glyph as char);
+        }
+        out.push_str(&format!("| {load}\n"));
+    }
+    out.push_str(&format!(
+        "{gutter} 0{:>width$}\n",
+        metrics.rounds,
+        width = cols.saturating_sub(1)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Network;
+    use crate::ids::ChanId;
+
+    fn traced_run() -> (Metrics, Trace<u64>) {
+        let report = Network::new(4, 2)
+            .record_trace(true)
+            .run(|ctx| {
+                let me = ctx.id().index();
+                ctx.phase("fill");
+                for r in 0..4u64 {
+                    // Procs 0 and 1 own channels 0 and 1; the rest idle.
+                    let w = (me < 2).then_some((ChanId(me as u32), r));
+                    ctx.cycle(w, None);
+                }
+                ctx.phase("drain");
+                for _ in 0..4u64 {
+                    let w = (me == 0).then_some((ChanId(0), 9));
+                    ctx.cycle(w, None);
+                }
+            })
+            .unwrap();
+        (report.metrics, report.trace.expect("trace on"))
+    }
+
+    #[test]
+    fn renders_grid_and_lanes() {
+        let (metrics, trace) = traced_run();
+        // One column per round (rounds >= the protocol's 8 cycles; the
+        // engine may add a trailing drain round with no traffic).
+        let cols = metrics.rounds as usize;
+        let art = render_timeline(&metrics, &trace, cols);
+        // Chan 0 carries 1 msg in each of the first 8 rounds (peak, '@');
+        // chan 1 only in the first 4.
+        let chan1 = art.lines().find(|l| l.starts_with("chan   1")).unwrap();
+        assert_eq!(
+            chan1,
+            format!("chan   1 |@@@@{}| 4", " ".repeat(cols - 4)),
+            "{art}"
+        );
+        // Both phases appear as spans (names truncated to the span width).
+        assert!(art.contains("[fi"), "{art}");
+        assert!(art.contains("[dr"), "{art}");
+    }
+
+    #[test]
+    fn bucketing_compresses_wide_runs() {
+        let (metrics, trace) = traced_run();
+        let art = render_timeline(&metrics, &trace, 4);
+        assert!(art.contains("| 4 col(s)"), "{art}");
+        let chan0 = art.lines().find(|l| l.starts_with("chan   0")).unwrap();
+        // All 8 messages survive bucketing, every column carries traffic.
+        assert!(chan0.ends_with("| 8"), "{art}");
+        let cells: &str = &chan0["chan   0 |".len()..chan0.len() - "| 8".len()];
+        assert_eq!(cells.len(), 4, "{art}");
+        assert!(cells.bytes().all(|b| b != b' '), "{art}");
+    }
+
+    #[test]
+    fn deterministic_across_backends() {
+        let (m1, t1) = traced_run();
+        let (m2, t2) = traced_run();
+        assert_eq!(render_timeline(&m1, &t1, 16), render_timeline(&m2, &t2, 16));
+    }
+
+    #[test]
+    fn empty_trace_renders_header() {
+        let metrics = Metrics::default();
+        let trace = Trace::new(Vec::<crate::trace::Event<u64>>::new());
+        let art = render_timeline(&metrics, &trace, 10);
+        assert!(art.starts_with("timeline: rounds=0 messages=0"));
+    }
+}

@@ -3,8 +3,10 @@
 //! Traces exist to make the paper's lower bounds *executable*: the adversary
 //! of Theorems 1–2 watches the messages an algorithm sends and eliminates
 //! median candidates accordingly. `mcb-lowerbounds` replays a recorded trace
-//! through that bookkeeping. Recording is off by default because it puts a
-//! mutex on the write path.
+//! through that bookkeeping. Recording is off by default; when enabled,
+//! every executor appends to its own private buffer (no locking on the
+//! write path) and the buffers are merged into the canonical order when the
+//! run completes.
 
 use crate::ids::{ChanId, ProcId};
 
@@ -17,6 +19,10 @@ pub struct Event<M> {
     pub writer: ProcId,
     /// The channel written.
     pub channel: ChanId,
+    /// The sender's active phase: an index into
+    /// [`Metrics::phases`](crate::Metrics::phases), or `None` when the
+    /// message was sent outside any labelled phase.
+    pub phase: Option<u16>,
     /// The payload.
     pub msg: M,
 }
@@ -100,18 +106,21 @@ mod tests {
                 cycle: 2,
                 writer: ProcId(0),
                 channel: ChanId(0),
+                phase: None,
                 msg: 7u64,
             },
             Event {
                 cycle: 1,
                 writer: ProcId(1),
                 channel: ChanId(1),
+                phase: None,
                 msg: 8u64,
             },
             Event {
                 cycle: 1,
                 writer: ProcId(0),
                 channel: ChanId(0),
+                phase: None,
                 msg: 9u64,
             },
         ]);
@@ -129,12 +138,14 @@ mod tests {
                 cycle: 5,
                 writer: ProcId(0),
                 channel: ChanId(0),
+                phase: None,
                 msg: 1u64,
             },
             Event {
                 cycle: 6,
                 writer: ProcId(0),
                 channel: ChanId(0),
+                phase: None,
                 msg: 2u64,
             },
         ]);

@@ -47,6 +47,7 @@ use crate::error::NetError;
 use crate::ids::ChanId;
 use crate::message::MsgWidth;
 use crate::metrics::Metrics;
+use crate::phase::{PhaseScope, PhaseTarget};
 
 /// A virtual `MCB(p', k')` hosted on a physical `MCB(p, k)`.
 #[derive(Debug, Clone)]
@@ -265,6 +266,35 @@ impl<'a, 'b, M: Clone + Send + Sync + MsgWidth> VirtCtx<'a, 'b, M> {
     /// Do-nothing virtual cycle.
     pub fn idle(&mut self) {
         self.cycle(None, None);
+    }
+
+    /// Label subsequent activity with `name` — delegates to the physical
+    /// [`ProcCtx::phase`]. Note that phase metrics count *physical*
+    /// quantities: one virtual cycle contributes `g²·h` physical cycles to
+    /// the active phase.
+    pub fn phase(&mut self, name: &str) {
+        self.inner.phase(name);
+    }
+
+    /// The currently active phase label (`""` when unlabelled).
+    pub fn phase_label(&self) -> &str {
+        self.inner.phase_label()
+    }
+
+    /// RAII variant of [`phase`](Self::phase): restores the previous label
+    /// when the guard drops. See [`ProcCtx::phase_scope`].
+    pub fn phase_scope<'s>(&'s mut self, name: &str) -> PhaseScope<'s, Self> {
+        PhaseScope::enter(self, name)
+    }
+}
+
+impl<M: Clone + Send + Sync + MsgWidth> PhaseTarget for VirtCtx<'_, '_, M> {
+    fn set_phase_label(&mut self, name: &str) {
+        self.phase(name);
+    }
+
+    fn phase_label(&self) -> &str {
+        VirtCtx::phase_label(self)
     }
 }
 

@@ -62,6 +62,11 @@ impl Schedule {
                 let me = ctx.id().index();
                 let mut acc = 0u64;
                 for r in 0..self.rounds {
+                    // Label a new phase every 5 rounds so the equivalence
+                    // check also covers per-phase attribution.
+                    if r % 5 == 0 {
+                        ctx.phase(&format!("seg{}", r / 5));
+                    }
                     let write = (0..self.k)
                         .find(|&c| self.writers[r][c] == Some(me))
                         .map(|c| (ChanId::from_index(c), (r * 1000 + c * 10 + me) as u64));
@@ -80,9 +85,14 @@ impl Schedule {
 fn assert_reports_identical(a: &RunReport<u64, u64>, b: &RunReport<u64, u64>, label: &str) {
     assert_eq!(a.results, b.results, "{label}: results differ");
     assert_eq!(a.metrics, b.metrics, "{label}: metrics differ");
+    assert_eq!(
+        a.metrics.phases, b.metrics.phases,
+        "{label}: phase tables differ"
+    );
     let (ta, tb): (&Trace<u64>, &Trace<u64>) =
         (a.trace.as_ref().unwrap(), b.trace.as_ref().unwrap());
     assert_eq!(ta.events(), tb.events(), "{label}: traces differ");
+    assert_eq!(a.to_jsonl(), b.to_jsonl(), "{label}: JSONL exports differ");
 }
 
 #[test]
@@ -244,6 +254,10 @@ impl StepProtocol<u64> for Ring {
         if env.now == self.hops {
             return Step::Done(env.messages_sent);
         }
+        // One phase per full ring pass, to cover StepEnv phase plumbing.
+        if turn == 0 {
+            env.phase(&format!("pass{}", env.now / env.p as u64));
+        }
         let write = if turn == me {
             let token = input.unwrap_or(0) + 1;
             Some((ChanId::from_index(me), token))
@@ -271,12 +285,16 @@ fn run_steps_agrees_across_backends() {
     let pooled = run(Backend::Pooled);
     assert_eq!(threaded.results, pooled.results);
     assert_eq!(threaded.metrics, pooled.metrics);
+    assert_eq!(threaded.metrics.phases, pooled.metrics.phases);
     assert_eq!(
         threaded.trace.as_ref().unwrap().events(),
         pooled.trace.as_ref().unwrap().events()
     );
-    // Each processor forwarded the token once per full ring pass.
+    assert_eq!(threaded.to_jsonl(), pooled.to_jsonl());
+    // Each processor forwarded the token once per full ring pass, and each
+    // pass is its own labelled phase.
     assert_eq!(threaded.metrics.messages, 12);
+    assert!(threaded.metrics.phases.len() >= 2);
 }
 
 #[test]

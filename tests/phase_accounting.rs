@@ -1,0 +1,116 @@
+//! Integration: per-phase metrics must reconcile with whole-run totals.
+//!
+//! Every algorithm in `mcb-algos` labels all of its cycles with paper-named
+//! phases (the entry-unlabelled gate means an un-nested invocation tags the
+//! whole run). Because subroutines are lock-step, phase spans are
+//! time-aligned across processors and tile the run, so:
+//!
+//! * the per-phase cycle maxima sum to the whole-run cycle count,
+//! * per-phase messages / bits / per-channel loads sum to the run totals,
+//! * phase spans are contiguous and non-overlapping in `first_cycle` order.
+
+use mcb::algos::msg::Word;
+use mcb::algos::select::select_rank_in;
+use mcb::algos::sort::{columnsort_net_in, ColumnRole};
+use mcb::net::{Metrics, Network};
+use mcb::workloads::{distinct_keys, rng};
+
+/// Assert that the phase table fully accounts for the run.
+fn assert_phases_cover(m: &Metrics, label: &str) {
+    assert!(!m.phases.is_empty(), "{label}: no phases recorded");
+    let cycles: u64 = m.phases.iter().map(|ph| ph.cycles).sum();
+    assert_eq!(cycles, m.cycles, "{label}: phase cycles don't sum to total");
+    let messages: u64 = m.phases.iter().map(|ph| ph.messages).sum();
+    assert_eq!(messages, m.messages, "{label}: phase messages don't sum");
+    let bits: u64 = m.phases.iter().map(|ph| ph.total_bits).sum();
+    assert_eq!(bits, m.total_bits, "{label}: phase bits don't sum");
+    let k = m.per_channel_messages.len();
+    for c in 0..k {
+        let per_chan: u64 = m.phases.iter().map(|ph| ph.per_channel_messages[c]).sum();
+        assert_eq!(
+            per_chan, m.per_channel_messages[c],
+            "{label}: channel {c} load doesn't sum"
+        );
+    }
+    // Spans tile the run: contiguous, non-overlapping, starting at cycle 0.
+    let mut next = 0u64;
+    for ph in &m.phases {
+        assert_eq!(
+            ph.first_cycle, next,
+            "{label}: phase {:?} leaves a gap or overlaps",
+            ph.name
+        );
+        assert!(ph.last_cycle >= ph.first_cycle, "{label}: inverted span");
+        next = ph.last_cycle + 1;
+    }
+    assert_eq!(next, m.cycles, "{label}: spans don't reach the last cycle");
+}
+
+#[test]
+fn columnsort_phases_sum_to_totals() {
+    // p = 64 processors, k = 8 channels; the 8 column owners sort an
+    // m x k_cols = 64 x 8 grid while the other 56 processors idle in
+    // lock-step (and label the same phases).
+    let (p, k, m) = (64usize, 8usize, 64usize);
+    let vals = distinct_keys(m * k, &mut rng(71));
+    let report = Network::new(p, k)
+        .run(move |ctx| {
+            let me = ctx.id().index();
+            let role = (me < k).then(|| ColumnRole {
+                col: me,
+                data: vals[me * m..(me + 1) * m]
+                    .iter()
+                    .map(|&v| Some(v))
+                    .collect(),
+            });
+            columnsort_net_in(ctx, role, m, k, &|v| Word::Key(v), &|w: Word<u64>| {
+                w.expect_key()
+            })
+            .unwrap()
+        })
+        .unwrap();
+    let names: Vec<&str> = report
+        .metrics
+        .phases
+        .iter()
+        .map(|ph| ph.name.as_str())
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "cs2:transpose",
+            "cs4:undiagonalize",
+            "cs6:upshift",
+            "cs8:downshift"
+        ],
+        "only the transformation phases consume cycles"
+    );
+    assert_phases_cover(&report.metrics, "columnsort p=64 k=8");
+}
+
+#[test]
+fn selection_phases_sum_to_totals() {
+    let (p, k, n) = (16usize, 4usize, 512usize);
+    let per = n / p;
+    let keys = distinct_keys(n, &mut rng(72));
+    let lists: Vec<Vec<u64>> = keys.chunks(per).map(<[u64]>::to_vec).collect();
+    let d = (n / 2) as u64;
+    let report = Network::new(p, k)
+        .run(move |ctx| {
+            let mine = lists[ctx.id().index()].clone();
+            select_rank_in(ctx, mine, d)
+        })
+        .unwrap();
+    let names: Vec<&str> = report
+        .metrics
+        .phases
+        .iter()
+        .map(|ph| ph.name.as_str())
+        .collect();
+    assert_eq!(names.first().copied(), Some("census"));
+    assert!(
+        names.iter().any(|n| n.starts_with("filter:")),
+        "expected at least one filtering round, got {names:?}"
+    );
+    assert_phases_cover(&report.metrics, "selection p=16 k=4");
+}
