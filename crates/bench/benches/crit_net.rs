@@ -154,11 +154,8 @@ fn write_bench_json(measurements: &[Measurement]) {
     let secs = |d: Duration| format!("{:.6}", d.as_secs_f64());
     let epoch = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+        .map_or(0, |d| d.as_secs());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut rows = String::new();
     for (i, m) in measurements.iter().enumerate() {

@@ -180,11 +180,8 @@ fn write_bench_json(p: usize, stats: &[(Config, Stats)]) {
     let secs = |d: Duration| format!("{:.6}", d.as_secs_f64());
     let epoch = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+        .map_or(0, |d| d.as_secs());
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let base = stats[0].1;
 
     let mut rows = String::new();
@@ -210,8 +207,9 @@ fn write_bench_json(p: usize, stats: &[(Config, Stats)]) {
     let phased_ratio = stats
         .iter()
         .find(|(c, _)| c.name == "phased")
-        .map(|(_, s)| s.median.as_secs_f64() / base.median.as_secs_f64())
-        .unwrap_or(f64::NAN);
+        .map_or(f64::NAN, |(_, s)| {
+            s.median.as_secs_f64() / base.median.as_secs_f64()
+        });
     let json = format!(
         concat!(
             "{{\n",

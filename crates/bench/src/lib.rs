@@ -81,13 +81,15 @@ impl Table {
         // Resolve against the workspace target dir regardless of the cwd
         // cargo bench uses for bench binaries.
         let dir = std::env::var("CARGO_TARGET_DIR")
-            .map(PathBuf::from)
-            .unwrap_or_else(|_| {
-                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                    .join("..")
-                    .join("..")
-                    .join("target")
-            })
+            .map_or_else(
+                |_| {
+                    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                        .join("..")
+                        .join("..")
+                        .join("target")
+                },
+                PathBuf::from,
+            )
             .join("experiments");
         if fs::create_dir_all(&dir).is_ok() {
             let mut csv = self.headers.join(",") + "\n";

@@ -43,5 +43,6 @@ pub mod partial_sums;
 pub mod schedule;
 pub mod select;
 pub mod sort;
+pub mod static_schedule;
 
 pub use msg::{Key, Word};

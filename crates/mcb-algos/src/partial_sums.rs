@@ -80,14 +80,14 @@ pub fn total_cycles(p: usize, k: usize) -> u64 {
 }
 
 /// Number of tree levels above the leaves (`⌈log₂ p⌉`).
-fn tree_levels(p: usize) -> u32 {
+pub(crate) fn tree_levels(p: usize) -> u32 {
     debug_assert!(p >= 1);
     usize::BITS - (p - 1).leading_zeros()
 }
 
 /// Cycles for the level-`l` step: one slot per father at level `l+1`,
 /// scheduled `k` per cycle.
-fn level_cycles(p: usize, k: usize, l: u32) -> usize {
+pub(crate) fn level_cycles(p: usize, k: usize, l: u32) -> usize {
     let fathers = p.div_ceil(1usize << (l + 1));
     fathers.div_ceil(k)
 }

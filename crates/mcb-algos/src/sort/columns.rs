@@ -183,7 +183,7 @@ mod tests {
     }
 
     fn flatten(cols: &[Vec<Option<u64>>]) -> Vec<Option<u64>> {
-        cols.iter().flatten().cloned().collect()
+        cols.iter().flatten().copied().collect()
     }
 
     #[test]

@@ -139,9 +139,9 @@ fn insert_top<K: Key>(
     // (The inserter itself is not in the list right now.)
     let i_bracket = !inserting
         && st.rank.is_some()
-        && st.top().map(|t| *t > new).unwrap_or(false)
-        && st.ptr.as_ref().map(|p| *p < new).unwrap_or(true);
-    if !inserting && st.rank.is_some() && st.top().map(|t| *t < new).unwrap_or(false) {
+        && st.top().is_some_and(|t| *t > new)
+        && st.ptr.as_ref().is_none_or(|p| *p < new);
+    if !inserting && st.rank.is_some() && st.top().is_some_and(|t| *t < new) {
         st.rank = Some(st.rank.unwrap() + 1);
     }
 

@@ -1,0 +1,1241 @@
+//! Static schedule emission: the algorithms' broadcast plans as data.
+//!
+//! Every lock-step protocol in this crate decides *when to write which
+//! channel* from parameters alone (plus, for a few algorithms, the input
+//! keys) — never from what arrives on the wire mid-protocol. That makes
+//! each protocol's communication pattern a pure function we can emit as a
+//! [`CheckedSchedule`] and hand to `mcb-check`'s verifier, which proves
+//! collision-freedom, read-validity, and the paper's closed-form cycle and
+//! message counts **without executing the engine**.
+//!
+//! The emitters here deliberately mirror the runtime protocols line by
+//! line — the same loops, the same `i % span == half` arithmetic — so that
+//! a schedule bug in the algorithm is a schedule bug in the emission, and
+//! the verifier catches it. Conformance tests (in the workspace root)
+//! close the remaining gap by replaying engine traces against these
+//! schedules.
+//!
+//! Three tiers of emitters, by what they need to know:
+//!
+//! * **Parameter-only** — the schedule depends on `(p, k)` and the
+//!   cardinalities `n_i` alone: [`PartialSumsSpec`], [`TotalSpec`],
+//!   [`ExtremaSpec`], [`TransformSpec`], [`PermutationSpec`],
+//!   [`ColumnsortNetSpec`], [`DirectSortSpec`], [`GroupedSortSpec`],
+//!   [`NaiveSelectSpec`].
+//! * **Key-determined (omniscient)** — the schedule additionally depends
+//!   on the input keys, which the emitter simulates with global knowledge:
+//!   [`RankSortSpec`] (phase-2 broadcast order is the rank order) and
+//!   [`SelectSpec`] (which processor holds the weighted median, how the
+//!   candidate set shrinks).
+//! * **Not emitted** — Merge-Sort's replacement-selection streaming and
+//!   the recursive virtual-column sort interleave data-dependent
+//!   decisions at single-cycle granularity; §9's Shout-Echo baseline
+//!   relies on concurrent writes, which the collision-freedom invariant
+//!   deliberately rejects. These are covered by engine-level tests only.
+
+use crate::columnsort::{choose_columns, padded_column_length, Phase, Transform, PHASES};
+use crate::local::median_desc;
+use crate::partial_sums::{level_cycles, partial_sums_cycles, total_cycles, tree_levels};
+use crate::schedule::TransformSchedule;
+use crate::select::MedEntry;
+use crate::sort::columns::columnsort_net_cycles;
+use mcb_check::{Bounds, CheckedSchedule, Report, ScheduleBuilder};
+
+/// An algorithm (instance) whose broadcast schedule can be emitted and
+/// verified statically.
+pub trait StaticSchedule {
+    /// Emit the full per-cycle write/read/move plan.
+    fn emit(&self) -> CheckedSchedule;
+
+    /// The paper's closed-form cost assertions for this instance.
+    fn bounds(&self) -> Bounds;
+
+    /// Emit and verify in one step.
+    fn check(&self) -> Report {
+        mcb_check::verify(&self.emit(), &self.bounds())
+    }
+}
+
+/// Exact message count of the Partial-Sums bottom-up sweep: one message
+/// per *existing* right son, summed over the levels.
+fn right_son_count(p: usize) -> u64 {
+    let mut count = 0u64;
+    for l in 0..tree_levels(p) {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        if p > half {
+            count += ((p - half - 1) / span) as u64 + 1;
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Partial-Sums (§7.1)
+// ---------------------------------------------------------------------------
+
+/// Append the Partial-Sums subroutine's schedule (mirrors
+/// `partial_sums_in`: bottom-up sweep, top-down sweep, neighbour exchange).
+pub(crate) fn emit_partial_sums(b: &mut ScheduleBuilder, p: usize, k: usize) {
+    let levels = tree_levels(p);
+    // Bottom-up: right sons send their subtree value to their father.
+    for l in 0..levels {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        for t in 0..level_cycles(p, k, l) {
+            b.begin_cycle();
+            for i in 0..p {
+                let j = i / span;
+                if i % span == half && j / k == t {
+                    b.write(i, j % k);
+                }
+                if i % span == 0 && j / k == t {
+                    // The father reads even when its right son does not
+                    // exist (ragged tree): the empty channel is the signal.
+                    if i + half < p {
+                        b.read(i, j % k);
+                    } else {
+                        b.read_maybe_empty(i, j % k);
+                    }
+                }
+            }
+        }
+    }
+    // Top-down: fathers send the left-prefix to their (existing) right son.
+    for l in (0..levels).rev() {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        for t in 0..level_cycles(p, k, l) {
+            b.begin_cycle();
+            for i in 0..p {
+                let j = i / span;
+                if i % span == 0 && j / k == t && i + half < p {
+                    b.write(i, j % k);
+                }
+                if i % span == half && j / k == t {
+                    // A right son's father always exists and always sends.
+                    b.read(i, j % k);
+                }
+            }
+        }
+    }
+    // Neighbour exchange: slot s carries P_{s+1}'s prefix to P_s.
+    for t in 0..p.div_ceil(k) {
+        b.begin_cycle();
+        for i in 0..p {
+            if i >= 1 && (i - 1) / k == t {
+                b.write(i, (i - 1) % k);
+            }
+            if i + 1 < p && i / k == t {
+                b.read(i, i % k);
+            }
+        }
+    }
+}
+
+/// Append the total-only variant's schedule (mirrors `total_in`: bottom-up
+/// sweep, then the root broadcasts).
+pub(crate) fn emit_total(b: &mut ScheduleBuilder, p: usize, k: usize) {
+    let levels = tree_levels(p);
+    for l in 0..levels {
+        let span = 1usize << (l + 1);
+        let half = 1usize << l;
+        for t in 0..level_cycles(p, k, l) {
+            b.begin_cycle();
+            for i in 0..p {
+                let j = i / span;
+                if i % span == half && j / k == t {
+                    b.write(i, j % k);
+                }
+                if i % span == 0 && j / k == t {
+                    if i + half < p {
+                        b.read(i, j % k);
+                    } else {
+                        b.read_maybe_empty(i, j % k);
+                    }
+                }
+            }
+        }
+    }
+    b.begin_cycle();
+    b.write(0, 0);
+    for i in 0..p {
+        b.read(i, 0);
+    }
+}
+
+/// The Partial-Sums subroutine on an `MCB(p, k)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PartialSumsSpec {
+    /// Processors.
+    pub p: usize,
+    /// Channels.
+    pub k: usize,
+}
+
+impl StaticSchedule for PartialSumsSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let mut b = ScheduleBuilder::new(
+            &format!("partial_sums p={} k={}", self.p, self.k),
+            self.p,
+            self.k,
+        );
+        emit_partial_sums(&mut b, self.p, self.k);
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        // One message per existing right son in each sweep, plus p-1
+        // exchange messages; O(p) total as the paper states.
+        let r = right_son_count(self.p);
+        Bounds {
+            cycles_exact: Some(partial_sums_cycles(self.p, self.k)),
+            cycles_max: None,
+            messages_exact: Some(2 * r + self.p as u64 - 1),
+            messages_max: Some(3 * self.p as u64),
+        }
+    }
+}
+
+/// The total-only Partial-Sums variant on an `MCB(p, k)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TotalSpec {
+    /// Processors.
+    pub p: usize,
+    /// Channels.
+    pub k: usize,
+}
+
+impl StaticSchedule for TotalSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let mut b =
+            ScheduleBuilder::new(&format!("total p={} k={}", self.p, self.k), self.p, self.k);
+        emit_total(&mut b, self.p, self.k);
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        Bounds {
+            cycles_exact: Some(total_cycles(self.p, self.k)),
+            cycles_max: None,
+            messages_exact: Some(right_son_count(self.p) + 1),
+            messages_max: Some(self.p as u64),
+        }
+    }
+}
+
+/// Extrema finding (§1 warm-up): two total-sum rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExtremaSpec {
+    /// Processors.
+    pub p: usize,
+    /// Channels.
+    pub k: usize,
+}
+
+impl StaticSchedule for ExtremaSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let mut b = ScheduleBuilder::new(
+            &format!("extrema p={} k={}", self.p, self.k),
+            self.p,
+            self.k,
+        );
+        emit_total(&mut b, self.p, self.k);
+        emit_total(&mut b, self.p, self.k);
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        Bounds {
+            cycles_exact: Some(2 * total_cycles(self.p, self.k)),
+            cycles_max: None,
+            messages_exact: Some(2 * (right_son_count(self.p) + 1)),
+            messages_max: Some(2 * self.p as u64),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnsort transformations (§5.2)
+// ---------------------------------------------------------------------------
+
+/// Append one transformation's cycles. `owners[c]` is the processor owning
+/// column `c` (and broadcasting on channel `c`). With `dummies`, writes are
+/// suppressible and reads tolerate empty channels (padded columns).
+pub(crate) fn emit_transform(
+    b: &mut ScheduleBuilder,
+    sched: &TransformSchedule,
+    owners: &[usize],
+    dummies: bool,
+) {
+    let k_cols = owners.len();
+    for t in 0..sched.cycles() {
+        b.begin_cycle();
+        for c in 0..k_cols {
+            if sched.send_task(t, c).is_some() {
+                if dummies {
+                    b.write_suppressible(owners[c], c);
+                } else {
+                    b.write(owners[c], c);
+                }
+            }
+            if let Some(r) = sched.recv_task(t, c) {
+                if dummies {
+                    b.read_maybe_empty(owners[c], r.from_col);
+                } else {
+                    b.read(owners[c], r.from_col);
+                }
+            }
+        }
+    }
+}
+
+/// Append all eight Columnsort phases among `owners` (sorting phases are
+/// local and free; only the four transformations occupy cycles).
+pub(crate) fn emit_columnsort_net(
+    b: &mut ScheduleBuilder,
+    m: usize,
+    owners: &[usize],
+    dummies: bool,
+) {
+    let k_cols = owners.len();
+    for phase in PHASES {
+        if let Phase::Apply(tf) = phase {
+            let sched = TransformSchedule::new(tf, m, k_cols);
+            emit_transform(b, &sched, owners, dummies);
+        }
+    }
+}
+
+/// Exact cross-column message count of a full Columnsort (no dummies).
+fn columnsort_net_messages(m: usize, k_cols: usize) -> u64 {
+    PHASES
+        .iter()
+        .map(|ph| match ph {
+            Phase::Apply(tf) => TransformSchedule::new(*tf, m, k_cols).message_count() as u64,
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Emit one transformation schedule standalone, with the full data-flow
+/// layer: all `m·k` matrix slots (column-major), each moved exactly once,
+/// wire legs tied to their carrying broadcasts.
+fn emit_transform_standalone(
+    name: &str,
+    sched: &TransformSchedule,
+    m: usize,
+    k: usize,
+) -> CheckedSchedule {
+    let mut b = ScheduleBuilder::new(name, k, k);
+    b.declare_slots(m * k);
+    for c in 0..k {
+        for &(sr, dr) in sched.local_moves(c) {
+            b.local_move(c, c * m + sr, c * m + dr);
+        }
+    }
+    let owners: Vec<usize> = (0..k).collect();
+    emit_transform(&mut b, sched, &owners, false);
+    for t in 0..sched.cycles() {
+        for dc in 0..k {
+            if let Some(r) = sched.recv_task(t, dc) {
+                let sc = r.from_col;
+                let sr = sched
+                    .send_task(t, sc)
+                    .expect("edge coloring pairs every read with a write")
+                    .src_row;
+                b.wire_move(t, sc, sc, dc, sc * m + sr, dc * m + r.dst_row);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// One of the four fixed transformations on an `m × k` matrix, one column
+/// per processor.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformSpec {
+    /// Which transformation.
+    pub transform: Transform,
+    /// Column length.
+    pub m: usize,
+    /// Column count (= processors = channels).
+    pub k: usize,
+}
+
+impl StaticSchedule for TransformSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let sched = TransformSchedule::new(self.transform, self.m, self.k);
+        emit_transform_standalone(
+            &format!("{:?} m={} k={}", self.transform, self.m, self.k),
+            &sched,
+            self.m,
+            self.k,
+        )
+    }
+
+    fn bounds(&self) -> Bounds {
+        let sched = TransformSchedule::new(self.transform, self.m, self.k);
+        Bounds {
+            cycles_exact: Some(sched.cycles() as u64),
+            cycles_max: Some(self.m as u64),
+            messages_exact: Some(sched.message_count() as u64),
+            messages_max: Some((self.m * self.k) as u64),
+        }
+    }
+}
+
+/// An arbitrary position permutation scheduled by the generic edge-coloring
+/// scheduler — the property-test entry point.
+#[derive(Debug, Clone)]
+pub struct PermutationSpec {
+    /// `perm[src] = dst` over `m·k` column-major positions.
+    pub perm: Vec<usize>,
+    /// Column length.
+    pub m: usize,
+    /// Column count (= processors = channels).
+    pub k: usize,
+}
+
+impl StaticSchedule for PermutationSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let sched = TransformSchedule::from_permutation(&self.perm, self.m, self.k);
+        emit_transform_standalone(
+            &format!("permutation m={} k={}", self.m, self.k),
+            &sched,
+            self.m,
+            self.k,
+        )
+    }
+
+    fn bounds(&self) -> Bounds {
+        Bounds {
+            cycles_max: Some(self.m as u64),
+            messages_max: Some((self.m * self.k) as u64),
+            ..Bounds::none()
+        }
+    }
+}
+
+/// A full Columnsort among `k_cols` column owners (`p = k = k_cols`,
+/// identity ownership). `dummies` marks padded columns.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnsortNetSpec {
+    /// Column length.
+    pub m: usize,
+    /// Column count.
+    pub k_cols: usize,
+    /// Whether columns may contain padding dummies.
+    pub dummies: bool,
+}
+
+impl StaticSchedule for ColumnsortNetSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let mut b = ScheduleBuilder::new(
+            &format!("columnsort_net m={} k={}", self.m, self.k_cols),
+            self.k_cols,
+            self.k_cols,
+        );
+        let owners: Vec<usize> = (0..self.k_cols).collect();
+        emit_columnsort_net(&mut b, self.m, &owners, self.dummies);
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        Bounds {
+            cycles_exact: Some(columnsort_net_cycles(self.m, self.k_cols)),
+            cycles_max: Some(4 * self.m as u64),
+            messages_exact: (!self.dummies).then(|| columnsort_net_messages(self.m, self.k_cols)),
+            messages_max: Some(4 * (self.m * self.k_cols) as u64),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct sort, p = k (§5.2)
+// ---------------------------------------------------------------------------
+
+/// Realignment passes needed after sorting with padding: the maximum
+/// number of padded columns any processor's target segment spans.
+fn realign_passes(p: usize, m: usize, m_pad: usize) -> u64 {
+    if m_pad == m {
+        return 0;
+    }
+    (0..p)
+        .map(|j| {
+            let lo = (j * m) / m_pad;
+            let hi = ((j + 1) * m - 1) / m_pad;
+            (hi - lo + 1) as u64
+        })
+        .max()
+        .unwrap()
+}
+
+/// The `p = k` direct sort with an even distribution of `m` elements per
+/// processor.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectSortSpec {
+    /// Processors (= channels = columns).
+    pub p: usize,
+    /// Elements per processor.
+    pub m: usize,
+}
+
+impl StaticSchedule for DirectSortSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let (p, m) = (self.p, self.m);
+        let mut b = ScheduleBuilder::new(&format!("sort_direct p={p} m={m}"), p, p);
+        let m_pad = padded_column_length(m, p);
+        let owners: Vec<usize> = (0..p).collect();
+        emit_columnsort_net(&mut b, m_pad, &owners, m_pad > m);
+        // Realignment rebroadcast (only when padding displaced segment
+        // boundaries). After sorting, dummies occupy the global tail, so
+        // column i's row `row` holds a real element iff its padded
+        // position i·m_pad + row is below n = p·m — statically known.
+        let n = p * m;
+        for pass in 0..realign_passes(p, m, m_pad) {
+            for row in 0..m_pad {
+                b.begin_cycle();
+                for i in 0..p {
+                    if i * m_pad + row < n {
+                        b.write(i, i);
+                    }
+                    let (lo, hi) = (i * m, (i + 1) * m);
+                    let target_col = lo / m_pad + pass as usize;
+                    let hi_col = (hi - 1) / m_pad;
+                    let global = target_col * m_pad + row;
+                    if target_col <= hi_col && global >= lo && global < hi {
+                        // want ⇒ global < n ⇒ the writer is scheduled.
+                        b.read(i, target_col);
+                    }
+                }
+            }
+        }
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        let (p, m) = (self.p, self.m);
+        let m_pad = padded_column_length(m, p);
+        let passes = realign_passes(p, m, m_pad);
+        let n = (p * m) as u64;
+        Bounds {
+            cycles_exact: Some(columnsort_net_cycles(m_pad, p) + passes * m_pad as u64),
+            // O(n/k) = O(m_pad) per phase, four phases + ≤2 realign passes.
+            cycles_max: Some(6 * m_pad as u64),
+            messages_exact: (m_pad == m).then(|| columnsort_net_messages(m_pad, p)),
+            // O(n): ≤ one message per element per transformation + n per
+            // realign pass.
+            messages_max: Some(4 * (m_pad * p) as u64 + passes * n),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grouped sort, arbitrary distributions (§5.2 + §7.2)
+// ---------------------------------------------------------------------------
+
+/// Everything the grouped pipeline's schedule depends on, precomputed from
+/// `(k, n_i)` by mirroring `sort_grouped_in`'s control flow.
+struct GroupedPlan {
+    p: usize,
+    n: u64,
+    /// Exclusive prefix sums of `n_i` (`prev[i] = n_1 + … + n_{i-1}`).
+    prev: Vec<u64>,
+    group_sizes: Vec<u64>,
+    /// Group of each processor.
+    group_of: Vec<usize>,
+    /// Offset of each processor's block inside its group's column.
+    start_in_group: Vec<u64>,
+    /// Representative (= highest-numbered member) of each group.
+    reps: Vec<usize>,
+    m_col: usize,
+    m_pad: usize,
+    /// Redistribution passes (max target-column span).
+    passes: u64,
+}
+
+fn grouped_plan(k: usize, n_i: &[u64]) -> GroupedPlan {
+    let p = n_i.len();
+    assert!(p >= 1 && k >= 1);
+    assert!(n_i.iter().all(|&c| c > 0), "paper model assumes n_i > 0");
+    let mut prev = vec![0u64; p];
+    for i in 1..p {
+        prev[i] = prev[i - 1] + n_i[i - 1];
+    }
+    let n = prev[p - 1] + n_i[p - 1];
+    let n_max = *n_i.iter().max().unwrap();
+    let k_eff = choose_columns(n as usize, k);
+    let threshold = (n as usize).div_ceil(k_eff) as u64 + n_max - 1;
+
+    // Group formation: peel maximal prefixes fitting under the threshold.
+    let mut consumed = 0u64;
+    let mut group_sizes = Vec::new();
+    let mut group_of = vec![usize::MAX; p];
+    let mut start_in_group = vec![0u64; p];
+    let mut reps = Vec::new();
+    while consumed < n {
+        let g = group_sizes.len();
+        let mut m_g = 0u64;
+        let mut rep = usize::MAX;
+        for i in 0..p {
+            let mine = prev[i] + n_i[i];
+            let unassigned = group_of[i] == usize::MAX;
+            let in_group = unassigned && mine > consumed && mine - consumed <= threshold;
+            if in_group {
+                let is_rep = match n_i.get(i + 1) {
+                    Some(&next_card) => mine + next_card - consumed > threshold,
+                    None => true,
+                };
+                group_of[i] = g;
+                start_in_group[i] = prev[i].saturating_sub(consumed);
+                if is_rep {
+                    rep = i;
+                    m_g = mine - consumed;
+                }
+            }
+        }
+        assert!(rep != usize::MAX, "every peel round has a representative");
+        reps.push(rep);
+        group_sizes.push(m_g);
+        consumed += m_g;
+    }
+    let k_used = group_sizes.len();
+    let m_col = *group_sizes.iter().max().unwrap() as usize;
+    let m_pad = padded_column_length(m_col, k_used);
+
+    let passes = (0..p)
+        .map(|i| {
+            let lo_col = prev[i] / m_pad as u64;
+            let hi_col = (prev[i] + n_i[i] - 1) / m_pad as u64;
+            hi_col - lo_col + 1
+        })
+        .max()
+        .unwrap();
+
+    GroupedPlan {
+        p,
+        n,
+        prev,
+        group_sizes,
+        group_of,
+        start_in_group,
+        reps,
+        m_col,
+        m_pad,
+        passes,
+    }
+}
+
+/// Append the full grouped-sort pipeline (mirrors `sort_grouped_in`).
+pub(crate) fn emit_grouped_sort(b: &mut ScheduleBuilder, k: usize, n_i: &[u64]) {
+    let plan = grouped_plan(k, n_i);
+    let p = plan.p;
+
+    // 0a. census: partial sums, then total n and total n_max.
+    emit_partial_sums(b, p, k);
+    emit_total(b, p, k);
+    emit_total(b, p, k);
+
+    // 0b. group formation: one broadcast per group; everyone listens.
+    for g in 0..plan.group_sizes.len() {
+        b.begin_cycle();
+        b.write(plan.reps[g], 0);
+        for i in 0..p {
+            b.read(i, 0);
+        }
+    }
+
+    // 0c. collection: members stream to their representative on the
+    // group's channel; the representative's own block (the column's tail,
+    // as the rep is the group's last member) moves locally.
+    for t in 0..plan.m_col as u64 {
+        b.begin_cycle();
+        for i in 0..p {
+            let g = plan.group_of[i];
+            let am_rep = plan.reps[g] == i;
+            if !am_rep && t >= plan.start_in_group[i] && t - plan.start_in_group[i] < n_i[i] {
+                b.write(i, g);
+            }
+            if am_rep && t < plan.group_sizes[g] {
+                if t < plan.group_sizes[g] - n_i[i] {
+                    b.read(i, g);
+                } else {
+                    b.read_maybe_empty(i, g);
+                }
+            }
+        }
+    }
+
+    // 1–8. Columnsort among representatives, columns padded with dummies.
+    emit_columnsort_net(b, plan.m_pad, &plan.reps, true);
+
+    // 10. redistribution: a max total-sum agrees on the pass count, then
+    // representatives rebroadcast; dummies sit at the global tail, so
+    // position g·m_pad + row is real iff below n.
+    emit_total(b, p, k);
+    for pass in 0..plan.passes {
+        for row in 0..plan.m_pad as u64 {
+            b.begin_cycle();
+            for (g, &rep) in plan.reps.iter().enumerate() {
+                if g as u64 * plan.m_pad as u64 + row < plan.n {
+                    b.write(rep, g);
+                }
+            }
+            for i in 0..p {
+                let (lo, hi) = (plan.prev[i], plan.prev[i] + n_i[i]);
+                let target_col = lo / plan.m_pad as u64 + pass;
+                let hi_col = (hi - 1) / plan.m_pad as u64;
+                let global = target_col * plan.m_pad as u64 + row;
+                if target_col <= hi_col && global >= lo && global < hi {
+                    b.read(i, target_col as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Closed-form cycle count of the grouped pipeline, from the component
+/// formulas (independent of the emitter's loops).
+fn grouped_cycles(k: usize, n_i: &[u64]) -> u64 {
+    let plan = grouped_plan(k, n_i);
+    let p = plan.p;
+    partial_sums_cycles(p, k)
+        + 3 * total_cycles(p, k)
+        + plan.group_sizes.len() as u64
+        + plan.m_col as u64
+        + columnsort_net_cycles(plan.m_pad, plan.group_sizes.len())
+        + plan.passes * plan.m_pad as u64
+}
+
+/// Loose `O(n)`-shaped message ceiling for the grouped pipeline.
+fn grouped_messages_max(k: usize, n_i: &[u64]) -> u64 {
+    let plan = grouped_plan(k, n_i);
+    let p = plan.p as u64;
+    let k_used = plan.group_sizes.len() as u64;
+    // collection + columnsort + redistribution + control traffic.
+    plan.n
+        + 4 * plan.m_pad as u64 * k_used
+        + plan.passes * k_used * plan.m_pad as u64
+        + 3 * p // partial sums
+        + 3 * p // three total-sum rounds
+        + k_used
+}
+
+/// The full sorting pipeline for an arbitrary distribution `n_i` on an
+/// `MCB(p, k)` (Corollary 6's algorithm).
+#[derive(Debug, Clone)]
+pub struct GroupedSortSpec {
+    /// Channels.
+    pub k: usize,
+    /// Per-processor cardinalities (`p = n_i.len()`, all positive).
+    pub n_i: Vec<u64>,
+}
+
+impl StaticSchedule for GroupedSortSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let p = self.n_i.len();
+        let mut b = ScheduleBuilder::new(
+            &format!(
+                "sort_grouped p={p} k={} n={}",
+                self.k,
+                self.n_i.iter().sum::<u64>()
+            ),
+            p,
+            self.k,
+        );
+        emit_grouped_sort(&mut b, self.k, &self.n_i);
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        let plan = grouped_plan(self.k, &self.n_i);
+        let n_max = *self.n_i.iter().max().unwrap();
+        let k_eff = choose_columns(plan.n as usize, self.k) as u64;
+        let p = plan.p as u64;
+        let lg = u64::from(64 - plan.p.leading_zeros());
+        Bounds {
+            cycles_exact: Some(grouped_cycles(self.k, &self.n_i)),
+            // Θ(n/k + n_max) plus the small-input k_eff² floor and the
+            // O(p/k + log p) control rounds (Corollary 6's shape).
+            cycles_max: Some(
+                16 * (plan.n.div_ceil(k_eff) + n_max + k_eff * k_eff)
+                    + 8 * (p.div_ceil(self.k as u64) + lg)
+                    + 64,
+            ),
+            messages_exact: None,
+            messages_max: Some(grouped_messages_max(self.k, &self.n_i)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rank-Sort, single channel (§6.1) — key-determined
+// ---------------------------------------------------------------------------
+
+/// The single-channel Rank-Sort for concrete keys. The phase-2 broadcast
+/// order is the (data-dependent) rank order, so the emitter needs the
+/// keys; with duplicate keys across processors the emitted schedule
+/// contains the very write collision the paper's distinct-keys
+/// precondition exists to prevent — and the verifier flags it.
+#[derive(Debug, Clone)]
+pub struct RankSortSpec<K> {
+    /// Per-processor input lists (all nonempty).
+    pub lists: Vec<Vec<K>>,
+}
+
+impl<K: Ord + Clone + std::fmt::Debug> StaticSchedule for RankSortSpec<K> {
+    fn emit(&self) -> CheckedSchedule {
+        let p = self.lists.len();
+        assert!(p >= 1 && self.lists.iter().all(|l| !l.is_empty()));
+        let n: usize = self.lists.iter().map(Vec::len).sum();
+        let mut b = ScheduleBuilder::new(&format!("rank_sort p={p} n={n}"), p, 1);
+
+        // Census: one turn per processor; everyone reads every cycle.
+        for turn in 0..p {
+            b.begin_cycle();
+            b.write(turn, 0);
+            for i in 0..p {
+                b.read(i, 0);
+            }
+        }
+
+        // Phase 1: elements broadcast in storage order; everyone reads.
+        let prefix: Vec<usize> = self
+            .lists
+            .iter()
+            .scan(0usize, |acc, l| {
+                let s = *acc;
+                *acc += l.len();
+                Some(s)
+            })
+            .collect();
+        for t in 0..n {
+            b.begin_cycle();
+            let owner = (0..p)
+                .rfind(|&i| prefix[i] <= t)
+                .expect("every slot has an owner");
+            b.write(owner, 0);
+            for i in 0..p {
+                b.read(i, 0);
+            }
+        }
+
+        // Phase 2: broadcast in rank order (rank r(x) = |{y > x}|), mirror
+        // of the runtime's peekable send iterator; the target-segment
+        // owner reads.
+        let all: Vec<&K> = self.lists.iter().flatten().collect();
+        for t in 0..n {
+            b.begin_cycle();
+            for (i, list) in self.lists.iter().enumerate() {
+                // Ranks this processor sends, in the peekable order.
+                let mut ranks: Vec<usize> = list
+                    .iter()
+                    .map(|x| all.iter().filter(|y| ***y > *x).count())
+                    .collect();
+                ranks.sort_unstable();
+                ranks.dedup(); // the peekable iterator sends each rank once
+                if ranks.binary_search(&t).is_ok() {
+                    b.write(i, 0);
+                }
+                if t >= prefix[i] && t < prefix[i] + list.len() {
+                    b.read(i, 0);
+                }
+            }
+        }
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        let p = self.lists.len() as u64;
+        let n: u64 = self.lists.iter().map(|l| l.len() as u64).sum();
+        Bounds {
+            cycles_exact: Some(p + 2 * n),
+            cycles_max: None,
+            // Exact only for distinct keys; duplicates already fail the
+            // collision check, so the message mismatch is secondary.
+            messages_exact: Some(p + 2 * n),
+            messages_max: None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Selection (§8)
+// ---------------------------------------------------------------------------
+
+/// The naive sort-then-broadcast selection baseline. Parameter-only: after
+/// sorting, the holder of global rank `d` is determined by the
+/// cardinalities alone.
+#[derive(Debug, Clone)]
+pub struct NaiveSelectSpec {
+    /// Channels.
+    pub k: usize,
+    /// Per-processor cardinalities.
+    pub n_i: Vec<u64>,
+    /// Selection rank, `1 <= d <= n`.
+    pub d: u64,
+}
+
+impl StaticSchedule for NaiveSelectSpec {
+    fn emit(&self) -> CheckedSchedule {
+        let p = self.n_i.len();
+        let n: u64 = self.n_i.iter().sum();
+        assert!(self.d >= 1 && self.d <= n, "rank out of range");
+        let mut b = ScheduleBuilder::new(
+            &format!("select_by_sorting p={p} k={} d={}", self.k, self.d),
+            p,
+            self.k,
+        );
+        emit_grouped_sort(&mut b, self.k, &self.n_i);
+        emit_partial_sums(&mut b, p, self.k);
+        // The holder of 0-based rank d-1 broadcasts; everyone listens.
+        let mut prefix = 0u64;
+        let mut holder = p - 1;
+        for (i, &c) in self.n_i.iter().enumerate() {
+            if self.d > prefix && self.d - 1 < prefix + c {
+                holder = i;
+                break;
+            }
+            prefix += c;
+        }
+        b.begin_cycle();
+        b.write(holder, 0);
+        for i in 0..p {
+            b.read(i, 0);
+        }
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        let p = self.n_i.len();
+        Bounds {
+            cycles_exact: Some(
+                grouped_cycles(self.k, &self.n_i) + partial_sums_cycles(p, self.k) + 1,
+            ),
+            cycles_max: None,
+            messages_exact: None,
+            messages_max: Some(grouped_messages_max(self.k, &self.n_i) + 3 * p as u64 + 1),
+        }
+    }
+}
+
+/// Filtering selection (Corollary 7) for concrete keys, simulated with
+/// global knowledge: the emitter tracks the candidate sets through every
+/// filtering round exactly as the processors do, so it knows who holds the
+/// weighted median, which case fires, and when the loop terminates.
+#[derive(Debug, Clone)]
+pub struct SelectSpec<K> {
+    /// Channels.
+    pub k: usize,
+    /// Per-processor input lists (all nonempty, distinct keys).
+    pub lists: Vec<Vec<K>>,
+    /// Selection rank, `1 <= d <= n`.
+    pub d: u64,
+}
+
+/// One filtering round's shape: the inner sort of `p` one-entry lists,
+/// partial sums, the med* broadcast, and the m_ge total.
+fn emit_select_round(b: &mut ScheduleBuilder, p: usize, k: usize, star: usize) {
+    emit_grouped_sort(b, k, &vec![1u64; p]);
+    emit_partial_sums(b, p, k);
+    b.begin_cycle();
+    b.write(star, 0);
+    for i in 0..p {
+        b.read(i, 0);
+    }
+    emit_total(b, p, k);
+}
+
+/// Cycle cost of one filtering round (closed form).
+fn select_round_cycles(p: usize, k: usize) -> u64 {
+    grouped_cycles(k, &vec![1u64; p]) + partial_sums_cycles(p, k) + 1 + total_cycles(p, k)
+}
+
+impl<K: Ord + Clone + std::fmt::Debug> SelectSpec<K> {
+    /// Simulate the filtering loop; returns, per round, the sorted
+    /// position i* that broadcasts med*, plus the surviving per-processor
+    /// candidate counts (empty when a round hit the exact case).
+    fn plan(&self) -> (Vec<usize>, Option<Vec<u64>>) {
+        let p = self.lists.len();
+        let k = self.k as u64;
+        let m_star = (p as u64 / k).max(1);
+        let mut candidates: Vec<Vec<K>> = self.lists.clone();
+        let mut m: u64 = candidates.iter().map(|c| c.len() as u64).sum();
+        let mut d = self.d;
+        let mut stars = Vec::new();
+        while m > m_star {
+            // (1)+(2): entries sorted descending; processor i receives
+            // sorted position i (n = p, one entry per processor).
+            let mut entries: Vec<MedEntry<K>> = (0..p)
+                .map(|i| MedEntry {
+                    med: (!candidates[i].is_empty()).then(|| median_desc(&candidates[i])),
+                    src: i as u32,
+                    count: candidates[i].len() as u64,
+                })
+                .collect();
+            entries.sort_unstable_by(|a, b| b.cmp(a));
+            // (3): weighted median position over the sorted counts.
+            let half = m.div_ceil(2);
+            let mut acc = 0u64;
+            let mut star = p - 1;
+            for (pos, e) in entries.iter().enumerate() {
+                if acc < half && half <= acc + e.count {
+                    star = pos;
+                    break;
+                }
+                acc += e.count;
+            }
+            stars.push(star);
+            let med_star = entries[star].med.clone().expect("weighted median is real");
+            // (4): count and branch.
+            let m_ge: u64 = candidates
+                .iter()
+                .flatten()
+                .filter(|x| **x >= med_star)
+                .count() as u64;
+            if m_ge == d {
+                return (stars, None);
+            } else if m_ge > d {
+                for c in &mut candidates {
+                    c.retain(|x| *x > med_star);
+                }
+                m = m_ge - 1;
+            } else {
+                for c in &mut candidates {
+                    c.retain(|x| *x < med_star);
+                }
+                m -= m_ge;
+                d -= m_ge;
+            }
+        }
+        let counts = candidates.iter().map(|c| c.len() as u64).collect();
+        (stars, Some(counts))
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug> StaticSchedule for SelectSpec<K> {
+    fn emit(&self) -> CheckedSchedule {
+        let p = self.lists.len();
+        let k = self.k;
+        assert!(p >= 1 && self.lists.iter().all(|l| !l.is_empty()));
+        let n: usize = self.lists.iter().map(Vec::len).sum();
+        assert!(self.d >= 1 && self.d <= n as u64, "rank out of range");
+        let mut b = ScheduleBuilder::new(&format!("select_rank p={p} k={k} d={}", self.d), p, k);
+
+        emit_total(&mut b, p, k); // candidate census
+        let (stars, survivors) = self.plan();
+        for &star in &stars {
+            emit_select_round(&mut b, p, k, star);
+        }
+        let Some(counts) = survivors else {
+            // Exact case: the loop returned right after the m_ge total.
+            return b.finish();
+        };
+
+        // Termination: partial sums for offsets, survivors stream to P_0,
+        // P_0 broadcasts the answer.
+        emit_partial_sums(&mut b, p, k);
+        let m: u64 = counts.iter().sum();
+        let mut prev = vec![0u64; p];
+        for i in 1..p {
+            prev[i] = prev[i - 1] + counts[i - 1];
+        }
+        for t in 0..m {
+            b.begin_cycle();
+            for i in 1..p {
+                if t >= prev[i] && t - prev[i] < counts[i] {
+                    b.write(i, 0);
+                }
+            }
+            if t >= counts[0] {
+                b.read(0, 0);
+            }
+        }
+        b.begin_cycle();
+        b.write(0, 0);
+        for i in 0..p {
+            b.read(i, 0);
+        }
+        b.finish()
+    }
+
+    fn bounds(&self) -> Bounds {
+        let p = self.lists.len();
+        let k = self.k;
+        let (stars, survivors) = self.plan();
+        let rounds = stars.len() as u64;
+        let mut cycles = total_cycles(p, k) + rounds * select_round_cycles(p, k);
+        if let Some(counts) = &survivors {
+            let m: u64 = counts.iter().sum();
+            cycles += partial_sums_cycles(p, k) + m + 1;
+        }
+        // Corollary 7's shape: O(p) messages per round, O(log(kn/p))
+        // rounds — plus the inner sort's k_eff² small-input floor.
+        let n: u64 = self.lists.iter().map(|l| l.len() as u64).sum();
+        let per_round = grouped_messages_max(k, &vec![1u64; p]) + 4 * p as u64 + 1;
+        let tail = 3 * p as u64 + n + 1;
+        Bounds {
+            cycles_exact: Some(cycles),
+            cycles_max: None,
+            messages_exact: None,
+            messages_max: Some((rounds + 1) * per_round + tail),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnsort::{min_column_length, ALL_TRANSFORMS};
+
+    fn assert_ok(spec: &dyn StaticSchedule, what: &str) {
+        let report = spec.check();
+        assert!(report.is_ok(), "{what}:\n{report}");
+    }
+
+    #[test]
+    fn partial_sums_and_total_verify_on_varied_shapes() {
+        for (p, k) in [
+            (1, 1),
+            (2, 1),
+            (4, 2),
+            (7, 3),
+            (8, 8),
+            (13, 4),
+            (16, 4),
+            (33, 5),
+        ] {
+            assert_ok(&PartialSumsSpec { p, k }, &format!("ps p={p} k={k}"));
+            assert_ok(&TotalSpec { p, k }, &format!("total p={p} k={k}"));
+            assert_ok(&ExtremaSpec { p, k }, &format!("extrema p={p} k={k}"));
+        }
+    }
+
+    #[test]
+    fn transforms_verify_with_full_dataflow() {
+        for tf in ALL_TRANSFORMS {
+            for (m, k) in [(4, 2), (12, 4), (6, 3), (56, 8), (5, 1)] {
+                assert_ok(
+                    &TransformSpec {
+                        transform: tf,
+                        m,
+                        k,
+                    },
+                    &format!("{tf:?} m={m} k={k}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn columnsort_and_direct_sort_verify() {
+        for k in 1..=6usize {
+            let m = min_column_length(k);
+            assert_ok(
+                &ColumnsortNetSpec {
+                    m,
+                    k_cols: k,
+                    dummies: false,
+                },
+                &format!("cs m={m} k={k}"),
+            );
+        }
+        for (p, m) in [(4, 16), (4, 13), (2, 2), (8, 56), (3, 7)] {
+            assert_ok(&DirectSortSpec { p, m }, &format!("direct p={p} m={m}"));
+        }
+    }
+
+    #[test]
+    fn grouped_sort_verifies_even_and_uneven() {
+        assert_ok(
+            &GroupedSortSpec {
+                k: 4,
+                n_i: vec![16; 4],
+            },
+            "even p=k",
+        );
+        assert_ok(
+            &GroupedSortSpec {
+                k: 2,
+                n_i: vec![16; 8],
+            },
+            "even p>k",
+        );
+        assert_ok(
+            &GroupedSortSpec {
+                k: 3,
+                n_i: vec![1, 40, 3, 17, 9, 20],
+            },
+            "uneven",
+        );
+        assert_ok(
+            &GroupedSortSpec {
+                k: 1,
+                n_i: vec![5, 9, 2],
+            },
+            "k=1",
+        );
+        assert_ok(
+            &GroupedSortSpec {
+                k: 4,
+                n_i: vec![3; 4],
+            },
+            "small input",
+        );
+        assert_ok(&GroupedSortSpec { k: 1, n_i: vec![7] }, "p=1");
+    }
+
+    #[test]
+    fn rank_sort_verifies_with_distinct_keys_and_fails_on_duplicates() {
+        let spec = RankSortSpec {
+            lists: vec![vec![5u64, 1], vec![9, 3, 7], vec![2, 8]],
+        };
+        assert_ok(&spec, "rank sort distinct");
+        // A duplicate across processors double-books a delivery slot.
+        let dup = RankSortSpec {
+            lists: vec![vec![5u64, 1], vec![5, 3]],
+        };
+        let report = dup.check();
+        assert!(!report.is_ok(), "duplicate keys must fail:\n{report}");
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind() == "write_collision" || v.kind() == "read_from_silent_channel"));
+    }
+
+    #[test]
+    fn selection_specs_verify() {
+        let lists: Vec<Vec<u64>> = (0..8)
+            .map(|i| {
+                (0..16)
+                    .map(|j| (i * 16 + j) as u64 * 7919 % 10007)
+                    .collect()
+            })
+            .collect();
+        assert_ok(
+            &SelectSpec {
+                k: 4,
+                lists: lists.clone(),
+                d: 64,
+            },
+            "select p=8 k=4",
+        );
+        assert_ok(
+            &SelectSpec {
+                k: 1,
+                lists: lists.clone(),
+                d: 1,
+            },
+            "select k=1",
+        );
+        assert_ok(
+            &NaiveSelectSpec {
+                k: 2,
+                n_i: vec![4, 9, 2, 5],
+                d: 10,
+            },
+            "naive select",
+        );
+    }
+}

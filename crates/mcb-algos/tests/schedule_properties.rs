@@ -1,0 +1,94 @@
+//! Randomized property tests for the transformation scheduler.
+//!
+//! `TransformSchedule` rests on a bipartite edge coloring (König): every
+//! cross-column move gets a cycle in which its source column is the only
+//! writer on its channel and the destination column the only reader of it.
+//! The lattice sweep checks small shapes exhaustively; here `mcb-rng`
+//! drives shapes and permutations well beyond the lattice bound, and each
+//! sampled schedule is pushed through `mcb-check`'s full verifier —
+//! collision-freedom, read-validity, *and* the data-flow permutation
+//! proof, which would catch a move dropped or duplicated by a miscolored
+//! edge.
+
+use mcb_algos::columnsort::ALL_TRANSFORMS;
+use mcb_algos::static_schedule::{PermutationSpec, StaticSchedule, TransformSpec};
+use mcb_rng::Rng64;
+
+#[test]
+fn fixed_transforms_verify_on_random_shapes() {
+    let mut rng = Rng64::seed_from_u64(0xC0105);
+    for _ in 0..24 {
+        // Shapes past what the lattice sweep enumerates: m up to ~800.
+        let k = rng.random_range(1..13);
+        let mult = rng.random_range(1..7);
+        let m = (k * (k.max(2) - 1)).max(1) * mult; // legal: k | m, m >= k(k-1)
+        for tf in ALL_TRANSFORMS {
+            let spec = TransformSpec {
+                transform: tf,
+                m,
+                k,
+            };
+            let report = spec.check();
+            assert!(report.is_ok(), "{tf:?} m={m} k={k}:\n{report}");
+        }
+    }
+}
+
+#[test]
+fn random_permutations_get_proper_colorings() {
+    let mut rng = Rng64::seed_from_u64(0xBEEF);
+    for round in 0..60 {
+        let k = rng.random_range(1..17);
+        let m = rng.random_range(1..33);
+        let n = m * k;
+        let mut perm: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut perm);
+        let spec = PermutationSpec {
+            perm: perm.clone(),
+            m,
+            k,
+        };
+        let report = spec.check();
+        assert!(
+            report.is_ok(),
+            "round {round}: random permutation m={m} k={k}:\n{report}"
+        );
+        // The coloring is tight: no more cycles than the densest
+        // column-to-column traffic requires... within the König bound m.
+        assert!(report.stats.cycles <= m as u64);
+    }
+}
+
+#[test]
+fn adversarial_permutations_verify() {
+    // Worst-case traffic patterns the random sampler is unlikely to hit.
+    for (m, k) in [(8usize, 8usize), (16, 4), (3, 9), (1, 16)] {
+        let n = m * k;
+        // Full reversal: position q -> n-1-q (dense all-to-all traffic).
+        let reversal: Vec<usize> = (0..n).map(|q| n - 1 - q).collect();
+        // Column rotation: everything shifts one column over (maximally
+        // unbalanced per-pair load, m messages on every edge).
+        let rotate: Vec<usize> = (0..n).map(|q| (q + m) % n).collect();
+        // Identity: no wire traffic at all, only local moves.
+        let identity: Vec<usize> = (0..n).collect();
+        for (name, perm) in [
+            ("reversal", reversal),
+            ("rotate", rotate),
+            ("identity", identity),
+        ] {
+            let spec = PermutationSpec { perm, m, k };
+            let report = spec.check();
+            assert!(report.is_ok(), "{name} m={m} k={k}:\n{report}");
+        }
+        let identity_report = PermutationSpec {
+            perm: (0..n).collect(),
+            m,
+            k,
+        }
+        .check();
+        assert_eq!(
+            identity_report.stats.messages_max, 0,
+            "identity sends nothing"
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The schedule intermediate representation.
+//!
+//! A [`CheckedSchedule`] is the static shadow of a lock-step MCB protocol:
+//! for every cycle, what each of the `p` processors intends to write and
+//! read. Two refinements carry the paper's subtleties:
+//!
+//! * **Suppressible writes** ([`WriteIntent::may_suppress`]): Columnsort
+//!   pads columns with dummies that are "never broadcast" — the schedule
+//!   slot exists, but the writer stays silent when it holds a dummy. A
+//!   suppressible write claims the channel (no other writer may share it)
+//!   without promising a message.
+//! * **Expectation-typed reads** ([`Expect`]): most reads must find a
+//!   value (`Expect::Value` — a silent channel there is a schedule bug),
+//!   but the model makes empty channels *detectably* readable and the
+//!   algorithms use that: a ragged Partial-Sums tree leaves some father
+//!   reads legitimately empty, and dummy reconstruction in Columnsort
+//!   reads channels whose scheduled writer may have suppressed
+//!   (`Expect::MaybeEmpty`).
+//!
+//! The optional [`DataFlow`] layer records, for schedules that move a
+//! fixed set of elements (the Columnsort transformations), where each
+//! element slot travels — either locally within a processor or over a
+//! specific scheduled broadcast — so the verifier can prove the moves form
+//! a permutation and every wire leg rides a scheduled message.
+
+/// Whether a read is allowed to find the channel empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// The read must find a message: a guaranteed (non-suppressible)
+    /// writer must be scheduled on that channel in that cycle.
+    Value,
+    /// The read may detect an empty channel (ragged trees, dummy slots,
+    /// a representative scanning its own collection slots).
+    MaybeEmpty,
+}
+
+/// One processor's write intent in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteIntent {
+    /// Channel index in `0..k`.
+    pub chan: usize,
+    /// True when the writer may hold a dummy and stay silent (the channel
+    /// is still claimed: no other writer may use it that cycle).
+    pub may_suppress: bool,
+}
+
+/// One processor's read intent in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadIntent {
+    /// Channel index in `0..k`.
+    pub chan: usize,
+    /// Whether an empty channel is a schedule bug or expected.
+    pub expect: Expect,
+}
+
+/// What one processor does in one cycle (both `None` = idle).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Intent {
+    /// The write, if any.
+    pub write: Option<WriteIntent>,
+    /// The read, if any.
+    pub read: Option<ReadIntent>,
+}
+
+/// All `p` processors' intents for one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleIntents {
+    /// `intents[i]` is processor `i`'s intent; length is always `p`.
+    pub intents: Vec<Intent>,
+}
+
+/// How one element slot travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The move happens inside one processor's memory (free).
+    Local {
+        /// The processor performing the move.
+        proc: usize,
+    },
+    /// The move rides a scheduled broadcast.
+    Wire {
+        /// Cycle of the carrying broadcast.
+        cycle: usize,
+        /// The scheduled writer.
+        writer: usize,
+        /// The channel written and read.
+        chan: usize,
+        /// The scheduled reader.
+        reader: usize,
+    },
+}
+
+/// One element slot's journey from source to destination position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataMove {
+    /// Source slot index in `0..slots`.
+    pub src: usize,
+    /// Destination slot index in `0..slots`.
+    pub dst: usize,
+    /// How the element gets there.
+    pub route: Route,
+}
+
+/// The data-movement layer: `slots` element positions, each moved exactly
+/// once (the verifier proves `moves` is a permutation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataFlow {
+    /// Number of element slots.
+    pub slots: usize,
+    /// One move per slot.
+    pub moves: Vec<DataMove>,
+}
+
+/// A complete static schedule for a lock-step protocol on an `MCB(p, k)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckedSchedule {
+    /// Human-readable identity (algorithm + parameters).
+    pub name: String,
+    /// Number of processors.
+    pub p: usize,
+    /// Number of channels.
+    pub k: usize,
+    /// Per-cycle intents, in execution order.
+    pub cycles: Vec<CycleIntents>,
+    /// Optional data-movement layer.
+    pub data: Option<DataFlow>,
+}
+
+impl CheckedSchedule {
+    /// Number of cycles the schedule occupies.
+    pub fn cycle_count(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// `(min, max)` message counts: suppressible writes may or may not
+    /// materialize, everything else always does.
+    pub fn message_bounds(&self) -> (u64, u64) {
+        let mut min = 0u64;
+        let mut max = 0u64;
+        for cyc in &self.cycles {
+            for intent in &cyc.intents {
+                if let Some(w) = intent.write {
+                    max += 1;
+                    if !w.may_suppress {
+                        min += 1;
+                    }
+                }
+            }
+        }
+        (min, max)
+    }
+}
+
+/// Incremental builder used by the `mcb-algos` emitters: mirrors the shape
+/// of the runtime protocols (an outer per-cycle loop, inner per-processor
+/// decisions). Misuse — two writes by one processor in one cycle, an
+/// out-of-range processor — is a bug in the *emitter*, so it panics.
+#[derive(Debug, Clone)]
+pub struct ScheduleBuilder {
+    name: String,
+    p: usize,
+    k: usize,
+    cycles: Vec<CycleIntents>,
+    slots: usize,
+    moves: Vec<DataMove>,
+    has_data: bool,
+}
+
+impl ScheduleBuilder {
+    /// Start a schedule for an `MCB(p, k)`.
+    pub fn new(name: &str, p: usize, k: usize) -> Self {
+        assert!(p >= 1 && k >= 1, "need p >= 1 and k >= 1");
+        ScheduleBuilder {
+            name: name.to_owned(),
+            p,
+            k,
+            cycles: Vec::new(),
+            slots: 0,
+            moves: Vec::new(),
+            has_data: false,
+        }
+    }
+
+    /// Number of cycles emitted so far.
+    pub fn cycle_count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Open the next cycle (all processors idle until intents are added).
+    pub fn begin_cycle(&mut self) -> usize {
+        self.cycles.push(CycleIntents {
+            intents: vec![Intent::default(); self.p],
+        });
+        self.cycles.len() - 1
+    }
+
+    fn intent(&mut self, proc: usize) -> &mut Intent {
+        assert!(proc < self.p, "processor {proc} out of range");
+        let cyc = self
+            .cycles
+            .last_mut()
+            .expect("begin_cycle before adding intents");
+        &mut cyc.intents[proc]
+    }
+
+    /// Schedule a guaranteed write by `proc` on `chan` in the current cycle.
+    pub fn write(&mut self, proc: usize, chan: usize) {
+        let intent = self.intent(proc);
+        assert!(intent.write.is_none(), "proc {proc} already writes");
+        intent.write = Some(WriteIntent {
+            chan,
+            may_suppress: false,
+        });
+    }
+
+    /// Schedule a suppressible write (the slot may hold a dummy).
+    pub fn write_suppressible(&mut self, proc: usize, chan: usize) {
+        let intent = self.intent(proc);
+        assert!(intent.write.is_none(), "proc {proc} already writes");
+        intent.write = Some(WriteIntent {
+            chan,
+            may_suppress: true,
+        });
+    }
+
+    /// Schedule a read that must find a value.
+    pub fn read(&mut self, proc: usize, chan: usize) {
+        let intent = self.intent(proc);
+        assert!(intent.read.is_none(), "proc {proc} already reads");
+        intent.read = Some(ReadIntent {
+            chan,
+            expect: Expect::Value,
+        });
+    }
+
+    /// Schedule a read that may legitimately find the channel empty.
+    pub fn read_maybe_empty(&mut self, proc: usize, chan: usize) {
+        let intent = self.intent(proc);
+        assert!(intent.read.is_none(), "proc {proc} already reads");
+        intent.read = Some(ReadIntent {
+            chan,
+            expect: Expect::MaybeEmpty,
+        });
+    }
+
+    /// Declare the data-movement layer's slot count (enables move checks).
+    pub fn declare_slots(&mut self, slots: usize) {
+        self.has_data = true;
+        self.slots = slots;
+    }
+
+    /// Record a free in-memory move by `proc`.
+    pub fn local_move(&mut self, proc: usize, src: usize, dst: usize) {
+        self.moves.push(DataMove {
+            src,
+            dst,
+            route: Route::Local { proc },
+        });
+    }
+
+    /// Record a move riding the broadcast `(cycle, writer, chan, reader)`.
+    pub fn wire_move(
+        &mut self,
+        cycle: usize,
+        writer: usize,
+        chan: usize,
+        reader: usize,
+        src: usize,
+        dst: usize,
+    ) {
+        self.moves.push(DataMove {
+            src,
+            dst,
+            route: Route::Wire {
+                cycle,
+                writer,
+                chan,
+                reader,
+            },
+        });
+    }
+
+    /// Finish into an immutable [`CheckedSchedule`].
+    pub fn finish(self) -> CheckedSchedule {
+        CheckedSchedule {
+            name: self.name,
+            p: self.p,
+            k: self.k,
+            cycles: self.cycles,
+            data: self.has_data.then_some(DataFlow {
+                slots: self.slots,
+                moves: self.moves,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_dense_cycles() {
+        let mut b = ScheduleBuilder::new("t", 3, 2);
+        b.begin_cycle();
+        b.write(0, 1);
+        b.read(2, 1);
+        b.begin_cycle();
+        let s = b.finish();
+        assert_eq!(s.cycle_count(), 2);
+        assert_eq!(s.cycles[0].intents.len(), 3);
+        assert_eq!(s.cycles[0].intents[0].write.unwrap().chan, 1);
+        assert!(s.cycles[1].intents.iter().all(|i| *i == Intent::default()));
+        assert_eq!(s.message_bounds(), (1, 1));
+        assert!(s.data.is_none());
+    }
+
+    #[test]
+    fn suppressible_writes_widen_message_bounds() {
+        let mut b = ScheduleBuilder::new("t", 2, 1);
+        b.begin_cycle();
+        b.write_suppressible(0, 0);
+        b.begin_cycle();
+        b.write(1, 0);
+        let s = b.finish();
+        assert_eq!(s.message_bounds(), (1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already writes")]
+    fn double_write_is_emitter_bug() {
+        let mut b = ScheduleBuilder::new("t", 2, 2);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.write(0, 1);
+    }
+}

@@ -1,0 +1,66 @@
+//! # mcb-check — static verification of MCB broadcast schedules
+//!
+//! The paper's cost model rests on protocols being **collision-free**
+//! (§2: "if two processors write on the same channel in the same cycle,
+//! the computation fails"). The engine in `mcb-net` discovers violations
+//! *dynamically* — when a run happens to exercise the bad cycle. But every
+//! algorithm in `mcb-algos` is driven by closed-form, locally computed
+//! schedules, so collision-freedom is a *statically checkable fact*. This
+//! crate checks it, plus the rest of the model's obligations, without
+//! executing anything:
+//!
+//! * **IR** ([`ir::CheckedSchedule`]): per-cycle write/read intents for
+//!   every processor, plus an optional data-movement layer
+//!   ([`ir::DataFlow`]) recording where each element travels (locally or
+//!   over a scheduled wire).
+//! * **Verifier** ([`verify::verify`]): proves at most one writer per
+//!   (cycle, channel); every `Expect::Value` read targets a channel with a
+//!   guaranteed writer that cycle; data moves form a permutation (no
+//!   element lost or duplicated) whose wire legs match scheduled
+//!   broadcasts; and cycle/message counts match the paper's closed forms
+//!   (exact or upper-bound, [`verify::Bounds`]). Violations come back as a
+//!   machine-readable [`report::Report`] (JSON via `mcb-json`) with a
+//!   human-readable diff via `Display`.
+//! * **Mutation self-test** ([`mutate`]): seeds off-by-one faults into a
+//!   valid schedule and asserts the verifier flags every one — the checker
+//!   is itself checked.
+//! * **Conformance bridge** ([`wire`]): replays an engine trace (what was
+//!   *actually* broadcast) against the static schedule, tying the static
+//!   and dynamic worlds together.
+//!
+//! The emitters live with the algorithms (`mcb_algos::static_schedule`);
+//! this crate is deliberately foundational — it depends only on the
+//! in-repo `mcb-json` (reports) and `mcb-rng` (fault seeding).
+//!
+//! ```
+//! use mcb_check::{Bounds, ScheduleBuilder};
+//!
+//! // Two processors ping-pong over one channel: statically fine.
+//! let mut b = ScheduleBuilder::new("ping-pong", 2, 1);
+//! b.begin_cycle();
+//! b.write(0, 0);
+//! b.read(1, 0);
+//! b.begin_cycle();
+//! b.write(1, 0);
+//! b.read(0, 0);
+//! let report = mcb_check::verify(&b.finish(), &Bounds::none());
+//! assert!(report.is_ok(), "{report}");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ir;
+pub mod mutate;
+pub mod report;
+pub mod verify;
+pub mod wire;
+
+pub use ir::{
+    CheckedSchedule, CycleIntents, DataFlow, DataMove, Expect, Intent, ReadIntent, Route,
+    ScheduleBuilder, WriteIntent,
+};
+pub use mutate::{seed_fault, Fault};
+pub use report::{Report, Stats};
+pub use verify::{verify, Bounds, Lint, Violation};
+pub use wire::{check_conformance, Conformance, ConformanceError, WireEvent, WireLog};

@@ -1,0 +1,335 @@
+//! Mutation self-test support: seed off-by-one faults into a schedule.
+//!
+//! A verifier is only trustworthy if it demonstrably *fails* broken
+//! schedules. [`seed_fault`] injects the classic scheduling mistakes —
+//! a write aimed one channel over, a second writer joining a slot, a read
+//! pointed at a silent channel, a dropped broadcast, a duplicated or lost
+//! data move, a wire route off by one cycle — into an otherwise valid
+//! schedule. Each seeding is constructed so that the mutated schedule
+//! *provably violates an invariant* (a mutation that happens to yield
+//! another valid schedule is not a detectable fault for any static
+//! checker, so the seeder rejects those candidates); the self-test then
+//! asserts the verifier reports at least one violation for 100% of seeded
+//! faults.
+
+use crate::ir::{CheckedSchedule, Expect, ReadIntent, Route, WriteIntent};
+use mcb_rng::Rng64;
+
+/// The fault classes the self-test seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Retarget an existing write to a different (or out-of-range) channel.
+    RetargetWrite,
+    /// Add a second writer to an occupied (cycle, channel) slot.
+    AddWriter,
+    /// Retarget a must-find-value read to a silent or out-of-range channel.
+    RetargetRead,
+    /// Delete a guaranteed write some reader or wire move depends on.
+    DropWrite,
+    /// Delete a data move (element lost).
+    DropMove,
+    /// Point one data move at another's destination (element duplicated).
+    DupMoveDest,
+    /// Shift a wire route's cycle by one.
+    ShiftWireCycle,
+}
+
+impl Fault {
+    /// Every fault class, for exhaustive self-tests.
+    pub const ALL: [Fault; 7] = [
+        Fault::RetargetWrite,
+        Fault::AddWriter,
+        Fault::RetargetRead,
+        Fault::DropWrite,
+        Fault::DropMove,
+        Fault::DupMoveDest,
+        Fault::ShiftWireCycle,
+    ];
+}
+
+/// All (cycle, proc) positions carrying a write, with the intent.
+fn writes(s: &CheckedSchedule) -> Vec<(usize, usize, WriteIntent)> {
+    let mut out = Vec::new();
+    for (ci, cyc) in s.cycles.iter().enumerate() {
+        for (proc, intent) in cyc.intents.iter().enumerate() {
+            if let Some(w) = intent.write {
+                out.push((ci, proc, w));
+            }
+        }
+    }
+    out
+}
+
+/// Does any wire move ride the broadcast `(cycle, writer, chan)`?
+fn wire_depends_on(s: &CheckedSchedule, cycle: usize, writer: usize, chan: usize) -> bool {
+    s.data.as_ref().is_some_and(|d| {
+        d.moves.iter().any(|mv| {
+            matches!(mv.route, Route::Wire { cycle: c, writer: w, chan: ch, .. }
+                if (c, w, ch) == (cycle, writer, chan))
+        })
+    })
+}
+
+/// Is there an `Expect::Value` read of `chan` in cycle `cycle`?
+fn value_reader_on(s: &CheckedSchedule, cycle: usize, chan: usize) -> bool {
+    s.cycles[cycle]
+        .intents
+        .iter()
+        .any(|i| matches!(i.read, Some(ReadIntent { chan: c, expect: Expect::Value }) if c == chan))
+}
+
+/// How many writers does `(cycle, chan)` have?
+fn writer_count(s: &CheckedSchedule, cycle: usize, chan: usize) -> usize {
+    s.cycles[cycle]
+        .intents
+        .iter()
+        .filter(|i| i.write.is_some_and(|w| w.chan == chan))
+        .count()
+}
+
+fn pick<T>(items: &mut Vec<T>, rng: &mut Rng64) -> Option<T> {
+    if items.is_empty() {
+        return None;
+    }
+    let i = rng.random_range(0..items.len());
+    Some(items.swap_remove(i))
+}
+
+/// Seed `fault` into `schedule`, guaranteeing the result violates an
+/// invariant the verifier checks. Returns a description of the injected
+/// fault, or `None` when the schedule offers no applicable site (e.g. no
+/// data layer for the move faults).
+pub fn seed_fault(schedule: &mut CheckedSchedule, fault: Fault, rng: &mut Rng64) -> Option<String> {
+    let k = schedule.k;
+    match fault {
+        Fault::RetargetWrite => {
+            let mut sites = writes(schedule);
+            // Always commits (the out-of-range fallback is always
+            // detectable), so one picked site suffices.
+            if let Some((ci, proc, w)) = pick(&mut sites, rng) {
+                // Leaving the old channel is detectable when a value read
+                // or a wire move depends on it (no second writer exists in
+                // a valid schedule, so the channel goes silent).
+                let leaving_detected = value_reader_on(schedule, ci, w.chan)
+                    || wire_depends_on(schedule, ci, proc, w.chan);
+                // Arriving is detectable when the target is occupied
+                // (collision) or out of range.
+                let offset = rng.random_range(0..k.max(1));
+                let target = (1..k).map(|d| (w.chan + offset + d) % k).find(|&c| {
+                    c != w.chan && (leaving_detected || writer_count(schedule, ci, c) > 0)
+                });
+                let target = match target {
+                    Some(c) => c,
+                    // Fall back to an out-of-range channel: always detected.
+                    None => k,
+                };
+                schedule.cycles[ci].intents[proc].write = Some(WriteIntent {
+                    chan: target,
+                    may_suppress: w.may_suppress,
+                });
+                return Some(format!(
+                    "cycle {ci}: retargeted P{proc}'s write from channel {} to {target}",
+                    w.chan
+                ));
+            }
+            None
+        }
+        Fault::AddWriter => {
+            let mut sites = writes(schedule);
+            while let Some((ci, _, w)) = pick(&mut sites, rng) {
+                if w.chan >= k {
+                    continue;
+                }
+                let mut idle: Vec<usize> = schedule.cycles[ci]
+                    .intents
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, i)| i.write.is_none())
+                    .map(|(p, _)| p)
+                    .collect();
+                if let Some(p2) = pick(&mut idle, rng) {
+                    schedule.cycles[ci].intents[p2].write = Some(WriteIntent {
+                        chan: w.chan,
+                        may_suppress: false,
+                    });
+                    return Some(format!(
+                        "cycle {ci}: added colliding writer P{p2} on channel {}",
+                        w.chan
+                    ));
+                }
+            }
+            None
+        }
+        Fault::RetargetRead => {
+            let mut sites: Vec<(usize, usize, usize)> = Vec::new();
+            for (ci, cyc) in schedule.cycles.iter().enumerate() {
+                for (proc, intent) in cyc.intents.iter().enumerate() {
+                    if let Some(r) = intent.read {
+                        if r.expect == Expect::Value && r.chan < k {
+                            sites.push((ci, proc, r.chan));
+                        }
+                    }
+                }
+            }
+            let (ci, proc, old) = pick(&mut sites, rng)?;
+            // A silent channel that cycle makes the read fail; if every
+            // channel is written, go out of range.
+            let offset = rng.random_range(0..k);
+            let target = (0..k)
+                .map(|d| (offset + d) % k)
+                .find(|&c| c != old && writer_count(schedule, ci, c) == 0)
+                .unwrap_or(k);
+            schedule.cycles[ci].intents[proc].read = Some(ReadIntent {
+                chan: target,
+                expect: Expect::Value,
+            });
+            Some(format!(
+                "cycle {ci}: retargeted P{proc}'s value read from channel {old} to {target}"
+            ))
+        }
+        Fault::DropWrite => {
+            let mut sites: Vec<(usize, usize)> = writes(schedule)
+                .into_iter()
+                .filter(|&(ci, proc, w)| {
+                    w.chan < k
+                        && !w.may_suppress
+                        && (value_reader_on(schedule, ci, w.chan)
+                            || wire_depends_on(schedule, ci, proc, w.chan))
+                })
+                .map(|(ci, proc, _)| (ci, proc))
+                .collect();
+            let (ci, proc) = pick(&mut sites, rng)?;
+            schedule.cycles[ci].intents[proc].write = None;
+            Some(format!("cycle {ci}: dropped P{proc}'s depended-on write"))
+        }
+        Fault::DropMove => {
+            let data = schedule.data.as_mut()?;
+            if data.moves.is_empty() || data.moves.len() != data.slots {
+                return None;
+            }
+            let i = rng.random_range(0..data.moves.len());
+            let mv = data.moves.swap_remove(i);
+            Some(format!("dropped move {} -> {}", mv.src, mv.dst))
+        }
+        Fault::DupMoveDest => {
+            let data = schedule.data.as_mut()?;
+            if data.moves.len() < 2 {
+                return None;
+            }
+            let i = rng.random_range(0..data.moves.len());
+            let mut j = rng.random_range(0..data.moves.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let stolen = data.moves[j].dst;
+            let old = data.moves[i].dst;
+            data.moves[i].dst = stolen;
+            Some(format!(
+                "move {i}: destination {old} replaced by {stolen} (duplicate)"
+            ))
+        }
+        Fault::ShiftWireCycle => {
+            let data = schedule.data.as_ref()?;
+            let mut sites: Vec<usize> = (0..data.moves.len())
+                .filter(|&i| matches!(data.moves[i].route, Route::Wire { .. }))
+                .collect();
+            while let Some(i) = pick(&mut sites, rng) {
+                let Route::Wire {
+                    cycle,
+                    writer,
+                    chan,
+                    reader,
+                } = schedule.data.as_ref().unwrap().moves[i].route
+                else {
+                    continue;
+                };
+                for shifted in [cycle + 1, cycle.wrapping_sub(1)] {
+                    // Only seed when the shifted route is provably invalid
+                    // (a neighbouring cycle could coincidentally carry the
+                    // same broadcast pair).
+                    let still_valid = schedule.cycles.get(shifted).is_some_and(|cyc| {
+                        cyc.intents
+                            .get(writer)
+                            .is_some_and(|i| i.write.is_some_and(|w| w.chan == chan))
+                            && cyc
+                                .intents
+                                .get(reader)
+                                .is_some_and(|i| i.read.is_some_and(|r| r.chan == chan))
+                    });
+                    if !still_valid {
+                        let data = schedule.data.as_mut().unwrap();
+                        data.moves[i].route = Route::Wire {
+                            cycle: shifted,
+                            writer,
+                            chan,
+                            reader,
+                        };
+                        return Some(format!("move {i}: wire cycle shifted {cycle} -> {shifted}"));
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScheduleBuilder;
+    use crate::verify::{verify, Bounds};
+
+    /// A small but representative schedule: guaranteed + suppressible
+    /// writes, value + maybe-empty reads, local + wire moves.
+    fn specimen() -> CheckedSchedule {
+        let mut b = ScheduleBuilder::new("specimen", 4, 2);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.read(1, 0);
+        b.write_suppressible(2, 1);
+        b.read_maybe_empty(3, 1);
+        b.begin_cycle();
+        b.write(1, 1);
+        b.read(2, 1);
+        b.begin_cycle();
+        b.write(3, 0);
+        b.read(0, 0);
+        b.declare_slots(4);
+        b.wire_move(0, 0, 0, 1, 0, 1);
+        b.wire_move(1, 1, 1, 2, 1, 2);
+        b.wire_move(2, 3, 0, 0, 2, 3);
+        b.local_move(0, 3, 0);
+        b.finish()
+    }
+
+    #[test]
+    fn every_fault_class_is_seedable_and_detected() {
+        let mut rng = Rng64::seed_from_u64(0xFA117);
+        for fault in Fault::ALL {
+            let mut seeded = 0;
+            for _ in 0..32 {
+                let mut s = specimen();
+                if let Some(desc) = seed_fault(&mut s, fault, &mut rng) {
+                    seeded += 1;
+                    let r = verify(&s, &Bounds::none());
+                    assert!(!r.is_ok(), "{fault:?} ({desc}) escaped the verifier:\n{r}");
+                }
+            }
+            assert!(seeded > 0, "{fault:?} never applicable on the specimen");
+        }
+    }
+
+    #[test]
+    fn unseedable_faults_return_none() {
+        // No data layer: move faults are not applicable.
+        let mut b = ScheduleBuilder::new("flat", 2, 1);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.read(1, 0);
+        let s = b.finish();
+        let mut rng = Rng64::seed_from_u64(7);
+        for fault in [Fault::DropMove, Fault::DupMoveDest, Fault::ShiftWireCycle] {
+            assert_eq!(seed_fault(&mut s.clone(), fault, &mut rng), None);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Verification reports: machine-readable JSON plus a human-readable diff.
+
+use crate::verify::{Lint, Violation};
+use mcb_json::Json;
+
+/// Aggregate facts about the verified schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Processors.
+    pub p: usize,
+    /// Channels.
+    pub k: usize,
+    /// Cycles occupied.
+    pub cycles: u64,
+    /// Minimum messages (suppressible writes silent).
+    pub messages_min: u64,
+    /// Maximum messages (all writes materialize).
+    pub messages_max: u64,
+    /// Data moves declared (0 when no data layer).
+    pub moves: u64,
+}
+
+/// The outcome of verifying one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// The schedule's name.
+    pub name: String,
+    /// Aggregate schedule facts.
+    pub stats: Stats,
+    /// Broken invariants (empty = verified).
+    pub violations: Vec<Violation>,
+    /// Advisory findings.
+    pub lints: Vec<Lint>,
+}
+
+impl Report {
+    /// True when no invariant is violated (lints do not fail a schedule).
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render as one deterministic JSON object (insertion-ordered keys,
+    /// suitable for JSONL).
+    pub fn to_json(&self) -> String {
+        let violations = Json::Arr(
+            self.violations
+                .iter()
+                .map(|v| {
+                    Json::obj()
+                        .field("kind", v.kind())
+                        .field("detail", v.to_string())
+                })
+                .collect(),
+        );
+        let lints = Json::Arr(
+            self.lints
+                .iter()
+                .map(|l| {
+                    Json::obj()
+                        .field("kind", l.kind())
+                        .field("detail", l.to_string())
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("record", "mcb-check")
+            .field("schema", 1u64)
+            .field("name", self.name.as_str())
+            .field("p", self.stats.p as u64)
+            .field("k", self.stats.k as u64)
+            .field("cycles", self.stats.cycles)
+            .field("messages_min", self.stats.messages_min)
+            .field("messages_max", self.stats.messages_max)
+            .field("moves", self.stats.moves)
+            .field("ok", self.is_ok())
+            .field("violations", violations)
+            .field("lints", lints)
+            .render()
+    }
+}
+
+impl std::fmt::Display for Report {
+    /// The human diff: a verdict line, then one indented line per finding.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] p={} k={} cycles={} messages={}..{}",
+            if self.is_ok() { "OK  " } else { "FAIL" },
+            self.name,
+            self.stats.p,
+            self.stats.k,
+            self.stats.cycles,
+            self.stats.messages_min,
+            self.stats.messages_max,
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  violation[{}]: {v}", v.kind())?;
+        }
+        for l in &self.lints {
+            writeln!(f, "  lint[{}]: {l}", l.kind())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ir::ScheduleBuilder;
+    use crate::verify::{verify, Bounds};
+
+    #[test]
+    fn json_is_deterministic_and_tagged() {
+        let mut b = ScheduleBuilder::new("demo", 2, 1);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.write(1, 0);
+        let r = verify(&b.finish(), &Bounds::none());
+        let json = r.to_json();
+        assert!(json.starts_with(r#"{"record":"mcb-check","schema":1,"name":"demo""#));
+        assert!(json.contains(r#""kind":"write_collision""#));
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn display_shows_verdict_and_findings() {
+        let mut b = ScheduleBuilder::new("demo", 2, 1);
+        b.begin_cycle();
+        b.read(0, 0);
+        let r = verify(&b.finish(), &Bounds::none());
+        let text = r.to_string();
+        assert!(text.starts_with("FAIL [demo]"));
+        assert!(text.contains("read_from_silent_channel"));
+    }
+}

@@ -1,0 +1,685 @@
+//! The verifier: proves the model's static obligations for a schedule.
+//!
+//! Checked invariants (violations):
+//!
+//! 1. **Collision-freedom** — at most one writer per (cycle, channel),
+//!    counting suppressible writes (they claim the channel even when
+//!    silent).
+//! 2. **Channel range** — every written/read channel is `< k`.
+//! 3. **Read-validity** — every [`Expect::Value`] read targets a channel
+//!    with a scheduled, non-suppressible writer that cycle.
+//! 4. **Permutation data flow** — if a [`DataFlow`](crate::ir::DataFlow)
+//!    layer is declared, its moves use every source and destination slot
+//!    exactly once, and every wire leg names a broadcast the schedule
+//!    actually performs (writer writes that channel, reader reads it, in
+//!    that cycle).
+//! 5. **Paper bounds** — cycle/message counts match the closed forms the
+//!    caller asserts via [`Bounds`] (exact or upper bound).
+//!
+//! Advisory **lints** flag waste that is not a correctness bug: channels
+//! never touched and messages nobody reads.
+
+use crate::ir::{CheckedSchedule, Expect, Route};
+use crate::report::{Report, Stats};
+
+/// A broken invariant — the schedule would fail (or overrun) on the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two or more writers share a channel in a cycle (§2: the computation
+    /// fails).
+    WriteCollision {
+        /// Cycle index.
+        cycle: usize,
+        /// Channel index.
+        chan: usize,
+        /// Every scheduled writer of that channel that cycle.
+        writers: Vec<usize>,
+    },
+    /// A write names a channel `>= k`.
+    BadWriteChannel {
+        /// Cycle index.
+        cycle: usize,
+        /// Writing processor.
+        proc: usize,
+        /// The out-of-range channel.
+        chan: usize,
+    },
+    /// A read names a channel `>= k`.
+    BadReadChannel {
+        /// Cycle index.
+        cycle: usize,
+        /// Reading processor.
+        proc: usize,
+        /// The out-of-range channel.
+        chan: usize,
+    },
+    /// An `Expect::Value` read targets a channel with no writer that cycle.
+    ReadFromSilentChannel {
+        /// Cycle index.
+        cycle: usize,
+        /// Reading processor.
+        proc: usize,
+        /// The silent channel.
+        chan: usize,
+    },
+    /// An `Expect::Value` read's only writer is suppressible — the value
+    /// is not guaranteed.
+    ValueReadFromSuppressibleWrite {
+        /// Cycle index.
+        cycle: usize,
+        /// Reading processor.
+        proc: usize,
+        /// The channel.
+        chan: usize,
+        /// The suppressible writer.
+        writer: usize,
+    },
+    /// A cycle's intent vector does not have `p` entries (malformed IR).
+    MalformedCycle {
+        /// Cycle index.
+        cycle: usize,
+        /// Entries found.
+        got: usize,
+        /// Entries required (`p`).
+        want: usize,
+    },
+    /// The data layer has the wrong number of moves for its slot count.
+    MoveCountMismatch {
+        /// Declared slots.
+        slots: usize,
+        /// Moves recorded.
+        moves: usize,
+    },
+    /// A slot is moved twice (element duplicated) or a move reads an
+    /// out-of-range source.
+    BadMoveSource {
+        /// The offending source slot.
+        slot: usize,
+    },
+    /// A destination receives two elements (element lost) or is out of
+    /// range.
+    BadMoveDest {
+        /// The offending destination slot.
+        slot: usize,
+    },
+    /// A wire move names a broadcast the schedule does not perform.
+    WireMoveMismatch {
+        /// Cycle named by the route.
+        cycle: usize,
+        /// Writer named by the route.
+        writer: usize,
+        /// Channel named by the route.
+        chan: usize,
+        /// Reader named by the route.
+        reader: usize,
+        /// What exactly does not line up.
+        why: String,
+    },
+    /// The schedule's cycle count differs from the asserted closed form.
+    CycleCountMismatch {
+        /// Cycles in the schedule.
+        got: u64,
+        /// The closed form.
+        want: u64,
+    },
+    /// The schedule exceeds the asserted cycle upper bound.
+    CycleBoundExceeded {
+        /// Cycles in the schedule.
+        got: u64,
+        /// The bound.
+        bound: u64,
+    },
+    /// The message count cannot equal the asserted exact closed form.
+    MessageCountMismatch {
+        /// Minimum messages (suppressible writes silent).
+        got_min: u64,
+        /// Maximum messages (all writes materialize).
+        got_max: u64,
+        /// The closed form.
+        want: u64,
+    },
+    /// The maximum message count exceeds the asserted upper bound.
+    MessageBoundExceeded {
+        /// Maximum messages.
+        got_max: u64,
+        /// The bound.
+        bound: u64,
+    },
+}
+
+impl Violation {
+    /// Stable machine-readable kind tag (used in the JSON report).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::WriteCollision { .. } => "write_collision",
+            Violation::BadWriteChannel { .. } => "bad_write_channel",
+            Violation::BadReadChannel { .. } => "bad_read_channel",
+            Violation::ReadFromSilentChannel { .. } => "read_from_silent_channel",
+            Violation::ValueReadFromSuppressibleWrite { .. } => {
+                "value_read_from_suppressible_write"
+            }
+            Violation::MalformedCycle { .. } => "malformed_cycle",
+            Violation::MoveCountMismatch { .. } => "move_count_mismatch",
+            Violation::BadMoveSource { .. } => "bad_move_source",
+            Violation::BadMoveDest { .. } => "bad_move_dest",
+            Violation::WireMoveMismatch { .. } => "wire_move_mismatch",
+            Violation::CycleCountMismatch { .. } => "cycle_count_mismatch",
+            Violation::CycleBoundExceeded { .. } => "cycle_bound_exceeded",
+            Violation::MessageCountMismatch { .. } => "message_count_mismatch",
+            Violation::MessageBoundExceeded { .. } => "message_bound_exceeded",
+        }
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WriteCollision {
+                cycle,
+                chan,
+                writers,
+            } => write!(
+                f,
+                "cycle {cycle}: channel {chan} has {} writers {writers:?} (need <= 1)",
+                writers.len()
+            ),
+            Violation::BadWriteChannel { cycle, proc, chan } => {
+                write!(f, "cycle {cycle}: P{proc} writes out-of-range channel {chan}")
+            }
+            Violation::BadReadChannel { cycle, proc, chan } => {
+                write!(f, "cycle {cycle}: P{proc} reads out-of-range channel {chan}")
+            }
+            Violation::ReadFromSilentChannel { cycle, proc, chan } => write!(
+                f,
+                "cycle {cycle}: P{proc} expects a value on channel {chan}, but no writer is scheduled"
+            ),
+            Violation::ValueReadFromSuppressibleWrite {
+                cycle,
+                proc,
+                chan,
+                writer,
+            } => write!(
+                f,
+                "cycle {cycle}: P{proc} expects a value on channel {chan}, but its only writer P{writer} may suppress"
+            ),
+            Violation::MalformedCycle { cycle, got, want } => {
+                write!(f, "cycle {cycle}: {got} intents recorded, expected p = {want}")
+            }
+            Violation::MoveCountMismatch { slots, moves } => {
+                write!(f, "data flow: {moves} moves for {slots} slots (need exactly one each)")
+            }
+            Violation::BadMoveSource { slot } => {
+                write!(f, "data flow: source slot {slot} moved twice or out of range (element duplicated)")
+            }
+            Violation::BadMoveDest { slot } => {
+                write!(f, "data flow: destination slot {slot} filled twice or out of range (element lost)")
+            }
+            Violation::WireMoveMismatch {
+                cycle,
+                writer,
+                chan,
+                reader,
+                why,
+            } => write!(
+                f,
+                "data flow: wire move (cycle {cycle}, P{writer} -> chan {chan} -> P{reader}) has no matching broadcast: {why}"
+            ),
+            Violation::CycleCountMismatch { got, want } => {
+                write!(f, "cycles: schedule has {got}, closed form says {want}")
+            }
+            Violation::CycleBoundExceeded { got, bound } => {
+                write!(f, "cycles: schedule has {got}, exceeding the bound {bound}")
+            }
+            Violation::MessageCountMismatch {
+                got_min,
+                got_max,
+                want,
+            } => write!(
+                f,
+                "messages: schedule sends between {got_min} and {got_max}, closed form says exactly {want}"
+            ),
+            Violation::MessageBoundExceeded { got_max, bound } => {
+                write!(f, "messages: schedule may send {got_max}, exceeding the bound {bound}")
+            }
+        }
+    }
+}
+
+/// An advisory finding: wasteful but not incorrect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A channel is never written or read over the whole schedule.
+    IdleChannel {
+        /// The unused channel.
+        chan: usize,
+    },
+    /// Messages are broadcast with no scheduled reader in their cycle.
+    UnreadMessages {
+        /// How many such writes exist.
+        count: u64,
+        /// The first occurrence, as `(cycle, proc, chan)`.
+        first: (usize, usize, usize),
+    },
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lint::IdleChannel { chan } => {
+                write!(f, "channel {chan} is never used (consider a narrower k)")
+            }
+            Lint::UnreadMessages { count, first } => write!(
+                f,
+                "{count} scheduled writes have no reader in their cycle (first: cycle {}, P{} on channel {})",
+                first.0, first.1, first.2
+            ),
+        }
+    }
+}
+
+impl Lint {
+    /// Stable machine-readable kind tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lint::IdleChannel { .. } => "idle_channel",
+            Lint::UnreadMessages { .. } => "unread_messages",
+        }
+    }
+}
+
+/// Closed-form cost assertions to check the schedule against. `None`
+/// fields are not checked.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bounds {
+    /// The schedule must occupy exactly this many cycles.
+    pub cycles_exact: Option<u64>,
+    /// The schedule must occupy at most this many cycles.
+    pub cycles_max: Option<u64>,
+    /// The schedule must send exactly this many messages (only meaningful
+    /// when no writes are suppressible).
+    pub messages_exact: Option<u64>,
+    /// The schedule may send at most this many messages.
+    pub messages_max: Option<u64>,
+}
+
+impl Bounds {
+    /// Assert nothing.
+    pub fn none() -> Bounds {
+        Bounds::default()
+    }
+}
+
+/// Verify `schedule` against the model invariants and `bounds`.
+pub fn verify(schedule: &CheckedSchedule, bounds: &Bounds) -> Report {
+    let p = schedule.p;
+    let k = schedule.k;
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut lints: Vec<Lint> = Vec::new();
+
+    let mut chan_used = vec![false; k];
+    let mut unread = 0u64;
+    let mut first_unread: Option<(usize, usize, usize)> = None;
+
+    // Per-cycle scratch, reused across cycles.
+    let mut writers: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut read_chans: Vec<bool> = vec![false; k];
+
+    for (ci, cyc) in schedule.cycles.iter().enumerate() {
+        if cyc.intents.len() != p {
+            violations.push(Violation::MalformedCycle {
+                cycle: ci,
+                got: cyc.intents.len(),
+                want: p,
+            });
+            continue;
+        }
+        for w in &mut writers {
+            w.clear();
+        }
+        read_chans.iter_mut().for_each(|r| *r = false);
+
+        for (proc, intent) in cyc.intents.iter().enumerate() {
+            if let Some(w) = intent.write {
+                if w.chan >= k {
+                    violations.push(Violation::BadWriteChannel {
+                        cycle: ci,
+                        proc,
+                        chan: w.chan,
+                    });
+                } else {
+                    writers[w.chan].push(proc);
+                    chan_used[w.chan] = true;
+                }
+            }
+            if let Some(r) = intent.read {
+                if r.chan >= k {
+                    violations.push(Violation::BadReadChannel {
+                        cycle: ci,
+                        proc,
+                        chan: r.chan,
+                    });
+                } else {
+                    read_chans[r.chan] = true;
+                    chan_used[r.chan] = true;
+                }
+            }
+        }
+        for (chan, w) in writers.iter().enumerate() {
+            if w.len() > 1 {
+                violations.push(Violation::WriteCollision {
+                    cycle: ci,
+                    chan,
+                    writers: w.clone(),
+                });
+            }
+            if !w.is_empty() && !read_chans[chan] {
+                unread += w.len() as u64;
+                if first_unread.is_none() {
+                    first_unread = Some((ci, w[0], chan));
+                }
+            }
+        }
+        for (proc, intent) in cyc.intents.iter().enumerate() {
+            let Some(r) = intent.read else { continue };
+            if r.chan >= k || r.expect != Expect::Value {
+                continue;
+            }
+            let ws = &writers[r.chan];
+            if ws.is_empty() {
+                violations.push(Violation::ReadFromSilentChannel {
+                    cycle: ci,
+                    proc,
+                    chan: r.chan,
+                });
+            } else if ws.len() == 1 {
+                let writer = ws[0];
+                let suppressible = cyc.intents[writer]
+                    .write
+                    .is_some_and(|w| w.chan == r.chan && w.may_suppress);
+                if suppressible {
+                    violations.push(Violation::ValueReadFromSuppressibleWrite {
+                        cycle: ci,
+                        proc,
+                        chan: r.chan,
+                        writer,
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- data-flow permutation + wire-route cross-check -------------------
+    if let Some(data) = &schedule.data {
+        if data.moves.len() != data.slots {
+            violations.push(Violation::MoveCountMismatch {
+                slots: data.slots,
+                moves: data.moves.len(),
+            });
+        }
+        let mut src_seen = vec![false; data.slots];
+        let mut dst_seen = vec![false; data.slots];
+        for mv in &data.moves {
+            if mv.src >= data.slots || src_seen[mv.src] {
+                violations.push(Violation::BadMoveSource { slot: mv.src });
+            } else {
+                src_seen[mv.src] = true;
+            }
+            if mv.dst >= data.slots || dst_seen[mv.dst] {
+                violations.push(Violation::BadMoveDest { slot: mv.dst });
+            } else {
+                dst_seen[mv.dst] = true;
+            }
+            if let Route::Wire {
+                cycle,
+                writer,
+                chan,
+                reader,
+            } = mv.route
+            {
+                let mismatch = |why: &str| Violation::WireMoveMismatch {
+                    cycle,
+                    writer,
+                    chan,
+                    reader,
+                    why: why.to_owned(),
+                };
+                match schedule.cycles.get(cycle) {
+                    None => violations.push(mismatch("cycle out of range")),
+                    Some(cyc) if cyc.intents.len() == p => {
+                        if writer >= p || cyc.intents[writer].write.is_none_or(|w| w.chan != chan) {
+                            violations
+                                .push(mismatch("writer does not write that channel that cycle"));
+                        }
+                        if reader >= p || cyc.intents[reader].read.is_none_or(|r| r.chan != chan) {
+                            violations
+                                .push(mismatch("reader does not read that channel that cycle"));
+                        }
+                    }
+                    Some(_) => {} // malformed cycle already reported
+                }
+            }
+        }
+    }
+
+    // ---- closed-form cost assertions --------------------------------------
+    let cycles = schedule.cycle_count();
+    let (msg_min, msg_max) = schedule.message_bounds();
+    if let Some(want) = bounds.cycles_exact {
+        if cycles != want {
+            violations.push(Violation::CycleCountMismatch { got: cycles, want });
+        }
+    }
+    if let Some(bound) = bounds.cycles_max {
+        if cycles > bound {
+            violations.push(Violation::CycleBoundExceeded { got: cycles, bound });
+        }
+    }
+    if let Some(want) = bounds.messages_exact {
+        if msg_min != want || msg_max != want {
+            violations.push(Violation::MessageCountMismatch {
+                got_min: msg_min,
+                got_max: msg_max,
+                want,
+            });
+        }
+    }
+    if let Some(bound) = bounds.messages_max {
+        if msg_max > bound {
+            violations.push(Violation::MessageBoundExceeded {
+                got_max: msg_max,
+                bound,
+            });
+        }
+    }
+
+    // ---- lints -------------------------------------------------------------
+    for (chan, used) in chan_used.iter().enumerate() {
+        if !used {
+            lints.push(Lint::IdleChannel { chan });
+        }
+    }
+    if let Some(first) = first_unread {
+        lints.push(Lint::UnreadMessages {
+            count: unread,
+            first,
+        });
+    }
+
+    Report {
+        name: schedule.name.clone(),
+        stats: Stats {
+            p,
+            k,
+            cycles,
+            messages_min: msg_min,
+            messages_max: msg_max,
+            moves: schedule.data.as_ref().map_or(0, |d| d.moves.len() as u64),
+        },
+        violations,
+        lints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScheduleBuilder;
+
+    fn two_proc_ok() -> CheckedSchedule {
+        let mut b = ScheduleBuilder::new("ok", 2, 2);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.read(1, 0);
+        b.begin_cycle();
+        b.write(1, 1);
+        b.read(0, 1);
+        b.finish()
+    }
+
+    #[test]
+    fn clean_schedule_passes() {
+        let r = verify(&two_proc_ok(), &Bounds::none());
+        assert!(r.is_ok(), "{r}");
+        assert_eq!(r.stats.cycles, 2);
+        assert_eq!(r.stats.messages_min, 2);
+    }
+
+    #[test]
+    fn detects_collision() {
+        let mut b = ScheduleBuilder::new("bad", 3, 2);
+        b.begin_cycle();
+        b.write(0, 1);
+        b.write(2, 1);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(matches!(
+            r.violations[0],
+            Violation::WriteCollision { cycle: 0, chan: 1, ref writers } if writers == &[0, 2]
+        ));
+    }
+
+    #[test]
+    fn detects_silent_value_read() {
+        let mut b = ScheduleBuilder::new("bad", 2, 2);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.read(1, 1); // nobody writes channel 1
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::ReadFromSilentChannel { chan: 1, .. })));
+    }
+
+    #[test]
+    fn maybe_empty_read_on_silent_channel_is_fine() {
+        let mut b = ScheduleBuilder::new("ok", 2, 2);
+        b.begin_cycle();
+        b.read_maybe_empty(1, 1);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn value_read_needs_guaranteed_writer() {
+        let mut b = ScheduleBuilder::new("bad", 2, 1);
+        b.begin_cycle();
+        b.write_suppressible(0, 0);
+        b.read(1, 0);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r.violations.iter().any(|v| matches!(
+            v,
+            Violation::ValueReadFromSuppressibleWrite { writer: 0, .. }
+        )));
+    }
+
+    #[test]
+    fn detects_bad_channels() {
+        let mut b = ScheduleBuilder::new("bad", 1, 1);
+        b.begin_cycle();
+        b.write(0, 3);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(matches!(
+            r.violations[0],
+            Violation::BadWriteChannel { chan: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn checks_dataflow_permutation_and_routes() {
+        let mut b = ScheduleBuilder::new("flow", 2, 1);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.read(1, 0);
+        b.declare_slots(2);
+        b.wire_move(0, 0, 0, 1, 0, 1);
+        b.local_move(1, 1, 0);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r.is_ok(), "{r}");
+
+        // Duplicate destination -> element lost.
+        let mut b = ScheduleBuilder::new("dup", 1, 1);
+        b.begin_cycle();
+        b.declare_slots(2);
+        b.local_move(0, 0, 1);
+        b.local_move(0, 1, 1);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::BadMoveDest { slot: 1 })));
+
+        // Wire route naming an unscheduled broadcast.
+        let mut b = ScheduleBuilder::new("ghost", 2, 1);
+        b.begin_cycle();
+        b.declare_slots(1);
+        b.wire_move(0, 0, 0, 1, 0, 0);
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WireMoveMismatch { .. })));
+    }
+
+    #[test]
+    fn enforces_bounds() {
+        let s = two_proc_ok();
+        let r = verify(
+            &s,
+            &Bounds {
+                cycles_exact: Some(3),
+                ..Bounds::none()
+            },
+        );
+        assert!(matches!(
+            r.violations[0],
+            Violation::CycleCountMismatch { got: 2, want: 3 }
+        ));
+        let r = verify(
+            &s,
+            &Bounds {
+                messages_exact: Some(2),
+                cycles_max: Some(2),
+                messages_max: Some(2),
+                ..Bounds::none()
+            },
+        );
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn lints_idle_channels_and_unread_messages() {
+        let mut b = ScheduleBuilder::new("wasteful", 2, 3);
+        b.begin_cycle();
+        b.write(0, 0); // no reader
+        let r = verify(&b.finish(), &Bounds::none());
+        assert!(r.is_ok(), "lints are advisory");
+        assert!(r
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::IdleChannel { chan: 1 })));
+        assert!(r
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::UnreadMessages { count: 1, .. })));
+    }
+}

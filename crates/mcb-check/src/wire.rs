@@ -1,0 +1,261 @@
+//! The conformance bridge: static schedule vs. dynamic engine trace.
+//!
+//! The engine's `Trace` records every message actually broadcast — cycle,
+//! writer, channel. [`check_conformance`] replays such a log against a
+//! [`CheckedSchedule`]: every logged broadcast must match a scheduled
+//! write intent, and every *guaranteed* (non-suppressible) write intent
+//! must appear in the log. Suppressible intents may be absent — that is a
+//! dummy staying silent, and it is counted in
+//! [`Conformance::suppressed`]. Reads are not on the wire and therefore
+//! not checkable here; they are covered statically by the verifier.
+
+use crate::ir::CheckedSchedule;
+
+/// One broadcast as observed on the wire (engine-type-erased).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEvent {
+    /// Global cycle of the broadcast.
+    pub cycle: u64,
+    /// The writing processor.
+    pub writer: usize,
+    /// The channel written.
+    pub chan: usize,
+}
+
+/// A full run's wire activity, extracted from an engine trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLog {
+    /// Processors in the run.
+    pub p: usize,
+    /// Channels in the run.
+    pub k: usize,
+    /// All broadcasts; order does not matter.
+    pub events: Vec<WireEvent>,
+}
+
+/// Why a trace does not replay the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// The run's `(p, k)` differ from the schedule's.
+    ShapeMismatch {
+        /// Schedule shape.
+        schedule: (usize, usize),
+        /// Log shape.
+        log: (usize, usize),
+    },
+    /// A broadcast happened that the schedule does not contain.
+    UnscheduledWrite {
+        /// The offending event.
+        event: WireEvent,
+    },
+    /// A guaranteed write intent produced no broadcast.
+    MissingWrite {
+        /// Cycle of the intent.
+        cycle: usize,
+        /// The scheduled writer.
+        writer: usize,
+        /// The scheduled channel.
+        chan: usize,
+    },
+    /// The log extends past the schedule's last cycle.
+    LogOutlivesSchedule {
+        /// First out-of-range event.
+        event: WireEvent,
+        /// Schedule length in cycles.
+        cycles: u64,
+    },
+}
+
+impl std::fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConformanceError::ShapeMismatch { schedule, log } => write!(
+                f,
+                "shape mismatch: schedule is (p={}, k={}), log is (p={}, k={})",
+                schedule.0, schedule.1, log.0, log.1
+            ),
+            ConformanceError::UnscheduledWrite { event } => write!(
+                f,
+                "cycle {}: P{} broadcast on channel {} with no matching intent",
+                event.cycle, event.writer, event.chan
+            ),
+            ConformanceError::MissingWrite {
+                cycle,
+                writer,
+                chan,
+            } => write!(
+                f,
+                "cycle {cycle}: P{writer} was scheduled to write channel {chan} but stayed silent"
+            ),
+            ConformanceError::LogOutlivesSchedule { event, cycles } => write!(
+                f,
+                "cycle {}: broadcast past the schedule's end ({} cycles)",
+                event.cycle, cycles
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+/// What a successful conformance check saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conformance {
+    /// Broadcasts that matched a write intent.
+    pub matched: u64,
+    /// Suppressible intents with no broadcast (dummies staying silent).
+    pub suppressed: u64,
+}
+
+/// Check that `log` is a faithful replay of `schedule`'s write side.
+pub fn check_conformance(
+    schedule: &CheckedSchedule,
+    log: &WireLog,
+) -> Result<Conformance, ConformanceError> {
+    if (schedule.p, schedule.k) != (log.p, log.k) {
+        return Err(ConformanceError::ShapeMismatch {
+            schedule: (schedule.p, schedule.k),
+            log: (log.p, log.k),
+        });
+    }
+    let cycles = schedule.cycle_count();
+    // seen[cycle][proc] = channel broadcast by proc that cycle.
+    let mut seen: Vec<Vec<Option<usize>>> = vec![vec![None; schedule.p]; schedule.cycles.len()];
+    for &ev in &log.events {
+        if ev.cycle >= cycles {
+            return Err(ConformanceError::LogOutlivesSchedule { event: ev, cycles });
+        }
+        let cyc = &schedule.cycles[ev.cycle as usize];
+        let intent_ok = ev.writer < schedule.p
+            && cyc
+                .intents
+                .get(ev.writer)
+                .and_then(|i| i.write)
+                .is_some_and(|w| w.chan == ev.chan);
+        if !intent_ok {
+            return Err(ConformanceError::UnscheduledWrite { event: ev });
+        }
+        seen[ev.cycle as usize][ev.writer] = Some(ev.chan);
+    }
+    let mut matched = 0u64;
+    let mut suppressed = 0u64;
+    for (ci, cyc) in schedule.cycles.iter().enumerate() {
+        for (proc, intent) in cyc.intents.iter().enumerate() {
+            let Some(w) = intent.write else { continue };
+            match seen[ci][proc] {
+                Some(_) => matched += 1,
+                None if w.may_suppress => suppressed += 1,
+                None => {
+                    return Err(ConformanceError::MissingWrite {
+                        cycle: ci,
+                        writer: proc,
+                        chan: w.chan,
+                    })
+                }
+            }
+        }
+    }
+    Ok(Conformance {
+        matched,
+        suppressed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScheduleBuilder;
+
+    fn sched() -> CheckedSchedule {
+        let mut b = ScheduleBuilder::new("t", 2, 1);
+        b.begin_cycle();
+        b.write(0, 0);
+        b.read(1, 0);
+        b.begin_cycle();
+        b.write_suppressible(1, 0);
+        b.read_maybe_empty(0, 0);
+        b.finish()
+    }
+
+    fn ev(cycle: u64, writer: usize, chan: usize) -> WireEvent {
+        WireEvent {
+            cycle,
+            writer,
+            chan,
+        }
+    }
+
+    #[test]
+    fn faithful_replay_passes() {
+        let log = WireLog {
+            p: 2,
+            k: 1,
+            events: vec![ev(0, 0, 0), ev(1, 1, 0)],
+        };
+        let c = check_conformance(&sched(), &log).unwrap();
+        assert_eq!((c.matched, c.suppressed), (2, 0));
+    }
+
+    #[test]
+    fn suppressed_dummy_write_is_allowed() {
+        let log = WireLog {
+            p: 2,
+            k: 1,
+            events: vec![ev(0, 0, 0)],
+        };
+        let c = check_conformance(&sched(), &log).unwrap();
+        assert_eq!((c.matched, c.suppressed), (1, 1));
+    }
+
+    #[test]
+    fn missing_guaranteed_write_fails() {
+        let log = WireLog {
+            p: 2,
+            k: 1,
+            events: vec![],
+        };
+        assert!(matches!(
+            check_conformance(&sched(), &log),
+            Err(ConformanceError::MissingWrite {
+                cycle: 0,
+                writer: 0,
+                chan: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn unscheduled_and_overlong_broadcasts_fail() {
+        let log = WireLog {
+            p: 2,
+            k: 1,
+            events: vec![ev(0, 1, 0)],
+        };
+        assert!(matches!(
+            check_conformance(&sched(), &log),
+            Err(ConformanceError::UnscheduledWrite { .. })
+        ));
+        let log = WireLog {
+            p: 2,
+            k: 1,
+            events: vec![ev(0, 0, 0), ev(1, 1, 0), ev(5, 0, 0)],
+        };
+        assert!(matches!(
+            check_conformance(&sched(), &log),
+            Err(ConformanceError::LogOutlivesSchedule { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_fails() {
+        let log = WireLog {
+            p: 3,
+            k: 1,
+            events: vec![],
+        };
+        assert!(matches!(
+            check_conformance(&sched(), &log),
+            Err(ConformanceError::ShapeMismatch { .. })
+        ));
+    }
+}

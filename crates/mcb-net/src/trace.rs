@@ -93,6 +93,25 @@ impl<M> Trace<M> {
     pub fn cycle_events(&self, cycle: u64) -> impl Iterator<Item = &Event<M>> {
         self.events.iter().filter(move |e| e.cycle == cycle)
     }
+
+    /// Erase payloads into an [`mcb_check::WireLog`] for conformance
+    /// checking against a statically verified schedule. `p` and `k` are
+    /// the run's shape (the trace itself does not record them).
+    pub fn to_wire_log(&self, p: usize, k: usize) -> mcb_check::WireLog {
+        mcb_check::WireLog {
+            p,
+            k,
+            events: self
+                .events
+                .iter()
+                .map(|e| mcb_check::WireEvent {
+                    cycle: e.cycle,
+                    writer: e.writer.index(),
+                    chan: e.channel.index(),
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]

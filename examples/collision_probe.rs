@@ -1,12 +1,36 @@
-//! Deliberately violates collision-freedom to show the engine's error
-//! reporting: every processor writes channel 0 in the same cycle, which
-//! "fails the computation" (§2) — the run returns `NetError::Collision`
-//! instead of picking a winner. Works identically on either backend
-//! (try `MCB_BACKEND=pooled`).
+//! A deliberately colliding protocol, caught twice: first *statically* by
+//! `mcb-check` — before any engine exists — and then dynamically by the
+//! engine's runtime collision detection ("a write collision fails the
+//! computation", §2). The static verifier must flag the bug first; if it
+//! ever lets the schedule through, this probe exits non-zero.
+//!
+//! Works identically on either backend (try `MCB_BACKEND=pooled`).
 
+use mcb::check::{verify, Bounds, ScheduleBuilder};
 use mcb::net::{Backend, ChanId, Network};
 
 fn main() {
+    // The protocol below as a static schedule: cycle 0 all quiet, cycle 1
+    // every processor shouts on channel 0.
+    let mut b = ScheduleBuilder::new("collision_probe", 4, 2);
+    b.begin_cycle();
+    b.begin_cycle();
+    for proc in 0..4 {
+        b.write(proc, 0);
+    }
+    let report = verify(&b.finish(), &Bounds::none());
+    print!("{report}");
+    if report.is_ok() {
+        eprintln!("static verifier MISSED the collision — that is the bug");
+        std::process::exit(1);
+    }
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.kind() == "write_collision"));
+    println!("static verdict first: collision flagged before any engine ran\n");
+
+    // Now let the engine hit the same wall at runtime.
     for backend in [Backend::Threaded, Backend::Pooled] {
         let err = Network::new(4, 2)
             .backend(backend)

@@ -1,0 +1,205 @@
+//! Full-lattice static verification sweep (the `mcb-check` CI gate).
+//!
+//! Emits and verifies every algorithm's schedule across the whole
+//! `(p, k)` parameter lattice, `1 <= k <= p <= 64` by default — direct
+//! sort on the `p = k` diagonal, grouped sort/selection on even, uneven,
+//! and single-heavy distributions, rank sort on the `k = 1` column, plus
+//! all four Columnsort transformations over their legal `(m, k)` shapes
+//! with and without padding dummies. Every schedule must pass
+//! collision-freedom, read-validity, data-flow, and the paper's
+//! closed-form bounds.
+//!
+//! ```text
+//! cargo run --release --example verify_lattice            # sweep, summary
+//! cargo run --release --example verify_lattice -- --max-p 16
+//! cargo run --release --example verify_lattice -- --jsonl sweep.jsonl
+//! ```
+//!
+//! Exit status is non-zero if any schedule fails verification; failing
+//! reports are printed in full. With `--jsonl`, one deterministic JSON
+//! line per verified schedule is written for offline analysis.
+
+use mcb_algos::columnsort::{min_column_length, ALL_TRANSFORMS};
+use mcb_algos::static_schedule::{
+    ColumnsortNetSpec, DirectSortSpec, ExtremaSpec, GroupedSortSpec, NaiveSelectSpec,
+    PartialSumsSpec, RankSortSpec, SelectSpec, StaticSchedule, TotalSpec, TransformSpec,
+};
+use mcb_rng::Rng64;
+use std::io::Write;
+use std::time::Instant;
+
+struct Sweep {
+    schedules: u64,
+    cycles: u64,
+    failures: Vec<String>,
+    jsonl: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+impl Sweep {
+    fn check(&mut self, spec: &dyn StaticSchedule) {
+        let report = spec.check();
+        self.schedules += 1;
+        self.cycles += report.stats.cycles;
+        if let Some(out) = &mut self.jsonl {
+            writeln!(out, "{}", report.to_json()).expect("write jsonl");
+        }
+        if !report.is_ok() {
+            self.failures.push(report.to_string());
+        }
+    }
+}
+
+/// Deterministic per-(p, k) distributions: even, uneven, single-heavy.
+fn distributions(p: usize, k: usize) -> Vec<Vec<u64>> {
+    let mut rng = Rng64::seed_from_u64((p as u64) << 16 | k as u64);
+    let even = vec![4u64; p];
+    let uneven: Vec<u64> = (0..p).map(|_| rng.random_range(1u64..9)).collect();
+    let mut heavy = vec![1u64; p];
+    heavy[rng.random_range(0..p)] = 6 * p as u64;
+    vec![even, uneven, heavy]
+}
+
+/// Deterministic distinct keys: a fixed multiplicative permutation.
+fn keys(count: usize, salt: u64) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| (((i + salt).wrapping_mul(48271) % 65521) << 6) | ((i + salt) % 64))
+        .collect()
+}
+
+fn main() {
+    let mut max_p = 64usize;
+    let mut jsonl_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-p" => {
+                max_p = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-p needs a number");
+            }
+            "--jsonl" => jsonl_path = Some(args.next().expect("--jsonl needs a path")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut sweep = Sweep {
+        schedules: 0,
+        cycles: 0,
+        failures: Vec::new(),
+        jsonl: jsonl_path
+            .map(|p| std::io::BufWriter::new(std::fs::File::create(p).expect("create jsonl file"))),
+    };
+    let start = Instant::now();
+
+    // Transformation schedules with the full data-flow layer, over legal
+    // (m, k) shapes; dummy-padded Columnsort alongside.
+    for k in 1..=8usize {
+        let floor = min_column_length(k);
+        for mult in 1..=3usize {
+            let m = floor * mult;
+            for tf in ALL_TRANSFORMS {
+                sweep.check(&TransformSpec {
+                    transform: tf,
+                    m,
+                    k,
+                });
+            }
+            sweep.check(&ColumnsortNetSpec {
+                m,
+                k_cols: k,
+                dummies: false,
+            });
+            sweep.check(&ColumnsortNetSpec {
+                m,
+                k_cols: k,
+                dummies: true,
+            });
+        }
+    }
+
+    for p in 1..=max_p {
+        // Rank sort lives on the k = 1 column of the lattice.
+        let lists: Vec<Vec<u64>> = {
+            let mut rng = Rng64::seed_from_u64(p as u64);
+            let sizes: Vec<usize> = (0..p).map(|_| rng.random_range(1..4)).collect();
+            let all = keys(sizes.iter().sum(), 3 * p as u64);
+            let mut rest = all.as_slice();
+            sizes
+                .iter()
+                .map(|&s| {
+                    let (head, tail) = rest.split_at(s);
+                    rest = tail;
+                    head.to_vec()
+                })
+                .collect()
+        };
+        sweep.check(&RankSortSpec { lists });
+
+        for k in 1..=p {
+            sweep.check(&PartialSumsSpec { p, k });
+            sweep.check(&TotalSpec { p, k });
+            sweep.check(&ExtremaSpec { p, k });
+            for n_i in distributions(p, k) {
+                let n: u64 = n_i.iter().sum();
+                sweep.check(&GroupedSortSpec {
+                    k,
+                    n_i: n_i.clone(),
+                });
+                sweep.check(&NaiveSelectSpec {
+                    k,
+                    n_i: n_i.clone(),
+                    d: n.div_ceil(2),
+                });
+            }
+            // Filtering selection: simulated rounds over concrete keys
+            // (one injective sequence per instance — globally distinct).
+            let m_i = 4usize;
+            let all = keys(p * m_i, (p * 64 + k) as u64);
+            let lists: Vec<Vec<u64>> = all.chunks(m_i).map(<[u64]>::to_vec).collect();
+            let n = (p * m_i) as u64;
+            sweep.check(&SelectSpec {
+                k,
+                lists: lists.clone(),
+                d: 1,
+            });
+            sweep.check(&SelectSpec {
+                k,
+                lists,
+                d: n.div_ceil(2),
+            });
+        }
+
+        // The p = k diagonal: direct sort, even columns, with the padding
+        // corner cases around the m >= k(k-1) floor.
+        let floor = min_column_length(p);
+        for m in [1usize, 2, floor.saturating_sub(1).max(1), floor, floor + 1] {
+            sweep.check(&DirectSortSpec { p, m });
+        }
+    }
+
+    let elapsed = start.elapsed();
+    if let Some(out) = &mut sweep.jsonl {
+        out.flush().expect("flush jsonl");
+    }
+    eprintln!(
+        "verified {} schedules ({} cycles total) across p <= {max_p} in {:.2?}: {}",
+        sweep.schedules,
+        sweep.cycles,
+        elapsed,
+        if sweep.failures.is_empty() {
+            "all OK".to_string()
+        } else {
+            format!("{} FAILED", sweep.failures.len())
+        }
+    );
+    if !sweep.failures.is_empty() {
+        for f in &sweep.failures {
+            eprint!("{f}");
+        }
+        std::process::exit(1);
+    }
+}

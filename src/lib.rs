@@ -16,6 +16,11 @@
 //! * [`lowerbounds`] ([`mcb_lowerbounds`]) — §4's lower bounds as
 //!   evaluable formulas, hard-input generators, and an adversary-trace
 //!   replayer.
+//! * [`check`] ([`mcb_check`]) — static schedule verification: proves
+//!   collision-freedom, read-validity, data-flow permutations, and the
+//!   paper's closed-form bounds over the whole parameter lattice without
+//!   running the engine, plus a mutation self-test and a trace
+//!   conformance bridge.
 //! * [`workloads`] ([`mcb_workloads`]) — seeded input-distribution
 //!   generators.
 //!
@@ -46,6 +51,7 @@
 pub struct ReadmeDoctests;
 
 pub use mcb_algos as algos;
+pub use mcb_check as check;
 pub use mcb_lowerbounds as lowerbounds;
 pub use mcb_net as net;
 pub use mcb_workloads as workloads;

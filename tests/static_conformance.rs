@@ -1,0 +1,225 @@
+//! The conformance bridge, closed end to end: every statically verified
+//! schedule is replayed against a real engine trace of the same protocol.
+//!
+//! `mcb-check` proves the *intended* schedule collision-free and within
+//! the paper's bounds; these tests prove the engine *executes* that
+//! schedule — same cycle count, and a wire log that matches the write
+//! intents broadcast for broadcast (suppressed dummies excepted).
+
+use mcb_algos::partial_sums::{partial_sums_in, total_in, Op};
+use mcb_algos::select::naive::select_by_sorting_in;
+use mcb_algos::select::select_rank_in;
+use mcb_algos::sort::columns::{columnsort_net_in, ColumnRole};
+use mcb_algos::sort::direct::sort_direct_in;
+use mcb_algos::sort::grouped::sort_grouped_in;
+use mcb_algos::sort::ranksort::rank_sort_in;
+use mcb_algos::static_schedule::{
+    ColumnsortNetSpec, DirectSortSpec, ExtremaSpec, GroupedSortSpec, NaiveSelectSpec,
+    PartialSumsSpec, RankSortSpec, SelectSpec, StaticSchedule, TotalSpec,
+};
+use mcb_algos::Word;
+use mcb_check::check_conformance;
+use mcb_net::{ChanId, Metrics, Network};
+
+fn enc(v: u64) -> Word<u64> {
+    Word::Ctl(v)
+}
+fn dec(m: Word<u64>) -> u64 {
+    m.expect_ctl()
+}
+
+/// Distinct pseudo-random keys (a fixed LCG permutation of 0..2^16).
+fn keys(count: usize, salt: u64) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| (((i + salt).wrapping_mul(48271) % 65521) << 4) | ((i + salt) % 16))
+        .collect()
+}
+
+/// Verify the spec statically, then assert the engine replays it: equal
+/// cycle counts and a trace matching the schedule's write side.
+fn assert_replay(spec: &dyn StaticSchedule, trace: &mcb_check::WireLog, metrics: &Metrics) {
+    let report = spec.check();
+    assert!(report.is_ok(), "static verification failed:\n{report}");
+    let schedule = spec.emit();
+    assert_eq!(
+        metrics.cycles,
+        schedule.cycle_count(),
+        "[{}] engine cycles diverge from the static schedule",
+        report.name
+    );
+    let conf = check_conformance(&schedule, trace)
+        .unwrap_or_else(|e| panic!("[{}] trace does not replay schedule: {e}", report.name));
+    assert_eq!(
+        conf.matched, metrics.messages,
+        "[{}] every broadcast must match an intent",
+        report.name
+    );
+}
+
+#[test]
+fn partial_sums_and_total_replay() {
+    for (p, k) in [(1, 1), (2, 1), (4, 2), (7, 3), (13, 4), (16, 4)] {
+        let report = Network::new(p, k)
+            .record_trace(true)
+            .run(move |ctx| partial_sums_in(ctx, ctx.id().index() as u64 + 1, Op::Add, &enc, &dec))
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+        assert_replay(&PartialSumsSpec { p, k }, &log, &report.metrics);
+
+        let report = Network::new(p, k)
+            .record_trace(true)
+            .run(move |ctx| total_in(ctx, ctx.id().index() as u64, Op::Max, &enc, &dec))
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+        assert_replay(&TotalSpec { p, k }, &log, &report.metrics);
+    }
+}
+
+#[test]
+fn extrema_replays() {
+    for (p, k) in [(3, 1), (8, 2), (11, 3)] {
+        let values = keys(p, 77);
+        let report = Network::new(p, k)
+            .record_trace(true)
+            .run(move |ctx| mcb_algos::extrema::extrema_in(ctx, values[ctx.id().index()]))
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+        assert_replay(&ExtremaSpec { p, k }, &log, &report.metrics);
+    }
+}
+
+#[test]
+fn columnsort_replays_with_and_without_dummies() {
+    let (m, k) = (12, 3);
+    // Full columns: every scheduled broadcast fires.
+    let vals = keys(m * k, 5);
+    let full: Vec<Vec<Option<u64>>> = vals
+        .chunks(m)
+        .map(|c| c.iter().map(|&v| Some(v)).collect())
+        .collect();
+    // Sparse columns: dummies stay silent (suppressible intents).
+    let mut sparse = full.clone();
+    for (c, col) in sparse.iter_mut().enumerate() {
+        for (r, slot) in col.iter_mut().enumerate() {
+            if (c + 2 * r) % 5 == 0 {
+                *slot = None;
+            }
+        }
+    }
+    for (cols, dummies) in [(full, false), (sparse, true)] {
+        let report = Network::new(k, k)
+            .record_trace(true)
+            .run(move |ctx| {
+                let me = ctx.id().index();
+                let role = Some(ColumnRole {
+                    col: me,
+                    data: cols[me].clone(),
+                });
+                columnsort_net_in(ctx, role, m, k, &|v| Word::Key(v), &|m: Word<u64>| {
+                    m.expect_key()
+                })
+                .unwrap()
+            })
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(k, k);
+        assert_replay(
+            &ColumnsortNetSpec {
+                m,
+                k_cols: k,
+                dummies,
+            },
+            &log,
+            &report.metrics,
+        );
+    }
+}
+
+#[test]
+fn direct_sort_replays() {
+    // (2, 2): no padding; (4, 13): padding and a realignment rebroadcast.
+    for (p, m) in [(2, 2), (4, 13)] {
+        let lists: Vec<Vec<u64>> = (0..p).map(|i| keys(m, 1000 + i as u64)).collect();
+        let report = Network::new(p, p)
+            .record_trace(true)
+            .run(move |ctx| sort_direct_in(ctx, lists[ctx.id().index()].clone()))
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(p, p);
+        assert_replay(&DirectSortSpec { p, m }, &log, &report.metrics);
+    }
+}
+
+#[test]
+fn grouped_sort_replays() {
+    for (k, n_i) in [
+        (4usize, vec![16u64; 4]),
+        (2, vec![16; 8]),
+        (3, vec![1, 40, 3, 17, 9, 20]),
+        (1, vec![5, 9, 2]),
+        (4, vec![3; 4]),
+    ] {
+        let p = n_i.len();
+        let lists: Vec<Vec<u64>> = n_i
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| keys(c as usize, 31 * (i as u64 + 1)))
+            .collect();
+        let report = Network::new(p, k)
+            .record_trace(true)
+            .run(move |ctx| sort_grouped_in(ctx, lists[ctx.id().index()].clone()))
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+        assert_replay(&GroupedSortSpec { k, n_i }, &log, &report.metrics);
+    }
+}
+
+#[test]
+fn rank_sort_replays() {
+    let lists: Vec<Vec<u64>> = vec![keys(4, 1), keys(7, 100), keys(2, 200), keys(5, 300)];
+    let p = lists.len();
+    let spec = RankSortSpec {
+        lists: lists.clone(),
+    };
+    let report = Network::new(p, 1)
+        .record_trace(true)
+        .run(move |ctx| rank_sort_in(ctx, ChanId(0), lists[ctx.id().index()].clone()))
+        .unwrap();
+    let log = report.trace.as_ref().unwrap().to_wire_log(p, 1);
+    assert_replay(&spec, &log, &report.metrics);
+}
+
+#[test]
+fn selection_replays() {
+    // One injective key sequence, chunked: selection needs globally
+    // distinct keys (its candidate-count arithmetic assumes them).
+    let lists: Vec<Vec<u64>> = keys(48, 7).chunks(8).map(<[u64]>::to_vec).collect();
+    let (p, k, d) = (lists.len(), 3usize, 20u64);
+    let spec = SelectSpec {
+        k,
+        lists: lists.clone(),
+        d,
+    };
+    let report = Network::new(p, k)
+        .record_trace(true)
+        .run(move |ctx| select_rank_in(ctx, lists[ctx.id().index()].clone(), d))
+        .unwrap();
+    let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+    assert_replay(&spec, &log, &report.metrics);
+}
+
+#[test]
+fn naive_selection_replays() {
+    let n_i = vec![4u64, 9, 2, 5];
+    let (k, d) = (2usize, 10u64);
+    let p = n_i.len();
+    let lists: Vec<Vec<u64>> = n_i
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| keys(c as usize, 13 * (i as u64 + 1)))
+        .collect();
+    let report = Network::new(p, k)
+        .record_trace(true)
+        .run(move |ctx| select_by_sorting_in(ctx, lists[ctx.id().index()].clone(), d))
+        .unwrap();
+    let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+    assert_replay(&NaiveSelectSpec { k, n_i, d }, &log, &report.metrics);
+}
