@@ -13,6 +13,7 @@
 //! | §7.2  | [`sort::grouped`] | uneven distributions, `Θ(max{n/k, n_max})` cycles (Corollary 6) |
 //! | §8    | [`select`] | selection by rank, `Θ(p log(kn/p))` messages (Corollary 7), plus the naive sort-based and Shout-Echo baselines |
 //! | §1    | [`extrema`] | extrema finding (the related-work warm-up problem) via Partial-Sums |
+//! | §2    | [`resilient`] | the algorithms on *faulty* hardware: the simulation lemma as a channel-failover mechanism |
 //!
 //! All distributed algorithms come in two forms: a driver (`sort_grouped`,
 //! `select_rank`, …) that builds the network and returns results plus
@@ -40,6 +41,7 @@ pub mod extrema;
 pub mod local;
 pub mod msg;
 pub mod partial_sums;
+pub mod resilient;
 pub mod schedule;
 pub mod select;
 pub mod sort;

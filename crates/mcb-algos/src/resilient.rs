@@ -1,0 +1,284 @@
+//! Degraded-mode drivers: the §5/§8 algorithms on faulty hardware.
+//!
+//! [`Resilient`] re-runs Columnsort and filtering selection on a network
+//! with a [`FaultPlan`] attached, with every processor's
+//! [`ProcCtx`](mcb_net::ProcCtx) switched into resilient mode
+//! ([`set_resilient`](mcb_net::ProcCtx::set_resilient)): channel deaths are
+//! absorbed by the paper's §2 simulation lemma (the logical schedule is
+//! multiplexed onto the `k'` surviving channels with `⌈k/k'⌉` cycle
+//! dilation) and transient losses by the planned-notice retransmit
+//! protocol. The algorithms themselves are **unchanged** — resilience lives
+//! entirely in the context layer, which is the §2 lemma's whole point: any
+//! MCB protocol runs on the degraded machine.
+//!
+//! Cost contract (checked by the `chaos` integration tests): with `k'`
+//! surviving channels and `F` distinct planned fault cycles, a protocol
+//! that takes `L` cycles fault-free finishes within
+//! `⌈k/k'⌉ × (L + F)` cycles ([`lemma_dilation_bound`]) — each logical
+//! cycle costs at most `⌈k/k'⌉` physical cycles, and each planned fault
+//! cycle spoils (forces a retry of) at most one logical cycle.
+//!
+//! Crashes are *not* recoverable by this wrapper: a crashed processor's
+//! data is gone, and the paper's algorithms assume all inputs survive.
+//! Build plans with `crashes = 0` (the [`ChaosOpts`](mcb_net::ChaosOpts)
+//! default) for output-preserving runs.
+
+use crate::columnsort::check_shape;
+use crate::msg::{Key, Word};
+use crate::select::{select_rank_in, MedEntry, PhaseStats};
+use crate::sort::{columnsort_net_cycles, columnsort_net_in, ColumnRole};
+use mcb_net::{Backend, FaultPlan, FaultSummary, Metrics, NetError, Network, ResilientOpts};
+
+/// Worst-case physical-cycle bound for a resilient run of a protocol that
+/// takes `logical_cycles` cycles fault-free under `plan` (see the
+/// [module docs](self) for the argument).
+pub fn lemma_dilation_bound(plan: &FaultPlan, logical_cycles: u64) -> u64 {
+    let factor = plan.k().div_ceil(plan.min_live().max(1)) as u64;
+    factor * (logical_cycles + plan.fault_cycles() as u64)
+}
+
+/// Builder for degraded-mode runs of the paper's algorithms.
+///
+/// ```
+/// use mcb_algos::resilient::Resilient;
+/// use mcb_net::{ChanId, FaultPlan};
+///
+/// // A 4-column sort; channel 2 dies mid-run, channel 0's cycle-3 slot
+/// // is dropped. The sorted output is identical to the fault-free run.
+/// let m = 12;
+/// let cols: Vec<Vec<Option<u64>>> = (0..4)
+///     .map(|c| (0..m).map(|r| Some(((c * m + r) as u64 * 37) % 97)).collect())
+///     .collect();
+/// let plan = FaultPlan::new(4, 4)
+///     .kill_channel(ChanId(2), 5)
+///     .drop_message(3, ChanId(0));
+/// let out = Resilient::new(plan).sort_columns(m, cols).unwrap();
+/// let lin: Vec<u64> = out.columns.iter().flatten().map(|x| x.unwrap()).collect();
+/// assert!(lin.windows(2).all(|w| w[0] >= w[1]), "descending");
+/// assert!(out.metrics.cycles <= out.dilation_bound);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Resilient {
+    plan: FaultPlan,
+    opts: ResilientOpts,
+    backend: Backend,
+}
+
+/// Outcome of [`Resilient::sort_columns`].
+#[derive(Debug, Clone)]
+pub struct ResilientSort<K> {
+    /// The sorted columns (descending in column-major order), one per
+    /// processor, dummies at the tail — same contract as
+    /// [`columnsort_net_in`].
+    pub columns: Vec<Vec<Option<K>>>,
+    /// Network costs of the degraded run; `metrics.cycles` is the
+    /// *physical* cycle count (the dilated figure).
+    pub metrics: Metrics,
+    /// The plan's summary (seed and planned-fault counts).
+    pub fault_summary: Option<FaultSummary>,
+    /// What the same sort costs fault-free
+    /// ([`columnsort_net_cycles`]) — the dilation baseline.
+    pub fault_free_cycles: u64,
+    /// The lemma's worst-case physical-cycle bound
+    /// ([`lemma_dilation_bound`]); `metrics.cycles` never exceeds it.
+    pub dilation_bound: u64,
+}
+
+/// Outcome of [`Resilient::select_rank`].
+#[derive(Debug, Clone)]
+pub struct ResilientSelect<K> {
+    /// The selected element `N[d]`.
+    pub value: K,
+    /// Per-filtering-phase instrumentation (see
+    /// [`PhaseStats`]).
+    pub phases: Vec<PhaseStats>,
+    /// Network costs of the degraded run (physical cycles).
+    pub metrics: Metrics,
+    /// The plan's summary (seed and planned-fault counts).
+    pub fault_summary: Option<FaultSummary>,
+}
+
+impl Resilient {
+    /// Degraded-mode runs under `plan`, with the default retry budget and
+    /// automatic backend selection.
+    pub fn new(plan: FaultPlan) -> Self {
+        Resilient {
+            plan,
+            opts: ResilientOpts::default(),
+            backend: Backend::Auto,
+        }
+    }
+
+    /// Replace the retransmission budget (see
+    /// [`ResilientOpts::retries`](mcb_net::ResilientOpts)).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.opts.retries = retries;
+        self
+    }
+
+    /// Select the execution backend (default [`Backend::Auto`]); resilient
+    /// runs are backend-identical like everything else.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sort `cols.len()` columns of padded length `m` (one per processor,
+    /// `p = k = cols.len()`, the §5.2 base case) under the fault plan.
+    /// The plan must be shaped for `MCB(cols.len(), cols.len())`.
+    pub fn sort_columns<K: Key>(
+        &self,
+        m: usize,
+        cols: Vec<Vec<Option<K>>>,
+    ) -> Result<ResilientSort<K>, NetError> {
+        let k_cols = cols.len();
+        check_shape(m, k_cols).map_err(|e| NetError::BadConfig(e.to_string()))?;
+        if let Some(bad) = cols.iter().find(|c| c.len() != m) {
+            return Err(NetError::BadConfig(format!(
+                "column has {} entries, want padded length m = {m}",
+                bad.len()
+            )));
+        }
+        let opts = self.opts;
+        let input = cols;
+        let report = Network::new(k_cols, k_cols)
+            .backend(self.backend)
+            .fault_plan(self.plan.clone())
+            .run(move |ctx| {
+                ctx.set_resilient(Some(opts));
+                let me = ctx.id().index();
+                let role = Some(ColumnRole {
+                    col: me,
+                    data: input[me].clone(),
+                });
+                columnsort_net_in(
+                    ctx,
+                    role,
+                    m,
+                    k_cols,
+                    &|key| Word::Key(key),
+                    &|msg: Word<K>| msg.expect_key(),
+                )
+                .expect("shape pre-validated")
+                .expect("every processor owns a column")
+            })?;
+        let fault_free_cycles = columnsort_net_cycles(m, k_cols);
+        Ok(ResilientSort {
+            metrics: report.metrics.clone(),
+            fault_summary: report.fault_summary,
+            columns: report.into_results(),
+            fault_free_cycles,
+            dilation_bound: lemma_dilation_bound(&self.plan, fault_free_cycles),
+        })
+    }
+
+    /// Select the `d`'th largest element (1-based) of `lists` on a degraded
+    /// `MCB(lists.len(), k)` — same contract as
+    /// [`select_rank`](crate::select::select_rank). The plan must be shaped
+    /// for `MCB(lists.len(), k)`.
+    pub fn select_rank<K: Key>(
+        &self,
+        k: usize,
+        lists: Vec<Vec<K>>,
+        d: usize,
+    ) -> Result<ResilientSelect<K>, NetError> {
+        let p = lists.len();
+        let n: usize = lists.iter().map(Vec::len).sum();
+        if d < 1 || d > n {
+            return Err(NetError::BadConfig(format!("rank {d} out of 1..={n}")));
+        }
+        if lists.iter().any(Vec::is_empty) {
+            return Err(NetError::BadConfig("paper model assumes n_i > 0".into()));
+        }
+        let opts = self.opts;
+        let input = lists;
+        let report = Network::new(p, k)
+            .backend(self.backend)
+            .fault_plan(self.plan.clone())
+            .run(move |ctx: &mut mcb_net::ProcCtx<'_, Word<MedEntry<K>>>| {
+                ctx.set_resilient(Some(opts));
+                let mine = input[ctx.id().index()].clone();
+                select_rank_in(ctx, mine, d as u64)
+            })?;
+        let metrics = report.metrics.clone();
+        let fault_summary = report.fault_summary;
+        let (value, phases) = report
+            .into_results()
+            .into_iter()
+            .next()
+            .expect("p >= 1 processors");
+        Ok(ResilientSelect {
+            value,
+            phases,
+            metrics,
+            fault_summary,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_net::ChanId;
+
+    fn cols(m: usize, k: usize) -> Vec<Vec<Option<u64>>> {
+        (0..k)
+            .map(|c| {
+                (0..m)
+                    .map(|r| Some(((c * m + r) as u64).wrapping_mul(2654435761) % 9973))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_cost() {
+        let (m, k) = (12, 4);
+        let out = Resilient::new(FaultPlan::new(k, k))
+            .sort_columns(m, cols(m, k))
+            .unwrap();
+        assert_eq!(out.metrics.cycles, out.fault_free_cycles);
+        assert!(out.metrics.faults.is_empty());
+        let lin: Vec<u64> = out.columns.iter().flatten().map(|x| x.unwrap()).collect();
+        assert!(lin.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn survives_channel_death_within_lemma_bound() {
+        let (m, k) = (12, 4);
+        let plan = FaultPlan::new(k, k).kill_channel(ChanId(1), 0);
+        let out = Resilient::new(plan).sort_columns(m, cols(m, k)).unwrap();
+        let lin: Vec<u64> = out.columns.iter().flatten().map(|x| x.unwrap()).collect();
+        assert!(lin.windows(2).all(|w| w[0] >= w[1]), "unsorted: {lin:?}");
+        // k' = 3 of 4 channels from cycle 0: dilation <= ceil(4/3) * (L + 1).
+        assert!(
+            out.metrics.cycles <= out.dilation_bound,
+            "{} > {}",
+            out.metrics.cycles,
+            out.dilation_bound
+        );
+        assert!(out.metrics.cycles > out.fault_free_cycles, "must dilate");
+    }
+
+    #[test]
+    fn exhausted_retries_escalate() {
+        let (m, k) = (6, 2);
+        // A drop in the very first window with a zero retry budget.
+        let plan = FaultPlan::new(k, k).drop_message(0, ChanId(0));
+        let err = Resilient::new(plan)
+            .retries(0)
+            .sort_columns(m, cols(m, k))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Unrecoverable { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn shape_errors_surface_as_bad_config() {
+        let plan = FaultPlan::new(4, 4);
+        // m = 8 < k(k-1) = 12.
+        let err = Resilient::new(plan)
+            .sort_columns(8, cols(8, 4))
+            .unwrap_err();
+        assert!(matches!(err, NetError::BadConfig(_)));
+    }
+}

@@ -21,6 +21,12 @@
 //!   (exact or upper-bound, [`verify::Bounds`]). Violations come back as a
 //!   machine-readable [`report::Report`] (JSON via `mcb-json`) with a
 //!   human-readable diff via `Display`.
+//! * **Degraded schedules** ([`degrade`]): the paper's §2 simulation
+//!   lemma as a schedule transformation — remap a schedule onto the
+//!   channels surviving an outage plan (`⌈k/k'⌉` sub-cycles per logical
+//!   cycle) and re-prove collision-freedom plus the lemma's dilation bound
+//!   on the result. The same multiplexing formula the `mcb-net` runtime
+//!   uses for live channel failover, proved statically.
 //! * **Mutation self-test** ([`mutate`]): seeds off-by-one faults into a
 //!   valid schedule and asserts the verifier flags every one — the checker
 //!   is itself checked.
@@ -50,12 +56,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod degrade;
 pub mod ir;
 pub mod mutate;
 pub mod report;
 pub mod verify;
 pub mod wire;
 
+pub use degrade::{remap_schedule, verify_degraded, DegradeError, DegradedReport, Outages};
 pub use ir::{
     CheckedSchedule, CycleIntents, DataFlow, DataMove, Expect, Intent, ReadIntent, Route,
     ScheduleBuilder, WriteIntent,

@@ -30,6 +30,7 @@
 
 use crate::barrier::{Sense, SenseBarrier};
 use crate::error::NetError;
+use crate::fault::{canonicalize, FaultKind, FaultPlan, FaultRecord, FaultSummary, ResilientOpts};
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
 use crate::metrics::{EngineProfile, LocalMetrics, Metrics, PhaseMetrics};
@@ -39,11 +40,18 @@ use crate::sync::{Mutex, RwLock};
 use crate::trace::{Event, Trace};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default bound on engine rounds; exceeding it fails the run with
 /// [`NetError::CycleBudgetExhausted`] instead of hanging.
 pub const DEFAULT_CYCLE_BUDGET: u64 = 10_000_000;
+
+/// Default watchdog window: a run in which no message is delivered and no
+/// processor finishes for this many consecutive rounds fails with
+/// [`NetError::Stalled`] instead of idling on toward the (larger) cycle
+/// budget. See [`Network::stall_window`].
+pub const DEFAULT_STALL_WINDOW: u64 = 1_000_000;
 
 /// How [`Network::run`] maps logical processors onto OS threads.
 ///
@@ -149,6 +157,8 @@ pub struct Network {
     profile: bool,
     proc_groups: Option<Vec<usize>>,
     cycle_budget: u64,
+    stall_window: u64,
+    fault_plan: Option<Arc<FaultPlan>>,
     backend: Backend,
 }
 
@@ -163,6 +173,8 @@ impl Network {
             profile: false,
             proc_groups: None,
             cycle_budget: DEFAULT_CYCLE_BUDGET,
+            stall_window: DEFAULT_STALL_WINDOW,
+            fault_plan: None,
             backend: Backend::Auto,
         }
     }
@@ -208,10 +220,35 @@ impl Network {
         self
     }
 
+    /// Replace the default livelock watchdog window
+    /// ([`DEFAULT_STALL_WINDOW`]). A run in which `window` consecutive
+    /// rounds deliver no message and finish no processor fails with
+    /// [`NetError::Stalled`]; `u64::MAX` disables the watchdog. Unlike the
+    /// cycle budget — which bounds *total* rounds — the watchdog catches
+    /// quiet livelocks (every processor spinning on a read that can never
+    /// arrive) long before a generous budget would.
+    pub fn stall_window(mut self, window: u64) -> Self {
+        self.stall_window = window;
+        self
+    }
+
+    /// Inject faults from `plan` during the run (see [`FaultPlan`]). The
+    /// plan's `(p, k)` shape must match this network's; violations surface
+    /// as [`NetError::BadConfig`] when the run starts.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
+    }
+
     /// Select the execution [`Backend`] (default: [`Backend::Auto`]).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// The attached fault plan, for the pooled driver's fiber contexts.
+    pub(crate) fn plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone()
     }
 
     fn validate(&self) -> Result<(), NetError> {
@@ -242,6 +279,17 @@ impl Network {
             if self.channels > g {
                 return Err(NetError::BadConfig(format!(
                     "model requires k <= physical p (got k = {}, groups = {g})",
+                    self.channels
+                )));
+            }
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.p() != self.procs || plan.k() != self.channels {
+                return Err(NetError::BadConfig(format!(
+                    "fault plan shaped for MCB({}, {}) attached to MCB({}, {})",
+                    plan.p(),
+                    plan.k(),
+                    self.procs,
                     self.channels
                 )));
             }
@@ -359,6 +407,7 @@ impl Network {
                         phase_name: String::new(),
                         events: Vec::new(),
                         prof_barrier_ns: 0,
+                        resilient: None,
                         inner: CtxInner::Lockstep {
                             shared,
                             sense: Sense::new(),
@@ -370,9 +419,16 @@ impl Network {
                             results.lock()[i] = Some(r);
                         }
                         Err(payload) => {
-                            if payload.downcast_ref::<Aborted>().is_none() {
+                            if let Some(esc) = payload.downcast_ref::<Escalated>() {
+                                // Resilient retransmission gave up: the
+                                // carried error fails the run.
+                                shared.fail(esc.0.clone());
+                            } else if payload.downcast_ref::<Aborted>().is_none()
+                                && payload.downcast_ref::<Crashed>().is_none()
+                            {
                                 // Genuine protocol panic (not our forced
-                                // shutdown): report it as the run's failure.
+                                // shutdown, not a planned crash): report it
+                                // as the run's failure.
                                 shared.fail(NetError::ProcPanicked {
                                     proc: ProcId::from_index(i),
                                     message: panic_message(payload.as_ref()),
@@ -446,6 +502,11 @@ pub(crate) fn assemble_report<R, M: Clone>(
         return Err(err);
     }
     let k = shared.k;
+    let fault_summary = shared.plan.as_ref().map(|p| p.summary());
+    let mut faults = shared.faults.into_inner();
+    // Executors append fault records in scheduling order; canonicalize so
+    // the log is deterministic and backend-identical.
+    canonicalize(&mut faults);
     let names = shared.phases.into_inner();
 
     // Aggregate the per-processor phase tallies by interner id: cycles by
@@ -514,6 +575,7 @@ pub(crate) fn assemble_report<R, M: Clone>(
             .map(|c| c.load(Ordering::Relaxed))
             .collect(),
         phases,
+        faults: faults.clone(),
     };
     let trace = shared.record_trace.then(|| {
         // Events carry interner ids at recording time; translate them to
@@ -521,13 +583,16 @@ pub(crate) fn assemble_report<R, M: Clone>(
         for e in &mut events {
             e.phase = e.phase.and_then(|old| remap[old as usize]);
         }
-        Trace::new(events)
+        let mut t = Trace::new(events);
+        t.set_faults(faults);
+        t
     });
     Ok(RunReport {
         results,
         metrics,
         trace,
         profile,
+        fault_summary,
     })
 }
 
@@ -536,9 +601,11 @@ pub(crate) fn assemble_report<R, M: Clone>(
 pub struct RunReport<R, M> {
     /// Per-processor protocol return values, indexed by processor.
     ///
-    /// Entries are `Some` for every processor on a successful run; the
-    /// `Option` exists because partial results are collected even when a run
-    /// fails mid-way (in which case `run` returns `Err` instead).
+    /// Entries are `Some` for every processor on a successful run, with two
+    /// exceptions: partial results are collected even when a run fails
+    /// mid-way (in which case `run` returns `Err` instead), and a processor
+    /// crashed by the attached [`FaultPlan`] finishes with `None` — its
+    /// result died with it, but the run itself still completes.
     pub results: Vec<Option<R>>,
     /// Cycle/message accounting.
     pub metrics: Metrics,
@@ -548,6 +615,9 @@ pub struct RunReport<R, M> {
     /// Unlike everything else in the report these are *not* deterministic
     /// and are excluded from the JSONL export.
     pub profile: Option<EngineProfile>,
+    /// Summary of the attached [`FaultPlan`], when one was attached (the
+    /// per-fault log lives in [`Metrics::faults`]).
+    pub fault_summary: Option<FaultSummary>,
 }
 
 impl<R, M> RunReport<R, M> {
@@ -563,6 +633,15 @@ impl<R, M> RunReport<R, M> {
 
 /// Forced-shutdown unwind token; never observed by user code.
 pub(crate) struct Aborted;
+
+/// Unwind token for a planned processor crash: the processor stops, the run
+/// continues, its result slot stays `None`. Never observed by user code.
+pub(crate) struct Crashed;
+
+/// Unwind token carrying a [`NetError`] the processor wants to fail the
+/// whole run with (resilient retransmission gave up). Never observed by
+/// user code.
+pub(crate) struct Escalated(pub(crate) NetError);
 
 /// Best-effort text of a caught panic payload.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -608,6 +687,19 @@ pub(crate) struct Shared<M> {
     phases: Mutex<Vec<String>>,
     groups: Option<GroupState>,
     cycle_budget: u64,
+    /// Watchdog window: consecutive no-activity rounds tolerated before the
+    /// run fails with [`NetError::Stalled`].
+    stall_window: u64,
+    /// Watchdog state, touched only by the elected sweeper (atomics used as
+    /// plain cells across sweep invocations).
+    last_activity_round: AtomicU64,
+    last_msg_total: AtomicU64,
+    last_finished: AtomicUsize,
+    /// The static fault schedule, if any.
+    pub(crate) plan: Option<Arc<FaultPlan>>,
+    /// Faults that fired, appended by any executor; canonicalized (sorted,
+    /// deduplicated) by `assemble_report`.
+    faults: Mutex<Vec<FaultRecord>>,
     pub(crate) total_procs: usize,
 }
 
@@ -646,6 +738,12 @@ impl<M: Clone + Send + Sync> Shared<M> {
             phases: Mutex::new(vec![String::new()]),
             groups,
             cycle_budget: net.cycle_budget,
+            stall_window: net.stall_window,
+            last_activity_round: AtomicU64::new(0),
+            last_msg_total: AtomicU64::new(0),
+            last_finished: AtomicUsize::new(0),
+            plan: net.fault_plan.clone(),
+            faults: Mutex::new(Vec::new()),
             total_procs: net.procs,
         }
     }
@@ -657,6 +755,11 @@ impl<M: Clone + Send + Sync> Shared<M> {
             *slot = Some(err);
         }
         self.failed.store(true, Ordering::Release);
+    }
+
+    /// Append one fired fault to the run's fault log.
+    pub(crate) fn record_fault(&self, rec: FaultRecord) {
+        self.faults.lock().push(rec);
     }
 
     /// Intern a phase label, returning its run-wide id (0 for `""`). Called
@@ -717,6 +820,22 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
             });
             return;
         }
+        if let Some(plan) = &self.plan {
+            // Faulted transmissions never reach the channel slot: they do
+            // not collide, are not counted as messages, and leave a fault
+            // record instead. A stall is processor-scoped (chan = None) so
+            // the suppressed write and read of one cycle dedup to one
+            // record.
+            if let Some(kind) = plan.write_fault(id.index(), c.index(), now) {
+                self.record_fault(FaultRecord {
+                    cycle: now,
+                    kind,
+                    proc: Some(id),
+                    chan: (kind != FaultKind::Stall).then_some(c),
+                });
+                return;
+            }
+        }
         let bits = m.bits();
         if let Some(gs) = &self.groups {
             gs.writes[gs.map[id.index()]].fetch_add(1, Ordering::Relaxed);
@@ -765,6 +884,20 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
             });
             return None;
         }
+        if let Some(plan) = &self.plan {
+            let now = self.round.load(Ordering::Relaxed);
+            if plan.is_stalled(id.index(), now) {
+                // The receiver is blacked out: the read sees an empty
+                // channel regardless of traffic.
+                self.record_fault(FaultRecord {
+                    cycle: now,
+                    kind: FaultKind::Stall,
+                    proc: Some(id),
+                    chan: None,
+                });
+                return None;
+            }
+        }
         if let Some(gs) = &self.groups {
             gs.reads[gs.map[id.index()]].fetch_add(1, Ordering::Relaxed);
         }
@@ -805,6 +938,25 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
                 budget: self.cycle_budget,
             });
         }
+        // Livelock watchdog: "activity" is a delivered message or a newly
+        // finished processor. Only the elected sweeper runs this, so the
+        // atomics are plain cells carried across sweep invocations.
+        let msg_total: u64 = self
+            .chan_msgs
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        let fin = self.finished.load(Ordering::Acquire);
+        if msg_total != self.last_msg_total.load(Ordering::Relaxed)
+            || fin != self.last_finished.load(Ordering::Relaxed)
+        {
+            self.last_msg_total.store(msg_total, Ordering::Relaxed);
+            self.last_finished.store(fin, Ordering::Relaxed);
+            self.last_activity_round.store(completed, Ordering::Relaxed);
+        } else if completed - self.last_activity_round.load(Ordering::Relaxed) >= self.stall_window
+        {
+            self.fail(NetError::Stalled { cycle: completed });
+        }
         let all_finished = self.finished.load(Ordering::Acquire) == self.total_procs;
         if all_finished || self.failed.load(Ordering::Acquire) {
             self.done.store(true, Ordering::Release);
@@ -829,6 +981,10 @@ pub struct ProcCtx<'a, M> {
     events: Vec<Event<M>>,
     /// Nanoseconds spent in barrier waits (threaded backend, profiling on).
     prof_barrier_ns: u64,
+    /// When `Some`, [`cycle`](Self::cycle) transparently executes the §2
+    /// simulation-lemma degraded protocol (see
+    /// [`set_resilient`](Self::set_resilient)).
+    resilient: Option<ResilientOpts>,
     inner: CtxInner<'a, M>,
 }
 
@@ -849,24 +1005,36 @@ enum CtxInner<'a, M> {
         /// the next rendezvous so the worker stamps it before applying the
         /// cycle.
         pending_phase: Option<String>,
+        /// The run's fault schedule, mirrored here so resilient mode can
+        /// compute live channels and retransmission notices without a
+        /// worker round-trip.
+        plan: Option<Arc<FaultPlan>>,
         port: crate::pooled::FiberPort<M>,
     },
 }
 
 impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
     /// A fiber-mode context for the pooled backend (see [`CtxInner::Fiber`]).
-    pub(crate) fn fiber(id: ProcId, p: usize, k: usize, port: crate::pooled::FiberPort<M>) -> Self {
+    pub(crate) fn fiber(
+        id: ProcId,
+        p: usize,
+        k: usize,
+        plan: Option<Arc<FaultPlan>>,
+        port: crate::pooled::FiberPort<M>,
+    ) -> Self {
         ProcCtx {
             id,
             local: LocalMetrics::default(),
             phase_name: String::new(),
             events: Vec::new(),
             prof_barrier_ns: 0,
+            resilient: None,
             inner: CtxInner::Fiber {
                 p,
                 k,
                 now: 0,
                 pending_phase: None,
+                plan,
                 port,
             },
         }
@@ -922,9 +1090,102 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
     /// optionally read one channel. Returns the message read, or `None`
     /// when no read was requested *or* the read channel was empty (the
     /// model's detectable-empty-channel semantics).
+    ///
+    /// In resilient mode (see [`set_resilient`](Self::set_resilient)) this
+    /// is a *logical* cycle: it expands to `⌈k/k'⌉` physical cycles on the
+    /// `k'` surviving channels, plus retransmission retries, per the §2
+    /// simulation lemma.
     pub fn cycle(&mut self, write: Option<(ChanId, M)>, read: Option<ChanId>) -> Option<M> {
+        if self.resilient.is_some() {
+            return self.resilient_cycle(write, read);
+        }
+        self.raw_cycle(write, read)
+    }
+
+    /// The run's fault schedule, if one is attached.
+    fn plan(&self) -> Option<&FaultPlan> {
+        match &self.inner {
+            CtxInner::Lockstep { shared, .. } => shared.plan.as_deref(),
+            CtxInner::Fiber { plan, .. } => plan.as_deref(),
+        }
+    }
+
+    /// The channels still alive at the current cycle, in ascending order.
+    /// All `k` channels when no fault plan is attached; the fault plan's
+    /// survivors otherwise. Because fault plans are static, every processor
+    /// computes the same answer at the same cycle — the basis for the
+    /// lemma-driven remap in resilient mode.
+    pub fn live_channels(&self) -> Vec<ChanId> {
+        let now = self.now();
+        match self.plan() {
+            Some(plan) => plan
+                .live_at(now)
+                .into_iter()
+                .map(ChanId::from_index)
+                .collect(),
+            None => (0..self.k()).map(ChanId::from_index).collect(),
+        }
+    }
+
+    /// Switch this processor's [`cycle`](Self::cycle) calls into (or out of)
+    /// resilient mode.
+    ///
+    /// In resilient mode each logical cycle is simulated on the channels
+    /// still alive under the run's [`FaultPlan`] via the paper's §2 lemma:
+    /// with `k'` of `k` channels surviving, the logical cycle expands to
+    /// `h = ⌈k/k'⌉` physical sub-cycles, sub-cycle `j` carrying logical
+    /// channels `c` with `c / k' == j` on physical channel `live[c % k']`.
+    /// The mapping is injective per sub-cycle, so a collision-free logical
+    /// schedule stays collision-free, and a logical writer and reader of
+    /// the same channel land in the same sub-cycle, so delivery is
+    /// preserved.
+    ///
+    /// Transient faults (drop / corrupt / stall) are handled by planned
+    /// notice: after each logical cycle every processor checks — from the
+    /// static plan, so all agree — whether any fault could have fired in
+    /// the window just executed, and if so the whole network retries the
+    /// logical cycle, up to [`ResilientOpts::retries`] times before the run
+    /// fails with [`NetError::Unrecoverable`]. This models synchronous
+    /// detection-by-silence: on a broadcast medium every station observes
+    /// the carrier, so a garbled or missing slot is common knowledge one
+    /// cycle later.
+    ///
+    /// Resilient mode assumes an SPMD lock-step protocol (all processors
+    /// issue their `n`-th logical cycle together), which holds for every
+    /// schedule in `mcb-algos`. It changes only *which physical cycles*
+    /// implement the logical schedule; with no fault plan attached (or no
+    /// faults fired) it executes one physical cycle per logical cycle and
+    /// is observably identical to normal mode.
+    pub fn set_resilient(&mut self, opts: Option<ResilientOpts>) {
+        self.resilient = opts;
+    }
+
+    /// One *physical* network cycle (see [`cycle`](Self::cycle), which
+    /// dispatches here directly outside resilient mode).
+    fn raw_cycle(&mut self, write: Option<(ChanId, M)>, read: Option<ChanId>) -> Option<M> {
         match &mut self.inner {
             CtxInner::Lockstep { shared, sense } => {
+                // ---- planned crash ---------------------------------------
+                // Checked at the top of the cycle, before any barrier: the
+                // crashing thread leaves the protocol having participated in
+                // zero barriers this round, and its drain rounds use the
+                // same three-barrier shape as a full cycle, so the rest of
+                // the network stays synchronized.
+                if let Some(plan) = &shared.plan {
+                    let now = shared.round.load(Ordering::Relaxed);
+                    if plan
+                        .crash_cycle(self.id.index())
+                        .is_some_and(|cc| now >= cc)
+                    {
+                        shared.record_fault(FaultRecord {
+                            cycle: now,
+                            kind: FaultKind::Crash,
+                            proc: Some(self.id),
+                            chan: None,
+                        });
+                        std::panic::resume_unwind(Box::new(Crashed));
+                    }
+                }
                 // ---- write phase -----------------------------------------
                 if let Some((c, m)) = write {
                     let events = shared.record_trace.then_some(&mut self.events);
@@ -967,6 +1228,70 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
                 }
             }
         }
+    }
+
+    /// One *logical* cycle under the §2 simulation lemma, with planned-
+    /// notice retransmission (see [`set_resilient`](Self::set_resilient)).
+    fn resilient_cycle(&mut self, write: Option<(ChanId, M)>, read: Option<ChanId>) -> Option<M> {
+        let k = self.k();
+        // Out-of-range logical channels must surface as BadChannel exactly
+        // as in normal mode, not be remapped into range.
+        if write.as_ref().is_some_and(|(c, _)| c.index() >= k)
+            || read.is_some_and(|c| c.index() >= k)
+        {
+            return self.raw_cycle(write, read);
+        }
+        let retries = self.resilient.map_or(0, |o| o.retries);
+        for _ in 0..=retries {
+            let start = self.now();
+            let live = self
+                .plan()
+                .map_or_else(|| (0..k).collect(), |plan| plan.live_at(start));
+            let kp = live.len();
+            if kp == 0 {
+                // Every channel is dead: no schedule can be simulated.
+                std::panic::resume_unwind(Box::new(Escalated(NetError::Unrecoverable {
+                    cycle: start,
+                    proc: self.id,
+                    attempts: retries,
+                })));
+            }
+            let h = k.div_ceil(kp);
+            // Sub-cycle j carries logical channels c with c / k' == j on
+            // physical channel live[c % k']: injective per sub-cycle (the
+            // c % k' values of one block are distinct), and a logical
+            // writer/reader pair of the same channel shares a sub-cycle.
+            let mut got = None;
+            for j in 0..h {
+                let sub = |c: ChanId| {
+                    (c.index() / kp == j).then(|| ChanId::from_index(live[c.index() % kp]))
+                };
+                let w = write
+                    .as_ref()
+                    .and_then(|(c, m)| sub(*c).map(|phys| (phys, m.clone())));
+                let r = read.and_then(sub);
+                let res = self.raw_cycle(w, r);
+                if r.is_some() {
+                    got = res;
+                }
+            }
+            // Planned notice: if any fault could have fired in the window
+            // just executed, every processor (computing from the same
+            // static plan) retries the logical cycle. The retry window
+            // starts past the fault cycle that spoiled this one, so each
+            // planned fault cycle spoils at most one window.
+            let noticed = self
+                .plan()
+                .is_some_and(|plan| plan.notice(start, self.now()));
+            if !noticed {
+                return got;
+            }
+        }
+        std::panic::resume_unwind(Box::new(Escalated(NetError::Unrecoverable {
+            cycle: self.now(),
+            proc: self.id,
+            attempts: retries,
+        })));
     }
 
     /// Label all subsequent cycles and messages of this processor with

@@ -57,6 +57,26 @@ pub enum NetError {
         /// The configured budget.
         budget: u64,
     },
+    /// The watchdog saw no network activity — no message delivered, no
+    /// processor finishing — for a whole stall window (see
+    /// [`Network::stall_window`](crate::Network::stall_window)): the
+    /// protocol is livelocked (e.g. every processor waiting on a read that
+    /// can never arrive).
+    Stalled {
+        /// Global cycle at which the watchdog gave up.
+        cycle: u64,
+    },
+    /// A resilient processor exhausted its retransmission budget without
+    /// completing a clean logical cycle (see
+    /// [`ProcCtx::set_resilient`](crate::ProcCtx::set_resilient)).
+    Unrecoverable {
+        /// Global cycle at which the processor gave up.
+        cycle: u64,
+        /// The processor that escalated.
+        proc: ProcId,
+        /// The retry budget that was exhausted.
+        attempts: u32,
+    },
     /// The network was configured with invalid parameters.
     BadConfig(String),
 }
@@ -98,6 +118,17 @@ impl fmt::Display for NetError {
             NetError::CycleBudgetExhausted { budget } => {
                 write!(f, "run exceeded cycle budget of {budget} cycles")
             }
+            NetError::Stalled { cycle } => {
+                write!(f, "no network activity for a whole stall window; livelock detected at cycle {cycle}")
+            }
+            NetError::Unrecoverable {
+                cycle,
+                proc,
+                attempts,
+            } => write!(
+                f,
+                "{proc} exhausted {attempts} retransmission attempt(s) at cycle {cycle}; degraded run unrecoverable"
+            ),
             NetError::BadConfig(msg) => write!(f, "bad network configuration: {msg}"),
         }
     }

@@ -9,12 +9,14 @@
 //!
 //! # Record stream
 //!
-//! | `record`  | when                        | contents                      |
-//! |-----------|-----------------------------|-------------------------------|
-//! | `run`     | always, first line          | `schema`, `p`, `k`            |
-//! | `metrics` | always, second line         | every integer [`Metrics`] field |
-//! | `phase`   | one per labelled phase      | the [`PhaseMetrics`] fields   |
-//! | `event`   | one per traced message      | cycle/writer/channel/phase/msg |
+//! | `record`     | when                        | contents                      |
+//! |--------------|-----------------------------|-------------------------------|
+//! | `run`        | always, first line          | `schema`, `p`, `k`            |
+//! | `metrics`    | always, second line         | every integer [`Metrics`] field |
+//! | `fault_plan` | when a plan was attached    | the seed and planned-fault counts ([`FaultSummary`]) |
+//! | `fault`      | one per fired fault         | cycle/kind/proc/chan ([`FaultRecord`]) |
+//! | `phase`      | one per labelled phase      | the [`PhaseMetrics`] fields   |
+//! | `event`      | one per traced message      | cycle/writer/channel/phase/msg |
 //!
 //! Wall-clock profiling data ([`EngineProfile`](crate::EngineProfile)) is
 //! deliberately **excluded**: it is nondeterministic by nature. Derived
@@ -43,6 +45,7 @@
 //! ```
 
 use crate::engine::RunReport;
+use crate::fault::{FaultRecord, FaultSummary};
 use crate::metrics::{Metrics, PhaseMetrics};
 use crate::trace::Event;
 use mcb_json::Json;
@@ -50,7 +53,10 @@ use std::fmt::Debug;
 
 /// Version stamped into every export's `run` header line. Bump when a
 /// record gains, loses, or renames a field.
-pub const JSONL_SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 = run/metrics/phase/event; v2 adds `fault_plan` and `fault`
+/// records (fault-injection subsystem).
+pub const JSONL_SCHEMA_VERSION: u64 = 2;
 
 fn metrics_record(m: &Metrics) -> Json {
     Json::obj()
@@ -72,6 +78,26 @@ fn metrics_record(m: &Metrics) -> Json {
             "per_channel_messages",
             Json::from_u64s(m.per_channel_messages.iter().copied()),
         )
+}
+
+fn fault_plan_record(s: &FaultSummary) -> Json {
+    Json::obj()
+        .field("record", "fault_plan")
+        .field("seed", s.seed)
+        .field("deaths", s.deaths)
+        .field("drops", s.drops)
+        .field("corrupts", s.corrupts)
+        .field("crashes", s.crashes)
+        .field("stalls", s.stalls)
+}
+
+fn fault_record(f: &FaultRecord) -> Json {
+    Json::obj()
+        .field("record", "fault")
+        .field("cycle", f.cycle)
+        .field("kind", f.kind.as_str())
+        .field("proc", f.proc.map(|p| p.index()))
+        .field("chan", f.chan.map(|c| c.index()))
 }
 
 fn phase_record(index: usize, ph: &PhaseMetrics) -> Json {
@@ -122,6 +148,14 @@ impl<R, M: Debug> RunReport<R, M> {
         out.push('\n');
         out.push_str(&metrics_record(m).render());
         out.push('\n');
+        if let Some(summary) = &self.fault_summary {
+            out.push_str(&fault_plan_record(summary).render());
+            out.push('\n');
+            for f in &m.faults {
+                out.push_str(&fault_record(f).render());
+                out.push('\n');
+            }
+        }
         for (i, ph) in m.phases.iter().enumerate() {
             out.push_str(&phase_record(i, ph).render());
             out.push('\n');
@@ -196,6 +230,40 @@ mod tests {
         let jsonl = report.to_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
         assert!(!jsonl.contains("\"record\":\"event\""));
+    }
+
+    #[test]
+    fn fault_plan_and_fault_records_exported() {
+        let plan = crate::FaultPlan::new(2, 2).kill_channel(ChanId(1), 0);
+        let report = Network::new(2, 2)
+            .fault_plan(plan)
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(1), 7u64);
+                } else {
+                    ctx.idle();
+                }
+            })
+            .unwrap();
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[2],
+            "{\"record\":\"fault_plan\",\"seed\":0,\"deaths\":1,\"drops\":0,\
+             \"corrupts\":0,\"crashes\":0,\"stalls\":0}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"record\":\"fault\",\"cycle\":0,\"kind\":\"channel_death\",\
+             \"proc\":0,\"chan\":1}"
+        );
+    }
+
+    #[test]
+    fn no_fault_plan_means_no_fault_lines() {
+        let jsonl = sample_report().to_jsonl();
+        assert!(!jsonl.contains("\"record\":\"fault_plan\""));
+        assert!(!jsonl.contains("\"record\":\"fault\""));
     }
 
     #[test]

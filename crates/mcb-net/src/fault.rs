@@ -1,0 +1,521 @@
+//! Deterministic fault injection and lemma-driven recovery.
+//!
+//! The engine is normally fail-fast: collisions, panics, and bad channels
+//! abort the run. This module adds the opposite capability — *keep going on
+//! degraded hardware* — in a way that stays bit-deterministic and identical
+//! across both execution backends.
+//!
+//! # Fault taxonomy
+//!
+//! A [`FaultPlan`] is a **static, seeded schedule of faults**, fixed before
+//! the run starts. Five kinds exist ([`FaultKind`]):
+//!
+//! | kind           | scope                | semantics                                        |
+//! |----------------|----------------------|--------------------------------------------------|
+//! | `ChannelDeath` | channel, permanent   | writes to the channel are lost from the death cycle on |
+//! | `Drop`         | (cycle, channel)     | the message transmitted that slot vanishes       |
+//! | `Corrupt`      | (cycle, channel)     | detected-and-discarded (CRC model): same loss as a drop, distinct record |
+//! | `Crash`        | processor, permanent | the processor stops mid-protocol; its result slot stays `None` |
+//! | `Stall`        | (cycle, processor)   | the processor's I/O is suppressed that cycle (writes lost, reads empty); its program still advances |
+//!
+//! Faulted transmissions never reach the channel slot, so they do not
+//! participate in collision detection ("jammed at the transmitter") and are
+//! **not** counted as messages; every *fired* fault is recorded as a
+//! [`FaultRecord`] in [`Metrics::faults`](crate::Metrics::faults), the
+//! [`Trace`](crate::Trace), and the JSONL export.
+//!
+//! # Recovery: the §2 lemma, applied to dead channels
+//!
+//! The paper's simulation lemma says an `MCB(p, k)` computation runs on an
+//! `MCB(p, k')` machine (`k' < k`) with `⌈k/k'⌉` cycle dilation by
+//! round-robin channel multiplexing. Dead channels leave exactly that
+//! machine behind, so a *resilient* logical cycle (enabled per-processor
+//! with [`ProcCtx::set_resilient`](crate::ProcCtx::set_resilient)) executes
+//! as `h = ⌈k/k'⌉` physical sub-cycles over the `k'` surviving channels:
+//! logical channel `c` is served in sub-cycle `c / k'` on physical channel
+//! `live[c % k']`. The mapping is injective per sub-cycle, so a
+//! collision-free schedule stays collision-free — `mcb-check`'s `degrade`
+//! module proves the same statement statically.
+//!
+//! # Retransmission: detection by silence, without desynchronizing
+//!
+//! Transient faults (drops, corruption, stalls, a death landing mid-window)
+//! are handled by retrying the whole logical cycle. In a synchronous
+//! broadcast network every station monitors the shared medium, so fault
+//! *detection* is common knowledge: the plan is static, and
+//! [`FaultPlan::notice`] is a pure function every processor evaluates
+//! identically — a carrier-level "that window was noisy" signal. All
+//! processors therefore retry (or not) in lock-step. After
+//! [`ResilientOpts::retries`] dirty windows the processor escalates
+//! [`NetError::Unrecoverable`](crate::NetError::Unrecoverable), which fails
+//! the run on both backends.
+//!
+//! Channels are memoryless (the sweep clears them every cycle), so retries
+//! can never observe stale messages from an earlier attempt.
+
+use crate::ids::{ChanId, ProcId};
+use mcb_rng::Rng64;
+use std::collections::BTreeSet;
+
+/// The kind of an injected fault. See the [module docs](self) for the
+/// semantics table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// Permanent channel death: writes are lost from the death cycle on.
+    ChannelDeath,
+    /// Transient loss of one (cycle, channel) transmission.
+    Drop,
+    /// Transmission corrupted in flight; detected and discarded.
+    Corrupt,
+    /// Permanent processor crash.
+    Crash,
+    /// One-cycle processor I/O blackout.
+    Stall,
+}
+
+impl FaultKind {
+    /// Stable machine-readable tag, used by the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::ChannelDeath => "channel_death",
+            FaultKind::Drop => "drop",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Crash => "crash",
+            FaultKind::Stall => "stall",
+        }
+    }
+}
+
+/// One fault that actually *fired* during a run (affected an operation).
+///
+/// Planned faults that never coincide with any I/O leave no record; the
+/// plan itself is summarized separately (see [`FaultSummary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Global cycle (engine round) at which the fault fired.
+    pub cycle: u64,
+    /// What kind of fault fired.
+    pub kind: FaultKind,
+    /// The affected processor (`None` for channel-scoped faults where the
+    /// writer is the recorded party — always `Some` in practice for
+    /// `Crash`/`Stall`, and the suppressed writer for the others).
+    pub proc: Option<ProcId>,
+    /// The affected channel (`None` for processor-scoped faults).
+    pub chan: Option<ChanId>,
+}
+
+impl FaultRecord {
+    fn sort_key(&self) -> (u64, FaultKind, Option<u32>, Option<u32>) {
+        (
+            self.cycle,
+            self.kind,
+            self.proc.map(|p| p.0),
+            self.chan.map(|c| c.0),
+        )
+    }
+}
+
+/// Sort fired-fault records into the canonical (cycle, kind, proc, chan)
+/// order and drop exact duplicates (a stalled processor that both wrote and
+/// read in the same cycle fires the same record twice).
+pub(crate) fn canonicalize(records: &mut Vec<FaultRecord>) {
+    records.sort_by_key(FaultRecord::sort_key);
+    records.dedup();
+}
+
+/// Counts of *planned* faults, stamped into the JSONL export so a run can
+/// be replayed bit-identically from `seed` alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSummary {
+    /// The seed the plan was built from (0 for hand-built plans).
+    pub seed: u64,
+    /// Number of channels scheduled to die.
+    pub deaths: u64,
+    /// Number of planned (cycle, channel) drops.
+    pub drops: u64,
+    /// Number of planned (cycle, channel) corruptions.
+    pub corrupts: u64,
+    /// Number of processors scheduled to crash.
+    pub crashes: u64,
+    /// Number of planned (cycle, processor) stall cycles.
+    pub stalls: u64,
+}
+
+/// Knobs for [`FaultPlan::random`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosOpts {
+    /// Cycle range `[0, horizon)` in which random faults may land.
+    pub horizon: u64,
+    /// Channels to kill (capped at `k - 1`: at least one channel survives).
+    pub deaths: usize,
+    /// Transient message drops to plan.
+    pub drops: usize,
+    /// Transient corruptions to plan.
+    pub corrupts: usize,
+    /// Stall events to plan.
+    pub stalls: usize,
+    /// Maximum length (cycles) of each stall event.
+    pub max_stall: u64,
+    /// Processors to crash. Crashed processors lose their data, so leave
+    /// this at 0 for plans that must preserve algorithm output.
+    pub crashes: usize,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            horizon: 256,
+            deaths: 1,
+            drops: 2,
+            corrupts: 1,
+            stalls: 1,
+            max_stall: 2,
+            crashes: 0,
+        }
+    }
+}
+
+/// Options for resilient (degraded-mode) execution; see
+/// [`ProcCtx::set_resilient`](crate::ProcCtx::set_resilient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilientOpts {
+    /// Dirty windows tolerated per logical cycle before the processor
+    /// escalates [`NetError::Unrecoverable`](crate::NetError::Unrecoverable).
+    /// Each planned fault cycle spoils at most one window, so any value
+    /// `>= 1 +` (planned fault entries) can never escalate.
+    pub retries: u32,
+}
+
+impl Default for ResilientOpts {
+    fn default() -> Self {
+        ResilientOpts { retries: 32 }
+    }
+}
+
+/// A static, seeded schedule of faults for one run.
+///
+/// Attach to a network with
+/// [`Network::fault_plan`](crate::Network::fault_plan); the plan's `(p, k)`
+/// shape must match the network's. All queries are pure functions of the
+/// plan and a cycle index, which is what makes degraded runs deterministic
+/// and backend-identical.
+///
+/// ```
+/// use mcb_net::{ChanId, FaultPlan, Network, ProcId};
+///
+/// // Channel 1 dies at cycle 0: the write is lost, the read sees empty.
+/// let plan = FaultPlan::new(2, 2).kill_channel(ChanId(1), 0);
+/// let report = Network::new(2, 2)
+///     .fault_plan(plan)
+///     .run(|ctx| {
+///         if ctx.id().index() == 0 {
+///             ctx.write(ChanId(1), 7u64);
+///             None
+///         } else {
+///             ctx.read(ChanId(1))
+///         }
+///     })
+///     .unwrap();
+/// assert_eq!(report.results[1], Some(None)); // message lost
+/// assert_eq!(report.metrics.messages, 0); // lost writes are not messages
+/// assert_eq!(report.metrics.faults.len(), 1); // ...but they are recorded
+/// assert_eq!(report.metrics.faults[0].proc, Some(ProcId(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    p: usize,
+    k: usize,
+    /// `deaths[c]` is the cycle at which channel `c` dies, if ever.
+    deaths: Vec<Option<u64>>,
+    /// `crashes[i]` is the cycle at (or after) which processor `i` crashes.
+    crashes: Vec<Option<u64>>,
+    /// Planned (cycle, channel) transmission drops.
+    drops: BTreeSet<(u64, usize)>,
+    /// Planned (cycle, channel) transmission corruptions.
+    corrupts: BTreeSet<(u64, usize)>,
+    /// Planned (cycle, processor) I/O blackouts.
+    stalls: BTreeSet<(u64, usize)>,
+}
+
+impl FaultPlan {
+    /// An empty plan for an `MCB(p, k)` network (injects nothing).
+    pub fn new(p: usize, k: usize) -> Self {
+        FaultPlan {
+            seed: 0,
+            p,
+            k,
+            deaths: vec![None; k],
+            crashes: vec![None; p],
+            drops: BTreeSet::new(),
+            corrupts: BTreeSet::new(),
+            stalls: BTreeSet::new(),
+        }
+    }
+
+    /// A seeded random plan: `deaths` channels die (never all `k`), plus
+    /// transient drops/corruptions/stalls and optional crashes, all placed
+    /// uniformly in `[0, horizon)` by a [`Rng64`] stream. The same
+    /// `(seed, p, k, opts)` always builds the same plan.
+    pub fn random(seed: u64, p: usize, k: usize, opts: &ChaosOpts) -> Self {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(p, k);
+        plan.seed = seed;
+        let horizon = opts.horizon.max(1);
+
+        let mut chans: Vec<usize> = (0..k).collect();
+        rng.shuffle(&mut chans);
+        for &c in chans.iter().take(opts.deaths.min(k.saturating_sub(1))) {
+            plan.deaths[c] = Some(rng.random_range(0..horizon));
+        }
+        for _ in 0..opts.drops {
+            plan.drops
+                .insert((rng.random_range(0..horizon), rng.random_range(0..k)));
+        }
+        for _ in 0..opts.corrupts {
+            plan.corrupts
+                .insert((rng.random_range(0..horizon), rng.random_range(0..k)));
+        }
+        for _ in 0..opts.stalls {
+            let at = rng.random_range(0..horizon);
+            let len = 1 + rng.random_range(0..opts.max_stall.max(1));
+            let proc = rng.random_range(0..p);
+            for t in at..at + len {
+                plan.stalls.insert((t, proc));
+            }
+        }
+        let mut procs: Vec<usize> = (0..p).collect();
+        rng.shuffle(&mut procs);
+        for &i in procs.iter().take(opts.crashes.min(p)) {
+            plan.crashes[i] = Some(rng.random_range(0..horizon));
+        }
+        plan
+    }
+
+    /// Kill `chan` permanently from cycle `at` on.
+    pub fn kill_channel(mut self, chan: ChanId, at: u64) -> Self {
+        assert!(chan.index() < self.k, "channel out of range");
+        self.deaths[chan.index()] = Some(at);
+        self
+    }
+
+    /// Drop the transmission (if any) on `chan` at cycle `at`.
+    pub fn drop_message(mut self, at: u64, chan: ChanId) -> Self {
+        assert!(chan.index() < self.k, "channel out of range");
+        self.drops.insert((at, chan.index()));
+        self
+    }
+
+    /// Corrupt the transmission (if any) on `chan` at cycle `at`; the
+    /// receiver's CRC detects and discards it.
+    pub fn corrupt_message(mut self, at: u64, chan: ChanId) -> Self {
+        assert!(chan.index() < self.k, "channel out of range");
+        self.corrupts.insert((at, chan.index()));
+        self
+    }
+
+    /// Crash `proc` at the first cycle it executes at or after `at`.
+    pub fn crash_proc(mut self, proc: ProcId, at: u64) -> Self {
+        assert!(proc.index() < self.p, "processor out of range");
+        self.crashes[proc.index()] = Some(at);
+        self
+    }
+
+    /// Suppress `proc`'s I/O for `len` cycles starting at cycle `from`.
+    pub fn stall_proc(mut self, proc: ProcId, from: u64, len: u64) -> Self {
+        assert!(proc.index() < self.p, "processor out of range");
+        for t in from..from + len {
+            self.stalls.insert((t, proc.index()));
+        }
+        self
+    }
+
+    /// The plan's processor count.
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The plan's channel count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The seed the plan was generated from (0 for hand-built plans).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// True when channel `chan` is dead at `cycle`.
+    pub fn is_dead(&self, chan: usize, cycle: u64) -> bool {
+        self.deaths
+            .get(chan)
+            .copied()
+            .flatten()
+            .is_some_and(|d| cycle >= d)
+    }
+
+    /// Indices of the channels still alive at `cycle`, ascending.
+    pub fn live_at(&self, cycle: u64) -> Vec<usize> {
+        (0..self.k).filter(|&c| !self.is_dead(c, cycle)).collect()
+    }
+
+    /// The eventual number of surviving channels (every planned death has
+    /// fired). Lower-bounds `live_at(t).len()` for every `t`, so
+    /// `⌈k / min_live⌉` is the lemma's worst-case dilation factor.
+    pub fn min_live(&self) -> usize {
+        self.k - self.deaths.iter().filter(|d| d.is_some()).count()
+    }
+
+    /// The cycle at (or after) which `proc` crashes, if planned.
+    pub fn crash_cycle(&self, proc: usize) -> Option<u64> {
+        self.crashes.get(proc).copied().flatten()
+    }
+
+    /// True when `proc`'s I/O is blacked out at `cycle`.
+    pub fn is_stalled(&self, proc: usize, cycle: u64) -> bool {
+        self.stalls.contains(&(cycle, proc))
+    }
+
+    /// The fault (if any) that suppresses a write by `proc` on `chan` at
+    /// `cycle`. Checked transmitter-first: a stalled processor never
+    /// transmits, a dead channel carries nothing, and only then can the
+    /// transmission itself be dropped or corrupted.
+    pub fn write_fault(&self, proc: usize, chan: usize, cycle: u64) -> Option<FaultKind> {
+        if self.is_stalled(proc, cycle) {
+            Some(FaultKind::Stall)
+        } else if self.is_dead(chan, cycle) {
+            Some(FaultKind::ChannelDeath)
+        } else if self.drops.contains(&(cycle, chan)) {
+            Some(FaultKind::Drop)
+        } else if self.corrupts.contains(&(cycle, chan)) {
+            Some(FaultKind::Corrupt)
+        } else {
+            None
+        }
+    }
+
+    /// Carrier-level fault detection for the window `[from, to)`: true when
+    /// any planned drop, corruption, or stall lands in the window, or a
+    /// channel death fires strictly inside it (a death at or before `from`
+    /// is already reflected in `live_at(from)` and needs no retry).
+    ///
+    /// Pure function of the plan, so every processor of a lock-step run
+    /// computes the same answer — the basis of the synchronized retransmit
+    /// protocol (see the [module docs](self)).
+    pub fn notice(&self, from: u64, to: u64) -> bool {
+        if self.drops.range((from, 0)..(to, 0)).next().is_some()
+            || self.corrupts.range((from, 0)..(to, 0)).next().is_some()
+            || self.stalls.range((from, 0)..(to, 0)).next().is_some()
+        {
+            return true;
+        }
+        self.deaths.iter().flatten().any(|&d| from < d && d < to)
+    }
+
+    /// Counts of planned faults plus the seed, for the JSONL export.
+    pub fn summary(&self) -> FaultSummary {
+        FaultSummary {
+            seed: self.seed,
+            deaths: self.deaths.iter().filter(|d| d.is_some()).count() as u64,
+            drops: self.drops.len() as u64,
+            corrupts: self.corrupts.len() as u64,
+            crashes: self.crashes.iter().filter(|c| c.is_some()).count() as u64,
+            stalls: self.stalls.len() as u64,
+        }
+    }
+
+    /// Number of distinct cycles at which any planned fault can fire; the
+    /// retransmit protocol retries at most once per such cycle, so this
+    /// bounds both total retries and the `retries` option needed to make a
+    /// plan survivable.
+    pub fn fault_cycles(&self) -> usize {
+        let mut cycles: BTreeSet<u64> = BTreeSet::new();
+        cycles.extend(self.drops.iter().map(|&(t, _)| t));
+        cycles.extend(self.corrupts.iter().map(|&(t, _)| t));
+        cycles.extend(self.stalls.iter().map(|&(t, _)| t));
+        cycles.extend(self.deaths.iter().flatten());
+        cycles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let plan = FaultPlan::new(4, 3)
+            .kill_channel(ChanId(2), 5)
+            .drop_message(3, ChanId(0))
+            .corrupt_message(4, ChanId(1))
+            .stall_proc(ProcId(1), 2, 2)
+            .crash_proc(ProcId(3), 9);
+        assert!(!plan.is_dead(2, 4));
+        assert!(plan.is_dead(2, 5));
+        assert_eq!(plan.live_at(4), vec![0, 1, 2]);
+        assert_eq!(plan.live_at(5), vec![0, 1]);
+        assert_eq!(plan.min_live(), 2);
+        assert_eq!(plan.write_fault(0, 0, 3), Some(FaultKind::Drop));
+        assert_eq!(plan.write_fault(0, 1, 4), Some(FaultKind::Corrupt));
+        assert_eq!(plan.write_fault(1, 0, 2), Some(FaultKind::Stall));
+        assert_eq!(plan.write_fault(0, 2, 7), Some(FaultKind::ChannelDeath));
+        assert_eq!(plan.write_fault(0, 0, 0), None);
+        assert!(plan.is_stalled(1, 3));
+        assert!(!plan.is_stalled(1, 4));
+        assert_eq!(plan.crash_cycle(3), Some(9));
+        let s = plan.summary();
+        assert_eq!(
+            (s.deaths, s.drops, s.corrupts, s.crashes, s.stalls),
+            (1, 1, 1, 1, 2)
+        );
+        // Retry-relevant fault cycles: stalls at 2 and 3, drop at 3,
+        // corrupt at 4, death at 5 = {2, 3, 4, 5}. The crash at 9 is not
+        // counted: crashes are permanent and never retried.
+        assert_eq!(plan.fault_cycles(), 4);
+    }
+
+    #[test]
+    fn notice_windows() {
+        let plan = FaultPlan::new(2, 2)
+            .drop_message(5, ChanId(1))
+            .kill_channel(ChanId(0), 8);
+        assert!(!plan.notice(0, 5));
+        assert!(plan.notice(5, 6)); // drop inside
+        assert!(!plan.notice(6, 8));
+        assert!(plan.notice(6, 9)); // death strictly inside
+        assert!(!plan.notice(8, 10)); // death at window start: already degraded
+    }
+
+    #[test]
+    fn random_is_deterministic_and_leaves_a_survivor() {
+        let opts = ChaosOpts {
+            deaths: 10, // far more than k - 1; must be capped
+            ..ChaosOpts::default()
+        };
+        let a = FaultPlan::random(42, 6, 3, &opts);
+        let b = FaultPlan::random(42, 6, 3, &opts);
+        assert_eq!(a, b);
+        assert!(a.min_live() >= 1);
+        assert!(a.summary().deaths <= 2);
+        let c = FaultPlan::random(43, 6, 3, &opts);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn canonical_order_dedups() {
+        let r = |cycle, kind, proc: Option<u32>, chan: Option<u32>| FaultRecord {
+            cycle,
+            kind,
+            proc: proc.map(ProcId),
+            chan: chan.map(ChanId),
+        };
+        let mut recs = vec![
+            r(3, FaultKind::Stall, Some(1), None),
+            r(1, FaultKind::Drop, Some(0), Some(2)),
+            r(3, FaultKind::Stall, Some(1), None),
+        ];
+        canonicalize(&mut recs);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].cycle, 1);
+    }
+}

@@ -56,6 +56,8 @@
 //! * [`step`] — protocols as resumable state machines ([`StepProtocol`],
 //!   run thread-free at scale by the pooled backend).
 //! * [`virt`] — §2's simulation of a larger MCB on a smaller one.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the §2
+//!   lemma-driven degraded mode ([`ProcCtx::set_resilient`]).
 //! * [`metrics`] — cycle/message/per-phase accounting ([`Metrics`],
 //!   [`PhaseMetrics`], [`EngineProfile`]).
 //! * [`phase`] — labelled phase scopes attributing costs to algorithm
@@ -72,6 +74,7 @@ pub mod barrier;
 pub mod engine;
 pub mod error;
 pub mod export;
+pub mod fault;
 pub mod ids;
 pub mod message;
 pub mod metrics;
@@ -83,9 +86,12 @@ pub mod timeline;
 pub mod trace;
 pub mod virt;
 
-pub use engine::{Backend, Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET};
+pub use engine::{
+    Backend, Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET, DEFAULT_STALL_WINDOW,
+};
 pub use error::NetError;
 pub use export::JSONL_SCHEMA_VERSION;
+pub use fault::{ChaosOpts, FaultKind, FaultPlan, FaultRecord, FaultSummary, ResilientOpts};
 pub use ids::{ChanId, ProcId};
 pub use message::{bits_for_i64, bits_for_u64, MsgWidth};
 pub use metrics::{EngineProfile, Metrics, PhaseMetrics};

@@ -61,6 +61,12 @@ pub struct Metrics {
     /// Per-phase breakdown, in order of first activity (see
     /// [`PhaseMetrics`]). Empty when the protocol never labelled a phase.
     pub phases: Vec<PhaseMetrics>,
+    /// Faults that fired during the run (see
+    /// [`FaultRecord`](crate::FaultRecord)), in canonical
+    /// (cycle, kind, proc, chan) order. Empty when no
+    /// [`FaultPlan`](crate::FaultPlan) was attached or none of its faults
+    /// coincided with any I/O.
+    pub faults: Vec<crate::FaultRecord>,
 }
 
 impl Metrics {
@@ -262,6 +268,7 @@ mod tests {
             per_proc_cycles: vec![10, 9, 8],
             per_channel_messages: vec![12, 6],
             phases: vec![],
+            faults: vec![],
         }
     }
 

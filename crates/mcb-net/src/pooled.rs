@@ -42,9 +42,11 @@
 
 use crate::barrier::Sense;
 use crate::engine::{
-    assemble_report, panic_message, Aborted, Backend, Network, ProcCtx, RunReport, Shared,
+    assemble_report, panic_message, Aborted, Backend, Escalated, Network, ProcCtx, RunReport,
+    Shared,
 };
 use crate::error::NetError;
+use crate::fault::{FaultKind, FaultRecord};
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
 use crate::metrics::{EngineProfile, LocalMetrics};
@@ -110,6 +112,9 @@ enum FiberEvent<M> {
     Finished,
     /// The protocol panicked with this message.
     Panicked(String),
+    /// The protocol wants to fail the run with this error (resilient
+    /// retransmission gave up).
+    Escalated(NetError),
 }
 
 /// A unit's answer to "what do you do next?".
@@ -117,6 +122,7 @@ enum UnitStatus<M> {
     Yielded(Request<M>),
     Finished,
     Panicked(String),
+    Escalated(NetError),
 }
 
 /// A logical processor the pooled driver can advance cycle-by-cycle.
@@ -148,6 +154,7 @@ impl<M: Send> Unit<M> for FiberUnit<M> {
             Ok(FiberEvent::Yielded(req)) => UnitStatus::Yielded(req),
             Ok(FiberEvent::Finished) => UnitStatus::Finished,
             Ok(FiberEvent::Panicked(msg)) => UnitStatus::Panicked(msg),
+            Ok(FiberEvent::Escalated(err)) => UnitStatus::Escalated(err),
             // Disconnected without a final event: treat as a panic so the
             // run fails loudly instead of hanging.
             Err(_) => UnitStatus::Panicked("fiber exited without reporting".into()),
@@ -205,7 +212,13 @@ where
                 self.results.lock()[self.id.index()] = Some(r);
                 UnitStatus::Finished
             }
-            Err(payload) => UnitStatus::Panicked(panic_message(payload.as_ref())),
+            Err(payload) => {
+                if let Some(esc) = payload.downcast_ref::<Escalated>() {
+                    UnitStatus::Escalated(esc.0.clone())
+                } else {
+                    UnitStatus::Panicked(panic_message(payload.as_ref()))
+                }
+            }
         }
     }
 
@@ -262,6 +275,10 @@ where
             });
             shared.finished.fetch_add(1, Ordering::AcqRel);
         }
+        UnitStatus::Escalated(err) => {
+            shared.fail(err);
+            shared.finished.fetch_add(1, Ordering::AcqRel);
+        }
     }
 }
 
@@ -289,7 +306,31 @@ where
     }
     loop {
         // ---- write phase -------------------------------------------------
+        let now = shared.round.load(Ordering::Relaxed);
         for slot in chunk.iter_mut() {
+            // Planned crash: checked at the top of the round, mirroring the
+            // threaded backend's check at the top of `cycle`. The crashed
+            // unit's pending request is discarded (its write never happens)
+            // and its result slot stays `None`.
+            if slot.pending.is_some() {
+                if let Some(plan) = &shared.plan {
+                    if plan
+                        .crash_cycle(slot.id.index())
+                        .is_some_and(|cc| now >= cc)
+                    {
+                        shared.record_fault(FaultRecord {
+                            cycle: now,
+                            kind: FaultKind::Crash,
+                            proc: Some(slot.id),
+                            chan: None,
+                        });
+                        slot.pending = None;
+                        slot.unit.abort();
+                        shared.finished.fetch_add(1, Ordering::AcqRel);
+                        continue;
+                    }
+                }
+            }
             if let Some(req) = &mut slot.pending {
                 if let Some(name) = req.phase.take() {
                     slot.local.cur_phase = shared.phase_id(&name);
@@ -395,18 +436,24 @@ where
         ));
     }
 
+    let plan = net.plan();
     std::thread::scope(|scope| {
         for (i, (port, events)) in ports.into_iter().enumerate() {
             let results = &results;
+            let plan = plan.clone();
             scope.spawn(move || {
-                let mut ctx = ProcCtx::fiber(ProcId::from_index(i), p, k, port);
+                let mut ctx = ProcCtx::fiber(ProcId::from_index(i), p, k, plan, port);
                 match catch_unwind(AssertUnwindSafe(|| protocol(&mut ctx))) {
                     Ok(r) => {
                         results.lock()[i] = Some(r);
                         let _ = events.send(FiberEvent::Finished);
                     }
                     Err(payload) => {
-                        if payload.downcast_ref::<Aborted>().is_none() {
+                        if let Some(esc) = payload.downcast_ref::<Escalated>() {
+                            // Resilient retransmission gave up: ship the
+                            // carried error to the driver.
+                            let _ = events.send(FiberEvent::Escalated(esc.0.clone()));
+                        } else if payload.downcast_ref::<Aborted>().is_none() {
                             let _ =
                                 events.send(FiberEvent::Panicked(panic_message(payload.as_ref())));
                         }

@@ -31,7 +31,9 @@ fn col_of(cycle: u64, rounds: u64, cols: usize) -> usize {
 /// 2. one lane per row of non-overlapping phase spans (`[name====]`),
 ///    greedily packed, in [`Metrics::phases`] order,
 /// 3. one heat-map row per channel (` .:-=+*#%@` by per-column messages),
-/// 4. a per-channel total-load summary.
+/// 4. a per-channel total-load summary,
+/// 5. when faults fired ([`Metrics::faults`]), a marker row with `x` at
+///    each column containing a fault, plus the fired-fault total.
 ///
 /// Panics if `width == 0`. An un-traced or empty run renders a header and
 /// empty grid rather than panicking.
@@ -113,6 +115,17 @@ pub fn render_timeline<M>(metrics: &Metrics, trace: &Trace<M>, width: usize) -> 
         }
         out.push_str(&format!("| {load}\n"));
     }
+
+    // ---- fault markers, one shared row (faults are sparse).
+    if !metrics.faults.is_empty() {
+        let mut row = vec![b' '; cols];
+        for f in &metrics.faults {
+            row[col_of(f.cycle, rounds, cols)] = b'x';
+        }
+        out.push_str("faults   |");
+        out.push_str(std::str::from_utf8(&row).expect("ASCII row"));
+        out.push_str(&format!("| {}\n", metrics.faults.len()));
+    }
     out.push_str(&format!(
         "{gutter} 0{:>width$}\n",
         metrics.rounds,
@@ -186,6 +199,31 @@ mod tests {
         let (m1, t1) = traced_run();
         let (m2, t2) = traced_run();
         assert_eq!(render_timeline(&m1, &t1, 16), render_timeline(&m2, &t2, 16));
+    }
+
+    #[test]
+    fn fault_marker_row_appears() {
+        let report = Network::new(2, 2)
+            .record_trace(true)
+            .fault_plan(crate::FaultPlan::new(2, 2).drop_message(1, ChanId(0)))
+            .run(|ctx| {
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(0), 1u64); // delivered
+                    ctx.write(ChanId(0), 2u64); // dropped at cycle 1
+                } else {
+                    ctx.idle_for(2);
+                }
+            })
+            .unwrap();
+        let trace = report.trace.expect("trace on");
+        let cols = report.metrics.rounds as usize;
+        let art = render_timeline(&report.metrics, &trace, cols);
+        let faults = art.lines().find(|l| l.starts_with("faults")).unwrap();
+        assert_eq!(
+            faults,
+            format!("faults   | x{}| 1", " ".repeat(cols - 2)),
+            "{art}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! write path) and the buffers are merged into the canonical order when the
 //! run completes.
 
+use crate::fault::FaultRecord;
 use crate::ids::{ChanId, ProcId};
 
 /// One broadcast, as observed on the wire.
@@ -57,6 +58,9 @@ pub struct Event<M> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trace<M> {
     events: Vec<Event<M>>,
+    /// Faults that fired during the run, in canonical order (mirrors
+    /// [`Metrics::faults`](crate::Metrics::faults)).
+    faults: Vec<FaultRecord>,
 }
 
 impl<M> Trace<M> {
@@ -66,7 +70,21 @@ impl<M> Trace<M> {
     {
         // Engine threads append concurrently; normalize to a canonical order.
         events.sort_by_key(|e| (e.cycle, e.channel.0, e.writer.0));
-        Trace { events }
+        Trace {
+            events,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Attach the run's canonical fired-fault log (see `assemble_report`).
+    pub(crate) fn set_faults(&mut self, faults: Vec<FaultRecord>) {
+        self.faults = faults;
+    }
+
+    /// Faults that fired during the run, in (cycle, kind, proc, chan)
+    /// order; empty when no fault plan was attached.
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
     }
 
     /// All events, in (cycle, channel, writer) order.

@@ -323,6 +323,104 @@ fn metrics_details_agree_for_stragglers() {
 }
 
 #[test]
+fn faulted_runs_replay_byte_identically_across_backends() {
+    // A resilient columnsort under a plan mixing a channel death with
+    // transient losses: results, metrics (including the fault log), and the
+    // JSONL export — fault_plan and fault records included — must be
+    // byte-identical across backends and across repeated runs from the
+    // same seed.
+    use mcb::algos::resilient::Resilient;
+    use mcb::net::FaultPlan;
+
+    let (m, k) = (12, 4);
+    let cols: Vec<Vec<Option<u64>>> = (0..k)
+        .map(|c| {
+            (0..m)
+                .map(|r| Some(((c * m + r) as u64).wrapping_mul(2654435761) % 4093))
+                .collect()
+        })
+        .collect();
+    let plan = FaultPlan::new(k, k)
+        .kill_channel(ChanId(2), 7)
+        .drop_message(3, ChanId(1))
+        .corrupt_message(11, ChanId(0));
+
+    let run = |backend: Backend| {
+        Resilient::new(plan.clone())
+            .backend(backend)
+            .sort_columns(m, cols.clone())
+            .unwrap()
+    };
+    let threaded = run(Backend::Threaded);
+    let pooled = run(Backend::Pooled);
+    let replay = run(Backend::Threaded);
+
+    for (label, other) in [("pooled", &pooled), ("threaded replay", &replay)] {
+        assert_eq!(threaded.columns, other.columns, "{label}: outputs differ");
+        assert_eq!(threaded.metrics, other.metrics, "{label}: metrics differ");
+        assert_eq!(
+            threaded.metrics.faults, other.metrics.faults,
+            "{label}: fault logs differ"
+        );
+        assert_eq!(
+            threaded.fault_summary, other.fault_summary,
+            "{label}: fault summaries differ"
+        );
+    }
+    // The output is actually sorted and the dilation honored its bound.
+    let lin: Vec<u64> = threaded
+        .columns
+        .iter()
+        .flatten()
+        .map(|x| x.unwrap())
+        .collect();
+    assert!(lin.windows(2).all(|w| w[0] >= w[1]));
+    assert!(threaded.metrics.cycles <= threaded.dilation_bound);
+    assert!(
+        !threaded.metrics.faults.is_empty(),
+        "plan must actually fire"
+    );
+}
+
+#[test]
+fn fault_jsonl_export_is_byte_identical_across_backends() {
+    // Raw (non-resilient) faulted run through the engine API, so the full
+    // RunReport::to_jsonl — fault_plan line, per-fault lines, events — is
+    // diffed byte-for-byte.
+    use mcb::net::FaultPlan;
+
+    let run = |backend: Backend| {
+        Network::new(3, 2)
+            .backend(backend)
+            .record_trace(true)
+            .fault_plan(
+                FaultPlan::new(3, 2)
+                    .kill_channel(ChanId(1), 2)
+                    .drop_message(1, ChanId(0)),
+            )
+            .run(|ctx| {
+                let me = ctx.id().index();
+                for t in 0..4u64 {
+                    if me < 2 {
+                        ctx.cycle(Some((ChanId::from_index(me), t)), None);
+                    } else {
+                        ctx.read(ChanId(0));
+                    }
+                }
+            })
+            .unwrap()
+    };
+    let threaded = run(Backend::Threaded);
+    let pooled = run(Backend::Pooled);
+    let ja = threaded.to_jsonl();
+    let jb = pooled.to_jsonl();
+    assert_eq!(ja, jb, "JSONL exports differ");
+    assert!(ja.contains("\"record\":\"fault_plan\""), "{ja}");
+    assert!(ja.contains("\"kind\":\"channel_death\""), "{ja}");
+    assert!(ja.contains("\"kind\":\"drop\""), "{ja}");
+}
+
+#[test]
 fn backend_resolution() {
     // Concrete choices pass through untouched.
     assert_eq!(Backend::Threaded.resolve(1 << 20), Backend::Threaded);

@@ -1,0 +1,144 @@
+//! Chaos property tests: the paper's algorithms must survive *any* seeded
+//! random fault plan that leaves at least one channel alive (the §2
+//! simulation lemma's precondition), on both backends, with the output
+//! equal to the fault-free answer and the physical cycle count inside the
+//! lemma's dilation bound.
+//!
+//! Crashes are excluded ([`ChaosOpts`] default `crashes = 0`): a crashed
+//! processor's input is gone and no failover can reconstruct it — that is
+//! a model fact, not a harness gap (see `mcb_algos::resilient`).
+
+use mcb::algos::resilient::Resilient;
+use mcb::net::{Backend, ChaosOpts, FaultPlan};
+use mcb_rng::Rng64;
+
+const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Pooled];
+
+/// Deterministic pseudo-random column fill (not already sorted, repeats
+/// possible — duplicates must not confuse the failover).
+fn cols(m: usize, k: usize, salt: u64) -> Vec<Vec<Option<u64>>> {
+    (0..k)
+        .map(|c| {
+            (0..m)
+                .map(|r| {
+                    Some(((c * m + r) as u64 + salt).wrapping_mul(0x9e37_79b9_7f4a_7c15) % 2003)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn flat_sorted_desc(cols: &[Vec<Option<u64>>]) -> Vec<u64> {
+    let mut all: Vec<u64> = cols.iter().flatten().filter_map(|x| *x).collect();
+    all.sort_unstable_by(|a, b| b.cmp(a));
+    all
+}
+
+#[test]
+fn columnsort_is_correct_under_random_fault_plans() {
+    // (m, k) must satisfy the §5 shape: m >= k(k-1), k | m.
+    let shapes = [(6usize, 2usize), (6, 3), (12, 4), (20, 5)];
+    let opts = ChaosOpts::default();
+    let mut rng = Rng64::seed_from_u64(0xc4a05);
+    for (m, k) in shapes {
+        for _ in 0..3 {
+            let seed = rng.next_u64();
+            let plan = FaultPlan::random(seed, k, k, &opts);
+            assert!(plan.min_live() >= 1, "random plans must leave a survivor");
+            let input = cols(m, k, seed);
+            let want = flat_sorted_desc(&input);
+
+            let mut per_backend = Vec::new();
+            for backend in BACKENDS {
+                let out = Resilient::new(plan.clone())
+                    .backend(backend)
+                    .sort_columns(m, input.clone())
+                    .unwrap_or_else(|e| panic!("seed {seed:#x} m={m} k={k} {backend:?}: {e}"));
+                let got: Vec<u64> = out.columns.iter().flatten().filter_map(|x| *x).collect();
+                assert_eq!(
+                    got, want,
+                    "seed {seed:#x} m={m} k={k} {backend:?}: wrong output (multiset or order)"
+                );
+                assert!(
+                    out.metrics.cycles <= out.dilation_bound,
+                    "seed {seed:#x} m={m} k={k} {backend:?}: {} physical cycles exceed the \
+                     lemma bound {}",
+                    out.metrics.cycles,
+                    out.dilation_bound
+                );
+                per_backend.push(out);
+            }
+            // Backend-identical down to the per-fault log.
+            let (a, b) = (&per_backend[0], &per_backend[1]);
+            assert_eq!(a.columns, b.columns, "seed {seed:#x}: outputs differ");
+            assert_eq!(a.metrics, b.metrics, "seed {seed:#x}: metrics differ");
+            assert_eq!(
+                a.fault_summary, b.fault_summary,
+                "seed {seed:#x}: summaries differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn selection_is_correct_under_random_fault_plans() {
+    let shapes = [(4usize, 2usize), (6, 3)];
+    let opts = ChaosOpts::default();
+    let mut rng = Rng64::seed_from_u64(0x5e1ec7);
+    for (p, k) in shapes {
+        for _ in 0..3 {
+            let seed = rng.next_u64();
+            let plan = FaultPlan::random(seed, p, k, &opts);
+            let lists: Vec<Vec<u64>> = (0..p)
+                .map(|i| {
+                    (0..4 + i)
+                        .map(|j| ((i * 31 + j) as u64 + seed % 97).wrapping_mul(2654435761) % 509)
+                        .collect()
+                })
+                .collect();
+            let mut all: Vec<u64> = lists.iter().flatten().copied().collect();
+            all.sort_unstable_by(|a, b| b.cmp(a));
+            let d = 1 + (seed as usize) % all.len();
+            let want = all[d - 1];
+
+            let mut values = Vec::new();
+            for backend in BACKENDS {
+                let out = Resilient::new(plan.clone())
+                    .backend(backend)
+                    .select_rank(k, lists.clone(), d)
+                    .unwrap_or_else(|e| panic!("seed {seed:#x} p={p} k={k} {backend:?}: {e}"));
+                assert_eq!(
+                    out.value, want,
+                    "seed {seed:#x} p={p} k={k} {backend:?}: wrong rank-{d} element"
+                );
+                values.push((out.metrics, out.phases, out.fault_summary));
+            }
+            assert_eq!(values[0], values[1], "seed {seed:#x}: backends diverge");
+        }
+    }
+}
+
+#[test]
+fn heavier_chaos_still_converges() {
+    // Crank transient-fault density well past the defaults (every fault
+    // cycle forces a whole-window retry) on a mid-size sort; the retry
+    // budget and dilation bound must still hold.
+    let opts = ChaosOpts {
+        drops: 6,
+        corrupts: 4,
+        stalls: 4,
+        ..ChaosOpts::default()
+    };
+    let (m, k) = (12, 4);
+    for seed in [1u64, 2, 3] {
+        let plan = FaultPlan::random(seed, k, k, &opts);
+        let input = cols(m, k, seed);
+        let want = flat_sorted_desc(&input);
+        let out = Resilient::new(plan)
+            .sort_columns(m, input)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let got: Vec<u64> = out.columns.iter().flatten().filter_map(|x| *x).collect();
+        assert_eq!(got, want, "seed {seed}");
+        assert!(out.metrics.cycles <= out.dilation_bound, "seed {seed}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Static verification of degraded schedules, closed against the runtime:
+//! the §2 simulation lemma's channel remap is applied to emitted schedules
+//! (`mcb_check::degrade`), proved collision-free and within the lemma's
+//! dilation bound, and — for deaths at cycle 0, where the static and
+//! physical clocks coincide — replayed broadcast-for-broadcast against an
+//! engine trace of the *runtime* failover. One formula, two worlds, one
+//! test file.
+
+use mcb_algos::sort::columns::{columnsort_net_in, ColumnRole};
+use mcb_algos::static_schedule::{ColumnsortNetSpec, PartialSumsSpec, StaticSchedule};
+use mcb_algos::Word;
+use mcb_check::{check_conformance, verify_degraded, Bounds, Outages};
+use mcb_net::{ChanId, FaultPlan, Network, ResilientOpts};
+
+/// The dilation the remap must produce: each logical cycle `t` costs
+/// `⌈k / live(t)⌉` physical cycles.
+fn expected_dilation(outages: &Outages, k: usize, cycles: u64) -> u64 {
+    (0..cycles)
+        .map(|t| k.div_ceil(outages.live_at(t).len()) as u64)
+        .sum()
+}
+
+#[test]
+fn emitted_columnsort_schedules_degrade_verifiably() {
+    for (m, k) in [(6usize, 3usize), (12, 4), (20, 5)] {
+        let spec = ColumnsortNetSpec {
+            m,
+            k_cols: k,
+            dummies: true,
+        };
+        let schedule = spec.emit();
+        // Kill one channel a third of the way in, a second two thirds in
+        // (when k allows keeping a survivor).
+        let l = schedule.cycle_count();
+        let mut outages = Outages::new(k).kill(1, l / 3);
+        if k > 2 {
+            outages = outages.kill(k - 1, 2 * l / 3);
+        }
+        let r = verify_degraded(&schedule, &outages, &Bounds::none()).unwrap();
+        assert!(r.report.is_ok(), "m={m} k={k}:\n{}", r.report);
+        assert_eq!(
+            r.dilation,
+            expected_dilation(&outages, k, l),
+            "m={m} k={k}: dilation off the per-cycle formula"
+        );
+        assert!(r.dilation <= r.lemma_bound, "m={m} k={k}");
+    }
+}
+
+#[test]
+fn emitted_partial_sums_schedules_degrade_verifiably() {
+    for (p, k) in [(4usize, 2usize), (7, 3), (13, 4), (16, 4)] {
+        let spec = PartialSumsSpec { p, k };
+        let schedule = spec.emit();
+        let outages = Outages::new(k).kill(0, 1);
+        let r = verify_degraded(&schedule, &outages, &Bounds::none()).unwrap();
+        assert!(r.report.is_ok(), "p={p} k={k}:\n{}", r.report);
+        assert_eq!(
+            r.dilation,
+            expected_dilation(&outages, k, schedule.cycle_count()),
+            "p={p} k={k}"
+        );
+    }
+}
+
+#[test]
+fn degrading_to_one_survivor_hits_the_lemma_bound_exactly() {
+    let spec = ColumnsortNetSpec {
+        m: 12,
+        k_cols: 4,
+        dummies: true,
+    };
+    let schedule = spec.emit();
+    let outages = Outages::new(4).kill(0, 0).kill(1, 0).kill(3, 0);
+    let r = verify_degraded(&schedule, &outages, &Bounds::none()).unwrap();
+    assert!(r.report.is_ok(), "{}", r.report);
+    // k' = 1 from cycle 0: the degrade is the fully serialized schedule,
+    // exactly k × the original cycle count — the lemma bound is tight.
+    assert_eq!(r.dilation, 4 * schedule.cycle_count());
+    assert_eq!(r.dilation, r.lemma_bound);
+}
+
+#[test]
+fn runtime_failover_replays_the_statically_degraded_schedule() {
+    // A death at cycle 0 makes the static (logical) and runtime (physical)
+    // clocks coincide: every logical cycle costs exactly ⌈k/k'⌉ physical
+    // cycles from the start, with no retries to shift the alignment. The
+    // engine's resilient columnsort must then broadcast precisely the
+    // degraded schedule's write side — same cycle, same writer, same
+    // *physical* channel.
+    let (m, k) = (12usize, 4usize);
+    let dead = ChanId(2);
+
+    let spec = ColumnsortNetSpec {
+        m,
+        k_cols: k,
+        dummies: true,
+    };
+    let outages = Outages::new(k).kill(dead.index(), 0);
+    let degraded = verify_degraded(&spec.emit(), &outages, &Bounds::none()).unwrap();
+    assert!(degraded.report.is_ok(), "{}", degraded.report);
+
+    let cols: Vec<Vec<Option<u64>>> = (0..k)
+        .map(|c| {
+            (0..m)
+                .map(|r| Some(((c * m + r) as u64).wrapping_mul(48271) % 65521))
+                .collect()
+        })
+        .collect();
+    let report = Network::new(k, k)
+        .record_trace(true)
+        .fault_plan(FaultPlan::new(k, k).kill_channel(dead, 0))
+        .run(move |ctx| {
+            ctx.set_resilient(Some(ResilientOpts::default()));
+            let me = ctx.id().index();
+            let role = Some(ColumnRole {
+                col: me,
+                data: cols[me].clone(),
+            });
+            columnsort_net_in(ctx, role, m, k, &Word::Key, &|msg: Word<u64>| {
+                msg.expect_key()
+            })
+            .expect("shape is valid")
+            .expect("every processor owns a column")
+        })
+        .unwrap();
+
+    // Same physical cycle count...
+    assert_eq!(
+        report.metrics.cycles,
+        degraded.schedule.cycle_count(),
+        "engine dilation diverges from the static remap"
+    );
+    // ...and a broadcast-for-broadcast replay of the remapped write side.
+    let log = report.trace.as_ref().unwrap().to_wire_log(k, k);
+    assert!(
+        log.events.iter().all(|e| e.chan != dead.index()),
+        "a broadcast used the dead channel"
+    );
+    let conf = check_conformance(&degraded.schedule, &log)
+        .unwrap_or_else(|e| panic!("trace does not replay the degraded schedule: {e}"));
+    assert_eq!(
+        conf.matched, report.metrics.messages,
+        "every broadcast must match a remapped intent"
+    );
+}
