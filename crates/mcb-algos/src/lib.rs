@@ -14,6 +14,7 @@
 //! | §8    | [`select`] | selection by rank, `Θ(p log(kn/p))` messages (Corollary 7), plus the naive sort-based and Shout-Echo baselines |
 //! | §1    | [`extrema`] | extrema finding (the related-work warm-up problem) via Partial-Sums |
 //! | §2    | [`resilient`] | the algorithms on *faulty* hardware: the simulation lemma as a channel-failover mechanism |
+//! | §2+§5/§8 | [`heal`] | self-healing variants with **no fault oracle**: wire-level detection, epoch reconfiguration, crash takeover |
 //!
 //! All distributed algorithms come in two forms: a driver (`sort_grouped`,
 //! `select_rank`, …) that builds the network and returns results plus
@@ -38,6 +39,7 @@
 
 pub mod columnsort;
 pub mod extrema;
+pub mod heal;
 pub mod local;
 pub mod msg;
 pub mod partial_sums;

@@ -27,6 +27,10 @@
 //!   cycle) and re-prove collision-freedom plus the lemma's dilation bound
 //!   on the result. The same multiplexing formula the `mcb-net` runtime
 //!   uses for live channel failover, proved statically.
+//! * **Multi-epoch runs** ([`epochs`]): the same proof extended to
+//!   self-healing runs that reconfigure mid-flight — each epoch's
+//!   schedule is degraded and verified in its own configuration, and the
+//!   per-epoch lemma bounds compose into a whole-run cycle bound.
 //! * **Mutation self-test** ([`mutate`]): seeds off-by-one faults into a
 //!   valid schedule and asserts the verifier flags every one — the checker
 //!   is itself checked.
@@ -57,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub mod degrade;
+pub mod epochs;
 pub mod ir;
 pub mod mutate;
 pub mod report;
@@ -64,6 +69,7 @@ pub mod verify;
 pub mod wire;
 
 pub use degrade::{remap_schedule, verify_degraded, DegradeError, DegradedReport, Outages};
+pub use epochs::{verify_epochs, EpochSegment, EpochsReport};
 pub use ir::{
     CheckedSchedule, CycleIntents, DataFlow, DataMove, Expect, Intent, ReadIntent, Route,
     ScheduleBuilder, WriteIntent,

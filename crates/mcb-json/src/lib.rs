@@ -2,7 +2,7 @@
 //!
 //! The workspace builds fully offline (no external crates), so structured
 //! export gets the same treatment as randomness (`mcb-rng`): a small in-repo
-//! crate. This is a *writer*, not a parser, and it is deliberately
+//! crate. It is primarily a *writer*, and it is deliberately
 //! deterministic:
 //!
 //! * object keys keep **insertion order** — no hashing, no re-sorting, so
@@ -14,6 +14,11 @@
 //!   every consumer of `BENCH_*.json`-style files that needs a ratio can
 //!   derive it from the exact integer counts, and omitting floats keeps the
 //!   byte-for-byte determinism trivial.
+//!
+//! A matching [`Json::parse`] reads the same subset back (it accepts
+//! interstitial whitespace, rejects floats and duplicate-free-ness is not
+//! checked), which is what the schema round-trip tests use to prove
+//! `parse(render(v)) == v` and `render(parse(s)) == s` for exporter output.
 //!
 //! ```
 //! use mcb_json::Json;
@@ -70,6 +75,60 @@ impl Json {
         Json::Arr(values.into_iter().map(Json::U64).collect())
     }
 
+    /// Look up an object field by key (first match in insertion order);
+    /// `None` on missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer payload of a [`Json::U64`], else `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload of a [`Json::Str`], else `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of a [`Json::Arr`], else `None`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document covering exactly the subset this crate
+    /// renders: `null`, booleans, integers (unsigned parse to [`Json::U64`],
+    /// negative to [`Json::I64`] — matching what rendering preserves),
+    /// strings with the RFC 8259 escapes, arrays, and insertion-ordered
+    /// objects. Interstitial whitespace is accepted; floats, leading `+`,
+    /// and trailing garbage are errors. The error string names the byte
+    /// offset and what was expected.
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
     /// Render to a compact single-line JSON string.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -105,6 +164,184 @@ impl Json {
                     v.write(out);
                 }
                 out.push('}');
+            }
+        }
+    }
+}
+
+/// Recursive-descent parser over the byte slice; see [`Json::parse`].
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("expected a JSON value at byte {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!("floats are not supported (byte {})", self.pos));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if negative {
+            text.parse::<i64>()
+                .map(Json::I64)
+                .map_err(|e| format!("bad integer {text:?} at byte {start}: {e}"))
+        } else {
+            text.parse::<u64>()
+                .map(Json::U64)
+                .map_err(|e| format!("bad integer {text:?} at byte {start}: {e}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // The writer only emits \u for control chars, so
+                            // surrogate pairs are out of scope; reject them
+                            // rather than mis-decode.
+                            let c = char::from_u32(code).ok_or_else(|| {
+                                format!("unpaired surrogate \\u{hex} at byte {}", self.pos)
+                            })?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
         }
     }
@@ -219,6 +456,63 @@ mod tests {
             v.render(),
             r#"{"xs":[1,2],"inner":{"ok":true},"none":null}"#
         );
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let v = Json::obj()
+            .field("record", "epoch")
+            .field("epoch", 1u64)
+            .field("neg", -7i64)
+            .field("live", Json::from_u64s([0, 2]))
+            .field("note", "a\"b\\c\nd\u{1}")
+            .field("none", Json::Null)
+            .field("ok", true);
+        let s = v.render();
+        let parsed = Json::parse(&s).unwrap();
+        assert_eq!(parsed, v, "parse(render(v)) == v");
+        assert_eq!(parsed.render(), s, "render(parse(s)) == s");
+    }
+
+    #[test]
+    fn parse_accepts_whitespace() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(v.get("b"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn parse_preserves_key_order() {
+        let v = Json::parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.render(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        for bad in [
+            "", "nul", "1.5", "1e3", "-", "[1,]", "{\"a\"}", "\"open", "{} {}", "+1",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parse_integer_types_match_writer() {
+        assert_eq!(Json::parse("7").unwrap(), Json::U64(7));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj().field("s", "x").field("n", 3u64);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Null.get("s"), None);
     }
 
     #[test]

@@ -29,8 +29,10 @@
 //! never deadlock or poison the harness.
 
 use crate::barrier::{Sense, SenseBarrier};
+use crate::epoch::EpochRecord;
 use crate::error::NetError;
 use crate::fault::{canonicalize, FaultKind, FaultPlan, FaultRecord, FaultSummary, ResilientOpts};
+use crate::frame::{FrameRead, FRAME_HEADER_BITS};
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
 use crate::metrics::{EngineProfile, LocalMetrics, Metrics, PhaseMetrics};
@@ -160,6 +162,7 @@ pub struct Network {
     stall_window: u64,
     fault_plan: Option<Arc<FaultPlan>>,
     backend: Backend,
+    framing: bool,
 }
 
 impl Network {
@@ -176,6 +179,7 @@ impl Network {
             stall_window: DEFAULT_STALL_WINDOW,
             fault_plan: None,
             backend: Backend::Auto,
+            framing: false,
         }
     }
 
@@ -243,6 +247,24 @@ impl Network {
     /// Select the execution [`Backend`] (default: [`Backend::Auto`]).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Enable self-checking broadcast frames (off by default; see
+    /// [`crate::frame`]). With framing on:
+    ///
+    /// * every delivered message is charged [`FRAME_HEADER_BITS`] extra
+    ///   bits (cycle and message counts are unchanged);
+    /// * `Corrupt` faults *jam* the channel slot instead of silently
+    ///   emptying it, so [`ProcCtx::framed_cycle`] readers observe
+    ///   [`FrameRead::Noise`] where unframed readers see an empty channel.
+    ///
+    /// Framing is the detection substrate for the no-oracle self-healing
+    /// drivers; protocols that never call
+    /// [`framed_cycle`](ProcCtx::framed_cycle) behave identically apart
+    /// from the bit accounting.
+    pub fn framing(mut self, yes: bool) -> Self {
+        self.framing = yes;
         self
     }
 
@@ -593,6 +615,7 @@ pub(crate) fn assemble_report<R, M: Clone>(
         trace,
         profile,
         fault_summary,
+        epochs: Vec::new(),
     })
 }
 
@@ -618,6 +641,12 @@ pub struct RunReport<R, M> {
     /// Summary of the attached [`FaultPlan`], when one was attached (the
     /// per-fault log lives in [`Metrics::faults`]).
     pub fault_summary: Option<FaultSummary>,
+    /// Reconfigurations committed by the epoch protocol
+    /// ([`EpochCtx`](crate::EpochCtx)). The engine itself never
+    /// reconfigures, so this starts empty; self-healing drivers fill it in
+    /// from the survivors' (identical) reconfiguration logs so the JSONL
+    /// export can carry the epoch history.
+    pub epochs: Vec<EpochRecord>,
 }
 
 impl<R, M> RunReport<R, M> {
@@ -665,9 +694,28 @@ struct GroupState {
 /// only differ in who calls them and how the calls are synchronized
 /// (`barrier` spans all `p` processor threads on the threaded backend, but
 /// only the workers on the pooled one).
+/// One channel's per-cycle state: the deposited message (if any) plus a
+/// *jam* flag set when a framed `Corrupt` fault garbled the slot's
+/// transmission. Unframed reads ignore the flag entirely, so non-framed
+/// behavior is bit-identical to a plain `Option` slot.
+#[derive(Debug)]
+pub(crate) struct ChanSlot<M> {
+    msg: Option<(ProcId, M)>,
+    jammed: bool,
+}
+
+impl<M> Default for ChanSlot<M> {
+    fn default() -> Self {
+        ChanSlot {
+            msg: None,
+            jammed: false,
+        }
+    }
+}
+
 pub(crate) struct Shared<M> {
     pub(crate) k: usize,
-    slots: Vec<RwLock<Option<(ProcId, M)>>>,
+    slots: Vec<RwLock<ChanSlot<M>>>,
     pub(crate) barrier: SenseBarrier,
     pub(crate) done: AtomicBool,
     failed: AtomicBool,
@@ -695,6 +743,8 @@ pub(crate) struct Shared<M> {
     last_activity_round: AtomicU64,
     last_msg_total: AtomicU64,
     last_finished: AtomicUsize,
+    /// Whether self-checking frames are enabled (see [`Network::framing`]).
+    pub(crate) framing: bool,
     /// The static fault schedule, if any.
     pub(crate) plan: Option<Arc<FaultPlan>>,
     /// Faults that fired, appended by any executor; canonicalized (sorted,
@@ -724,7 +774,9 @@ impl<M: Clone + Send + Sync> Shared<M> {
         });
         Shared {
             k: net.channels,
-            slots: (0..net.channels).map(|_| RwLock::new(None)).collect(),
+            slots: (0..net.channels)
+                .map(|_| RwLock::new(ChanSlot::default()))
+                .collect(),
             barrier: SenseBarrier::new(participants),
             done: AtomicBool::new(false),
             failed: AtomicBool::new(false),
@@ -742,6 +794,7 @@ impl<M: Clone + Send + Sync> Shared<M> {
             last_activity_round: AtomicU64::new(0),
             last_msg_total: AtomicU64::new(0),
             last_finished: AtomicUsize::new(0),
+            framing: net.framing,
             plan: net.fault_plan.clone(),
             faults: Mutex::new(Vec::new()),
             total_procs: net.procs,
@@ -825,7 +878,9 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
             // not collide, are not counted as messages, and leave a fault
             // record instead. A stall is processor-scoped (chan = None) so
             // the suppressed write and read of one cycle dedup to one
-            // record.
+            // record. With framing on, a corrupted transmission *jams* the
+            // slot — carrier energy without a verifiable frame — so framed
+            // readers can tell corruption from silence.
             if let Some(kind) = plan.write_fault(id.index(), c.index(), now) {
                 self.record_fault(FaultRecord {
                     cycle: now,
@@ -833,15 +888,18 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
                     proc: Some(id),
                     chan: (kind != FaultKind::Stall).then_some(c),
                 });
+                if self.framing && kind == FaultKind::Corrupt {
+                    self.slots[c.index()].write().jammed = true;
+                }
                 return;
             }
         }
-        let bits = m.bits();
+        let bits = m.bits() + if self.framing { FRAME_HEADER_BITS } else { 0 };
         if let Some(gs) = &self.groups {
             gs.writes[gs.map[id.index()]].fetch_add(1, Ordering::Relaxed);
         }
         let mut slot = self.slots[c.index()].write();
-        match &*slot {
+        match &slot.msg {
             Some((first, _)) => {
                 let first = *first;
                 drop(slot);
@@ -864,7 +922,7 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
                         msg: m.clone(),
                     });
                 }
-                *slot = Some((id, m));
+                slot.msg = Some((id, m));
                 drop(slot);
                 local.record_message(bits, c.index(), now);
                 self.chan_msgs[c.index()].fetch_add(1, Ordering::Relaxed);
@@ -903,8 +961,49 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
         }
         self.slots[c.index()]
             .read()
+            .msg
             .as_ref()
             .map(|(_, m)| m.clone())
+    }
+
+    /// Framed read phase: like [`apply_read`](Self::apply_read) but
+    /// classifying the slot into the three-way [`FrameRead`] outcome. A
+    /// jammed slot (corrupted transmission under framing) reads as
+    /// [`FrameRead::Noise`]; a stalled reader is blacked out and observes
+    /// [`FrameRead::Silence`] regardless of traffic.
+    pub(crate) fn apply_read_framed(&self, id: ProcId, c: ChanId) -> FrameRead<M> {
+        if c.index() >= self.k {
+            self.fail(NetError::BadChannel {
+                cycle: self.round.load(Ordering::Relaxed),
+                proc: id,
+                channel: c,
+                k: self.k,
+            });
+            return FrameRead::Silence;
+        }
+        if let Some(plan) = &self.plan {
+            let now = self.round.load(Ordering::Relaxed);
+            if plan.is_stalled(id.index(), now) {
+                self.record_fault(FaultRecord {
+                    cycle: now,
+                    kind: FaultKind::Stall,
+                    proc: Some(id),
+                    chan: None,
+                });
+                return FrameRead::Silence;
+            }
+        }
+        if let Some(gs) = &self.groups {
+            gs.reads[gs.map[id.index()]].fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = self.slots[c.index()].read();
+        if slot.jammed {
+            return FrameRead::Noise;
+        }
+        match &slot.msg {
+            Some((_, m)) => FrameRead::Clean(m.clone()),
+            None => FrameRead::Silence,
+        }
     }
 
     /// Per-cycle sweep, run by exactly one executor after all reads: clear
@@ -913,8 +1012,11 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
     pub(crate) fn sweep(&self) {
         for slot in &self.slots {
             let mut s = slot.write();
-            if s.is_some() {
-                *s = None;
+            if s.msg.is_some() {
+                s.msg = None;
+            }
+            if s.jammed {
+                s.jammed = false;
             }
         }
         if let Some(gs) = &self.groups {
@@ -1227,6 +1329,80 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
                     None => std::panic::resume_unwind(Box::new(Aborted)),
                 }
             }
+        }
+    }
+
+    /// One physical cycle with a *framed* read (see [`crate::frame`]):
+    /// instead of the model's two-way empty-or-message observation, the
+    /// read classifies the channel into [`FrameRead::Silence`] /
+    /// [`FrameRead::Clean`] / [`FrameRead::Noise`], which is what lets a
+    /// reader distinguish a lost transmission from a corrupted one without
+    /// oracle access.
+    ///
+    /// Requires [`Network::framing`] for `Noise` to ever be observable
+    /// (without it, corrupt faults empty the slot and read as silence).
+    /// `framed_cycle` never goes through resilient mode — self-healing
+    /// protocols own their channel remap via the epoch layer. With no
+    /// `read` requested the result is [`FrameRead::Silence`].
+    pub fn framed_cycle(
+        &mut self,
+        write: Option<(ChanId, M)>,
+        read: Option<ChanId>,
+    ) -> FrameRead<M> {
+        match &mut self.inner {
+            CtxInner::Lockstep { shared, sense } => {
+                // Planned crash: same placement as `raw_cycle`.
+                if let Some(plan) = &shared.plan {
+                    let now = shared.round.load(Ordering::Relaxed);
+                    if plan
+                        .crash_cycle(self.id.index())
+                        .is_some_and(|cc| now >= cc)
+                    {
+                        shared.record_fault(FaultRecord {
+                            cycle: now,
+                            kind: FaultKind::Crash,
+                            proc: Some(self.id),
+                            chan: None,
+                        });
+                        std::panic::resume_unwind(Box::new(Crashed));
+                    }
+                }
+                if let Some((c, m)) = write {
+                    let events = shared.record_trace.then_some(&mut self.events);
+                    shared.apply_write(self.id, c, m, &mut self.local, events);
+                }
+                shared.barrier_wait(sense, &mut self.prof_barrier_ns); // writes visible
+
+                let got = read.map_or(FrameRead::Silence, |c| shared.apply_read_framed(self.id, c));
+                self.local
+                    .record_cycle(shared.round.load(Ordering::Relaxed));
+
+                if self.finish_round() {
+                    std::panic::resume_unwind(Box::new(Aborted));
+                }
+                got
+            }
+            CtxInner::Fiber {
+                now,
+                port,
+                pending_phase,
+                ..
+            } => match port.rendezvous_framed(pending_phase.take(), write, read) {
+                Some(resume) => {
+                    self.local.cycles = resume.cycles;
+                    self.local.messages = resume.messages;
+                    *now = resume.now;
+                    if resume.jammed {
+                        FrameRead::Noise
+                    } else {
+                        match resume.read {
+                            Some(m) => FrameRead::Clean(m),
+                            None => FrameRead::Silence,
+                        }
+                    }
+                }
+                None => std::panic::resume_unwind(Box::new(Aborted)),
+            },
         }
     }
 

@@ -9,9 +9,18 @@ use std::fmt;
 /// more than one processor attempts to write on the same channel in the same
 /// cycle, the computation fails". The engine detects this at run time and
 /// fails the whole run, rather than silently picking a winner.
+///
+/// Every variant's documentation states the **recovery action** — what a
+/// caller should change so the next run succeeds. None of the variants wrap
+/// another error, so [`std::error::Error::source`] is always `None`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetError {
     /// Two processors wrote the same channel in the same cycle.
+    ///
+    /// **Recovery:** fix the protocol's schedule — the model has no
+    /// arbitration, so the writers must be serialized (or moved to
+    /// different channels). `mcb-check` can prove a static schedule
+    /// collision-free before it ever runs.
     Collision {
         /// Global cycle index at which the collision occurred.
         cycle: u64,
@@ -23,6 +32,10 @@ pub enum NetError {
         second: ProcId,
     },
     /// A processor addressed a channel outside `0..k`.
+    ///
+    /// **Recovery:** clamp the protocol's channel arithmetic to the
+    /// network's `k` (usually an off-by-one in a remap or a plan/network
+    /// shape mismatch).
     BadChannel {
         /// Global cycle index.
         cycle: u64,
@@ -35,6 +48,10 @@ pub enum NetError {
     },
     /// With processor grouping enabled (virtualization), a physical
     /// processor exceeded its one-write or one-read port budget in a cycle.
+    ///
+    /// **Recovery:** stagger the virtual processors of the group so at most
+    /// one writes and one reads per cycle (the §2 simulation does this by
+    /// round-robin sub-cycles).
     PortViolation {
         /// Global cycle index.
         cycle: u64,
@@ -46,6 +63,10 @@ pub enum NetError {
         reads: u32,
     },
     /// A processor's protocol closure panicked.
+    ///
+    /// **Recovery:** debug the protocol; the payload text and processor id
+    /// locate the bug. The engine has already force-unwound the other
+    /// processors, so no harness state needs cleaning up.
     ProcPanicked {
         /// The processor whose closure panicked.
         proc: ProcId,
@@ -53,6 +74,10 @@ pub enum NetError {
         message: String,
     },
     /// The run exceeded the configured cycle budget (likely livelock).
+    ///
+    /// **Recovery:** raise [`Network::cycle_budget`](crate::Network::cycle_budget)
+    /// if the protocol legitimately needs more cycles; otherwise find the
+    /// loop that never terminates.
     CycleBudgetExhausted {
         /// The configured budget.
         budget: u64,
@@ -62,13 +87,24 @@ pub enum NetError {
     /// [`Network::stall_window`](crate::Network::stall_window)): the
     /// protocol is livelocked (e.g. every processor waiting on a read that
     /// can never arrive).
+    ///
+    /// **Recovery:** make the protocol's progress unconditional (every
+    /// waiting loop needs a bounded fallback), or widen the stall window if
+    /// long silent stretches are expected.
     Stalled {
         /// Global cycle at which the watchdog gave up.
         cycle: u64,
     },
     /// A resilient processor exhausted its retransmission budget without
     /// completing a clean logical cycle (see
-    /// [`ProcCtx::set_resilient`](crate::ProcCtx::set_resilient)).
+    /// [`ProcCtx::set_resilient`](crate::ProcCtx::set_resilient)), or a
+    /// self-healing census found no usable channel or processor left.
+    ///
+    /// **Recovery:** raise the retry budget
+    /// ([`ResilientOpts::retries`](crate::ResilientOpts) /
+    /// [`EpochOpts::census_retries`](crate::EpochOpts)) past the plan's
+    /// fault-cycle count — or accept that the plan violates the §2 lemma's
+    /// precondition (at least one live channel) and cannot be survived.
     Unrecoverable {
         /// Global cycle at which the processor gave up.
         cycle: u64,
@@ -77,7 +113,33 @@ pub enum NetError {
         /// The retry budget that was exhausted.
         attempts: u32,
     },
+    /// A self-healing processor observed traffic stamped with a different
+    /// epoch than its own: the network's common knowledge of the live
+    /// configuration has split (e.g. a stalled processor missed a
+    /// reconfiguration and kept transmitting under the old epoch).
+    ///
+    /// **Recovery:** keep desynchronizing faults (stalls) out of
+    /// self-healing plans — detection relies on every live processor
+    /// observing every round; see
+    /// [`ChaosOpts::unplanned`](crate::ChaosOpts::unplanned) for a
+    /// compatible fault mix. The run cannot proceed: a split epoch means
+    /// the configuration sets have diverged irreparably.
+    EpochDiverged {
+        /// Global cycle at which the divergence was observed.
+        cycle: u64,
+        /// The processor that observed it.
+        proc: ProcId,
+        /// The observer's own epoch.
+        expected: u64,
+        /// The epoch stamped on the observed traffic (`u64::MAX` when the
+        /// traffic was not decodable as epoch-stamped at all).
+        observed: u64,
+    },
     /// The network was configured with invalid parameters.
+    ///
+    /// **Recovery:** the message names the violated constraint (`k <= p`,
+    /// plan shape, column shape, …); fix the configuration, not the
+    /// protocol.
     BadConfig(String),
 }
 
@@ -129,6 +191,22 @@ impl fmt::Display for NetError {
                 f,
                 "{proc} exhausted {attempts} retransmission attempt(s) at cycle {cycle}; degraded run unrecoverable"
             ),
+            NetError::EpochDiverged {
+                cycle,
+                proc,
+                expected,
+                observed,
+            } => {
+                write!(
+                    f,
+                    "{proc} at epoch {expected} observed epoch-{} traffic at cycle {cycle}; configuration knowledge has split",
+                    if *observed == u64::MAX {
+                        "unknown".to_string()
+                    } else {
+                        observed.to_string()
+                    }
+                )
+            }
             NetError::BadConfig(msg) => write!(f, "bad network configuration: {msg}"),
         }
     }
@@ -139,20 +217,87 @@ impl std::error::Error for NetError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
+
+    /// One representative value per variant, in declaration order.
+    fn all_variants() -> Vec<NetError> {
+        vec![
+            NetError::Collision {
+                cycle: 7,
+                channel: ChanId(2),
+                first: ProcId(0),
+                second: ProcId(3),
+            },
+            NetError::BadChannel {
+                cycle: 1,
+                proc: ProcId(2),
+                channel: ChanId(9),
+                k: 4,
+            },
+            NetError::PortViolation {
+                cycle: 3,
+                group: 1,
+                writes: 2,
+                reads: 0,
+            },
+            NetError::ProcPanicked {
+                proc: ProcId(5),
+                message: "index out of bounds".into(),
+            },
+            NetError::CycleBudgetExhausted { budget: 1000 },
+            NetError::Stalled { cycle: 512 },
+            NetError::Unrecoverable {
+                cycle: 40,
+                proc: ProcId(1),
+                attempts: 32,
+            },
+            NetError::EpochDiverged {
+                cycle: 99,
+                proc: ProcId(4),
+                expected: 2,
+                observed: 1,
+            },
+            NetError::BadConfig("k > p".into()),
+        ]
+    }
 
     #[test]
-    fn display_mentions_key_facts() {
-        let e = NetError::Collision {
-            cycle: 7,
-            channel: ChanId(2),
-            first: ProcId(0),
-            second: ProcId(3),
+    fn display_mentions_key_facts_for_every_variant() {
+        let expect_fragments: Vec<Vec<&str>> = vec![
+            vec!["collision", "C3", "cycle 7", "P1", "P4"],
+            vec!["P3", "9", "k = 4", "cycle 1"],
+            vec!["processor 1", "2 write", "0 read", "cycle 3"],
+            vec!["P6", "panicked", "index out of bounds"],
+            vec!["budget", "1000"],
+            vec!["livelock", "cycle 512"],
+            vec!["P2", "32", "cycle 40", "unrecoverable"],
+            vec!["P5", "epoch 2", "epoch-1", "cycle 99", "split"],
+            vec!["bad network configuration", "k > p"],
+        ];
+        for (e, frags) in all_variants().iter().zip(expect_fragments) {
+            let s = e.to_string();
+            for frag in frags {
+                assert!(s.contains(frag), "{e:?} display {s:?} missing {frag:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_variant_wraps_a_source() {
+        for e in all_variants() {
+            assert!(e.source().is_none(), "{e:?} should have no source");
+        }
+    }
+
+    #[test]
+    fn epoch_diverged_renders_unknown_epoch() {
+        let e = NetError::EpochDiverged {
+            cycle: 5,
+            proc: ProcId(0),
+            expected: 3,
+            observed: u64::MAX,
         };
-        let s = e.to_string();
-        assert!(s.contains("C3"));
-        assert!(s.contains("cycle 7"));
-        assert!(s.contains("P1"));
-        assert!(s.contains("P4"));
+        assert!(e.to_string().contains("epoch-unknown"), "{e}");
     }
 
     #[test]

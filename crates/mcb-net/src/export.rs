@@ -15,6 +15,7 @@
 //! | `metrics`    | always, second line         | every integer [`Metrics`] field |
 //! | `fault_plan` | when a plan was attached    | the seed and planned-fault counts ([`FaultSummary`]) |
 //! | `fault`      | one per fired fault         | cycle/kind/proc/chan ([`FaultRecord`]) |
+//! | `epoch`      | one per reconfiguration     | epoch/cycle/cause/live sets ([`EpochRecord`]) |
 //! | `phase`      | one per labelled phase      | the [`PhaseMetrics`] fields   |
 //! | `event`      | one per traced message      | cycle/writer/channel/phase/msg |
 //!
@@ -45,6 +46,7 @@
 //! ```
 
 use crate::engine::RunReport;
+use crate::epoch::EpochRecord;
 use crate::fault::{FaultRecord, FaultSummary};
 use crate::metrics::{Metrics, PhaseMetrics};
 use crate::trace::Event;
@@ -55,8 +57,9 @@ use std::fmt::Debug;
 /// record gains, loses, or renames a field.
 ///
 /// History: v1 = run/metrics/phase/event; v2 adds `fault_plan` and `fault`
-/// records (fault-injection subsystem).
-pub const JSONL_SCHEMA_VERSION: u64 = 2;
+/// records (fault-injection subsystem); v3 adds `epoch` records
+/// (self-healing reconfiguration log).
+pub const JSONL_SCHEMA_VERSION: u64 = 3;
 
 fn metrics_record(m: &Metrics) -> Json {
     Json::obj()
@@ -98,6 +101,22 @@ fn fault_record(f: &FaultRecord) -> Json {
         .field("kind", f.kind.as_str())
         .field("proc", f.proc.map(|p| p.index()))
         .field("chan", f.chan.map(|c| c.index()))
+}
+
+fn epoch_record(e: &EpochRecord) -> Json {
+    Json::obj()
+        .field("record", "epoch")
+        .field("epoch", e.epoch)
+        .field("cycle", e.cycle)
+        .field("cause", e.cause.as_str())
+        .field(
+            "live_chans",
+            Json::from_u64s(e.live_chans.iter().map(|&c| c as u64)),
+        )
+        .field(
+            "live_procs",
+            Json::from_u64s(e.live_procs.iter().map(|&p| p as u64)),
+        )
 }
 
 fn phase_record(index: usize, ph: &PhaseMetrics) -> Json {
@@ -155,6 +174,10 @@ impl<R, M: Debug> RunReport<R, M> {
                 out.push_str(&fault_record(f).render());
                 out.push('\n');
             }
+        }
+        for e in &self.epochs {
+            out.push_str(&epoch_record(e).render());
+            out.push('\n');
         }
         for (i, ph) in m.phases.iter().enumerate() {
             out.push_str(&phase_record(i, ph).render());
@@ -257,6 +280,27 @@ mod tests {
             "{\"record\":\"fault\",\"cycle\":0,\"kind\":\"channel_death\",\
              \"proc\":0,\"chan\":1}"
         );
+    }
+
+    #[test]
+    fn epoch_records_exported_between_faults_and_phases() {
+        use crate::epoch::{EpochCause, EpochRecord};
+        let mut report = sample_report();
+        report.epochs.push(EpochRecord {
+            epoch: 1,
+            cycle: 57,
+            cause: EpochCause::Silence,
+            live_chans: vec![0, 2],
+            live_procs: vec![0, 1, 3],
+        });
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(
+            lines[2],
+            "{\"record\":\"epoch\",\"epoch\":1,\"cycle\":57,\"cause\":\"silence\",\
+             \"live_chans\":[0,2],\"live_procs\":[0,1,3]}"
+        );
+        assert!(lines[3].contains("\"record\":\"phase\""), "{jsonl}");
     }
 
     #[test]

@@ -175,6 +175,37 @@ impl Default for ChaosOpts {
     }
 }
 
+impl ChaosOpts {
+    /// Preset for **no-oracle** (unplanned) fault detection: channel deaths
+    /// landing mid-phase plus transient drops and corruptions, but **no
+    /// stalls** — a stalled processor misses a round that everyone else
+    /// observes, which desynchronizes the common-knowledge detection the
+    /// self-healing protocols rely on (see
+    /// [`NetError::EpochDiverged`](crate::NetError::EpochDiverged)).
+    pub fn unplanned(horizon: u64) -> Self {
+        ChaosOpts {
+            horizon,
+            deaths: 1,
+            drops: 2,
+            corrupts: 1,
+            stalls: 0,
+            max_stall: 0,
+            crashes: 0,
+        }
+    }
+
+    /// Preset combining a processor crash with a channel death (plus
+    /// transients), the hardest no-oracle shape: survivors must both remap
+    /// channels *and* adopt the dead processor's roles. Stalls stay
+    /// disabled for the same reason as [`ChaosOpts::unplanned`].
+    pub fn crash_and_death(horizon: u64) -> Self {
+        ChaosOpts {
+            crashes: 1,
+            ..ChaosOpts::unplanned(horizon)
+        }
+    }
+}
+
 /// Options for resilient (degraded-mode) execution; see
 /// [`ProcCtx::set_resilient`](crate::ProcCtx::set_resilient).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -289,7 +320,66 @@ impl FaultPlan {
         for &i in procs.iter().take(opts.crashes.min(p)) {
             plan.crashes[i] = Some(rng.random_range(0..horizon));
         }
+        plan.ensure_usable_slots();
         plan
+    }
+
+    /// Cap fix: uniformly-placed transients can pile up so that, in some
+    /// cycle, every still-live channel is dropped/corrupted or every
+    /// processor is stalled — zero usable write slots, which no retry or
+    /// remap can route around. Deterministically thin the plan until every
+    /// cycle keeps at least one fault-free live channel and at least one
+    /// unstalled processor (deaths already guarantee one eventually-live
+    /// channel). Removal order is fixed — drops before corruptions, highest
+    /// channel/processor first — so the thinned plan is still a pure
+    /// function of `(seed, p, k, opts)`.
+    fn ensure_usable_slots(&mut self) {
+        let cycles: BTreeSet<u64> = self
+            .drops
+            .iter()
+            .chain(self.corrupts.iter())
+            .map(|&(t, _)| t)
+            .collect();
+        for t in cycles {
+            loop {
+                let live = self.live_at(t);
+                let usable = live
+                    .iter()
+                    .any(|&c| !self.drops.contains(&(t, c)) && !self.corrupts.contains(&(t, c)));
+                if usable || live.is_empty() {
+                    break;
+                }
+                let victim = self
+                    .drops
+                    .range((t, 0)..=(t, usize::MAX))
+                    .next_back()
+                    .copied();
+                match victim {
+                    Some(v) => self.drops.remove(&v),
+                    None => {
+                        let v = self
+                            .corrupts
+                            .range((t, 0)..=(t, usize::MAX))
+                            .next_back()
+                            .copied()
+                            .expect("no usable slot implies a transient this cycle");
+                        self.corrupts.remove(&v)
+                    }
+                };
+            }
+        }
+        let stall_cycles: BTreeSet<u64> = self.stalls.iter().map(|&(t, _)| t).collect();
+        for t in stall_cycles {
+            while self.stalls.range((t, 0)..=(t, usize::MAX)).count() >= self.p {
+                let v = self
+                    .stalls
+                    .range((t, 0)..=(t, usize::MAX))
+                    .next_back()
+                    .copied()
+                    .expect("count >= p >= 1 implies an entry");
+                self.stalls.remove(&v);
+            }
+        }
     }
 
     /// Kill `chan` permanently from cycle `at` on.
@@ -499,6 +589,96 @@ mod tests {
         assert!(a.summary().deaths <= 2);
         let c = FaultPlan::random(43, 6, 3, &opts);
         assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn unplanned_presets_disable_stalls() {
+        let u = ChaosOpts::unplanned(100);
+        assert_eq!((u.stalls, u.crashes, u.horizon), (0, 0, 100));
+        assert!(u.deaths >= 1 && u.drops + u.corrupts >= 1);
+        let c = ChaosOpts::crash_and_death(50);
+        assert_eq!((c.stalls, c.crashes), (0, 1));
+    }
+
+    #[test]
+    fn transient_pileup_always_leaves_a_usable_channel() {
+        // Dense transients on a tiny network: without the cap fix, some
+        // cycle would have every live channel dropped or corrupted.
+        let opts = ChaosOpts {
+            horizon: 8,
+            deaths: 1,
+            drops: 40,
+            corrupts: 40,
+            stalls: 0,
+            max_stall: 0,
+            crashes: 0,
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::random(seed, 4, 2, &opts);
+            for t in 0..opts.horizon {
+                let live = plan.live_at(t);
+                assert!(
+                    live.iter().any(|&c| plan.write_fault(0, c, t).is_none()),
+                    "seed {seed} cycle {t}: no usable write slot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_channel_network_sheds_all_transients() {
+        let opts = ChaosOpts {
+            horizon: 4,
+            deaths: 0,
+            drops: 50,
+            corrupts: 50,
+            stalls: 0,
+            max_stall: 0,
+            crashes: 0,
+        };
+        let plan = FaultPlan::random(7, 3, 1, &opts);
+        let s = plan.summary();
+        assert_eq!((s.drops, s.corrupts), (0, 0), "k = 1 leaves no room");
+    }
+
+    #[test]
+    fn stall_pileup_never_stalls_everyone() {
+        let opts = ChaosOpts {
+            horizon: 6,
+            deaths: 0,
+            drops: 0,
+            corrupts: 0,
+            stalls: 30,
+            max_stall: 3,
+            crashes: 0,
+        };
+        for seed in 0..20 {
+            let plan = FaultPlan::random(seed, 2, 2, &opts);
+            for t in 0..opts.horizon + 3 {
+                assert!(
+                    (0..2).any(|i| !plan.is_stalled(i, t)),
+                    "seed {seed} cycle {t}: every processor stalled"
+                );
+            }
+        }
+        // Degenerate p = 1: any stall would stall everyone, so none survive.
+        let plan = FaultPlan::random(3, 1, 2, &opts);
+        assert_eq!(plan.summary().stalls, 0);
+    }
+
+    #[test]
+    fn random_thinning_is_deterministic() {
+        let opts = ChaosOpts {
+            horizon: 8,
+            drops: 40,
+            corrupts: 40,
+            stalls: 20,
+            ..ChaosOpts::default()
+        };
+        assert_eq!(
+            FaultPlan::random(9, 3, 2, &opts),
+            FaultPlan::random(9, 3, 2, &opts)
+        );
     }
 
     #[test]

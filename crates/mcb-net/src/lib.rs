@@ -58,6 +58,11 @@
 //! * [`virt`] — §2's simulation of a larger MCB on a smaller one.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the §2
 //!   lemma-driven degraded mode ([`ProcCtx::set_resilient`]).
+//! * [`frame`] — self-checking broadcast frames: the three-way
+//!   silence/clean/noise read classification ([`FrameRead`]) that lets
+//!   protocols detect faults from the wire with no oracle.
+//! * [`epoch`] — the reconfiguration census ([`EpochCtx`]): agree on live
+//!   channel/processor sets after a detected fault and bump the epoch.
 //! * [`metrics`] — cycle/message/per-phase accounting ([`Metrics`],
 //!   [`PhaseMetrics`], [`EngineProfile`]).
 //! * [`phase`] — labelled phase scopes attributing costs to algorithm
@@ -72,9 +77,11 @@
 
 pub mod barrier;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod export;
 pub mod fault;
+pub mod frame;
 pub mod ids;
 pub mod message;
 pub mod metrics;
@@ -89,14 +96,16 @@ pub mod virt;
 pub use engine::{
     Backend, Network, ProcCtx, RunReport, DEFAULT_CYCLE_BUDGET, DEFAULT_STALL_WINDOW,
 };
+pub use epoch::{escalate_diverged, ControlCodec, EpochCause, EpochCtx, EpochOpts, EpochRecord};
 pub use error::NetError;
 pub use export::JSONL_SCHEMA_VERSION;
 pub use fault::{ChaosOpts, FaultKind, FaultPlan, FaultRecord, FaultSummary, ResilientOpts};
+pub use frame::{frame_crc, FrameHeader, FrameRead, FRAME_HEADER_BITS};
 pub use ids::{ChanId, ProcId};
 pub use message::{bits_for_i64, bits_for_u64, MsgWidth};
 pub use metrics::{EngineProfile, Metrics, PhaseMetrics};
 pub use phase::{PhaseScope, PhaseTarget};
 pub use step::{Step, StepEnv, StepProtocol};
-pub use timeline::render_timeline;
+pub use timeline::{render_timeline, render_timeline_with_epochs};
 pub use trace::{Event, Trace};
 pub use virt::{VirtCtx, VirtReport, VirtualNetwork};

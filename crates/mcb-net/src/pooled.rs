@@ -64,6 +64,10 @@ pub(crate) struct Request<M> {
     phase: Option<String>,
     write: Option<(ChanId, M)>,
     read: Option<ChanId>,
+    /// When true the read is applied via the framed path
+    /// ([`Shared::apply_read_framed`]) so the resume can carry the
+    /// three-way silence/clean/noise classification.
+    framed: bool,
 }
 
 /// Worker → unit resumption payload: the read result plus the unit's
@@ -72,6 +76,10 @@ pub(crate) struct Request<M> {
 /// never cloned per cycle).
 pub(crate) struct Resume<M> {
     pub(crate) read: Option<M>,
+    /// True when a framed read observed a jammed slot
+    /// ([`FrameRead::Noise`](crate::frame::FrameRead::Noise)); always false
+    /// for unframed reads.
+    pub(crate) jammed: bool,
     pub(crate) cycles: u64,
     pub(crate) messages: u64,
     pub(crate) now: u64,
@@ -93,11 +101,32 @@ impl<M> FiberPort<M> {
         write: Option<(ChanId, M)>,
         read: Option<ChanId>,
     ) -> Option<Resume<M>> {
-        if self
-            .requests
-            .send(FiberEvent::Yielded(Request { phase, write, read }))
-            .is_err()
-        {
+        self.exchange(Request {
+            phase,
+            write,
+            read,
+            framed: false,
+        })
+    }
+
+    /// Like [`rendezvous`](Self::rendezvous) but applying the read through
+    /// the framed path, so the resume distinguishes noise from silence.
+    pub(crate) fn rendezvous_framed(
+        &self,
+        phase: Option<String>,
+        write: Option<(ChanId, M)>,
+        read: Option<ChanId>,
+    ) -> Option<Resume<M>> {
+        self.exchange(Request {
+            phase,
+            write,
+            read,
+            framed: true,
+        })
+    }
+
+    fn exchange(&self, req: Request<M>) -> Option<Resume<M>> {
+        if self.requests.send(FiberEvent::Yielded(req)).is_err() {
             return None;
         }
         self.resume.recv().ok().flatten()
@@ -207,6 +236,7 @@ where
                 phase: env.take_phase(),
                 write,
                 read,
+                framed: false,
             }),
             Ok(Step::Done(r)) => {
                 self.results.lock()[self.id.index()] = Some(r);
@@ -233,6 +263,8 @@ struct UnitSlot<M, U> {
     events: Vec<Event<M>>,
     pending: Option<Request<M>>,
     read_val: Option<M>,
+    /// A framed read of this slot observed a jammed channel this cycle.
+    jam_val: bool,
     awaiting: bool,
     unit: U,
 }
@@ -245,6 +277,7 @@ impl<M, U> UnitSlot<M, U> {
             events: Vec::new(),
             pending: None,
             read_val: None,
+            jam_val: false,
             awaiting: false,
             unit,
         }
@@ -347,7 +380,19 @@ where
         let now = shared.round.load(Ordering::Relaxed);
         for slot in chunk.iter_mut() {
             if let Some(req) = &slot.pending {
-                slot.read_val = req.read.and_then(|c| shared.apply_read(slot.id, c));
+                if req.framed {
+                    (slot.read_val, slot.jam_val) = match req.read {
+                        Some(c) => match shared.apply_read_framed(slot.id, c) {
+                            crate::frame::FrameRead::Clean(m) => (Some(m), false),
+                            crate::frame::FrameRead::Noise => (None, true),
+                            crate::frame::FrameRead::Silence => (None, false),
+                        },
+                        None => (None, false),
+                    };
+                } else {
+                    slot.read_val = req.read.and_then(|c| shared.apply_read(slot.id, c));
+                    slot.jam_val = false;
+                }
                 slot.local.record_cycle(now);
             }
         }
@@ -379,6 +424,7 @@ where
                 slot.awaiting = true;
                 slot.unit.resume(Resume {
                     read: slot.read_val.take(),
+                    jammed: std::mem::take(&mut slot.jam_val),
                     cycles: slot.local.cycles,
                     messages: slot.local.messages,
                     now,

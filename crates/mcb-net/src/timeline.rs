@@ -11,6 +11,7 @@
 //! The rendering is a pure function of deterministic inputs, so — like the
 //! JSONL export — it is identical across execution backends.
 
+use crate::epoch::EpochRecord;
 use crate::metrics::Metrics;
 use crate::trace::Trace;
 
@@ -38,6 +39,20 @@ fn col_of(cycle: u64, rounds: u64, cols: usize) -> usize {
 /// Panics if `width == 0`. An un-traced or empty run renders a header and
 /// empty grid rather than panicking.
 pub fn render_timeline<M>(metrics: &Metrics, trace: &Trace<M>, width: usize) -> String {
+    render_timeline_with_epochs(metrics, trace, width, &[])
+}
+
+/// [`render_timeline`], plus one extra marker row when `epochs` is
+/// non-empty: each committed reconfiguration ([`EpochRecord`]) marks the
+/// column containing its commit cycle with the last digit of the new epoch
+/// number, so configuration changes line up visually with the fault `x`
+/// markers that caused them.
+pub fn render_timeline_with_epochs<M>(
+    metrics: &Metrics,
+    trace: &Trace<M>,
+    width: usize,
+    epochs: &[EpochRecord],
+) -> String {
     assert!(width > 0, "timeline width must be >= 1");
     let rounds = metrics.rounds.max(1);
     let k = metrics.per_channel_messages.len().max(1);
@@ -125,6 +140,17 @@ pub fn render_timeline<M>(metrics: &Metrics, trace: &Trace<M>, width: usize) -> 
         out.push_str("faults   |");
         out.push_str(std::str::from_utf8(&row).expect("ASCII row"));
         out.push_str(&format!("| {}\n", metrics.faults.len()));
+    }
+
+    // ---- epoch boundaries, one shared row (reconfigurations are sparse).
+    if !epochs.is_empty() {
+        let mut row = vec![b' '; cols];
+        for e in epochs {
+            row[col_of(e.cycle, rounds, cols)] = b'0' + (e.epoch % 10) as u8;
+        }
+        out.push_str("epochs   |");
+        out.push_str(std::str::from_utf8(&row).expect("ASCII row"));
+        out.push_str(&format!("| {}\n", epochs.len()));
     }
     out.push_str(&format!(
         "{gutter} 0{:>width$}\n",
@@ -224,6 +250,29 @@ mod tests {
             format!("faults   | x{}| 1", " ".repeat(cols - 2)),
             "{art}"
         );
+    }
+
+    #[test]
+    fn epoch_marker_row_appears() {
+        use crate::epoch::{EpochCause, EpochRecord};
+        let (metrics, trace) = traced_run();
+        let cols = metrics.rounds as usize;
+        let epochs = [EpochRecord {
+            epoch: 1,
+            cycle: 2,
+            cause: EpochCause::Silence,
+            live_chans: vec![0],
+            live_procs: vec![0, 1, 2, 3],
+        }];
+        let art = render_timeline_with_epochs(&metrics, &trace, cols, &epochs);
+        let row = art.lines().find(|l| l.starts_with("epochs")).unwrap();
+        assert_eq!(
+            row,
+            format!("epochs   |  1{}| 1", " ".repeat(cols - 3)),
+            "{art}"
+        );
+        // The plain renderer stays epoch-free.
+        assert!(!render_timeline(&metrics, &trace, cols).contains("epochs"));
     }
 
     #[test]

@@ -1,20 +1,32 @@
-//! Channel outage drill: kill half the broadcast channels in the middle of
-//! a Columnsort, let the §2 simulation-lemma failover multiplex the rest of
-//! the protocol onto the survivors, and inspect the damage — the degraded
-//! cycle timeline (fault markers included), the dilation against the
-//! lemma's `⌈k/k'⌉` bound, and the sorted output itself.
+//! Channel outage drill, in two acts.
 //!
-//! Exits non-zero if the degraded run fails, overruns the lemma bound, or
-//! produces an unsorted result.
+//! **Act 1 — told about the fault:** kill half the broadcast channels in
+//! the middle of a Columnsort, let the §2 simulation-lemma failover
+//! multiplex the rest of the protocol onto the survivors, and inspect the
+//! damage — the degraded cycle timeline (fault markers included), the
+//! dilation against the lemma's `⌈k/k'⌉` bound, and the sorted output.
+//!
+//! **Act 2 — told nothing:** a channel death *and* a processor crash with
+//! the fault oracle unplugged. The self-healing driver detects both from
+//! the wire, reconfigures (watch the epoch marker row in the timeline),
+//! a survivor adopts the crashed column, and the output is still complete
+//! — on both execution backends, identically.
+//!
+//! Exits non-zero if either act fails, overruns its bound, or produces a
+//! wrong result.
 //!
 //! ```text
 //! cargo run --release --example channel_outage
 //! ```
 
+use mcb::algos::heal::SelfHealing;
 use mcb::algos::resilient::Resilient;
 use mcb::algos::sort::{columnsort_net_cycles, columnsort_net_in, ColumnRole};
 use mcb::algos::Word;
-use mcb::net::{render_timeline, Backend, ChanId, FaultPlan, Network, ResilientOpts};
+use mcb::net::{
+    render_timeline, render_timeline_with_epochs, Backend, ChanId, FaultPlan, Network, ProcId,
+    ResilientOpts,
+};
 use mcb::workloads::{distinct_keys, rng};
 
 const WIDTH: usize = 72;
@@ -120,4 +132,97 @@ fn main() {
         std::process::exit(1);
     }
     println!("OK: degraded output matches the fault-free sort, within the lemma bound");
+
+    // -- Act 2: the same kind of outage, but nobody is told ----------------
+    // A smaller shape keeps the all-read timeline readable. Channel 2 dies
+    // mid-run and processor 1 crashes later; the self-healing driver has no
+    // oracle — both faults must be detected from the wire.
+    let (hm, hk) = (12usize, 4usize);
+    let hvals = distinct_keys(hm * hk, &mut rng(5891));
+    let hcols: Vec<Vec<Option<u64>>> = (0..hk)
+        .map(|c| {
+            hvals[c * hm..(c + 1) * hm]
+                .iter()
+                .map(|&v| Some(v))
+                .collect()
+        })
+        .collect();
+    let hplan = FaultPlan::new(hk, hk)
+        .kill_channel(ChanId(2), 25)
+        .crash_proc(ProcId(1), 60);
+
+    println!();
+    println!("== act 2: unannounced death + crash, self-healing on MCB({hk}, {hk}) ==");
+    println!("plan: channel 2 dies at cycle 25, processor 1 crashes at cycle 60 — no oracle");
+    println!();
+
+    let mut healed = Vec::new();
+    for backend in [Backend::Threaded, Backend::Pooled] {
+        let out = SelfHealing::new(hplan.clone())
+            .backend(backend)
+            .record_trace(true)
+            .sort_columns(hm, hcols.clone())
+            .unwrap_or_else(|e| {
+                eprintln!("self-healing run failed on {backend:?}: {e}");
+                std::process::exit(1);
+            });
+        healed.push(out);
+    }
+    let (threaded, pooled) = (&healed[0], &healed[1]);
+    if threaded.columns != pooled.columns
+        || threaded.metrics != pooled.metrics
+        || threaded.epochs != pooled.epochs
+    {
+        eprintln!("FAIL: threaded and pooled healed runs diverge");
+        std::process::exit(1);
+    }
+
+    print!(
+        "{}",
+        render_timeline_with_epochs(
+            &threaded.metrics,
+            threaded.trace.as_ref().unwrap(),
+            WIDTH,
+            &threaded.epochs,
+        )
+    );
+    println!();
+    for e in &threaded.epochs {
+        println!(
+            "epoch {} committed at cycle {} ({}): {} live channels, {} live processors",
+            e.epoch,
+            e.cycle,
+            e.cause.as_str(),
+            e.live_chans.len(),
+            e.live_procs.len()
+        );
+    }
+    println!(
+        "cycles: {} physical vs {} fault-free, healing bound {}",
+        threaded.metrics.cycles, threaded.fault_free_cycles, threaded.cycle_bound
+    );
+    if threaded.metrics.cycles > threaded.cycle_bound {
+        eprintln!("FAIL: healed run exceeds its cycle bound");
+        std::process::exit(1);
+    }
+
+    // Complete and correct output despite the crash: the survivors took
+    // over processor 1's column.
+    let got: Vec<Option<u64>> = threaded.columns.iter().flatten().copied().collect();
+    if got.iter().any(Option::is_none) {
+        eprintln!("FAIL: holes in the healed output — takeover failed");
+        std::process::exit(1);
+    }
+    let healed_lin: Vec<u64> = got.into_iter().flatten().collect();
+    let mut hwant: Vec<u64> = hvals.clone();
+    hwant.sort_unstable_by(|a, b| b.cmp(a));
+    if healed_lin != hwant {
+        eprintln!("FAIL: healed output differs from the fault-free sort");
+        std::process::exit(1);
+    }
+    println!(
+        "OK: self-healed output is complete and sorted on both backends, \
+         {} reconfigurations",
+        threaded.epochs.len()
+    );
 }

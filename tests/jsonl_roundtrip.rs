@@ -1,0 +1,182 @@
+//! Schema-v3 JSONL round-trip: every record a faulted, self-healing run
+//! exports must parse back (via `mcb-json`'s reader) field-for-field
+//! equal to the in-memory structs it came from, re-render byte-identical,
+//! and be byte-identical across backends — the export is an archival
+//! format, so "what was written is what was meant" is load-bearing.
+
+use mcb::algos::heal::{run_program_in, ColumnsortProgram};
+use mcb::algos::Word;
+use mcb::net::{
+    Backend, ChanId, EpochCtx, EpochOpts, EpochRecord, FaultPlan, Network, ProcId, RunReport,
+    JSONL_SCHEMA_VERSION,
+};
+use mcb_json::Json;
+
+const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Pooled];
+
+fn cols(m: usize, k: usize) -> Vec<Vec<Option<u64>>> {
+    (0..k)
+        .map(|c| {
+            (0..m)
+                .map(|r| Some(((c * m + r) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) % 2003))
+                .collect()
+        })
+        .collect()
+}
+
+/// A healed columnsort run through a channel death and a crash, epochs
+/// filled into the report the way the drivers do it.
+fn healed_report(backend: Backend) -> RunReport<Option<Vec<EpochRecord>>, Word<u64>> {
+    let (m, k) = (6usize, 3usize);
+    let input = cols(m, k);
+    let plan = FaultPlan::new(k, k)
+        .kill_channel(ChanId(1), 5)
+        .crash_proc(ProcId(2), 30);
+    let mut report = Network::new(k, k)
+        .backend(backend)
+        .framing(true)
+        .fault_plan(plan)
+        .run(move |ctx| {
+            let prog = ColumnsortProgram::new(m, &input).unwrap();
+            let mut ectx = EpochCtx::new(k, k, EpochOpts::default());
+            run_program_in(ctx, &mut ectx, &prog).map(|_| ectx.into_records())
+        })
+        .unwrap();
+    report.epochs = report
+        .results
+        .iter()
+        .flatten()
+        .flatten()
+        .next()
+        .cloned()
+        .expect("a survivor carries the epoch log");
+    report
+}
+
+fn get_u64(rec: &Json, key: &str) -> u64 {
+    rec.get(key)
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("missing/non-integer field {key}"))
+}
+
+fn get_u64s(rec: &Json, key: &str) -> Vec<u64> {
+    rec.get(key)
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("missing/non-array field {key}"))
+        .iter()
+        .map(|v| v.as_u64().expect("non-integer array element"))
+        .collect()
+}
+
+fn opt_u64(rec: &Json, key: &str) -> Option<u64> {
+    rec.get(key).and_then(Json::as_u64)
+}
+
+#[test]
+fn v3_export_round_trips_field_for_field() {
+    let report = healed_report(Backend::Threaded);
+    assert!(!report.epochs.is_empty(), "plan must force reconfiguration");
+    assert!(!report.metrics.faults.is_empty(), "plan must log faults");
+
+    let jsonl = report.to_jsonl();
+    let parsed: Vec<Json> = jsonl
+        .lines()
+        .map(|line| {
+            let v = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line {line}: {e}"));
+            assert_eq!(v.render(), line, "re-render must be byte-identical");
+            v
+        })
+        .collect();
+
+    // Header carries the schema version this test is pinned to.
+    assert_eq!(parsed[0].get("record").and_then(Json::as_str), Some("run"));
+    assert_eq!(get_u64(&parsed[0], "schema"), JSONL_SCHEMA_VERSION);
+    assert_eq!(JSONL_SCHEMA_VERSION, 3);
+
+    let by_kind = |kind: &str| -> Vec<&Json> {
+        parsed
+            .iter()
+            .filter(|v| v.get("record").and_then(Json::as_str) == Some(kind))
+            .collect()
+    };
+
+    // fault_plan: one record, mirroring the summary.
+    let s = report.fault_summary.as_ref().unwrap();
+    let plans = by_kind("fault_plan");
+    assert_eq!(plans.len(), 1);
+    assert_eq!(get_u64(plans[0], "seed"), s.seed);
+    assert_eq!(get_u64(plans[0], "deaths"), s.deaths);
+    assert_eq!(get_u64(plans[0], "drops"), s.drops);
+    assert_eq!(get_u64(plans[0], "corrupts"), s.corrupts);
+    assert_eq!(get_u64(plans[0], "crashes"), s.crashes);
+    assert_eq!(get_u64(plans[0], "stalls"), s.stalls);
+
+    // fault: one record per injected fault, in order, optional fields
+    // surviving the null round trip.
+    let faults = by_kind("fault");
+    assert_eq!(faults.len(), report.metrics.faults.len());
+    for (rec, f) in faults.iter().zip(&report.metrics.faults) {
+        assert_eq!(get_u64(rec, "cycle"), f.cycle);
+        assert_eq!(
+            rec.get("kind").and_then(Json::as_str),
+            Some(f.kind.as_str())
+        );
+        assert_eq!(opt_u64(rec, "proc"), f.proc.map(|p| p.index() as u64));
+        assert_eq!(opt_u64(rec, "chan"), f.chan.map(|c| c.index() as u64));
+    }
+
+    // epoch: the reconfiguration log, field for field.
+    let epochs = by_kind("epoch");
+    assert_eq!(epochs.len(), report.epochs.len());
+    for (rec, e) in epochs.iter().zip(&report.epochs) {
+        assert_eq!(get_u64(rec, "epoch"), e.epoch);
+        assert_eq!(get_u64(rec, "cycle"), e.cycle);
+        assert_eq!(
+            rec.get("cause").and_then(Json::as_str),
+            Some(e.cause.as_str())
+        );
+        let chans: Vec<u64> = e.live_chans.iter().map(|&c| c as u64).collect();
+        let procs: Vec<u64> = e.live_procs.iter().map(|&p| p as u64).collect();
+        assert_eq!(get_u64s(rec, "live_chans"), chans);
+        assert_eq!(get_u64s(rec, "live_procs"), procs);
+    }
+
+    // metrics: the cycle count a reader would chart.
+    let metrics = by_kind("metrics");
+    assert_eq!(metrics.len(), 1);
+    assert_eq!(get_u64(metrics[0], "cycles"), report.metrics.cycles);
+    assert_eq!(get_u64(metrics[0], "messages"), report.metrics.messages);
+}
+
+#[test]
+fn v3_export_is_byte_identical_across_backends() {
+    let a = healed_report(BACKENDS[0]).to_jsonl();
+    let b = healed_report(BACKENDS[1]).to_jsonl();
+    assert_eq!(a, b, "faulted healed runs must export identically");
+}
+
+#[test]
+fn record_order_is_stable() {
+    // Archival consumers stream-parse: the section order (run, metrics,
+    // fault_plan, faults, epochs, phases) is part of the schema.
+    let report = healed_report(Backend::Threaded);
+    let kinds: Vec<String> = report
+        .to_jsonl()
+        .lines()
+        .map(|l| {
+            Json::parse(l)
+                .unwrap()
+                .get("record")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_owned()
+        })
+        .collect();
+    let first = |k: &str| kinds.iter().position(|x| x == k).unwrap();
+    let last = |k: &str| kinds.iter().rposition(|x| x == k).unwrap();
+    assert_eq!(first("run"), 0);
+    assert_eq!(first("metrics"), 1);
+    assert!(last("fault_plan") < first("fault"));
+    assert!(last("fault") < first("epoch"));
+    assert!(last("epoch") < first("phase"));
+}
