@@ -1,13 +1,16 @@
-//! E12c — threaded vs pooled backend wall-clock comparison.
+//! E12c — threaded vs pooled vs vector backend wall-clock comparison.
 //!
 //! Runs the same single-channel rank sort (paper §5 flavor: broadcast every
 //! key, count smaller keys, then emit in rank order — `2p` cycles, `2p`
-//! messages, one channel) as a [`StepProtocol`] on both execution backends
-//! and reports the wall-clock speedup of `Backend::Pooled` over
-//! `Backend::Threaded` as `p` grows. At `p = 2048` on a small host the
-//! pooled backend is expected to win by well over 5x: the threaded backend
-//! pays for 2048 OS threads crossing three barriers per cycle, while the
-//! pooled backend advances 2048 state machines on `min(p, cores)` workers.
+//! messages, one channel) as a [`StepProtocol`] on all three execution
+//! backends and reports the wall-clock speedup over `Backend::Threaded` as
+//! `p` grows. At `p = 2048` on a small host the pooled backend is expected
+//! to win by well over 5x: the threaded backend pays for 2048 OS threads
+//! crossing three barriers per cycle, while the pooled backend advances
+//! 2048 state machines on `min(p, cores)` workers. The vector backend
+//! drops even the worker handoff — a single thread sweeping
+//! struct-of-arrays state — which is the regime E17 (`crit_vector`,
+//! `BENCH_vector.json`) explores up to `p = 2^20`.
 //!
 //! Emits `target/experiments/crit_net.csv` (the table) and refreshes the
 //! checked-in `BENCH_backend.json` at the repository root (the acceptance
@@ -93,15 +96,16 @@ struct Measurement {
     p: usize,
     threaded: Stats,
     pooled: Stats,
+    vector: Stats,
 }
 
 fn main() {
     let quick = std::env::var_os("MCB_BENCH_QUICK").is_some();
     let ps: &[usize] = if quick { &[64, 256] } else { &[64, 512, 2048] };
 
-    // Correctness gate before timing anything: both backends must produce
+    // Correctness gate before timing anything: every backend must produce
     // the sorted sequence.
-    for backend in [Backend::Threaded, Backend::Pooled] {
+    for backend in [Backend::Threaded, Backend::Pooled, Backend::Vector] {
         let sorted = rank_sort_once(64, backend);
         assert!(
             sorted.windows(2).all(|w| w[0] <= w[1]),
@@ -111,7 +115,7 @@ fn main() {
 
     let mut table = Table::new(
         "crit_net",
-        "E12c: threaded vs pooled backend, single-channel rank sort (2p cycles)",
+        "E12c: threaded vs pooled vs vector backend, single-channel rank sort (2p cycles)",
         &["p", "backend", "median", "mean", "speedup"],
     );
     let mut measurements = Vec::new();
@@ -121,7 +125,7 @@ fn main() {
         let threaded_samples = if p >= 1024 { 1 } else { 3 };
         let threaded = measure(threaded_samples, || rank_sort_once(p, Backend::Threaded));
         let pooled = measure(5, || rank_sort_once(p, Backend::Pooled));
-        let speedup = pooled.speedup_over(&threaded);
+        let vector = measure(5, || rank_sort_once(p, Backend::Vector));
         table.row(vec![
             p.to_string(),
             "threaded".into(),
@@ -129,17 +133,20 @@ fn main() {
             fmt_duration(threaded.mean),
             "1.00".into(),
         ]);
-        table.row(vec![
-            p.to_string(),
-            "pooled".into(),
-            fmt_duration(pooled.median),
-            fmt_duration(pooled.mean),
-            format!("{speedup:.2}"),
-        ]);
+        for (name, stats) in [("pooled", &pooled), ("vector", &vector)] {
+            table.row(vec![
+                p.to_string(),
+                name.into(),
+                fmt_duration(stats.median),
+                fmt_duration(stats.mean),
+                format!("{:.2}", stats.speedup_over(&threaded)),
+            ]);
+        }
         measurements.push(Measurement {
             p,
             threaded,
             pooled,
+            vector,
         });
     }
     table.emit();
@@ -167,7 +174,8 @@ fn write_bench_json(measurements: &[Measurement]) {
                 "    {{\"p\": {}, \"cycles\": {}, ",
                 "\"threaded_median_s\": {}, \"threaded_samples\": {}, ",
                 "\"pooled_median_s\": {}, \"pooled_samples\": {}, ",
-                "\"speedup\": {:.2}}}"
+                "\"vector_median_s\": {}, \"vector_samples\": {}, ",
+                "\"speedup\": {:.2}, \"vector_speedup\": {:.2}}}"
             ),
             m.p,
             2 * m.p,
@@ -175,7 +183,10 @@ fn write_bench_json(measurements: &[Measurement]) {
             m.threaded.samples,
             secs(m.pooled.median),
             m.pooled.samples,
+            secs(m.vector.median),
+            m.vector.samples,
             m.pooled.speedup_over(&m.threaded),
+            m.vector.speedup_over(&m.threaded),
         ));
     }
     let gate = measurements

@@ -21,6 +21,10 @@
 //! [`mcb_net::Metrics`], and a `_in` subroutine form callable from inside a
 //! larger protocol in lock-step — the composition mechanism the paper uses
 //! when selection sorts its (median, count) pairs with the §5 algorithm.
+//! The [`steps`] module adds a third form for the two workhorses: Rank-Sort
+//! and networked Columnsort as [`mcb_net::StepProtocol`] state machines,
+//! runnable thread-free at `p = 10^5` on the struct-of-arrays
+//! [`mcb_net::Backend::Vector`] engine.
 //!
 //! ```
 //! use mcb_algos::sort::{sort_grouped, verify_sorted};
@@ -48,5 +52,10 @@ pub mod schedule;
 pub mod select;
 pub mod sort;
 pub mod static_schedule;
+pub mod steps;
 
 pub use msg::{Key, Word};
+pub use steps::{
+    columnsort_schedules, columnsort_steps, rank_sort_steps, ColumnsortStep, ColumnsortStepsReport,
+    RankSortStep,
+};

@@ -57,7 +57,7 @@ pub const DEFAULT_STALL_WINDOW: u64 = 1_000_000;
 
 /// How [`Network::run`] maps logical processors onto OS threads.
 ///
-/// Both backends execute the same cycle semantics and produce **identical**
+/// All backends execute the same cycle semantics and produce **identical**
 /// observable behavior — results, [`Metrics`], [`Trace`], and error
 /// classification — for any collision-free protocol; they differ only in
 /// wall-clock cost:
@@ -73,38 +73,64 @@ pub const DEFAULT_STALL_WINDOW: u64 = 1_000_000;
 ///   their own compute slice; [`StepProtocol`] state machines (see
 ///   [`Network::run_steps`]) need no per-processor threads at all. This is
 ///   the backend that makes `p >= 2048` simulations practical.
+/// * [`Vector`](Backend::Vector) drives [`StepProtocol`] state machines
+///   from a single thread in struct-of-arrays form: per-processor
+///   write/read intents live in flat columns, each cycle is tight loops
+///   over the *active* processors (no barriers, no per-unit dispatch), and
+///   [`Step::IdleFor`] sleepers are parked in a wake-time heap and skipped
+///   entirely. This is the backend for `p >= 10^5`. Closure protocols need
+///   a suspended call stack per processor, which a columnar driver cannot
+///   provide, so [`Network::run`] under `Vector` delegates to the pooled
+///   fiber driver (identical observable behavior); only
+///   [`Network::run_steps`] takes the columnar path.
+///
+/// All three backends agree byte-for-byte on every observable:
 ///
 /// ```
-/// use mcb_net::{Backend, ChanId, Network};
+/// use mcb_net::{Backend, ChanId, Network, Step, StepEnv, StepProtocol};
+///
+/// /// Processor 0 broadcasts once; everyone returns what they read.
+/// struct Echo;
+/// impl StepProtocol<u64> for Echo {
+///     type Output = Option<u64>;
+///     fn step(&mut self, env: &StepEnv, input: Option<u64>) -> Step<u64, Option<u64>> {
+///         match env.cycles_used {
+///             0 => Step::Yield {
+///                 write: (env.id.index() == 0).then_some((ChanId(0), 7u64)),
+///                 read: Some(ChanId(0)),
+///             },
+///             _ => Step::Done(input),
+///         }
+///     }
+/// }
 ///
 /// let run = |backend: Backend| {
-///     Network::new(64, 8)
-///         .backend(backend)
-///         .run(|ctx| {
-///             let me = ctx.id().index();
-///             let chan = ChanId::from_index(me % ctx.k());
-///             let write = (me < ctx.k()).then_some((chan, me as u64));
-///             ctx.cycle(write, Some(chan))
-///         })
-///         .unwrap()
+///     Network::new(64, 8).backend(backend).run_steps(|_| Echo).unwrap()
 /// };
 /// let threaded = run(Backend::Threaded);
 /// let pooled = run(Backend::Pooled);
+/// let vector = run(Backend::Vector);
 /// assert_eq!(threaded.results, pooled.results);
+/// assert_eq!(threaded.results, vector.results);
 /// assert_eq!(threaded.metrics, pooled.metrics);
+/// assert_eq!(threaded.metrics, vector.metrics);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// Pick automatically from `p`: [`Pooled`](Backend::Pooled) when `p`
     /// far exceeds the core count (`p > max(32, 2 * cores)`), otherwise
     /// [`Threaded`](Backend::Threaded). The `MCB_BACKEND` environment
-    /// variable (`"threaded"` / `"pooled"`) overrides the heuristic.
+    /// variable (`"threaded"` / `"pooled"` / `"vector"`) overrides the
+    /// heuristic.
     #[default]
     Auto,
     /// One OS thread per logical processor.
     Threaded,
     /// `min(p, cores)` workers drive all logical processors.
     Pooled,
+    /// Single-threaded struct-of-arrays driver for [`StepProtocol`]s
+    /// (closure protocols fall back to the pooled fiber driver).
+    Vector,
 }
 
 impl Backend {
@@ -116,6 +142,7 @@ impl Backend {
                     match var.to_ascii_lowercase().as_str() {
                         "threaded" => return Backend::Threaded,
                         "pooled" => return Backend::Pooled,
+                        "vector" => return Backend::Vector,
                         _ => {}
                     }
                 }
@@ -354,7 +381,12 @@ impl Network {
     {
         self.validate()?;
         match self.backend.resolve(self.procs) {
-            Backend::Pooled => crate::pooled::run_closures(self, &protocol),
+            // A closure protocol blocks inside `cycle`, which needs a
+            // suspended call stack per processor; the columnar driver has
+            // none to offer, so `Vector` delegates closures to the pooled
+            // fiber driver (identical observable behavior — only
+            // `run_steps` takes the columnar path).
+            Backend::Pooled | Backend::Vector => crate::pooled::run_closures(self, &protocol),
             _ => self.run_threaded(&protocol),
         }
     }
@@ -379,6 +411,7 @@ impl Network {
         self.validate()?;
         match self.backend.resolve(self.procs) {
             Backend::Pooled => crate::pooled::run_steps(self, &factory),
+            Backend::Vector => crate::vector::run_steps(self, &factory),
             _ => self.run_threaded(&|ctx: &mut ProcCtx<'_, M>| {
                 let mut machine = factory(ctx.id());
                 let mut input = None;
@@ -392,6 +425,10 @@ impl Network {
                     }
                     match step {
                         Step::Yield { write, read } => input = ctx.cycle(write, read),
+                        Step::IdleFor(n) => {
+                            ctx.idle_for(n.max(1));
+                            input = None;
+                        }
                         Step::Done(r) => break r,
                     }
                 }
@@ -1019,6 +1056,16 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
                 s.jammed = false;
             }
         }
+        self.tick();
+    }
+
+    /// The slot-independent tail of [`sweep`](Self::sweep): validate group
+    /// ports, advance the clock, check the budget and the livelock
+    /// watchdog, decide termination. Split out so the vector backend —
+    /// which keeps the channel slots in its own columnar buffers and
+    /// clears only the dirty ones — shares every decision that must not
+    /// drift between backends.
+    pub(crate) fn tick(&self) {
         if let Some(gs) = &self.groups {
             let cycle = self.round.load(Ordering::Relaxed);
             for g in 0..gs.writes.len() {
@@ -1062,6 +1109,33 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
         let all_finished = self.finished.load(Ordering::Acquire) == self.total_procs;
         if all_finished || self.failed.load(Ordering::Acquire) {
             self.done.store(true, Ordering::Release);
+        }
+    }
+
+    /// Count one delivered message on channel `chan` — the vector driver's
+    /// hook into the per-channel tallies that `apply_write` maintains for
+    /// the other backends.
+    #[inline]
+    pub(crate) fn count_channel_message(&self, chan: usize) {
+        self.chan_msgs[chan].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Charge one write against `proc`'s physical group port budget
+    /// (no-op without [`Network::proc_groups`]); mirrors the mark inside
+    /// `apply_write` for the vector driver's columnar write loop.
+    #[inline]
+    pub(crate) fn group_mark_write(&self, proc: usize) {
+        if let Some(gs) = &self.groups {
+            gs.writes[gs.map[proc]].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Charge one read against `proc`'s physical group port budget; the
+    /// read-side counterpart of [`group_mark_write`](Self::group_mark_write).
+    #[inline]
+    pub(crate) fn group_mark_read(&self, proc: usize) {
+        if let Some(gs) = &self.groups {
+            gs.reads[gs.map[proc]].fetch_add(1, Ordering::Relaxed);
         }
     }
 }

@@ -15,13 +15,16 @@
 //! * complexity is the total number of **cycles** and **messages**, with
 //!   messages limited to O(log β) bits (audited via [`MsgWidth`]).
 //!
-//! Two interchangeable execution backends implement the model (selected via
-//! [`Backend`]): the **threaded** engine runs each processor's protocol as a
-//! real OS thread in lock-step behind a sense-reversing barrier, while the
+//! Three interchangeable execution backends implement the model (selected
+//! via [`Backend`]): the **threaded** engine runs each processor's protocol
+//! as a real OS thread in lock-step behind a sense-reversing barrier; the
 //! **pooled** engine batches all `p` logical processors across
-//! `min(p, cores)` workers — the practical choice for `p` in the thousands.
-//! Either way, all observable quantities are deterministic for
-//! collision-free protocols and identical across backends.
+//! `min(p, cores)` workers — the practical choice for `p` in the thousands;
+//! and the **vector** engine drives [`StepProtocol`] state machines from a
+//! single thread in struct-of-arrays form, skipping idle processors
+//! entirely — the choice for `p` in the hundreds of thousands. Whichever
+//! runs, all observable quantities are deterministic for collision-free
+//! protocols and identical across backends.
 //!
 //! ## Quick example
 //!
@@ -54,7 +57,7 @@
 //!
 //! * [`engine`] — the executor ([`Network`], [`ProcCtx`], [`Backend`]).
 //! * [`step`] — protocols as resumable state machines ([`StepProtocol`],
-//!   run thread-free at scale by the pooled backend).
+//!   run thread-free at scale by the pooled and vector backends).
 //! * [`virt`] — §2's simulation of a larger MCB on a smaller one.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the §2
 //!   lemma-driven degraded mode ([`ProcCtx::set_resilient`]).
@@ -91,6 +94,7 @@ pub mod step;
 mod sync;
 pub mod timeline;
 pub mod trace;
+mod vector;
 pub mod virt;
 
 pub use engine::{

@@ -229,6 +229,28 @@ impl LocalMetrics {
         }
     }
 
+    /// Account `n` consecutive idle cycles whose first executes at global
+    /// round `now` — the bulk equivalent of `n` [`record_cycle`] calls at
+    /// rounds `now .. now + n`, used by the vector backend to account a
+    /// [`Step::IdleFor`](crate::Step::IdleFor) span without touching the
+    /// sleeping processor each round.
+    ///
+    /// [`record_cycle`]: Self::record_cycle
+    pub(crate) fn record_idle_span(&mut self, now: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.cycles += n;
+        if self.cur_phase != 0 {
+            let row = self.phase_row();
+            if row.is_empty() {
+                row.first_round = now;
+            }
+            row.cycles += n;
+            row.last_round = now + n - 1;
+        }
+    }
+
     /// Account one sent message of `bits` bits on channel index `chan` at
     /// global round `now`.
     pub(crate) fn record_message(&mut self, bits: u32, chan: usize, now: u64) {

@@ -204,6 +204,9 @@ struct StepUnit<'e, M, S: StepProtocol<M>> {
     input: Option<M>,
     cycles_used: u64,
     messages_sent: u64,
+    /// Remaining cycles of a [`Step::IdleFor`] span: while nonzero,
+    /// `collect` yields empty requests without calling `step` at all.
+    idle_left: u64,
     results: &'e Mutex<Vec<Option<S::Output>>>,
 }
 
@@ -220,6 +223,16 @@ where
     }
 
     fn collect(&mut self, now: u64) -> UnitStatus<M> {
+        if self.idle_left > 0 {
+            // Mid-`IdleFor` span: one more empty cycle, no `step` call.
+            self.idle_left -= 1;
+            return UnitStatus::Yielded(Request {
+                phase: None,
+                write: None,
+                read: None,
+                framed: false,
+            });
+        }
         let env = StepEnv::new(
             self.id,
             self.p,
@@ -238,6 +251,17 @@ where
                 read,
                 framed: false,
             }),
+            Ok(Step::IdleFor(n)) => {
+                // First idle cycle of the span carries the phase change (if
+                // any); the remaining n-1 are produced by the countdown.
+                self.idle_left = n.max(1) - 1;
+                UnitStatus::Yielded(Request {
+                    phase: env.take_phase(),
+                    write: None,
+                    read: None,
+                    framed: false,
+                })
+            }
             Ok(Step::Done(r)) => {
                 self.results.lock()[self.id.index()] = Some(r);
                 UnitStatus::Finished
@@ -560,6 +584,7 @@ where
                 input: None,
                 cycles_used: 0,
                 messages_sent: 0,
+                idle_left: 0,
                 results: &results,
             },
         ));

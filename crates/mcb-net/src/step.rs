@@ -73,6 +73,18 @@ pub enum Step<M, R> {
         /// At most one channel to read this cycle.
         read: Option<ChanId>,
     },
+    /// Idle for this many consecutive cycles (minimum 1; a count of 0 is
+    /// treated as 1) before `step` is called again, with no write and no
+    /// read in any of them.
+    ///
+    /// Observably identical to yielding that many empty
+    /// [`Yield`](Step::Yield)s, but backends are free to batch the
+    /// bookkeeping: the vector backend removes the processor from its
+    /// active set entirely and bulk-accounts the idle span, which is what
+    /// makes "`k` owners work, `p - k` processors idle" protocols (e.g.
+    /// networked Columnsort at `p = 10^5`) run in time proportional to the
+    /// *owners'* work instead of `p × cycles`.
+    IdleFor(u64),
     /// The protocol is finished; `R` becomes this processor's entry in
     /// [`RunReport::results`](crate::RunReport::results).
     Done(R),
@@ -85,6 +97,13 @@ impl<M, R> Step<M, R> {
             write: None,
             read: None,
         }
+    }
+
+    /// Idle for `cycles` consecutive cycles in a single yield (see
+    /// [`Step::IdleFor`]); a count of 0 is treated as 1 so the protocol
+    /// always advances.
+    pub fn idle_for(cycles: u64) -> Self {
+        Step::IdleFor(cycles.max(1))
     }
 
     /// A write-only cycle.

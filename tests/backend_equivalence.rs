@@ -1,9 +1,14 @@
-//! Cross-backend equivalence: the threaded and pooled engines must be
-//! observationally identical. For collision-free protocols that means
-//! byte-identical results, [`Metrics`], and [`Trace`]; for failing
+//! Cross-backend equivalence: the threaded, pooled, and vector engines
+//! must be observationally identical. For collision-free protocols that
+//! means byte-identical results, [`Metrics`], and [`Trace`]; for failing
 //! protocols it means identical error *classification* (variant, channel,
 //! cycle — the colliding-writer pair is scheduling-dependent on the
 //! threaded backend, so it is deliberately excluded).
+//!
+//! Closure protocols on [`Backend::Vector`] delegate to the pooled fiber
+//! driver, so the closure tests pin that delegation while the
+//! [`StepProtocol`] tests exercise the struct-of-arrays driver itself —
+//! including its inlined fault handling and [`Step::IdleFor`] bulk idling.
 
 use mcb::net::{
     Backend, ChanId, Metrics, NetError, Network, ProcId, RunReport, Step, StepEnv, StepProtocol,
@@ -11,7 +16,7 @@ use mcb::net::{
 };
 use mcb_rng::Rng64;
 
-const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Pooled];
+const BACKENDS: [Backend; 3] = [Backend::Threaded, Backend::Pooled, Backend::Vector];
 
 /// A seeded, collision-free, straggler-heavy protocol schedule.
 ///
@@ -103,13 +108,15 @@ fn random_collision_free_protocols_agree() {
         let k = rng.random_range(1usize..6).min(p);
         let rounds = rng.random_range(3usize..30);
         let sched = Schedule::generate(rng.next_u64(), p, k, rounds);
-        let threaded = sched.run(Backend::Threaded);
-        let pooled = sched.run(Backend::Pooled);
-        assert_reports_identical(
-            &threaded,
-            &pooled,
-            &format!("case {case} (p={p} k={k} rounds={rounds})"),
-        );
+        let baseline = sched.run(Backend::Threaded);
+        for backend in [Backend::Pooled, Backend::Vector] {
+            let other = sched.run(backend);
+            assert_reports_identical(
+                &baseline,
+                &other,
+                &format!("case {case} (p={p} k={k} rounds={rounds}) vs {backend:?}"),
+            );
+        }
     }
 }
 
@@ -153,13 +160,20 @@ fn collision_classification_agrees() {
 
 #[test]
 fn error_classification_agrees_across_backends() {
-    // Bad channel index.
+    // Bad channel index. Only processor 0 performs the bad write (the
+    // engine keeps the *first* failure it sees, which is scheduling-
+    // dependent on the threaded backend when several processors fail in
+    // the same cycle).
     for backend in BACKENDS {
         let err = Network::new(3, 2)
             .backend(backend)
             .run(|ctx| {
                 ctx.idle();
-                ctx.write(ChanId(9), 1u64);
+                if ctx.id().index() == 0 {
+                    ctx.write(ChanId(9), 1u64);
+                } else {
+                    ctx.idle_for(2);
+                }
             })
             .unwrap_err();
         assert_eq!(
@@ -282,19 +296,187 @@ fn run_steps_agrees_across_backends() {
             .unwrap()
     };
     let threaded = run(Backend::Threaded);
-    let pooled = run(Backend::Pooled);
-    assert_eq!(threaded.results, pooled.results);
-    assert_eq!(threaded.metrics, pooled.metrics);
-    assert_eq!(threaded.metrics.phases, pooled.metrics.phases);
-    assert_eq!(
-        threaded.trace.as_ref().unwrap().events(),
-        pooled.trace.as_ref().unwrap().events()
-    );
-    assert_eq!(threaded.to_jsonl(), pooled.to_jsonl());
+    for backend in [Backend::Pooled, Backend::Vector] {
+        let other = run(backend);
+        assert_eq!(threaded.results, other.results, "{backend:?}");
+        assert_eq!(threaded.metrics, other.metrics, "{backend:?}");
+        assert_eq!(threaded.metrics.phases, other.metrics.phases, "{backend:?}");
+        assert_eq!(
+            threaded.trace.as_ref().unwrap().events(),
+            other.trace.as_ref().unwrap().events(),
+            "{backend:?}"
+        );
+        assert_eq!(threaded.to_jsonl(), other.to_jsonl(), "{backend:?}");
+    }
     // Each processor forwarded the token once per full ring pass, and each
     // pass is its own labelled phase.
     assert_eq!(threaded.metrics.messages, 12);
     assert!(threaded.metrics.phases.len() >= 2);
+}
+
+/// A step protocol exercising the vector driver's inlined fault handling:
+/// writes and reads are scheduled off the *global* clock (`env.now`), so
+/// processors stay collision-free even when some start with a bulk idle,
+/// get stalled, or crash mid-run.
+struct FaultProbe {
+    rounds: u64,
+    started: bool,
+    sum: u64,
+}
+
+impl StepProtocol<u64> for FaultProbe {
+    type Output = u64;
+
+    fn step(&mut self, env: &StepEnv, input: Option<u64>) -> Step<u64, u64> {
+        if let Some(v) = input {
+            self.sum = self.sum.wrapping_mul(31).wrapping_add(v);
+        }
+        if !self.started {
+            self.started = true;
+            // Staggered bulk idles: the vector backend parks these
+            // processors and wakes them at different cycles.
+            let me = env.id.index() as u64;
+            if me > 0 {
+                return Step::idle_for(me);
+            }
+        }
+        if env.now >= self.rounds {
+            return Step::Done(self.sum);
+        }
+        let writer = (env.now % env.p as u64) as usize;
+        let chan = ChanId::from_index((env.now % env.k as u64) as usize);
+        let write = (writer == env.id.index()).then(|| (chan, env.now * 17 + writer as u64));
+        Step::Yield {
+            write,
+            read: Some(chan),
+        }
+    }
+}
+
+#[test]
+fn faulted_step_runs_agree_across_backends() {
+    use mcb::net::FaultPlan;
+
+    let (p, k) = (4, 2);
+    let plan = FaultPlan::new(p, k)
+        .kill_channel(ChanId(1), 9)
+        .drop_message(4, ChanId(0))
+        .corrupt_message(6, ChanId(0))
+        .crash_proc(ProcId(2), 11)
+        .stall_proc(ProcId(3), 5, 3);
+    let run = |backend: Backend| {
+        Network::new(p, k)
+            .backend(backend)
+            .record_trace(true)
+            .fault_plan(plan.clone())
+            .run_steps(|_| FaultProbe {
+                rounds: 16,
+                started: false,
+                sum: 0,
+            })
+            .unwrap()
+    };
+    let threaded = run(Backend::Threaded);
+    for backend in [Backend::Pooled, Backend::Vector] {
+        let other = run(backend);
+        assert_eq!(threaded.results, other.results, "{backend:?}");
+        assert_eq!(threaded.metrics, other.metrics, "{backend:?}");
+        assert_eq!(
+            threaded.metrics.faults, other.metrics.faults,
+            "{backend:?}: fault logs differ"
+        );
+        assert_eq!(
+            threaded.trace.as_ref().unwrap().events(),
+            other.trace.as_ref().unwrap().events(),
+            "{backend:?}: traces differ"
+        );
+        assert_eq!(threaded.to_jsonl(), other.to_jsonl(), "{backend:?}");
+    }
+    // The crashed processor's result died with it; the plan actually fired.
+    assert_eq!(threaded.results[2], None);
+    assert!(threaded.results[0].is_some());
+    assert!(!threaded.metrics.faults.is_empty());
+}
+
+/// Step-protocol error paths must classify identically on the vector
+/// driver, which reports failures without per-processor threads.
+#[test]
+fn step_error_classification_agrees_across_backends() {
+    // Bad channel from a state machine (only processor 0 misbehaves).
+    struct BadWrite;
+    impl StepProtocol<u64> for BadWrite {
+        type Output = ();
+        fn step(&mut self, env: &StepEnv, _input: Option<u64>) -> Step<u64, ()> {
+            match (env.cycles_used, env.id.index()) {
+                (0, _) => Step::idle(),
+                (1, 0) => Step::write(ChanId(9), 1),
+                (1, _) => Step::idle_for(2),
+                _ => Step::Done(()),
+            }
+        }
+    }
+    for backend in BACKENDS {
+        let err = Network::new(3, 2)
+            .backend(backend)
+            .run_steps(|_| BadWrite)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::BadChannel {
+                cycle: 1,
+                proc: ProcId(0),
+                channel: ChanId(9),
+                k: 2
+            },
+            "{backend:?}"
+        );
+    }
+    // Panic inside `step`.
+    struct Boom;
+    impl StepProtocol<u64> for Boom {
+        type Output = ();
+        fn step(&mut self, env: &StepEnv, _input: Option<u64>) -> Step<u64, ()> {
+            if env.cycles_used == 1 && env.id.index() == 2 {
+                panic!("step boom");
+            }
+            Step::idle()
+        }
+    }
+    for backend in BACKENDS {
+        let err = Network::new(3, 3)
+            .backend(backend)
+            .run_steps(|_| Boom)
+            .unwrap_err();
+        match err {
+            NetError::ProcPanicked { proc, message } => {
+                assert_eq!(proc, ProcId(2), "{backend:?}");
+                assert!(message.contains("step boom"), "{backend:?}");
+            }
+            other => panic!("{backend:?}: expected panic report, got {other}"),
+        }
+    }
+    // Cycle budget exhaustion with every processor parked in a bulk idle:
+    // the vector driver must still notice the budget even with an empty
+    // active set.
+    struct Sleeper;
+    impl StepProtocol<u64> for Sleeper {
+        type Output = ();
+        fn step(&mut self, _env: &StepEnv, _input: Option<u64>) -> Step<u64, ()> {
+            Step::idle_for(1_000_000)
+        }
+    }
+    for backend in BACKENDS {
+        let err = Network::new(2, 1)
+            .backend(backend)
+            .cycle_budget(40)
+            .run_steps(|_| Sleeper)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NetError::CycleBudgetExhausted { budget: 40 },
+            "{backend:?}"
+        );
+    }
 }
 
 #[test]
@@ -314,10 +496,12 @@ fn metrics_details_agree_for_stragglers() {
             .unwrap()
     };
     let threaded = run(Backend::Threaded);
-    let pooled = run(Backend::Pooled);
-    assert_eq!(threaded.results, pooled.results);
-    assert_eq!(threaded.metrics, pooled.metrics);
-    let m: &Metrics = &pooled.metrics;
+    for backend in [Backend::Pooled, Backend::Vector] {
+        let other = run(backend);
+        assert_eq!(threaded.results, other.results, "{backend:?}");
+        assert_eq!(threaded.metrics, other.metrics, "{backend:?}");
+    }
+    let m: &Metrics = &threaded.metrics;
     assert_eq!(m.per_proc_cycles, vec![1, 2, 3, 4, 5, 6]);
     assert_eq!(m.cycles, 6);
 }
@@ -353,9 +537,14 @@ fn faulted_runs_replay_byte_identically_across_backends() {
     };
     let threaded = run(Backend::Threaded);
     let pooled = run(Backend::Pooled);
+    let vector = run(Backend::Vector);
     let replay = run(Backend::Threaded);
 
-    for (label, other) in [("pooled", &pooled), ("threaded replay", &replay)] {
+    for (label, other) in [
+        ("pooled", &pooled),
+        ("vector", &vector),
+        ("threaded replay", &replay),
+    ] {
         assert_eq!(threaded.columns, other.columns, "{label}: outputs differ");
         assert_eq!(threaded.metrics, other.metrics, "{label}: metrics differ");
         assert_eq!(
@@ -411,10 +600,11 @@ fn fault_jsonl_export_is_byte_identical_across_backends() {
             .unwrap()
     };
     let threaded = run(Backend::Threaded);
-    let pooled = run(Backend::Pooled);
     let ja = threaded.to_jsonl();
-    let jb = pooled.to_jsonl();
-    assert_eq!(ja, jb, "JSONL exports differ");
+    for backend in [Backend::Pooled, Backend::Vector] {
+        let jb = run(backend).to_jsonl();
+        assert_eq!(ja, jb, "{backend:?}: JSONL exports differ");
+    }
     assert!(ja.contains("\"record\":\"fault_plan\""), "{ja}");
     assert!(ja.contains("\"kind\":\"channel_death\""), "{ja}");
     assert!(ja.contains("\"kind\":\"drop\""), "{ja}");
@@ -425,7 +615,11 @@ fn backend_resolution() {
     // Concrete choices pass through untouched.
     assert_eq!(Backend::Threaded.resolve(1 << 20), Backend::Threaded);
     assert_eq!(Backend::Pooled.resolve(1), Backend::Pooled);
+    assert_eq!(Backend::Vector.resolve(1 << 20), Backend::Vector);
     // Auto resolves to something concrete.
     let auto = Backend::Auto.resolve(64);
-    assert!(matches!(auto, Backend::Threaded | Backend::Pooled));
+    assert!(matches!(
+        auto,
+        Backend::Threaded | Backend::Pooled | Backend::Vector
+    ));
 }

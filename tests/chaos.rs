@@ -1,8 +1,8 @@
 //! Chaos property tests: the paper's algorithms must survive *any* seeded
 //! random fault plan that leaves at least one channel alive (the §2
-//! simulation lemma's precondition), on both backends, with the output
-//! equal to the fault-free answer and the physical cycle count inside the
-//! lemma's dilation bound.
+//! simulation lemma's precondition), on all three backends, with the
+//! output equal to the fault-free answer and the physical cycle count
+//! inside the lemma's dilation bound.
 //!
 //! Crashes are excluded ([`ChaosOpts`] default `crashes = 0`): a crashed
 //! processor's input is gone and no failover can reconstruct it — that is
@@ -12,7 +12,7 @@ use mcb::algos::resilient::Resilient;
 use mcb::net::{Backend, ChaosOpts, FaultPlan};
 use mcb_rng::Rng64;
 
-const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Pooled];
+const BACKENDS: [Backend; 3] = [Backend::Threaded, Backend::Pooled, Backend::Vector];
 
 /// Deterministic pseudo-random column fill (not already sorted, repeats
 /// possible — duplicates must not confuse the failover).
@@ -69,13 +69,15 @@ fn columnsort_is_correct_under_random_fault_plans() {
                 per_backend.push(out);
             }
             // Backend-identical down to the per-fault log.
-            let (a, b) = (&per_backend[0], &per_backend[1]);
-            assert_eq!(a.columns, b.columns, "seed {seed:#x}: outputs differ");
-            assert_eq!(a.metrics, b.metrics, "seed {seed:#x}: metrics differ");
-            assert_eq!(
-                a.fault_summary, b.fault_summary,
-                "seed {seed:#x}: summaries differ"
-            );
+            let a = &per_backend[0];
+            for b in &per_backend[1..] {
+                assert_eq!(a.columns, b.columns, "seed {seed:#x}: outputs differ");
+                assert_eq!(a.metrics, b.metrics, "seed {seed:#x}: metrics differ");
+                assert_eq!(
+                    a.fault_summary, b.fault_summary,
+                    "seed {seed:#x}: summaries differ"
+                );
+            }
         }
     }
 }
@@ -113,7 +115,9 @@ fn selection_is_correct_under_random_fault_plans() {
                 );
                 values.push((out.metrics, out.phases, out.fault_summary));
             }
-            assert_eq!(values[0], values[1], "seed {seed:#x}: backends diverge");
+            for v in &values[1..] {
+                assert_eq!(&values[0], v, "seed {seed:#x}: backends diverge");
+            }
         }
     }
 }
