@@ -1,0 +1,103 @@
+//! Gate check for the committed observability-overhead artifact.
+//!
+//! Parses `BENCH_obs.json` (by default the one at the repository root, or
+//! the path given as the first argument — e.g. a freshly regenerated one)
+//! and enforces the three acceptance gates per backend that `crit_obs`
+//! records (each a ratio of two configs differing in one dimension):
+//!
+//! - `phase labels` within **1.25×** of the uninstrumented baseline,
+//! - `monitor-off` (attached, unpolled) within **1.05×** of `phased`,
+//! - `monitor-on` (polled at 1 kHz) within **1.25×** of `phased`.
+//!
+//! The gate thresholds are re-asserted here rather than trusted from the
+//! file, so a regressed bench cannot loosen its own gate. Exits non-zero
+//! on any parse error, missing gate, threshold mismatch, or failed ratio.
+//!
+//! ```text
+//! cargo run -p mcb-bench --bin bench_gate [-- path/to/BENCH_obs.json]
+//! ```
+
+use std::process::ExitCode;
+
+use mcb_json::Json;
+
+/// `(gate name, expected threshold in milli-units)`; three gates per
+/// backend leg of the `crit_obs` matrix.
+const EXPECTED: [(&str, u64); 6] = [
+    ("pooled phase labels", 1250),
+    ("pooled monitor-off", 1050),
+    ("pooled monitor-on", 1250),
+    ("vector phase labels", 1250),
+    ("vector monitor-off", 1050),
+    ("vector monitor-on", 1250),
+];
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").to_owned());
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(raw.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: {path} is not valid (integer-only) JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(acceptance) = doc.get("acceptance").and_then(Json::as_arr) else {
+        eprintln!("bench_gate: {path} has no acceptance array");
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    for (name, want_gate) in EXPECTED {
+        let Some(entry) = acceptance
+            .iter()
+            .find(|e| e.get("gate").and_then(Json::as_str) == Some(name))
+        else {
+            eprintln!("bench_gate: missing gate entry {name:?}");
+            failed = true;
+            continue;
+        };
+        let gate = entry.get("gate_milli").and_then(Json::as_u64);
+        let ratio = entry.get("ratio_milli").and_then(Json::as_u64);
+        let (Some(gate), Some(ratio)) = (gate, ratio) else {
+            eprintln!("bench_gate: gate {name:?} lacks integer ratio_milli/gate_milli");
+            failed = true;
+            continue;
+        };
+        if gate != want_gate {
+            eprintln!(
+                "bench_gate: gate {name:?} threshold drifted: recorded {gate}, expected {want_gate}"
+            );
+            failed = true;
+            continue;
+        }
+        let ok = ratio <= gate;
+        println!(
+            "bench_gate: {name}: {}.{:03}x vs {}.{:03}x -> {}",
+            ratio / 1000,
+            ratio % 1000,
+            gate / 1000,
+            gate % 1000,
+            if ok { "pass" } else { "FAIL" }
+        );
+        failed |= !ok;
+    }
+    if doc.get("pass") != Some(&Json::Bool(true)) {
+        eprintln!("bench_gate: artifact's own pass flag is not true");
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all observability gates hold ({path})");
+        ExitCode::SUCCESS
+    }
+}

@@ -60,7 +60,7 @@ use crate::local::sort_desc;
 use crate::msg::{Key, Word};
 use mcb_net::{
     escalate_diverged, Backend, ControlCodec, EpochCause, EpochCtx, EpochOpts, EpochRecord,
-    FaultPlan, FaultSummary, FrameRead, Metrics, NetError, Network, ProcCtx, Trace,
+    FaultPlan, FaultSummary, FrameRead, Metrics, NetError, Network, ProcCtx, RunMonitor, Trace,
 };
 
 // ---------------------------------------------------------------------------
@@ -651,6 +651,7 @@ pub struct SelfHealing {
     backend: Backend,
     opts: EpochOpts,
     record_trace: bool,
+    monitor: Option<RunMonitor>,
 }
 
 /// Outcome of [`SelfHealing::sort_columns`].
@@ -704,6 +705,7 @@ impl SelfHealing {
             backend: Backend::Auto,
             opts: EpochOpts::default(),
             record_trace: false,
+            monitor: None,
         }
     }
 
@@ -733,6 +735,14 @@ impl SelfHealing {
         self
     }
 
+    /// Attach a live [`RunMonitor`]: the handle can be snapshotted from
+    /// another thread while the healed run is in flight (see
+    /// [`mcb_net::monitor`]).
+    pub fn monitor(mut self, mon: &RunMonitor) -> Self {
+        self.monitor = Some(mon.clone());
+        self
+    }
+
     /// Run a [`HealProgram`] on `MCB(p, k)` under the plan, returning the
     /// first survivor's output and reconfiguration log plus the run
     /// report's pieces. The generic engine behind both drivers.
@@ -747,15 +757,18 @@ impl SelfHealing {
     {
         let (_, fault_free_cycles) = run_program_offline(&prog);
         let opts = self.opts;
-        let report = Network::new(p, k)
+        let mut net = Network::new(p, k)
             .backend(self.backend)
             .framing(true)
             .record_trace(self.record_trace)
-            .fault_plan(self.plan.clone())
-            .run(move |ctx| {
-                let mut ectx = EpochCtx::new(p, k, opts);
-                run_program_in(ctx, &mut ectx, &prog).map(|out| (out, ectx.into_records()))
-            })?;
+            .fault_plan(self.plan.clone());
+        if let Some(mon) = &self.monitor {
+            net = net.monitor(mon);
+        }
+        let report = net.run(move |ctx| {
+            let mut ectx = EpochCtx::new(p, k, opts);
+            run_program_in(ctx, &mut ectx, &prog).map(|out| (out, ectx.into_records()))
+        })?;
         let (output, epochs) = report
             .results
             .iter()

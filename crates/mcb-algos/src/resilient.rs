@@ -27,7 +27,9 @@ use crate::columnsort::check_shape;
 use crate::msg::{Key, Word};
 use crate::select::{select_rank_in, MedEntry, PhaseStats};
 use crate::sort::{columnsort_net_cycles, columnsort_net_in, ColumnRole};
-use mcb_net::{Backend, FaultPlan, FaultSummary, Metrics, NetError, Network, ResilientOpts};
+use mcb_net::{
+    Backend, FaultPlan, FaultSummary, Metrics, NetError, Network, ResilientOpts, RunMonitor,
+};
 
 /// Worst-case physical-cycle bound for a resilient run of a protocol that
 /// takes `logical_cycles` cycles fault-free under `plan` (see the
@@ -62,6 +64,7 @@ pub struct Resilient {
     plan: FaultPlan,
     opts: ResilientOpts,
     backend: Backend,
+    monitor: Option<RunMonitor>,
 }
 
 /// Outcome of [`Resilient::sort_columns`].
@@ -106,6 +109,7 @@ impl Resilient {
             plan,
             opts: ResilientOpts::default(),
             backend: Backend::Auto,
+            monitor: None,
         }
     }
 
@@ -120,6 +124,14 @@ impl Resilient {
     /// runs are backend-identical like everything else.
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attach a live [`RunMonitor`]: the handle can be snapshotted from
+    /// another thread while the degraded run is in flight (see
+    /// [`mcb_net::monitor`]).
+    pub fn monitor(mut self, mon: &RunMonitor) -> Self {
+        self.monitor = Some(mon.clone());
         self
     }
 
@@ -141,27 +153,30 @@ impl Resilient {
         }
         let opts = self.opts;
         let input = cols;
-        let report = Network::new(k_cols, k_cols)
+        let mut net = Network::new(k_cols, k_cols)
             .backend(self.backend)
-            .fault_plan(self.plan.clone())
-            .run(move |ctx| {
-                ctx.set_resilient(Some(opts));
-                let me = ctx.id().index();
-                let role = Some(ColumnRole {
-                    col: me,
-                    data: input[me].clone(),
-                });
-                columnsort_net_in(
-                    ctx,
-                    role,
-                    m,
-                    k_cols,
-                    &|key| Word::Key(key),
-                    &|msg: Word<K>| msg.expect_key(),
-                )
-                .expect("shape pre-validated")
-                .expect("every processor owns a column")
-            })?;
+            .fault_plan(self.plan.clone());
+        if let Some(mon) = &self.monitor {
+            net = net.monitor(mon);
+        }
+        let report = net.run(move |ctx| {
+            ctx.set_resilient(Some(opts));
+            let me = ctx.id().index();
+            let role = Some(ColumnRole {
+                col: me,
+                data: input[me].clone(),
+            });
+            columnsort_net_in(
+                ctx,
+                role,
+                m,
+                k_cols,
+                &|key| Word::Key(key),
+                &|msg: Word<K>| msg.expect_key(),
+            )
+            .expect("shape pre-validated")
+            .expect("every processor owns a column")
+        })?;
         let fault_free_cycles = columnsort_net_cycles(m, k_cols);
         Ok(ResilientSort {
             metrics: report.metrics.clone(),
@@ -192,14 +207,17 @@ impl Resilient {
         }
         let opts = self.opts;
         let input = lists;
-        let report = Network::new(p, k)
+        let mut net = Network::new(p, k)
             .backend(self.backend)
-            .fault_plan(self.plan.clone())
-            .run(move |ctx: &mut mcb_net::ProcCtx<'_, Word<MedEntry<K>>>| {
-                ctx.set_resilient(Some(opts));
-                let mine = input[ctx.id().index()].clone();
-                select_rank_in(ctx, mine, d as u64)
-            })?;
+            .fault_plan(self.plan.clone());
+        if let Some(mon) = &self.monitor {
+            net = net.monitor(mon);
+        }
+        let report = net.run(move |ctx: &mut mcb_net::ProcCtx<'_, Word<MedEntry<K>>>| {
+            ctx.set_resilient(Some(opts));
+            let mine = input[ctx.id().index()].clone();
+            select_rank_in(ctx, mine, d as u64)
+        })?;
         let metrics = report.metrics.clone();
         let fault_summary = report.fault_summary;
         let (value, phases) = report

@@ -35,7 +35,8 @@ use crate::fault::{canonicalize, FaultKind, FaultPlan, FaultRecord, FaultSummary
 use crate::frame::{FrameRead, FRAME_HEADER_BITS};
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
-use crate::metrics::{EngineProfile, LocalMetrics, Metrics, PhaseMetrics};
+use crate::metrics::{EngineProfile, LocalMetrics, LogHistogram, Metrics, PhaseMetrics};
+use crate::monitor::{MonitorCore, MonitorSnapshot, RunMonitor};
 use crate::phase::{PhaseScope, PhaseTarget};
 use crate::step::{Step, StepEnv, StepProtocol};
 use crate::sync::{Mutex, RwLock};
@@ -190,6 +191,7 @@ pub struct Network {
     fault_plan: Option<Arc<FaultPlan>>,
     backend: Backend,
     framing: bool,
+    monitor: Option<Arc<MonitorCore>>,
 }
 
 impl Network {
@@ -207,6 +209,7 @@ impl Network {
             fault_plan: None,
             backend: Backend::Auto,
             framing: false,
+            monitor: None,
         }
     }
 
@@ -295,9 +298,26 @@ impl Network {
         self
     }
 
+    /// Attach a live [`RunMonitor`]: every backend publishes progress into
+    /// it at cycle/phase/fault/epoch boundaries, and
+    /// [`RunMonitor::snapshot`] stays readable from any thread while the
+    /// run executes. The final snapshot also lands in
+    /// [`RunReport::monitor`]. Publishing is a handful of relaxed atomic
+    /// stores per cycle plus two fetch-adds per message — cheap enough to
+    /// leave on outside cost-model measurements (see `crit_obs`).
+    pub fn monitor(mut self, mon: &RunMonitor) -> Self {
+        self.monitor = Some(mon.core());
+        self
+    }
+
     /// The attached fault plan, for the pooled driver's fiber contexts.
     pub(crate) fn plan(&self) -> Option<Arc<FaultPlan>> {
         self.fault_plan.clone()
+    }
+
+    /// The attached monitor core, for the pooled driver's fiber contexts.
+    pub(crate) fn monitor_core(&self) -> Option<Arc<MonitorCore>> {
+        self.monitor.clone()
     }
 
     fn validate(&self) -> Result<(), NetError> {
@@ -465,7 +485,7 @@ impl Network {
                         local: LocalMetrics::default(),
                         phase_name: String::new(),
                         events: Vec::new(),
-                        prof_barrier_ns: 0,
+                        prof_barrier: LogHistogram::new(),
                         resilient: None,
                         inner: CtxInner::Lockstep {
                             shared,
@@ -510,7 +530,7 @@ impl Network {
                         }
                     }
                     if shared.profile {
-                        shared.prof.lock().barrier_wait_ns += ctx.prof_barrier_ns;
+                        shared.prof.lock().barrier.merge(&ctx.prof_barrier);
                     }
                     if !ctx.events.is_empty() {
                         all_events.lock().append(&mut ctx.events);
@@ -522,13 +542,7 @@ impl Network {
 
         let profile = self.profile.then(|| {
             let agg = shared.prof.lock().clone();
-            EngineProfile {
-                backend: Backend::Threaded,
-                workers: p,
-                wall_ns: started.elapsed().as_nanos() as u64,
-                barrier_wait_ns: agg.barrier_wait_ns,
-                stall_ns: agg.stall_ns,
-            }
+            agg.into_profile(Backend::Threaded, p, started.elapsed().as_nanos() as u64)
         });
         assemble_report(
             shared,
@@ -558,6 +572,9 @@ pub(crate) fn assemble_report<R, M: Clone>(
     profile: Option<EngineProfile>,
 ) -> Result<RunReport<R, M>, NetError> {
     if let Some(err) = shared.failure.lock().take() {
+        if let Some(mon) = &shared.monitor {
+            mon.mark_failed();
+        }
         return Err(err);
     }
     let k = shared.k;
@@ -636,6 +653,12 @@ pub(crate) fn assemble_report<R, M: Clone>(
         phases,
         faults: faults.clone(),
     };
+    // Publish the final (deterministic, backend-identical) totals into the
+    // monitor, then take its snapshot for the report.
+    let monitor = shared.monitor.as_ref().map(|mon| {
+        mon.finish(&metrics);
+        mon.snapshot()
+    });
     let trace = shared.record_trace.then(|| {
         // Events carry interner ids at recording time; translate them to
         // canonical table indices.
@@ -653,6 +676,7 @@ pub(crate) fn assemble_report<R, M: Clone>(
         profile,
         fault_summary,
         epochs: Vec::new(),
+        monitor,
     })
 }
 
@@ -684,6 +708,13 @@ pub struct RunReport<R, M> {
     /// from the survivors' (identical) reconfiguration logs so the JSONL
     /// export can carry the epoch history.
     pub epochs: Vec<EpochRecord>,
+    /// The final [`RunMonitor`] snapshot, when one was attached via
+    /// [`Network::monitor`]. Unlike mid-run snapshots this one is taken
+    /// after the run's metrics are assembled, so it holds exact final
+    /// totals and is deterministic and backend-identical (events excepted —
+    /// they arrive in scheduling order and are excluded from the JSONL
+    /// export).
+    pub monitor: Option<MonitorSnapshot>,
 }
 
 impl<R, M> RunReport<R, M> {
@@ -788,13 +819,51 @@ pub(crate) struct Shared<M> {
     /// deduplicated) by `assemble_report`.
     faults: Mutex<Vec<FaultRecord>>,
     pub(crate) total_procs: usize,
+    /// Live-monitor core, when a [`RunMonitor`] is attached. Publishes from
+    /// the hot path are relaxed atomics; `None` costs one branch.
+    pub(crate) monitor: Option<Arc<MonitorCore>>,
+    /// Run start time, the zero point for the cycle-latency histogram.
+    started: Instant,
+    /// Wall-clock of the previous `tick`, touched only by the elected
+    /// sweeper (profiling on).
+    last_tick_ns: AtomicU64,
 }
 
-/// Summed wall-clock engine counters (see [`EngineProfile`]).
+/// Wall-clock engine histograms, contributed by executors at run end and
+/// by the sweeper per tick (see [`EngineProfile`]).
 #[derive(Debug, Default, Clone)]
 pub(crate) struct ProfAgg {
-    pub(crate) barrier_wait_ns: u64,
-    pub(crate) stall_ns: u64,
+    /// Wall-clock per completed engine round (recorded by the sweeper).
+    pub(crate) cycle: LogHistogram,
+    /// One sample per barrier wait, across all executors.
+    pub(crate) barrier: LogHistogram,
+    /// One sample per pooled bring-up/resume/collect block.
+    pub(crate) stall: LogHistogram,
+    /// One sample per vector-driver collect sweep.
+    pub(crate) dispatch: LogHistogram,
+}
+
+impl ProfAgg {
+    /// Package the aggregated histograms as the caller-facing
+    /// [`EngineProfile`], deriving the compatibility sums.
+    pub(crate) fn into_profile(
+        self,
+        backend: Backend,
+        workers: usize,
+        wall_ns: u64,
+    ) -> EngineProfile {
+        EngineProfile {
+            backend,
+            workers,
+            wall_ns,
+            barrier_wait_ns: self.barrier.sum(),
+            stall_ns: self.stall.sum().saturating_add(self.dispatch.sum()),
+            cycle_latency: self.cycle,
+            barrier_wait: self.barrier,
+            stall: self.stall,
+            dispatch: self.dispatch,
+        }
+    }
 }
 
 impl<M: Clone + Send + Sync> Shared<M> {
@@ -835,6 +904,15 @@ impl<M: Clone + Send + Sync> Shared<M> {
             plan: net.fault_plan.clone(),
             faults: Mutex::new(Vec::new()),
             total_procs: net.procs,
+            monitor: {
+                let monitor = net.monitor.clone();
+                if let Some(mon) = &monitor {
+                    mon.reset(net.procs, net.channels);
+                }
+                monitor
+            },
+            started: Instant::now(),
+            last_tick_ns: AtomicU64::new(0),
         }
     }
 
@@ -849,6 +927,9 @@ impl<M: Clone + Send + Sync> Shared<M> {
 
     /// Append one fired fault to the run's fault log.
     pub(crate) fn record_fault(&self, rec: FaultRecord) {
+        if let Some(mon) = &self.monitor {
+            mon.on_fault(&rec);
+        }
         self.faults.lock().push(rec);
     }
 
@@ -868,16 +949,20 @@ impl<M: Clone + Send + Sync> Shared<M> {
             "too many distinct phase labels (max 65535)"
         );
         table.push(name.to_owned());
-        (table.len() - 1) as u16
+        let id = (table.len() - 1) as u16;
+        if let Some(mon) = &self.monitor {
+            mon.register_phase(id, name);
+        }
+        id
     }
 
-    /// Barrier wait, timed into `acc` when profiling is on.
+    /// Barrier wait, sampled into `acc` when profiling is on.
     #[inline]
-    pub(crate) fn barrier_wait(&self, sense: &mut Sense, acc: &mut u64) -> bool {
+    pub(crate) fn barrier_wait(&self, sense: &mut Sense, acc: &mut LogHistogram) -> bool {
         if self.profile {
             let t = Instant::now();
             let winner = self.barrier.wait(sense);
-            *acc += t.elapsed().as_nanos() as u64;
+            acc.record(t.elapsed().as_nanos() as u64);
             winner
         } else {
             self.barrier.wait(sense)
@@ -963,6 +1048,9 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
                 drop(slot);
                 local.record_message(bits, c.index(), now);
                 self.chan_msgs[c.index()].fetch_add(1, Ordering::Relaxed);
+                if let Some(mon) = &self.monitor {
+                    mon.on_message(local.cur_phase, bits, now);
+                }
             }
         }
     }
@@ -1106,6 +1194,17 @@ impl<M: Clone + Send + Sync + MsgWidth> Shared<M> {
         {
             self.fail(NetError::Stalled { cycle: completed });
         }
+        // Per-round observability taps, piggy-backing on the sums the
+        // watchdog just computed. Exactly one sweeper runs per round, so
+        // both are uncontended.
+        if self.profile {
+            let now_ns = self.started.elapsed().as_nanos() as u64;
+            let last = self.last_tick_ns.swap(now_ns, Ordering::Relaxed);
+            self.prof.lock().cycle.record(now_ns.saturating_sub(last));
+        }
+        if let Some(mon) = &self.monitor {
+            mon.on_cycle(completed, msg_total, fin);
+        }
         let all_finished = self.finished.load(Ordering::Acquire) == self.total_procs;
         if all_finished || self.failed.load(Ordering::Acquire) {
             self.done.store(true, Ordering::Release);
@@ -1155,8 +1254,9 @@ pub struct ProcCtx<'a, M> {
     /// This processor's private trace buffer (threaded backend only; the
     /// pooled backend buffers per worker slot instead).
     events: Vec<Event<M>>,
-    /// Nanoseconds spent in barrier waits (threaded backend, profiling on).
-    prof_barrier_ns: u64,
+    /// Per-wait barrier samples (threaded backend, profiling on), merged
+    /// into the run's aggregate at thread end.
+    prof_barrier: LogHistogram,
     /// When `Some`, [`cycle`](Self::cycle) transparently executes the §2
     /// simulation-lemma degraded protocol (see
     /// [`set_resilient`](Self::set_resilient)).
@@ -1185,6 +1285,9 @@ enum CtxInner<'a, M> {
         /// compute live channels and retransmission notices without a
         /// worker round-trip.
         plan: Option<Arc<FaultPlan>>,
+        /// The run's live-monitor core, mirrored here so the epoch layer
+        /// can post reconfiguration events without a worker round-trip.
+        monitor: Option<Arc<MonitorCore>>,
         port: crate::pooled::FiberPort<M>,
     },
 }
@@ -1196,6 +1299,7 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         p: usize,
         k: usize,
         plan: Option<Arc<FaultPlan>>,
+        monitor: Option<Arc<MonitorCore>>,
         port: crate::pooled::FiberPort<M>,
     ) -> Self {
         ProcCtx {
@@ -1203,7 +1307,7 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
             local: LocalMetrics::default(),
             phase_name: String::new(),
             events: Vec::new(),
-            prof_barrier_ns: 0,
+            prof_barrier: LogHistogram::new(),
             resilient: None,
             inner: CtxInner::Fiber {
                 p,
@@ -1211,8 +1315,18 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
                 now: 0,
                 pending_phase: None,
                 plan,
+                monitor,
                 port,
             },
+        }
+    }
+
+    /// The run's live-monitor core, if one is attached — the epoch layer's
+    /// hook for posting reconfiguration events.
+    pub(crate) fn monitor_core(&self) -> Option<&Arc<MonitorCore>> {
+        match &self.inner {
+            CtxInner::Lockstep { shared, .. } => shared.monitor.as_ref(),
+            CtxInner::Fiber { monitor, .. } => monitor.as_ref(),
         }
     }
 
@@ -1367,7 +1481,7 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
                     let events = shared.record_trace.then_some(&mut self.events);
                     shared.apply_write(self.id, c, m, &mut self.local, events);
                 }
-                shared.barrier_wait(sense, &mut self.prof_barrier_ns); // writes visible
+                shared.barrier_wait(sense, &mut self.prof_barrier); // writes visible
 
                 // ---- read phase ------------------------------------------
                 let got = read.and_then(|c| shared.apply_read(self.id, c));
@@ -1445,7 +1559,7 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
                     let events = shared.record_trace.then_some(&mut self.events);
                     shared.apply_write(self.id, c, m, &mut self.local, events);
                 }
-                shared.barrier_wait(sense, &mut self.prof_barrier_ns); // writes visible
+                shared.barrier_wait(sense, &mut self.prof_barrier); // writes visible
 
                 let got = read.map_or(FrameRead::Silence, |c| shared.apply_read_framed(self.id, c));
                 self.local
@@ -1617,13 +1731,13 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         let CtxInner::Lockstep { shared, sense } = &mut self.inner else {
             unreachable!("finish_round is a lockstep-only path");
         };
-        let winner = shared.barrier_wait(sense, &mut self.prof_barrier_ns); // reads done
+        let winner = shared.barrier_wait(sense, &mut self.prof_barrier); // reads done
         if winner {
             // Elected sweeper for this cycle: clear slots, validate ports,
             // advance the clock, decide termination.
             shared.sweep();
         }
-        shared.barrier_wait(sense, &mut self.prof_barrier_ns); // sweep visible
+        shared.barrier_wait(sense, &mut self.prof_barrier); // sweep visible
         shared.done.load(Ordering::Acquire)
     }
 
@@ -1633,7 +1747,7 @@ impl<'a, M: Clone + Send + Sync + MsgWidth> ProcCtx<'a, M> {
         let CtxInner::Lockstep { shared, sense } = &mut self.inner else {
             unreachable!("drain_round is a lockstep-only path");
         };
-        shared.barrier_wait(sense, &mut self.prof_barrier_ns); // write phase (no-op)
+        shared.barrier_wait(sense, &mut self.prof_barrier); // write phase (no-op)
         self.finish_round()
     }
 }

@@ -328,6 +328,15 @@ impl EpochCtx {
                     live_chans: self.live_chans.clone(),
                     live_procs: self.live_procs.clone(),
                 });
+                // Post the reconfiguration to the live monitor, if one is
+                // attached. Every survivor commits the identical record, so
+                // only the lowest live processor posts — one event per
+                // epoch, not one per replica.
+                if self.live_procs.first() == Some(&me) {
+                    if let Some(mon) = ctx.monitor_core() {
+                        mon.on_epoch(self.epoch, ctx.now());
+                    }
+                }
                 return;
             }
         }

@@ -67,11 +67,14 @@
 //! * [`epoch`] — the reconfiguration census ([`EpochCtx`]): agree on live
 //!   channel/processor sets after a detected fault and bump the epoch.
 //! * [`metrics`] — cycle/message/per-phase accounting ([`Metrics`],
-//!   [`PhaseMetrics`], [`EngineProfile`]).
+//!   [`PhaseMetrics`], [`EngineProfile`], [`LogHistogram`]).
+//! * [`monitor`] — live run monitoring: a [`RunMonitor`] snapshotable from
+//!   another thread while the run is in flight.
 //! * [`phase`] — labelled phase scopes attributing costs to algorithm
 //!   stages ([`PhaseScope`]).
 //! * [`trace`] — optional wire traces feeding the lower-bound adversary.
-//! * [`export`] — deterministic JSONL serialization of a [`RunReport`].
+//! * [`export`] — deterministic JSONL serialization of a [`RunReport`] and
+//!   the Chrome-trace/Perfetto exporter.
 //! * [`timeline`] — ASCII cycle × channel timeline rendering of a trace.
 //! * [`message`] — O(log β) message-width accounting ([`MsgWidth`]).
 //! * [`barrier`] — the sense-reversing barrier underneath it all.
@@ -88,6 +91,7 @@ pub mod frame;
 pub mod ids;
 pub mod message;
 pub mod metrics;
+pub mod monitor;
 pub mod phase;
 mod pooled;
 pub mod step;
@@ -102,12 +106,15 @@ pub use engine::{
 };
 pub use epoch::{escalate_diverged, ControlCodec, EpochCause, EpochCtx, EpochOpts, EpochRecord};
 pub use error::NetError;
-pub use export::JSONL_SCHEMA_VERSION;
+pub use export::{validate_chrome_trace, ChromeTraceStats, JSONL_SCHEMA_VERSION};
 pub use fault::{ChaosOpts, FaultKind, FaultPlan, FaultRecord, FaultSummary, ResilientOpts};
 pub use frame::{frame_crc, FrameHeader, FrameRead, FRAME_HEADER_BITS};
 pub use ids::{ChanId, ProcId};
 pub use message::{bits_for_i64, bits_for_u64, MsgWidth};
-pub use metrics::{EngineProfile, Metrics, PhaseMetrics};
+pub use metrics::{EngineProfile, LogHistogram, Metrics, PhaseMetrics};
+pub use monitor::{
+    MonitorEvent, MonitorOpts, MonitorPhase, MonitorSnapshot, MonitorState, RunMonitor,
+};
 pub use phase::{PhaseScope, PhaseTarget};
 pub use step::{Step, StepEnv, StepProtocol};
 pub use timeline::{render_timeline, render_timeline_with_epochs};

@@ -150,30 +150,198 @@ pub struct PhaseMetrics {
     pub per_channel_messages: Vec<u64>,
 }
 
+/// Sub-bucket resolution of [`LogHistogram`]: `2^3 = 8` sub-buckets per
+/// power of two, so any recorded value lands in a bucket whose width is at
+/// most 1/8 of its magnitude (≤ 12.5% relative quantile error).
+const HIST_SUB_BITS: u32 = 3;
+const HIST_SUB: u64 = 1 << HIST_SUB_BITS;
+/// Bucket count covering the full `u64` range at [`HIST_SUB_BITS`]
+/// resolution (indices `0..16` are exact; see [`hist_bucket`]).
+const HIST_BUCKETS: usize = 496;
+
+/// Bucket index for value `v`: exact for `v < 16`, log-bucketed with
+/// [`HIST_SUB`] sub-buckets per octave above that (the HDR-histogram
+/// scheme, sized down to a flat 496-slot array).
+fn hist_bucket(v: u64) -> usize {
+    if v < HIST_SUB * 2 {
+        return v as usize;
+    }
+    let shift = 63 - u64::from(v.leading_zeros()) - u64::from(HIST_SUB_BITS);
+    (shift * HIST_SUB + (v >> shift)) as usize
+}
+
+/// Largest value a bucket holds — the conservative (upper-bound) value
+/// quantile queries report for it.
+fn hist_bucket_top(idx: usize) -> u64 {
+    if idx < (HIST_SUB * 2) as usize {
+        return idx as u64;
+    }
+    let shift = (idx as u64 / HIST_SUB) - 1;
+    let sub = idx as u64 - shift * HIST_SUB;
+    ((sub + 1) << shift) - 1
+}
+
+/// A dependency-free log-bucketed (HDR-style) latency histogram.
+///
+/// Values are `u64` (the engine records nanoseconds); buckets are exact
+/// below 16 and geometric with 8 sub-buckets per power of two above, so
+/// quantiles are accurate to ≤ 12.5% over the full range while the whole
+/// histogram is one flat 496-slot array. Storage is lazy: a histogram that
+/// never records allocates nothing, so carrying one per executor is free
+/// when profiling is off.
+///
+/// ```
+/// use mcb_net::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [10, 20, 30, 40, 1000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1000);
+/// assert!(h.p50() >= 20 && h.p50() <= 34);
+/// assert!(h.p99() >= 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogHistogram {
+    /// Bucket counts; empty until the first [`record`](Self::record).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// An empty histogram (no allocation until the first record).
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; HIST_BUCKETS];
+        }
+        self.counts[hist_bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; HIST_BUCKETS];
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not bucketed); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: an upper bound of the bucket
+    /// containing the `⌈q·count⌉`-th smallest sample, clamped to
+    /// [`max`](Self::max). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return hist_bucket_top(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`quantile`](Self::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (see [`quantile`](Self::quantile)).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (see [`quantile`](Self::quantile)).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
 /// Wall-clock engine costs of one run, recorded when
 /// [`Network::profile`](crate::Network::profile) is enabled.
 ///
 /// These are *engine* quantities — they depend on the backend, the host,
-/// and the scheduler — and are deliberately kept out of [`Metrics`] and the
-/// JSONL export so those stay deterministic and backend-identical. Use them
-/// to separate model cost (cycles, messages) from simulation cost.
+/// and the scheduler — and are deliberately kept out of [`Metrics`] so it
+/// stays deterministic and backend-identical (the JSONL export carries them
+/// only as clearly marked `profile`/`hist` records). Use them to separate
+/// model cost (cycles, messages) from simulation cost.
+///
+/// Latency distributions are [`LogHistogram`]s; the legacy single-sum
+/// fields ([`barrier_wait_ns`](Self::barrier_wait_ns),
+/// [`stall_ns`](Self::stall_ns)) are kept populated from the histograms'
+/// sums for compatibility.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineProfile {
     /// The resolved backend that executed the run.
     pub backend: crate::Backend,
-    /// Barrier width: `p` on the threaded backend, the worker count on the
-    /// pooled one.
+    /// Executor parallelism: `p` on the threaded backend (one OS thread per
+    /// processor, all in the barrier), the worker count on the pooled one,
+    /// and always `1` on the vector backend (a single struct-of-arrays
+    /// driver thread, no barrier at all).
     pub workers: usize,
     /// Wall-clock duration of the whole run, in nanoseconds.
     pub wall_ns: u64,
     /// Total time executors spent blocked in barrier waits, summed across
-    /// all of them (so it can exceed `wall_ns`), in nanoseconds.
+    /// all of them (so it can exceed `wall_ns`), in nanoseconds. Equals
+    /// [`barrier_wait`](Self::barrier_wait)`.sum()`; always 0 on the vector
+    /// backend, whose single driver thread never waits on a barrier.
     pub barrier_wait_ns: u64,
-    /// Pooled backend only: total time workers spent waiting for protocol
-    /// compute (fiber rendezvous and state-machine steps), summed across
-    /// workers, in nanoseconds. Always 0 on the threaded backend, where
-    /// protocol compute runs on the processor's own thread.
+    /// Time spent waiting for protocol compute, in nanoseconds: on the
+    /// pooled backend the workers' fiber-rendezvous/state-machine-step
+    /// waits summed across workers, on the vector backend the driver's
+    /// per-cycle machine-dispatch (collect) time. Equals
+    /// [`stall`](Self::stall)`.sum() + `[`dispatch`](Self::dispatch)`.sum()`;
+    /// always 0 on the threaded backend, where protocol compute runs on
+    /// the processor's own thread.
     pub stall_ns: u64,
+    /// Distribution of per-cycle wall-clock latency (time between
+    /// consecutive engine rounds, sampled by the sweeper), all backends.
+    pub cycle_latency: LogHistogram,
+    /// Distribution of individual barrier-wait times, one sample per wait
+    /// per executor (threaded and pooled backends; empty on vector).
+    pub barrier_wait: LogHistogram,
+    /// Distribution of per-round protocol-compute stalls, one sample per
+    /// worker per round (pooled backend only; empty elsewhere).
+    pub stall: LogHistogram,
+    /// Distribution of per-cycle machine-dispatch times in the columnar
+    /// collect loop (vector backend only; empty elsewhere).
+    pub dispatch: LogHistogram,
 }
 
 /// Per-processor, per-phase accumulator (see [`LocalMetrics::phases`]).
@@ -341,6 +509,73 @@ mod tests {
         assert_eq!(l.max_msg_bits, 16);
         // No phase active: nothing attributed per-phase.
         assert!(l.phases.is_empty());
+    }
+
+    #[test]
+    fn hist_buckets_cover_u64_contiguously() {
+        // Exact region, boundary, and the top of the range.
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(15), 15);
+        assert_eq!(hist_bucket(16), 16);
+        assert_eq!(hist_bucket(u64::MAX), HIST_BUCKETS - 1);
+        // Bucket indices are monotone in the value and tops bracket their
+        // bucket: for a sample of magnitudes, v <= top(bucket(v)) and
+        // top(bucket(v) - 1) < v.
+        let mut prev = 0usize;
+        for shift in 0..64u32 {
+            let v = 1u64 << shift;
+            let b = hist_bucket(v);
+            assert!(b >= prev, "bucket index regressed at 2^{shift}");
+            prev = b;
+            assert!(hist_bucket_top(b) >= v);
+            if b > 0 {
+                assert!(hist_bucket_top(b - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bounded_by_bucket_width() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        // ≤ 12.5% relative error, upper-bounded.
+        assert!(h.p50() >= 500 && h.p50() <= 575, "p50 = {}", h.p50());
+        assert!(h.p95() >= 950 && h.p95() <= 1000, "p95 = {}", h.p95());
+        assert!(h.p99() >= 990 && h.p99() <= 1000, "p99 = {}", h.p99());
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn histogram_merge_matches_bulk_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [3u64, 17, 900, 1 << 40] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 5, 123_456] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is a no-op, including on storage.
+        let before = all.clone();
+        all.merge(&LogHistogram::new());
+        assert_eq!(all, before);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        assert_eq!((h.count(), h.sum(), h.max()), (0, 0, 0));
+        assert_eq!((h.p50(), h.p95(), h.p99()), (0, 0, 0));
     }
 
     #[test]

@@ -49,7 +49,7 @@ use crate::error::NetError;
 use crate::fault::{FaultKind, FaultRecord};
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
-use crate::metrics::{EngineProfile, LocalMetrics};
+use crate::metrics::{LocalMetrics, LogHistogram};
 use crate::step::{Step, StepEnv, StepProtocol};
 use crate::sync::Mutex;
 use crate::trace::Event;
@@ -347,11 +347,12 @@ where
     U: Unit<M>,
 {
     let mut sense = Sense::new();
-    // Wall-clock profiling accumulators (contributed to the run once, at
-    // the end): time blocked in barriers vs. time waiting for the units'
-    // protocol compute (fiber rendezvous / state-machine steps).
-    let mut barrier_ns = 0u64;
-    let mut stall_ns = 0u64;
+    // Wall-clock profiling histograms (contributed to the run once, at the
+    // end): one sample per barrier wait, and one per block spent waiting
+    // for the units' protocol compute (fiber rendezvous / state-machine
+    // steps).
+    let mut barrier = LogHistogram::new();
+    let mut stall = LogHistogram::new();
     // Bring every unit to its first `cycle` call (or completion).
     let t0 = shared.profile.then(Instant::now);
     for slot in chunk.iter_mut() {
@@ -359,7 +360,7 @@ where
         absorb(slot, status, shared);
     }
     if let Some(t) = t0 {
-        stall_ns += t.elapsed().as_nanos() as u64;
+        stall.record(t.elapsed().as_nanos() as u64);
     }
     loop {
         // ---- write phase -------------------------------------------------
@@ -398,7 +399,7 @@ where
                 }
             }
         }
-        shared.barrier_wait(&mut sense, &mut barrier_ns); // writes visible
+        shared.barrier_wait(&mut sense, &mut barrier); // writes visible
 
         // ---- read phase --------------------------------------------------
         let now = shared.round.load(Ordering::Relaxed);
@@ -420,11 +421,11 @@ where
                 slot.local.record_cycle(now);
             }
         }
-        let winner = shared.barrier_wait(&mut sense, &mut barrier_ns); // reads done
+        let winner = shared.barrier_wait(&mut sense, &mut barrier); // reads done
         if winner {
             shared.sweep();
         }
-        shared.barrier_wait(&mut sense, &mut barrier_ns); // sweep visible
+        shared.barrier_wait(&mut sense, &mut barrier); // sweep visible
 
         if shared.done.load(Ordering::Acquire) {
             for slot in chunk.iter_mut() {
@@ -434,8 +435,8 @@ where
             }
             if shared.profile {
                 let mut prof = shared.prof.lock();
-                prof.barrier_wait_ns += barrier_ns;
-                prof.stall_ns += stall_ns;
+                prof.barrier.merge(&barrier);
+                prof.stall.merge(&stall);
             }
             return;
         }
@@ -462,7 +463,7 @@ where
             }
         }
         if let Some(t) = t0 {
-            stall_ns += t.elapsed().as_nanos() as u64;
+            stall.record(t.elapsed().as_nanos() as u64);
         }
     }
 }
@@ -507,12 +508,14 @@ where
     }
 
     let plan = net.plan();
+    let monitor = net.monitor_core();
     std::thread::scope(|scope| {
         for (i, (port, events)) in ports.into_iter().enumerate() {
             let results = &results;
             let plan = plan.clone();
+            let monitor = monitor.clone();
             scope.spawn(move || {
-                let mut ctx = ProcCtx::fiber(ProcId::from_index(i), p, k, plan, port);
+                let mut ctx = ProcCtx::fiber(ProcId::from_index(i), p, k, plan, monitor, port);
                 match catch_unwind(AssertUnwindSafe(|| protocol(&mut ctx))) {
                     Ok(r) => {
                         results.lock()[i] = Some(r);
@@ -541,13 +544,11 @@ where
     let events: Vec<Event<M>> = slots.iter_mut().flat_map(|s| s.events.drain(..)).collect();
     let profile = shared.profile.then(|| {
         let agg = shared.prof.lock().clone();
-        EngineProfile {
-            backend: Backend::Pooled,
+        agg.into_profile(
+            Backend::Pooled,
             workers,
-            wall_ns: started.elapsed().as_nanos() as u64,
-            barrier_wait_ns: agg.barrier_wait_ns,
-            stall_ns: agg.stall_ns,
-        }
+            started.elapsed().as_nanos() as u64,
+        )
     });
     assemble_report(shared, locals, results.into_inner(), events, profile)
 }
@@ -602,13 +603,11 @@ where
     drop(slots); // release the units' borrow of `results`
     let profile = shared.profile.then(|| {
         let agg = shared.prof.lock().clone();
-        EngineProfile {
-            backend: Backend::Pooled,
+        agg.into_profile(
+            Backend::Pooled,
             workers,
-            wall_ns: started.elapsed().as_nanos() as u64,
-            barrier_wait_ns: agg.barrier_wait_ns,
-            stall_ns: agg.stall_ns,
-        }
+            started.elapsed().as_nanos() as u64,
+        )
     });
     assemble_report(shared, locals, results.into_inner(), events, profile)
 }

@@ -51,7 +51,7 @@ use crate::fault::{FaultKind, FaultRecord};
 use crate::frame::FRAME_HEADER_BITS;
 use crate::ids::{ChanId, ProcId};
 use crate::message::MsgWidth;
-use crate::metrics::{EngineProfile, LocalMetrics};
+use crate::metrics::{LocalMetrics, LogHistogram};
 use crate::step::{Step, StepEnv, StepProtocol};
 use crate::trace::Event;
 use std::cmp::Reverse;
@@ -222,9 +222,10 @@ where
     let mut slot_jam = vec![false; k];
     let mut dirty: Vec<usize> = Vec::new();
     let mut events: Vec<Event<M>> = Vec::new();
-    // Wall-clock accumulator for protocol compute (the collect loops) —
-    // the single-threaded analogue of the pooled driver's `stall_ns`.
-    let mut stall_ns = 0u64;
+    // Wall-clock histogram for protocol compute (one sample per collect
+    // sweep) — the single-threaded analogue of the pooled driver's `stall`,
+    // surfaced as [`EngineProfile::dispatch`](crate::EngineProfile).
+    let mut dispatch = LogHistogram::new();
 
     // Bring every machine to its first request (or completion): the same
     // initial collect at round 0 the pooled driver performs.
@@ -233,7 +234,7 @@ where
         cols.collect_one(&shared, i, 0);
     }
     if let Some(t) = t0 {
-        stall_ns += t.elapsed().as_nanos() as u64;
+        dispatch.record(t.elapsed().as_nanos() as u64);
     }
     let mut active: Vec<usize> = (0..p)
         .filter(|&i| cols.status[i] == Status::Active)
@@ -335,6 +336,9 @@ where
                     dirty.push(c.index());
                     cols.locals[i].record_message(bits, c.index(), now);
                     shared.count_channel_message(c.index());
+                    if let Some(mon) = &shared.monitor {
+                        mon.on_message(cols.locals[i].cur_phase, bits, now);
+                    }
                 }
             }
         }
@@ -413,16 +417,14 @@ where
         }
         active.retain(|&i| cols.status[i] == Status::Active);
         if let Some(t) = t0 {
-            stall_ns += t.elapsed().as_nanos() as u64;
+            dispatch.record(t.elapsed().as_nanos() as u64);
         }
     }
 
-    let profile = shared.profile.then(|| EngineProfile {
-        backend: Backend::Vector,
-        workers: 1,
-        wall_ns: started.elapsed().as_nanos() as u64,
-        barrier_wait_ns: 0,
-        stall_ns,
+    let profile = shared.profile.then(|| {
+        let mut agg = shared.prof.lock().clone();
+        agg.dispatch.merge(&dispatch);
+        agg.into_profile(Backend::Vector, 1, started.elapsed().as_nanos() as u64)
     });
     assemble_report(shared, cols.locals, cols.results, events, profile)
 }

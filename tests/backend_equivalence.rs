@@ -611,6 +611,67 @@ fn fault_jsonl_export_is_byte_identical_across_backends() {
 }
 
 #[test]
+fn monitored_runs_agree_across_backends() {
+    // The *final* monitor snapshot is part of the deterministic surface:
+    // counters, phase rows, and the utilization ring must be identical on
+    // all three backends (and in the JSONL byte diff). Only the event log
+    // is scheduling-order and excluded from the comparison.
+    use mcb::net::{FaultPlan, MonitorOpts, RunMonitor};
+
+    let run = |backend: Backend| {
+        let monitor = RunMonitor::with_opts(MonitorOpts {
+            window: 4,
+            ring: 8,
+            events: 16,
+        });
+        let report = Network::new(4, 2)
+            .backend(backend)
+            .monitor(&monitor)
+            .fault_plan(
+                FaultPlan::new(4, 2)
+                    .kill_channel(ChanId(1), 6)
+                    .drop_message(3, ChanId(0)),
+            )
+            .run(|ctx| {
+                let me = ctx.id().index();
+                ctx.phase("ping");
+                for t in 0..9u64 {
+                    if t == 5 {
+                        ctx.phase("pong");
+                    }
+                    if me == (t % 4) as usize {
+                        ctx.write(ChanId::from_index(me % 2), t);
+                    } else {
+                        ctx.read(ChanId::from_index(me % 2));
+                    }
+                }
+            })
+            .unwrap();
+        (report.monitor.clone().unwrap(), report.to_jsonl())
+    };
+
+    let (mut base_snap, base_jsonl) = run(Backend::Threaded);
+    assert_eq!(base_snap.state.as_str(), "done");
+    assert!(
+        !base_snap.events.is_empty(),
+        "faults must reach the monitor"
+    );
+    base_snap.events.clear();
+    for backend in [Backend::Pooled, Backend::Vector] {
+        let (mut snap, jsonl) = run(backend);
+        snap.events.clear();
+        assert_eq!(base_snap, snap, "{backend:?}: final snapshots differ");
+        assert_eq!(base_jsonl, jsonl, "{backend:?}: JSONL exports differ");
+    }
+    // The snapshot's totals agree with what the run actually did: two
+    // labelled phases, every message attributed.
+    assert_eq!(base_snap.phases.len(), 2);
+    assert_eq!(base_snap.phase_message_sum(), base_snap.messages);
+    assert!(base_jsonl.contains("\"record\":\"monitor\""));
+    assert!(base_jsonl.contains("\"record\":\"monitor_phase\""));
+}
+
+#[test]
 fn backend_resolution() {
     // Concrete choices pass through untouched.
     assert_eq!(Backend::Threaded.resolve(1 << 20), Backend::Threaded);

@@ -1,4 +1,4 @@
-//! Schema-v3 JSONL round-trip: every record a faulted, self-healing run
+//! Schema-v4 JSONL round-trip: every record a faulted, self-healing run
 //! exports must parse back (via `mcb-json`'s reader) field-for-field
 //! equal to the in-memory structs it came from, re-render byte-identical,
 //! and be byte-identical across backends — the export is an archival
@@ -7,8 +7,8 @@
 use mcb::algos::heal::{run_program_in, ColumnsortProgram};
 use mcb::algos::Word;
 use mcb::net::{
-    Backend, ChanId, EpochCtx, EpochOpts, EpochRecord, FaultPlan, Network, ProcId, RunReport,
-    JSONL_SCHEMA_VERSION,
+    Backend, ChanId, EpochCtx, EpochOpts, EpochRecord, FaultPlan, Network, ProcId, RunMonitor,
+    RunReport, JSONL_SCHEMA_VERSION,
 };
 use mcb_json::Json;
 
@@ -25,17 +25,27 @@ fn cols(m: usize, k: usize) -> Vec<Vec<Option<u64>>> {
 }
 
 /// A healed columnsort run through a channel death and a crash, epochs
-/// filled into the report the way the drivers do it.
-fn healed_report(backend: Backend) -> RunReport<Option<Vec<EpochRecord>>, Word<u64>> {
+/// filled into the report the way the drivers do it. With `monitored` a
+/// live [`RunMonitor`] is attached, so the export carries the
+/// deterministic `monitor`/`monitor_phase` records.
+fn healed_report(
+    backend: Backend,
+    monitored: bool,
+) -> RunReport<Option<Vec<EpochRecord>>, Word<u64>> {
     let (m, k) = (6usize, 3usize);
     let input = cols(m, k);
     let plan = FaultPlan::new(k, k)
         .kill_channel(ChanId(1), 5)
         .crash_proc(ProcId(2), 30);
-    let mut report = Network::new(k, k)
+    let mut net = Network::new(k, k)
         .backend(backend)
         .framing(true)
-        .fault_plan(plan)
+        .fault_plan(plan);
+    let monitor = RunMonitor::new();
+    if monitored {
+        net = net.monitor(&monitor);
+    }
+    let mut report = net
         .run(move |ctx| {
             let prog = ColumnsortProgram::new(m, &input).unwrap();
             let mut ectx = EpochCtx::new(k, k, EpochOpts::default());
@@ -72,37 +82,42 @@ fn opt_u64(rec: &Json, key: &str) -> Option<u64> {
     rec.get(key).and_then(Json::as_u64)
 }
 
-#[test]
-fn v3_export_round_trips_field_for_field() {
-    let report = healed_report(Backend::Threaded);
-    assert!(!report.epochs.is_empty(), "plan must force reconfiguration");
-    assert!(!report.metrics.faults.is_empty(), "plan must log faults");
-
-    let jsonl = report.to_jsonl();
-    let parsed: Vec<Json> = jsonl
+/// Parse every line, asserting each re-renders byte-identically.
+fn parse_lines(jsonl: &str) -> Vec<Json> {
+    jsonl
         .lines()
         .map(|line| {
             let v = Json::parse(line).unwrap_or_else(|e| panic!("unparseable line {line}: {e}"));
             assert_eq!(v.render(), line, "re-render must be byte-identical");
             v
         })
-        .collect();
+        .collect()
+}
+
+fn by_kind<'a>(parsed: &'a [Json], kind: &str) -> Vec<&'a Json> {
+    parsed
+        .iter()
+        .filter(|v| v.get("record").and_then(Json::as_str) == Some(kind))
+        .collect()
+}
+
+#[test]
+fn v4_export_round_trips_field_for_field() {
+    let report = healed_report(Backend::Threaded, false);
+    assert!(!report.epochs.is_empty(), "plan must force reconfiguration");
+    assert!(!report.metrics.faults.is_empty(), "plan must log faults");
+
+    let jsonl = report.to_jsonl();
+    let parsed = parse_lines(&jsonl);
 
     // Header carries the schema version this test is pinned to.
     assert_eq!(parsed[0].get("record").and_then(Json::as_str), Some("run"));
     assert_eq!(get_u64(&parsed[0], "schema"), JSONL_SCHEMA_VERSION);
-    assert_eq!(JSONL_SCHEMA_VERSION, 3);
-
-    let by_kind = |kind: &str| -> Vec<&Json> {
-        parsed
-            .iter()
-            .filter(|v| v.get("record").and_then(Json::as_str) == Some(kind))
-            .collect()
-    };
+    assert_eq!(JSONL_SCHEMA_VERSION, 4);
 
     // fault_plan: one record, mirroring the summary.
     let s = report.fault_summary.as_ref().unwrap();
-    let plans = by_kind("fault_plan");
+    let plans = by_kind(&parsed, "fault_plan");
     assert_eq!(plans.len(), 1);
     assert_eq!(get_u64(plans[0], "seed"), s.seed);
     assert_eq!(get_u64(plans[0], "deaths"), s.deaths);
@@ -113,7 +128,7 @@ fn v3_export_round_trips_field_for_field() {
 
     // fault: one record per injected fault, in order, optional fields
     // surviving the null round trip.
-    let faults = by_kind("fault");
+    let faults = by_kind(&parsed, "fault");
     assert_eq!(faults.len(), report.metrics.faults.len());
     for (rec, f) in faults.iter().zip(&report.metrics.faults) {
         assert_eq!(get_u64(rec, "cycle"), f.cycle);
@@ -126,7 +141,7 @@ fn v3_export_round_trips_field_for_field() {
     }
 
     // epoch: the reconfiguration log, field for field.
-    let epochs = by_kind("epoch");
+    let epochs = by_kind(&parsed, "epoch");
     assert_eq!(epochs.len(), report.epochs.len());
     for (rec, e) in epochs.iter().zip(&report.epochs) {
         assert_eq!(get_u64(rec, "epoch"), e.epoch);
@@ -142,24 +157,139 @@ fn v3_export_round_trips_field_for_field() {
     }
 
     // metrics: the cycle count a reader would chart.
-    let metrics = by_kind("metrics");
+    let metrics = by_kind(&parsed, "metrics");
     assert_eq!(metrics.len(), 1);
     assert_eq!(get_u64(metrics[0], "cycles"), report.metrics.cycles);
     assert_eq!(get_u64(metrics[0], "messages"), report.metrics.messages);
+
+    // Monitor/profile records only appear when their producers were on.
+    assert!(by_kind(&parsed, "monitor").is_empty());
+    assert!(by_kind(&parsed, "profile").is_empty());
+    assert!(by_kind(&parsed, "hist").is_empty());
 }
 
 #[test]
-fn v3_export_is_byte_identical_across_backends() {
-    let a = healed_report(BACKENDS[0]).to_jsonl();
-    let b = healed_report(BACKENDS[1]).to_jsonl();
-    assert_eq!(a, b, "faulted healed runs must export identically");
+fn v4_monitor_records_round_trip_field_for_field() {
+    let report = healed_report(Backend::Threaded, true);
+    let snap = report.monitor.as_ref().expect("monitor was attached");
+    let parsed = parse_lines(&report.to_jsonl());
+
+    // monitor: the final snapshot's scalar totals and utilization ring.
+    let monitors = by_kind(&parsed, "monitor");
+    assert_eq!(monitors.len(), 1);
+    let rec = monitors[0];
+    assert_eq!(rec.get("state").and_then(Json::as_str), Some("done"));
+    assert_eq!(get_u64(rec, "cycle"), snap.cycle);
+    assert_eq!(get_u64(rec, "cycle"), report.metrics.rounds);
+    assert_eq!(get_u64(rec, "messages"), report.metrics.messages);
+    assert_eq!(get_u64(rec, "total_bits"), report.metrics.total_bits);
+    assert_eq!(get_u64(rec, "finished") as usize, snap.finished);
+    assert_eq!(get_u64(rec, "window"), snap.window);
+    assert_eq!(get_u64(rec, "windows"), snap.windows);
+    assert_eq!(get_u64s(rec, "util"), snap.util);
+    // The ring's visible samples account for every delivered message here
+    // (the run is far shorter than window × ring).
+    assert_eq!(snap.util.iter().sum::<u64>(), report.metrics.messages);
+
+    // monitor_phase: one row per live phase, in (first activity, name)
+    // order, field for field.
+    let rows = by_kind(&parsed, "monitor_phase");
+    assert_eq!(rows.len(), snap.phases.len());
+    assert!(!rows.is_empty(), "columnsort labels phases");
+    for (i, (rec, ph)) in rows.iter().zip(&snap.phases).enumerate() {
+        assert_eq!(get_u64(rec, "index") as usize, i);
+        assert_eq!(
+            rec.get("name").and_then(Json::as_str),
+            Some(ph.name.as_str())
+        );
+        assert_eq!(get_u64(rec, "messages"), ph.messages);
+        assert_eq!(get_u64(rec, "total_bits"), ph.total_bits);
+        assert_eq!(get_u64(rec, "first_cycle"), ph.first_cycle);
+        assert_eq!(get_u64(rec, "last_cycle"), ph.last_cycle);
+    }
+    // Live rows are bounded by the run totals.
+    let live_msgs: u64 = snap.phases.iter().map(|p| p.messages).sum();
+    assert!(live_msgs <= report.metrics.messages);
+}
+
+#[test]
+fn v4_profile_and_hist_records_round_trip() {
+    // Profiling is wall-clock (nondeterministic), so this is a
+    // single-backend shape check, not a byte diff.
+    let report = Network::new(4, 2)
+        .backend(Backend::Pooled)
+        .profile(true)
+        .run(|ctx| {
+            ctx.phase("chat");
+            for round in 0..8u64 {
+                let me = ctx.id().index();
+                if me == round as usize % 4 {
+                    ctx.write(ChanId(0), round);
+                } else {
+                    ctx.read(ChanId(0));
+                }
+            }
+        })
+        .unwrap();
+    let prof = report.profile.as_ref().expect("profiling was on");
+    let parsed = parse_lines(&report.to_jsonl());
+
+    let profs = by_kind(&parsed, "profile");
+    assert_eq!(profs.len(), 1);
+    assert_eq!(
+        profs[0].get("backend").and_then(Json::as_str),
+        Some("pooled")
+    );
+    assert_eq!(get_u64(profs[0], "workers") as usize, prof.workers);
+    assert_eq!(get_u64(profs[0], "wall_ns"), prof.wall_ns);
+    assert_eq!(get_u64(profs[0], "barrier_wait_ns"), prof.barrier_wait_ns);
+    assert_eq!(get_u64(profs[0], "stall_ns"), prof.stall_ns);
+
+    let hists = by_kind(&parsed, "hist");
+    let names: Vec<&str> = hists
+        .iter()
+        .map(|h| h.get("name").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        ["cycle_latency", "barrier_wait", "stall", "dispatch"]
+    );
+    for (rec, h) in hists.iter().zip([
+        &prof.cycle_latency,
+        &prof.barrier_wait,
+        &prof.stall,
+        &prof.dispatch,
+    ]) {
+        assert_eq!(get_u64(rec, "count"), h.count());
+        assert_eq!(get_u64(rec, "sum_ns"), h.sum());
+        assert_eq!(get_u64(rec, "max_ns"), h.max());
+        assert_eq!(get_u64(rec, "p50_ns"), h.p50());
+        assert_eq!(get_u64(rec, "p95_ns"), h.p95());
+        assert_eq!(get_u64(rec, "p99_ns"), h.p99());
+    }
+    // A pooled run times cycles, barriers, and stalls; dispatch is the
+    // vector driver's histogram and must be empty here.
+    assert!(get_u64(hists[0], "count") > 0, "cycle latency sampled");
+    assert!(get_u64(hists[1], "count") > 0, "barrier waits sampled");
+    assert_eq!(get_u64(hists[3], "count"), 0, "no vector dispatch");
+}
+
+#[test]
+fn v4_export_is_byte_identical_across_backends() {
+    let a = healed_report(BACKENDS[0], true).to_jsonl();
+    let b = healed_report(BACKENDS[1], true).to_jsonl();
+    assert_eq!(
+        a, b,
+        "faulted healed monitored runs must export identically"
+    );
 }
 
 #[test]
 fn record_order_is_stable() {
     // Archival consumers stream-parse: the section order (run, metrics,
-    // fault_plan, faults, epochs, phases) is part of the schema.
-    let report = healed_report(Backend::Threaded);
+    // fault_plan, faults, epochs, phases, monitor, monitor_phase) is part
+    // of the schema.
+    let report = healed_report(Backend::Threaded, true);
     let kinds: Vec<String> = report
         .to_jsonl()
         .lines()
@@ -179,4 +309,6 @@ fn record_order_is_stable() {
     assert!(last("fault_plan") < first("fault"));
     assert!(last("fault") < first("epoch"));
     assert!(last("epoch") < first("phase"));
+    assert!(last("phase") < first("monitor"));
+    assert!(last("monitor") < first("monitor_phase"));
 }
