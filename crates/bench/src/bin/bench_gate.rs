@@ -1,20 +1,29 @@
-//! Gate check for the committed observability-overhead artifact.
+//! Gate check for the committed benchmark acceptance artifacts.
 //!
-//! Parses `BENCH_obs.json` (by default the one at the repository root, or
-//! the path given as the first argument — e.g. a freshly regenerated one)
-//! and enforces the three acceptance gates per backend that `crit_obs`
-//! records (each a ratio of two configs differing in one dimension):
+//! Parses `BENCH_obs.json` and `BENCH_networks.json` (by default the ones
+//! at the repository root; override with positional args — e.g. freshly
+//! regenerated copies) and enforces their acceptance gates.
+//!
+//! `BENCH_obs.json` (`crit_obs`) — three wall-clock ratio gates per
+//! backend, each comparing two configs differing in one dimension:
 //!
 //! - `phase labels` within **1.25×** of the uninstrumented baseline,
 //! - `monitor-off` (attached, unpolled) within **1.05×** of `phased`,
 //! - `monitor-on` (polled at 1 kHz) within **1.25×** of `phased`.
 //!
+//! `BENCH_networks.json` (`tab_networks`, E19) — the comparator networks
+//! must own the Columnsort infeasibility gap: at every swept shape below
+//! the `m >= k(k-1)` floor, Columnsort is infeasible and the compiled
+//! network sorts in the *exact* packed cycle count pinned here (the
+//! counts are schedule-derived, so any drift is a compiler regression,
+//! not noise), with the per-`k` crossover where it was recorded.
+//!
 //! The gate thresholds are re-asserted here rather than trusted from the
-//! file, so a regressed bench cannot loosen its own gate. Exits non-zero
+//! files, so a regressed bench cannot loosen its own gate. Exits non-zero
 //! on any parse error, missing gate, threshold mismatch, or failed ratio.
 //!
 //! ```text
-//! cargo run -p mcb-bench --bin bench_gate [-- path/to/BENCH_obs.json]
+//! cargo run -p mcb-bench --bin bench_gate [-- BENCH_obs.json [BENCH_networks.json]]
 //! ```
 
 use std::process::ExitCode;
@@ -32,27 +41,64 @@ const EXPECTED: [(&str, u64); 6] = [
     ("vector monitor-on", 1250),
 ];
 
-fn main() -> ExitCode {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").to_owned());
-    let raw = match std::fs::read_to_string(&path) {
+/// `(gate name, exact packed cycle count)` for every Columnsort-gap shape
+/// of the E19 sweep. Deterministic: the compiler emits the same schedule
+/// every run, so equality, not a tolerance.
+const EXPECTED_NET: [(&str, u64); 8] = [
+    ("gap n=8 k=4", 10),
+    ("gap n=16 k=4", 32),
+    ("gap n=32 k=4", 96),
+    ("gap n=16 k=8", 18),
+    ("gap n=32 k=8", 50),
+    ("gap n=64 k=8", 138),
+    ("gap n=128 k=8", 370),
+    ("gap n=256 k=8", 962),
+];
+
+/// `(k, smallest swept n where Columnsort beats the network on cycles)`.
+const EXPECTED_CROSSOVER: [(u64, u64); 3] = [(2, 4), (4, 48), (8, 448)];
+
+fn load(path: &str) -> Option<Json> {
+    let raw = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bench_gate: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return None;
         }
     };
-    let doc = match Json::parse(raw.trim()) {
-        Ok(v) => v,
+    match Json::parse(raw.trim()) {
+        Ok(v) => Some(v),
         Err(e) => {
             eprintln!("bench_gate: {path} is not valid (integer-only) JSON: {e}");
-            return ExitCode::FAILURE;
+            None
         }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let obs_path = args
+        .next()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").to_owned());
+    let net_path = args.next().unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_networks.json").to_owned()
+    });
+    let obs_ok = check_obs(&obs_path);
+    let net_ok = check_networks(&net_path);
+    if obs_ok && net_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn check_obs(path: &str) -> bool {
+    let Some(doc) = load(path) else {
+        return false;
     };
     let Some(acceptance) = doc.get("acceptance").and_then(Json::as_arr) else {
         eprintln!("bench_gate: {path} has no acceptance array");
-        return ExitCode::FAILURE;
+        return false;
     };
 
     let mut failed = false;
@@ -94,10 +140,61 @@ fn main() -> ExitCode {
         eprintln!("bench_gate: artifact's own pass flag is not true");
         failed = true;
     }
-    if failed {
-        ExitCode::FAILURE
-    } else {
+    if !failed {
         println!("bench_gate: all observability gates hold ({path})");
-        ExitCode::SUCCESS
     }
+    !failed
+}
+
+fn check_networks(path: &str) -> bool {
+    let Some(doc) = load(path) else {
+        return false;
+    };
+    let Some(acceptance) = doc.get("acceptance").and_then(Json::as_arr) else {
+        eprintln!("bench_gate: {path} has no acceptance array");
+        return false;
+    };
+
+    let mut failed = false;
+    for (name, want_cycles) in EXPECTED_NET {
+        let Some(entry) = acceptance
+            .iter()
+            .find(|e| e.get("gate").and_then(Json::as_str) == Some(name))
+        else {
+            eprintln!("bench_gate: missing network gate entry {name:?}");
+            failed = true;
+            continue;
+        };
+        let cycles = entry.get("net_cycles").and_then(Json::as_u64);
+        let ok = cycles == Some(want_cycles) && entry.get("pass") == Some(&Json::Bool(true));
+        println!(
+            "bench_gate: {name}: {} packed cycles (expected exactly {want_cycles}) -> {}",
+            cycles.map_or("?".into(), |c| c.to_string()),
+            if ok { "pass" } else { "FAIL" }
+        );
+        failed |= !ok;
+    }
+    let crossovers = doc.get("crossover").and_then(Json::as_arr);
+    for (k, want_n) in EXPECTED_CROSSOVER {
+        let at = crossovers.and_then(|arr| {
+            arr.iter()
+                .find(|e| e.get("k").and_then(Json::as_u64) == Some(k))
+                .and_then(|e| e.get("columnsort_wins_from_n").and_then(Json::as_u64))
+        });
+        let ok = at == Some(want_n);
+        println!(
+            "bench_gate: crossover k={k}: columnsort wins from n={} (expected {want_n}) -> {}",
+            at.map_or("?".into(), |n| n.to_string()),
+            if ok { "pass" } else { "FAIL" }
+        );
+        failed |= !ok;
+    }
+    if doc.get("pass") != Some(&Json::Bool(true)) {
+        eprintln!("bench_gate: networks artifact's own pass flag is not true");
+        failed = true;
+    }
+    if !failed {
+        println!("bench_gate: all network crossover gates hold ({path})");
+    }
+    !failed
 }

@@ -15,6 +15,7 @@
 //! | §1    | [`extrema`] | extrema finding (the related-work warm-up problem) via Partial-Sums |
 //! | §2    | [`resilient`] | the algorithms on *faulty* hardware: the simulation lemma as a channel-failover mechanism |
 //! | §2+§5/§8 | [`heal`] | self-healing variants with **no fault oracle**: wire-level detection, epoch reconfiguration, crash takeover |
+//! | §5 (oblivious) | [`networks`] | comparator-network compiler: Batcher / optimal small / multiway-merge networks packed onto `k` channels, proven sort-correct for **all** inputs by `mcb_check::symbolic` |
 //!
 //! All distributed algorithms come in two forms: a driver (`sort_grouped`,
 //! `select_rank`, …) that builds the network and returns results plus
@@ -46,6 +47,7 @@ pub mod extrema;
 pub mod heal;
 pub mod local;
 pub mod msg;
+pub mod networks;
 pub mod partial_sums;
 pub mod resilient;
 pub mod schedule;
@@ -55,6 +57,7 @@ pub mod static_schedule;
 pub mod steps;
 
 pub use msg::{Key, Word};
+pub use networks::{batcher, bose_nelson, network_sort, network_sort_in, NetworkKind, NetworkSpec};
 pub use steps::{
     columnsort_schedules, columnsort_steps, rank_sort_steps, ColumnsortStep, ColumnsortStepsReport,
     RankSortStep,

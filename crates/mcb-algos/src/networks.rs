@@ -1,0 +1,660 @@
+//! Oblivious comparator-network compiler (ROADMAP item 1).
+//!
+//! Sorting networks are **data oblivious**: which lines get compared never
+//! depends on the keys. That makes them the one protocol family whose MCB
+//! schedules [`mcb_check::symbolic`] can prove collision-free, read-valid,
+//! and *sort-correct for every input* — no concrete-key round-simulation,
+//! unlike the key-determined emitters in
+//! [`static_schedule`](crate::static_schedule).
+//!
+//! The pipeline:
+//!
+//! ```text
+//!  generator            layering + packing             proof
+//!  ─────────            ──────────────────             ─────
+//!  Batcher /            ASAP layers (data deps),       mcb_check::verify_network
+//!  Bose–Nelson /   ──►  per-layer edge coloring,  ──►  (provenance walk +
+//!  multiway merge       ⌊k/2⌋ exchanges per cycle      0-1-principle prover)
+//!    │                        │
+//!    └── Vec<Comparator>      └── CheckedSchedule + Vec<Exchange>
+//!        + SorterCert             = ObliviousNetwork
+//! ```
+//!
+//! Three generators, all emitting comparators in certificate order
+//! (sub-sorter comparators contiguous, merger after its halves):
+//!
+//! * [`NetworkKind::Batcher`] — odd-even merge-sort for arbitrary `p`
+//!   (not just powers of two): the merger recursion splits each sorted run
+//!   into even- and odd-position subsequences, merges them, and fixes up
+//!   with one comparator per `(odd_i, even_{i+1})` pair. On `p = 2^t` the
+//!   size matches the closed form `(t² − t + 4)·2^t/4 − 1`.
+//! * [`NetworkKind::BoseNelson`] — hard-coded size-optimal networks for
+//!   `p ≤ 12` (sizes 1, 3, 5, 9, 12, 16, 19, 25, 29, 35, 39 — the best
+//!   known / proven-optimal values surveyed in arXiv:2012.04400). Every
+//!   table is brute-force 0-1 verified in this module's tests *and* by the
+//!   symbolic prover on every compile.
+//! * [`NetworkKind::Multiway`] — the n-sorter construction of
+//!   arXiv:1407.0961: split the lines into groups of `group ≤ 12`, sort
+//!   each group with its optimal small network, then glue with a binary
+//!   tree of odd-even mergers. For `p > 20` this also supplies the
+//!   recursive [`SorterCert`] the prover needs (base blocks exhaustively
+//!   checked, mergers checked over all sorted 0-1 pairs).
+//!
+//! Packing onto `k` channels: comparators are layered ASAP by data
+//! dependency; each layer's broadcasts go through the same bipartite
+//! edge-coloring scheduler the Columnsort transforms use
+//! (`edge_color_bipartite`, private to the crate) — a comparator layer is a
+//! matching (Δ = 1),
+//! so König gives a single color class, and the class is then chunked
+//! `⌊k/2⌋` exchanges per cycle (channels `2t`, `2t+1`). On `k = 1` each
+//! exchange serializes into two cycles, one leg per cycle.
+
+use crate::msg::{Key, Word};
+use crate::schedule::edge_color_bipartite;
+use crate::sort::grouped::SortReport;
+use crate::static_schedule::StaticSchedule;
+use mcb_check::{
+    Bounds, CheckedSchedule, Comparator, Exchange, ObliviousNetwork, ScheduleBuilder, SortCert,
+    SorterCert, SymbolicReport,
+};
+use mcb_net::{ChanId, NetError, Network, ProcCtx};
+use std::collections::HashMap;
+
+/// Widest Bose–Nelson table available (and the widest multiway group).
+pub const MAX_OPTIMAL_WIDTH: usize = 12;
+
+/// Widths the exhaustive 0-1 prover handles; above this, compiled
+/// networks carry a recursive [`SorterCert`].
+const EXHAUSTIVE_LIMIT: usize = mcb_check::symbolic::MAX_EXHAUSTIVE_WIDTH;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn cmp(a: usize, b: usize) -> Comparator {
+    Comparator {
+        lo: a.min(b),
+        hi: a.max(b),
+    }
+}
+
+/// Batcher's odd-even merger for two adjacent sorted runs of *arbitrary*
+/// lengths, given as ascending line lists. Recursively merges the
+/// even-position and odd-position subsequences, then fixes up each
+/// `(odd_i, even_{i+1})` pair — with the minimum oriented to the earlier
+/// line, which flips between pairs when the run lengths are odd.
+fn odd_even_merge(a: &[usize], b: &[usize], out: &mut Vec<Comparator>) {
+    if a.is_empty() || b.is_empty() {
+        return;
+    }
+    if a.len() == 1 && b.len() == 1 {
+        out.push(cmp(a[0], b[0]));
+        return;
+    }
+    let evens = |s: &[usize]| -> Vec<usize> { s.iter().copied().step_by(2).collect() };
+    let odds = |s: &[usize]| -> Vec<usize> { s.iter().copied().skip(1).step_by(2).collect() };
+    let (ae, ao) = (evens(a), odds(a));
+    let (be, bo) = (evens(b), odds(b));
+    odd_even_merge(&ae, &be, out);
+    odd_even_merge(&ao, &bo, out);
+    let e: Vec<usize> = ae.into_iter().chain(be).collect();
+    let o: Vec<usize> = ao.into_iter().chain(bo).collect();
+    for i in 0..o.len() {
+        if i + 1 < e.len() {
+            out.push(cmp(o[i], e[i + 1]));
+        }
+    }
+}
+
+/// Recursive sorter over lines `first..first + width`: groups of up to
+/// `group` lines become base blocks (optimal networks for `group >= 2`,
+/// empty blocks for `group == 1`), glued by a binary tree of odd-even
+/// mergers. Comparators are emitted in certificate order.
+fn build_sorter(first: usize, width: usize, group: usize, out: &mut Vec<Comparator>) -> SorterCert {
+    if width == 1 {
+        return SorterCert::Block {
+            first,
+            width: 1,
+            comparators: out.len()..out.len(),
+        };
+    }
+    if width <= group {
+        let start = out.len();
+        out.extend(
+            bose_nelson(width)
+                .into_iter()
+                .map(|c| cmp(first + c.lo, first + c.hi)),
+        );
+        return SorterCert::Block {
+            first,
+            width,
+            comparators: start..out.len(),
+        };
+    }
+    // Split on a group boundary so every leaf except possibly the last is
+    // full-width (ceil to a multiple of `group`, then halve the groups).
+    let groups = width.div_ceil(group);
+    let lo_w = (groups / 2).max(1) * group;
+    let lo_w = lo_w.min(width - 1);
+    let lo = build_sorter(first, lo_w, group, out);
+    let hi = build_sorter(first + lo_w, width - lo_w, group, out);
+    let start = out.len();
+    let a: Vec<usize> = (first..first + lo_w).collect();
+    let b: Vec<usize> = (first + lo_w..first + width).collect();
+    odd_even_merge(&a, &b, out);
+    SorterCert::Merge {
+        lo: Box::new(lo),
+        hi: Box::new(hi),
+        merger: start..out.len(),
+    }
+}
+
+/// Batcher odd-even merge-sort comparators for `p` lines (any `p >= 1`).
+pub fn batcher(p: usize) -> Vec<Comparator> {
+    assert!(p >= 1, "need at least one line");
+    let mut out = Vec::new();
+    build_sorter(0, p, 1, &mut out);
+    out
+}
+
+/// Comparator count of [`batcher`] on `p = 2^t` lines: the classic closed
+/// form `(t² − t + 4)·2^t/4 − 1` (integer-exact for all `t >= 0`).
+pub fn batcher_size_pow2(t: u32) -> u64 {
+    let t = t as u64;
+    (t * t - t + 4) * (1u64 << t) / 4 - 1
+}
+
+/// Size-optimal (best known, proven optimal for `p <= 10`) sorting
+/// networks for `2 <= p <= 12`, per the Bose–Nelson line of results
+/// surveyed in arXiv:2012.04400. Panics outside that range.
+pub fn bose_nelson(p: usize) -> Vec<Comparator> {
+    #[rustfmt::skip]
+    const TABLES: [&[(u8, u8)]; 11] = [
+        // p = 2 (1)
+        &[(0, 1)],
+        // p = 3 (3)
+        &[(1, 2), (0, 2), (0, 1)],
+        // p = 4 (5)
+        &[(0, 1), (2, 3), (0, 2), (1, 3), (1, 2)],
+        // p = 5 (9)
+        &[(0, 1), (3, 4), (2, 4), (2, 3), (1, 4), (0, 3), (0, 2), (1, 3), (1, 2)],
+        // p = 6 (12)
+        &[(1, 2), (4, 5), (0, 2), (3, 5), (0, 1), (3, 4), (2, 5), (0, 3), (1, 4),
+          (2, 4), (1, 3), (2, 3)],
+        // p = 7 (16)
+        &[(1, 2), (3, 4), (5, 6), (0, 2), (3, 5), (4, 6), (0, 1), (4, 5), (2, 6),
+          (0, 4), (1, 5), (0, 3), (2, 5), (1, 3), (2, 4), (2, 3)],
+        // p = 8 (19)
+        &[(0, 1), (2, 3), (4, 5), (6, 7), (0, 2), (1, 3), (4, 6), (5, 7), (1, 2),
+          (5, 6), (0, 4), (3, 7), (1, 5), (2, 6), (1, 4), (3, 6), (2, 4), (3, 5),
+          (3, 4)],
+        // p = 9 (25)
+        &[(0, 1), (3, 4), (6, 7), (1, 2), (4, 5), (7, 8), (0, 1), (3, 4), (6, 7),
+          (0, 3), (3, 6), (0, 3), (1, 4), (4, 7), (1, 4), (2, 5), (5, 8), (2, 5),
+          (1, 3), (5, 7), (2, 6), (4, 6), (2, 4), (5, 6), (2, 3)],
+        // p = 10 (29)
+        &[(4, 9), (3, 8), (2, 7), (1, 6), (0, 5), (1, 4), (6, 9), (0, 3), (5, 8),
+          (0, 2), (3, 6), (7, 9), (0, 1), (2, 4), (5, 7), (8, 9), (1, 2), (4, 6),
+          (7, 8), (3, 5), (2, 5), (6, 8), (1, 3), (4, 7), (2, 3), (6, 7), (3, 4),
+          (5, 6), (4, 5)],
+        // p = 11 (35)
+        &[(0, 9), (1, 6), (2, 4), (3, 7), (5, 8), (0, 1), (3, 5), (4, 10), (6, 9),
+          (7, 8), (1, 3), (2, 5), (4, 7), (8, 10), (0, 4), (1, 2), (3, 7), (5, 9),
+          (6, 8), (0, 1), (2, 6), (4, 5), (7, 8), (9, 10), (2, 4), (3, 6), (5, 7),
+          (8, 9), (1, 2), (3, 4), (5, 6), (7, 8), (2, 3), (4, 5), (6, 7)],
+        // p = 12 (39)
+        &[(0, 8), (1, 7), (2, 6), (3, 11), (4, 10), (5, 9), (0, 1), (2, 5), (3, 4),
+          (6, 9), (7, 8), (10, 11), (0, 2), (1, 6), (5, 10), (9, 11), (0, 3), (1, 2),
+          (4, 6), (5, 7), (8, 11), (9, 10), (1, 4), (3, 5), (6, 8), (7, 10), (1, 3),
+          (2, 5), (6, 9), (8, 10), (2, 3), (4, 5), (6, 7), (8, 9), (4, 6), (5, 7),
+          (3, 4), (5, 6), (7, 8)],
+    ];
+    assert!(
+        (2..=MAX_OPTIMAL_WIDTH).contains(&p),
+        "optimal tables cover 2..=12, got {p}"
+    );
+    TABLES[p - 2]
+        .iter()
+        .map(|&(a, b)| cmp(a as usize, b as usize))
+        .collect()
+}
+
+/// Expected sizes of the [`bose_nelson`] tables, indexed by `p - 2`.
+pub const OPTIMAL_SIZES: [usize; 11] = [1, 3, 5, 9, 12, 16, 19, 25, 29, 35, 39];
+
+// ---------------------------------------------------------------------------
+// Layering + channel packing
+// ---------------------------------------------------------------------------
+
+/// `layers[l]` = comparator indices whose inputs become available in
+/// dependency layer `l` (ASAP). Comparators sharing a line always land in
+/// strictly increasing layers, in index order — which is what lets the
+/// symbolic verifier's per-processor ordering check pass.
+fn layer_comparators(p: usize, comps: &[Comparator]) -> Vec<Vec<usize>> {
+    let mut avail = vec![0usize; p];
+    let mut layers: Vec<Vec<usize>> = Vec::new();
+    for (i, c) in comps.iter().enumerate() {
+        let l = avail[c.lo].max(avail[c.hi]);
+        if l == layers.len() {
+            layers.push(Vec::new());
+        }
+        layers[l].push(i);
+        avail[c.lo] = l + 1;
+        avail[c.hi] = l + 1;
+    }
+    layers
+}
+
+/// How many cycles one layer of `len` exchanges takes on `k` channels.
+fn layer_cycles(len: u64, k: usize) -> u64 {
+    if k >= 2 {
+        len.div_ceil((k / 2) as u64)
+    } else {
+        2 * len
+    }
+}
+
+/// Pack `comps` onto `k` channels: ASAP layers, each layer edge-colored
+/// (a matching, so one color class) and chunked `⌊k/2⌋` exchanges per
+/// cycle. Returns the wire schedule and one [`Exchange`] per comparator,
+/// **in comparator order**.
+fn pack(name: &str, p: usize, k: usize, comps: &[Comparator]) -> (CheckedSchedule, Vec<Exchange>) {
+    let mut b = ScheduleBuilder::new(name, p, k);
+    let mut exchanges: Vec<Option<Exchange>> = vec![None; comps.len()];
+    for layer in layer_comparators(p, comps) {
+        // The broadcasts of a layer form a bipartite multigraph on the
+        // lines; its edge chromatic number is Δ (König). A comparator
+        // layer is a matching, so Δ = 1 and every edge gets color 0 — the
+        // call is the generic scheduler doing a trivially easy case, kept
+        // so non-matching layers (future fused networks) pack unchanged.
+        let edges: Vec<(usize, usize)> =
+            layer.iter().map(|&i| (comps[i].lo, comps[i].hi)).collect();
+        let colors = edge_color_bipartite(p, &edges);
+        let classes = colors.iter().copied().max().map_or(0, |m| m + 1);
+        for class in 0..classes {
+            let members: Vec<usize> = layer
+                .iter()
+                .enumerate()
+                .filter(|&(e, _)| colors[e] == class)
+                .map(|(_, &ci)| ci)
+                .collect();
+            if k >= 2 {
+                for chunk in members.chunks(k / 2) {
+                    let cyc = b.begin_cycle();
+                    for (t, &ci) in chunk.iter().enumerate() {
+                        let c = comps[ci];
+                        let (ca, cb) = (2 * t, 2 * t + 1);
+                        b.write(c.lo, ca);
+                        b.read(c.hi, ca);
+                        b.write(c.hi, cb);
+                        b.read(c.lo, cb);
+                        exchanges[ci] = Some(Exchange {
+                            lo: c.lo,
+                            hi: c.hi,
+                            lo_cycle: cyc,
+                            lo_chan: ca,
+                            hi_cycle: cyc,
+                            hi_chan: cb,
+                        });
+                    }
+                }
+            } else {
+                for &ci in &members {
+                    let c = comps[ci];
+                    let c1 = b.begin_cycle();
+                    b.write(c.lo, 0);
+                    b.read(c.hi, 0);
+                    let c2 = b.begin_cycle();
+                    b.write(c.hi, 0);
+                    b.read(c.lo, 0);
+                    exchanges[ci] = Some(Exchange {
+                        lo: c.lo,
+                        hi: c.hi,
+                        lo_cycle: c1,
+                        lo_chan: 0,
+                        hi_cycle: c2,
+                        hi_chan: 0,
+                    });
+                }
+            }
+        }
+    }
+    let exchanges = exchanges
+        .into_iter()
+        .map(|e| e.expect("every comparator packed"))
+        .collect();
+    (b.finish(), exchanges)
+}
+
+// ---------------------------------------------------------------------------
+// StaticSchedule spec
+// ---------------------------------------------------------------------------
+
+/// Which comparator network to compile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Batcher odd-even merge-sort (any `p`).
+    Batcher,
+    /// Hard-coded size-optimal network (`2 <= p <= 12`).
+    BoseNelson,
+    /// Groups of `group` lines sorted optimally, merged by a binary tree
+    /// of odd-even mergers (`2 <= group <= 12`).
+    Multiway {
+        /// Base-sorter width.
+        group: usize,
+    },
+}
+
+impl NetworkKind {
+    fn label(&self) -> String {
+        match self {
+            NetworkKind::Batcher => "batcher".to_owned(),
+            NetworkKind::BoseNelson => "bose_nelson".to_owned(),
+            NetworkKind::Multiway { group } => format!("multiway{group}"),
+        }
+    }
+}
+
+/// A compiled-network instance: `p` lines (one key per processor) sorted
+/// on `k` channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkSpec {
+    /// Generator.
+    pub kind: NetworkKind,
+    /// Lines / processors.
+    pub p: usize,
+    /// Channels.
+    pub k: usize,
+}
+
+impl NetworkSpec {
+    /// The comparator sequence and its sortedness certificate tree.
+    pub fn comparators(&self) -> (Vec<Comparator>, SorterCert) {
+        let mut out = Vec::new();
+        let cert = match self.kind {
+            NetworkKind::Batcher => build_sorter(0, self.p, 1, &mut out),
+            NetworkKind::BoseNelson => build_sorter(0, self.p, self.p.max(2), &mut out),
+            NetworkKind::Multiway { group } => {
+                assert!(
+                    (2..=MAX_OPTIMAL_WIDTH).contains(&group),
+                    "multiway group must be in 2..=12"
+                );
+                build_sorter(0, self.p, group, &mut out)
+            }
+        };
+        (out, cert)
+    }
+
+    /// Compile to a packed schedule plus the exchange list and certificate
+    /// the symbolic verifier consumes. Exhaustive 0-1 certificates up to
+    /// `p = 20`, the recursive block/merger tree above.
+    pub fn compile(&self) -> ObliviousNetwork {
+        if self.kind == NetworkKind::BoseNelson {
+            assert!(
+                (2..=MAX_OPTIMAL_WIDTH).contains(&self.p),
+                "bose_nelson covers 2..=12, got p={}",
+                self.p
+            );
+        }
+        let (comps, cert) = self.comparators();
+        let name = format!("net_{} p={} k={}", self.kind.label(), self.p, self.k);
+        let (schedule, exchanges) = pack(&name, self.p, self.k, &comps);
+        let cert = if self.p <= EXHAUSTIVE_LIMIT {
+            SortCert::Exhaustive
+        } else {
+            SortCert::Tree(cert)
+        };
+        ObliviousNetwork {
+            schedule,
+            exchanges,
+            cert,
+        }
+    }
+
+    /// Compile and run the full symbolic verification (structural +
+    /// provenance + 0-1 sortedness) against the closed-form bounds.
+    pub fn check_symbolic(&self) -> SymbolicReport {
+        mcb_check::verify_network(&self.compile(), &self.bounds())
+    }
+}
+
+impl StaticSchedule for NetworkSpec {
+    fn emit(&self) -> CheckedSchedule {
+        self.compile().schedule
+    }
+
+    fn bounds(&self) -> Bounds {
+        let (comps, _) = self.comparators();
+        let cycles: u64 = layer_comparators(self.p, &comps)
+            .iter()
+            .map(|l| layer_cycles(l.len() as u64, self.k))
+            .sum();
+        Bounds {
+            cycles_exact: Some(cycles),
+            messages_exact: Some(2 * comps.len() as u64),
+            ..Bounds::none()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine driver (for the trace-conformance bridge)
+// ---------------------------------------------------------------------------
+
+/// Run a compiled network on the engine: processor `i` contributes `key`
+/// and returns the `i`-th smallest input. Every processor must call this
+/// with the same `net` (compiled for `ctx.p()`, `ctx.k()`).
+pub fn network_sort_in<K: Key>(
+    ctx: &mut ProcCtx<'_, Word<K>>,
+    net: &ObliviousNetwork,
+    key: K,
+) -> K {
+    let me = ctx.id().index();
+    assert_eq!(net.schedule.p, ctx.p(), "network compiled for wrong p");
+    if ctx.phase_label().is_empty() {
+        ctx.phase("net:exchange");
+    }
+    // (completion cycle, proc) -> keeps-the-minimum?
+    let mut completions: HashMap<(usize, usize), bool> = HashMap::new();
+    for ex in &net.exchanges {
+        let done = ex.completion_cycle();
+        completions.insert((done, ex.lo), true);
+        completions.insert((done, ex.hi), false);
+    }
+    let mut mine = key;
+    let mut inbox: Option<K> = None;
+    for (ci, cyc) in net.schedule.cycles.iter().enumerate() {
+        let intent = cyc.intents[me];
+        let write = intent
+            .write
+            .map(|w| (ChanId(w.chan as u32), Word::Key(mine.clone())));
+        let read = intent.read.map(|r| ChanId(r.chan as u32));
+        if let Some(msg) = ctx.cycle(write, read) {
+            inbox = Some(msg.expect_key());
+        }
+        if let Some(&keep_min) = completions.get(&(ci, me)) {
+            let other = inbox.take().expect("leg read before completion");
+            if (other < mine) == keep_min {
+                mine = other;
+            }
+        }
+    }
+    mine
+}
+
+/// Whole-network convenience wrapper: sort `keys` (one per processor) on
+/// an `MCB(p, k)`, returning the sorted keys plus run metrics.
+pub fn network_sort<K: Key>(spec: NetworkSpec, keys: Vec<K>) -> Result<SortReport<K>, NetError> {
+    if keys.len() != spec.p {
+        return Err(NetError::BadConfig(
+            "need exactly one key per processor".into(),
+        ));
+    }
+    let net = std::sync::Arc::new(spec.compile());
+    let input = keys;
+    let report = Network::new(spec.p, spec.k).run(move |ctx| {
+        let key = input[ctx.id().index()].clone();
+        network_sort_in(ctx, &net, key)
+    })?;
+    let metrics = report.metrics.clone();
+    Ok(SortReport {
+        lists: report.into_results().into_iter().map(|k| vec![k]).collect(),
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force 0-1 check, independent of the symbolic prover.
+    fn sorts_all_binary(p: usize, comps: &[Comparator]) -> bool {
+        assert!(p <= 24);
+        for v in 0u64..(1 << p) {
+            let mut lines: Vec<u64> = (0..p).map(|j| (v >> j) & 1).collect();
+            for c in comps {
+                let (a, b) = (lines[c.lo], lines[c.hi]);
+                lines[c.lo] = a.min(b);
+                lines[c.hi] = a.max(b);
+            }
+            if lines.windows(2).any(|w| w[0] > w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn optimal_tables_sort_and_have_optimal_sizes() {
+        for p in 2..=MAX_OPTIMAL_WIDTH {
+            let comps = bose_nelson(p);
+            assert_eq!(
+                comps.len(),
+                OPTIMAL_SIZES[p - 2],
+                "table size for p={p} is off"
+            );
+            assert!(sorts_all_binary(p, &comps), "p={p} table does not sort");
+        }
+    }
+
+    #[test]
+    fn batcher_sorts_every_width() {
+        for p in 1..=20 {
+            assert!(sorts_all_binary(p, &batcher(p)), "batcher p={p} fails");
+        }
+    }
+
+    #[test]
+    fn batcher_matches_closed_form_on_powers_of_two() {
+        for t in 0..=6u32 {
+            let p = 1usize << t;
+            assert_eq!(
+                batcher(p).len() as u64,
+                batcher_size_pow2(t),
+                "size mismatch at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn merger_handles_uneven_runs() {
+        // Exhaustive over every split of up to 10 lines: sort each run's
+        // lines (identity on 0-1 sorted runs), merge, check all pairs.
+        for total in 2..=10usize {
+            for m in 1..total {
+                let n = total - m;
+                let mut comps = Vec::new();
+                let a: Vec<usize> = (0..m).collect();
+                let b: Vec<usize> = (m..total).collect();
+                odd_even_merge(&a, &b, &mut comps);
+                for za in 0..=m {
+                    for zb in 0..=n {
+                        let mut lines: Vec<u64> = (0..m)
+                            .map(|j| u64::from(j >= za))
+                            .chain((0..n).map(|j| u64::from(j >= zb)))
+                            .collect();
+                        for c in &comps {
+                            let (x, y) = (lines[c.lo], lines[c.hi]);
+                            lines[c.lo] = x.min(y);
+                            lines[c.hi] = x.max(y);
+                        }
+                        assert!(
+                            lines.windows(2).all(|w| w[0] <= w[1]),
+                            "merge({m},{n}) fails on za={za} zb={zb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_sorts_with_mixed_group_sizes() {
+        for (p, group) in [(7, 3), (12, 4), (13, 5), (24, 12), (25, 6)] {
+            let spec = NetworkSpec {
+                kind: NetworkKind::Multiway { group },
+                p,
+                k: 2,
+            };
+            let (comps, _) = spec.comparators();
+            if p <= 20 {
+                assert!(sorts_all_binary(p, &comps), "multiway p={p} g={group}");
+            }
+            let r = spec.check_symbolic();
+            assert!(r.is_ok(), "p={p} g={group}:\n{r}");
+        }
+    }
+
+    #[test]
+    fn compiled_networks_prove_symbolically() {
+        for kind in [
+            NetworkKind::Batcher,
+            NetworkKind::BoseNelson,
+            NetworkKind::Multiway { group: 4 },
+        ] {
+            for (p, k) in [(8usize, 1usize), (8, 2), (8, 3), (12, 4), (12, 16)] {
+                let spec = NetworkSpec { kind, p, k };
+                let r = spec.check_symbolic();
+                assert!(r.is_ok(), "{kind:?} p={p} k={k}:\n{r}");
+                assert_eq!(r.cert, "exhaustive");
+            }
+        }
+    }
+
+    #[test]
+    fn large_networks_use_tree_certificates() {
+        for (kind, p) in [
+            (NetworkKind::Batcher, 33usize),
+            (NetworkKind::Multiway { group: 8 }, 40),
+        ] {
+            let spec = NetworkSpec { kind, p, k: 4 };
+            let r = spec.check_symbolic();
+            assert!(r.is_ok(), "{kind:?} p={p}:\n{r}");
+            assert_eq!(r.cert, "tree");
+        }
+    }
+
+    #[test]
+    fn packing_respects_channel_budget() {
+        // Every cycle uses at most k channels, each exactly once, and
+        // both legs of a k>=2 exchange share a cycle.
+        let spec = NetworkSpec {
+            kind: NetworkKind::Batcher,
+            p: 16,
+            k: 6,
+        };
+        let net = spec.compile();
+        for cyc in &net.schedule.cycles {
+            let mut used = vec![false; spec.k];
+            for intent in &cyc.intents {
+                if let Some(w) = intent.write {
+                    assert!(w.chan < spec.k && !used[w.chan], "channel reuse");
+                    used[w.chan] = true;
+                }
+            }
+        }
+        for ex in &net.exchanges {
+            assert_eq!(ex.lo_cycle, ex.hi_cycle, "k>=2 legs share a cycle");
+        }
+    }
+}

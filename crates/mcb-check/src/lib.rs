@@ -31,9 +31,18 @@
 //!   self-healing runs that reconfigure mid-flight — each epoch's
 //!   schedule is degraded and verified in its own configuration, and the
 //!   per-epoch lemma bounds compose into a whole-run cycle bound.
+//! * **Symbolic network verification** ([`symbolic`]): for *oblivious*
+//!   schedules — comparator networks, whose wire behaviour is a pure
+//!   function of `(p, k)` — an abstract-interpretation pass proves the
+//!   schedule implements a declared comparator sequence for **every**
+//!   input, and a 0-1-principle prover (bit-parallel replay of all `2^p`
+//!   binary inputs, or a recursive block/merger certificate above
+//!   `p = 20`) proves the network sorts. No concrete-key round-simulation
+//!   anywhere.
 //! * **Mutation self-test** ([`mutate`]): seeds off-by-one faults into a
 //!   valid schedule and asserts the verifier flags every one — the checker
-//!   is itself checked.
+//!   is itself checked. Comparator-network mutation classes
+//!   ([`symbolic::NetFault`]) do the same for the symbolic pass.
 //! * **Conformance bridge** ([`wire`]): replays an engine trace (what was
 //!   *actually* broadcast) against the static schedule, tying the static
 //!   and dynamic worlds together.
@@ -65,6 +74,7 @@ pub mod epochs;
 pub mod ir;
 pub mod mutate;
 pub mod report;
+pub mod symbolic;
 pub mod verify;
 pub mod wire;
 
@@ -76,5 +86,9 @@ pub use ir::{
 };
 pub use mutate::{seed_fault, Fault};
 pub use report::{Report, Stats};
+pub use symbolic::{
+    seed_net_fault, verify_network, Comparator, Exchange, NetFault, NetViolation, ObliviousNetwork,
+    SortCert, SorterCert, SymbolicReport,
+};
 pub use verify::{verify, Bounds, Lint, Violation};
 pub use wire::{check_conformance, Conformance, ConformanceError, WireEvent, WireLog};

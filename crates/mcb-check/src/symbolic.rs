@@ -1,0 +1,1290 @@
+//! Symbolic (once-for-all-inputs) verification of oblivious schedules.
+//!
+//! The concrete verifier in [`crate::verify()`] proves a schedule's
+//! *structural* obligations — collision-freedom, read-validity, channel
+//! ranges — which for an oblivious schedule are already input-independent
+//! facts. What it cannot prove is that the schedule *computes* anything:
+//! the key-dependent emitters (`RankSortSpec`, `SelectSpec`) round-simulate
+//! on concrete keys, so their verdict only covers the input they were
+//! emitted against.
+//!
+//! Comparator networks close that gap. A sorting network is **data
+//! oblivious**: every processor's write/read plan is a pure function of
+//! `(p, k)`, and each data value only ever moves through `min`/`max`
+//! exchanges. This module proves, in one pass and with **zero concrete-key
+//! round-simulation**, that a schedule implements a claimed comparator
+//! network for *every* input:
+//!
+//! 1. **Structural pass** — the ordinary verifier runs first (collision
+//!    freedom, read-validity, bounds). For an oblivious schedule these are
+//!    all-input facts.
+//! 2. **Obliviousness pass** — rejects suppressible writes and
+//!    `MaybeEmpty` reads: a schedule whose wire behaviour can depend on
+//!    data is not oblivious ([`NetViolation::NonObliviousIntent`]).
+//! 3. **Provenance pass** (abstract interpretation) — walks the cycles
+//!    tracking a symbolic value per processor (a node in a min/max DAG
+//!    over the `p` symbolic inputs). Every broadcast must be a leg of
+//!    exactly one declared [`Exchange`]; a processor may not broadcast a
+//!    leg of a new exchange while a previous one of its exchanges is still
+//!    open; and each processor's exchanges must complete in declaration
+//!    order. Together these prove the schedule applies exactly the
+//!    declared comparator sequence (up to reordering of *commuting*,
+//!    line-disjoint comparators — which cannot change the computed
+//!    function), and that the contents always form a permutation of the
+//!    inputs (min/max exchanges are multiset-preserving by construction).
+//! 4. **Sortedness prover** — the 0-1 principle: a comparator network
+//!    sorts all inputs iff it sorts all `2^p` binary inputs. For
+//!    `p <= 20` the prover replays every binary input through the
+//!    comparator list, 64 vectors at a time in `u64` bit-lanes (`min` is
+//!    `AND`, `max` is `OR`). Above that, it consumes a recursive
+//!    [`SorterCert`]: exhaustively checked base blocks glued by mergers,
+//!    each merger checked over all `(a+1)(b+1)` sorted 0-1 input pairs
+//!    (sound by the 0-1 principle restricted to merging networks).
+//!
+//! The result is a [`SymbolicReport`]: the structural report plus the
+//! network findings, with a JSONL rendering (`"record":"mcb-symbolic"`)
+//! that names the certificate used and the number of 0-1 vectors replayed.
+
+use crate::ir::{CheckedSchedule, Expect};
+use crate::report::Report;
+use crate::verify::{verify, Bounds};
+use mcb_rng::Rng64;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Largest width the exhaustive 0-1 replay accepts (`2^20` vectors).
+pub const MAX_EXHAUSTIVE_WIDTH: usize = 20;
+
+/// One compare-exchange: after it fires, the minimum of the two values is
+/// on line `lo` and the maximum on line `hi`. Generators emit `lo < hi`
+/// (ascending networks); the verifier does not assume it — a flipped
+/// comparator is simply a network that fails the sortedness prover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// Line receiving the minimum.
+    pub lo: usize,
+    /// Line receiving the maximum.
+    pub hi: usize,
+}
+
+/// A comparator realized on the wire: two broadcasts, one per direction.
+///
+/// Processor `lo` broadcasts its value on `lo_chan` in `lo_cycle`
+/// (processor `hi` reads it), and `hi` broadcasts on `hi_chan` in
+/// `hi_cycle` (`lo` reads it). When both legs have fired the exchange
+/// *completes*: `lo` keeps the minimum, `hi` the maximum. The two legs may
+/// share a cycle (`k >= 2`) or not (`k = 1` needs two cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exchange {
+    /// Processor (= network line) receiving the minimum.
+    pub lo: usize,
+    /// Processor (= network line) receiving the maximum.
+    pub hi: usize,
+    /// Cycle of the `lo -> hi` broadcast.
+    pub lo_cycle: usize,
+    /// Channel of the `lo -> hi` broadcast.
+    pub lo_chan: usize,
+    /// Cycle of the `hi -> lo` broadcast.
+    pub hi_cycle: usize,
+    /// Channel of the `hi -> lo` broadcast.
+    pub hi_chan: usize,
+}
+
+impl Exchange {
+    /// The comparator this exchange realizes.
+    pub fn comparator(&self) -> Comparator {
+        Comparator {
+            lo: self.lo,
+            hi: self.hi,
+        }
+    }
+
+    /// The cycle in which the exchange completes (both legs fired).
+    pub fn completion_cycle(&self) -> usize {
+        self.lo_cycle.max(self.hi_cycle)
+    }
+}
+
+/// How sortedness is proven for a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SortCert {
+    /// Replay all `2^p` binary inputs (feasible for `p <=`
+    /// [`MAX_EXHAUSTIVE_WIDTH`]).
+    Exhaustive,
+    /// A recursive divide-and-merge certificate for larger networks.
+    Tree(SorterCert),
+}
+
+/// A recursive certificate that a contiguous line range is sorted by a
+/// contiguous comparator range.
+///
+/// The comparator indices referenced by a certificate tree must tile
+/// `0..exchanges.len()` left to right: a `Merge` node's comparators are
+/// `lo`'s, then `hi`'s, then the merger's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SorterCert {
+    /// A base block: `comparators` sort lines `first..first + width`,
+    /// checked exhaustively over all `2^width` binary inputs.
+    Block {
+        /// First line of the block.
+        first: usize,
+        /// Number of lines.
+        width: usize,
+        /// Indices into the exchange list.
+        comparators: Range<usize>,
+    },
+    /// Two adjacent sorted ranges glued by a merging network, checked over
+    /// all `(a+1)(b+1)` sorted 0-1 input pairs.
+    Merge {
+        /// Certificate for the lower line range.
+        lo: Box<SorterCert>,
+        /// Certificate for the adjacent upper line range.
+        hi: Box<SorterCert>,
+        /// Indices of the merger's comparators.
+        merger: Range<usize>,
+    },
+}
+
+/// An oblivious schedule together with the comparator network it claims to
+/// implement and the certificate proving that network sorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObliviousNetwork {
+    /// The packed wire schedule.
+    pub schedule: CheckedSchedule,
+    /// The comparator sequence, one exchange per comparator, in
+    /// application order (ties between line-disjoint comparators allowed).
+    pub exchanges: Vec<Exchange>,
+    /// Sortedness certificate.
+    pub cert: SortCert,
+}
+
+/// A finding specific to the symbolic network pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetViolation {
+    /// The schedule's wire behaviour can depend on data (suppressible
+    /// write or maybe-empty read) — it is not oblivious.
+    NonObliviousIntent {
+        /// Cycle index.
+        cycle: usize,
+        /// Offending processor.
+        proc: usize,
+        /// What is data-dependent about the intent.
+        why: &'static str,
+    },
+    /// A scheduled broadcast or read is not a leg of any declared exchange.
+    UnmatchedBroadcast {
+        /// Cycle index.
+        cycle: usize,
+        /// Offending processor.
+        proc: usize,
+        /// Channel involved.
+        chan: usize,
+        /// `"write"` or `"read"`.
+        role: &'static str,
+    },
+    /// An exchange's declared legs do not match the schedule, overlap
+    /// another exchange on a processor, or double-book a broadcast.
+    ExchangeMismatch {
+        /// Index of the exchange.
+        exchange: usize,
+        /// What does not line up.
+        why: String,
+    },
+    /// A processor's exchanges complete out of declaration order, so the
+    /// schedule does not apply the declared comparator sequence.
+    ExchangeOrderViolation {
+        /// The processor whose order is violated.
+        proc: usize,
+        /// Declaration index completing later despite coming first.
+        earlier: usize,
+        /// Declaration index completing earlier despite coming later.
+        later: usize,
+    },
+    /// The network fails to sort some binary input (and hence, by the 0-1
+    /// principle, some input).
+    SortednessFailure {
+        /// Which certificate node failed.
+        node: String,
+        /// A failing binary input, least-significant line first.
+        witness: String,
+    },
+    /// The certificate is malformed (spans not adjacent, comparator
+    /// ranges not tiling, block too wide, out-of-span comparator...).
+    BadCert {
+        /// What is wrong with the certificate.
+        why: String,
+    },
+}
+
+impl NetViolation {
+    /// Stable machine-readable kind tag (used in the JSON report).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetViolation::NonObliviousIntent { .. } => "non_oblivious_intent",
+            NetViolation::UnmatchedBroadcast { .. } => "unmatched_broadcast",
+            NetViolation::ExchangeMismatch { .. } => "exchange_mismatch",
+            NetViolation::ExchangeOrderViolation { .. } => "exchange_order_violation",
+            NetViolation::SortednessFailure { .. } => "sortedness_failure",
+            NetViolation::BadCert { .. } => "bad_cert",
+        }
+    }
+}
+
+impl std::fmt::Display for NetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetViolation::NonObliviousIntent { cycle, proc, why } => {
+                write!(f, "cycle {cycle}: P{proc} is not oblivious: {why}")
+            }
+            NetViolation::UnmatchedBroadcast {
+                cycle,
+                proc,
+                chan,
+                role,
+            } => write!(
+                f,
+                "cycle {cycle}: P{proc}'s {role} on channel {chan} is no leg of any exchange"
+            ),
+            NetViolation::ExchangeMismatch { exchange, why } => {
+                write!(f, "exchange {exchange}: {why}")
+            }
+            NetViolation::ExchangeOrderViolation {
+                proc,
+                earlier,
+                later,
+            } => write!(
+                f,
+                "P{proc}: exchange {later} completes before exchange {earlier} (declaration order broken)"
+            ),
+            NetViolation::SortednessFailure { node, witness } => {
+                write!(f, "{node} fails to sort binary input {witness}")
+            }
+            NetViolation::BadCert { why } => write!(f, "bad certificate: {why}"),
+        }
+    }
+}
+
+/// The outcome of symbolically verifying an [`ObliviousNetwork`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicReport {
+    /// The structural report ([`verify`]) for the packed schedule.
+    pub report: Report,
+    /// Findings from the symbolic passes (empty = proven for all inputs).
+    pub net_violations: Vec<NetViolation>,
+    /// `"exhaustive"` or `"tree"` — which sortedness certificate ran.
+    pub cert: &'static str,
+    /// Number of comparators in the network.
+    pub comparators: u64,
+    /// Number of 0-1 input vectors replayed by the prover.
+    pub vectors: u64,
+    /// Nodes in the provenance min/max DAG built by the abstract
+    /// interpretation (`p` inputs + 2 per completed exchange).
+    pub provenance_nodes: u64,
+}
+
+impl SymbolicReport {
+    /// True when both the structural and the symbolic passes are clean:
+    /// the schedule is then proven collision-free, read-valid, and
+    /// sort-correct for **every** input.
+    pub fn is_ok(&self) -> bool {
+        self.report.is_ok() && self.net_violations.is_empty()
+    }
+
+    /// Render as one deterministic JSON object (`"record":"mcb-symbolic"`).
+    pub fn to_json(&self) -> String {
+        use mcb_json::Json;
+        let violations = Json::Arr(
+            self.report
+                .violations
+                .iter()
+                .map(|v| {
+                    Json::obj()
+                        .field("kind", v.kind())
+                        .field("detail", v.to_string())
+                })
+                .chain(self.net_violations.iter().map(|v| {
+                    Json::obj()
+                        .field("kind", v.kind())
+                        .field("detail", v.to_string())
+                }))
+                .collect(),
+        );
+        let lints = Json::Arr(
+            self.report
+                .lints
+                .iter()
+                .map(|l| {
+                    Json::obj()
+                        .field("kind", l.kind())
+                        .field("detail", l.to_string())
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("record", "mcb-symbolic")
+            .field("schema", 1u64)
+            .field("name", self.report.name.as_str())
+            .field("p", self.report.stats.p as u64)
+            .field("k", self.report.stats.k as u64)
+            .field("cycles", self.report.stats.cycles)
+            .field("messages", self.report.stats.messages_max)
+            .field("comparators", self.comparators)
+            .field("cert", self.cert)
+            .field("vectors", self.vectors)
+            .field("provenance_nodes", self.provenance_nodes)
+            .field("ok", self.is_ok())
+            .field("violations", violations)
+            .field("lints", lints)
+            .render()
+    }
+}
+
+impl std::fmt::Display for SymbolicReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] p={} k={} cycles={} comparators={} cert={} vectors={}",
+            if self.is_ok() { "OK  " } else { "FAIL" },
+            self.report.name,
+            self.report.stats.p,
+            self.report.stats.k,
+            self.report.stats.cycles,
+            self.comparators,
+            self.cert,
+            self.vectors,
+        )?;
+        for v in &self.report.violations {
+            writeln!(f, "  violation[{}]: {v}", v.kind())?;
+        }
+        for v in &self.net_violations {
+            writeln!(f, "  violation[{}]: {v}", v.kind())?;
+        }
+        for l in &self.report.lints {
+            writeln!(f, "  lint[{}]: {l}", l.kind())?;
+        }
+        Ok(())
+    }
+}
+
+/// One node of the provenance DAG the abstract interpretation builds. The
+/// operand indices exist for diagnostics (`{:?}` rendering); the checks
+/// themselves only need the node identities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(dead_code)]
+enum Prov {
+    /// The symbolic initial value of a line.
+    Input(u32),
+    /// Minimum of two earlier nodes.
+    Min(u32, u32),
+    /// Maximum of two earlier nodes.
+    Max(u32, u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LegRef {
+    exchange: usize,
+    /// True for the `lo -> hi` leg.
+    lo_leg: bool,
+}
+
+/// Verify that `net.schedule` implements `net.exchanges` (for every input)
+/// and that the comparator sequence sorts (via `net.cert`). Runs the
+/// structural verifier with `bounds` first; all passes report into the
+/// returned [`SymbolicReport`].
+pub fn verify_network(net: &ObliviousNetwork, bounds: &Bounds) -> SymbolicReport {
+    let schedule = &net.schedule;
+    let p = schedule.p;
+    let report = verify(schedule, bounds);
+    let mut nv: Vec<NetViolation> = Vec::new();
+
+    // ---- obliviousness ----------------------------------------------------
+    for (ci, cyc) in schedule.cycles.iter().enumerate() {
+        for (proc, intent) in cyc.intents.iter().enumerate() {
+            if intent.write.is_some_and(|w| w.may_suppress) {
+                nv.push(NetViolation::NonObliviousIntent {
+                    cycle: ci,
+                    proc,
+                    why: "suppressible write (silence would leak data)",
+                });
+            }
+            if intent.read.is_some_and(|r| r.expect == Expect::MaybeEmpty) {
+                nv.push(NetViolation::NonObliviousIntent {
+                    cycle: ci,
+                    proc,
+                    why: "maybe-empty read (branching on silence is data-dependent)",
+                });
+            }
+        }
+    }
+
+    // ---- exchange legs vs. schedule ---------------------------------------
+    // write_leg[(cycle, proc)] / read_leg[(cycle, proc)]: the unique leg a
+    // processor's write/read realizes.
+    let mut write_leg: HashMap<(usize, usize), LegRef> = HashMap::new();
+    let mut read_leg: HashMap<(usize, usize), LegRef> = HashMap::new();
+    let mut legs_ok = true;
+    for (ei, ex) in net.exchanges.iter().enumerate() {
+        let mut bad = |why: String| {
+            nv.push(NetViolation::ExchangeMismatch { exchange: ei, why });
+            legs_ok = false;
+        };
+        if ex.lo >= p || ex.hi >= p || ex.lo == ex.hi {
+            bad(format!("bad line pair ({}, {})", ex.lo, ex.hi));
+            continue;
+        }
+        let legs = [
+            (ex.lo_cycle, ex.lo, ex.hi, ex.lo_chan, true),
+            (ex.hi_cycle, ex.hi, ex.lo, ex.hi_chan, false),
+        ];
+        let mut routed = true;
+        for (cycle, writer, reader, chan, _) in legs {
+            let Some(cyc) = schedule.cycles.get(cycle) else {
+                bad(format!("leg cycle {cycle} out of range"));
+                routed = false;
+                continue;
+            };
+            if cyc.intents.len() != p {
+                routed = false; // malformed cycle: structural verify reported
+                continue;
+            }
+            if cyc.intents[writer].write.is_none_or(|w| w.chan != chan) {
+                bad(format!(
+                    "P{writer} does not write channel {chan} in cycle {cycle}"
+                ));
+                routed = false;
+            }
+            if cyc.intents[reader].read.is_none_or(|r| r.chan != chan) {
+                bad(format!(
+                    "P{reader} does not read channel {chan} in cycle {cycle}"
+                ));
+                routed = false;
+            }
+        }
+        if !routed {
+            continue;
+        }
+        for (cycle, writer, reader, _, lo_leg) in legs {
+            let lr = LegRef {
+                exchange: ei,
+                lo_leg,
+            };
+            if write_leg.insert((cycle, writer), lr).is_some() {
+                bad(format!(
+                    "P{writer}'s write in cycle {cycle} claimed by two exchanges"
+                ));
+            }
+            if read_leg.insert((cycle, reader), lr).is_some() {
+                bad(format!(
+                    "P{reader}'s read in cycle {cycle} claimed by two exchanges"
+                ));
+            }
+        }
+    }
+
+    // Every scheduled broadcast and read must be a declared leg.
+    for (ci, cyc) in schedule.cycles.iter().enumerate() {
+        for (proc, intent) in cyc.intents.iter().enumerate() {
+            if let Some(w) = intent.write {
+                if !write_leg.contains_key(&(ci, proc)) {
+                    nv.push(NetViolation::UnmatchedBroadcast {
+                        cycle: ci,
+                        proc,
+                        chan: w.chan,
+                        role: "write",
+                    });
+                    legs_ok = false;
+                }
+            }
+            if let Some(r) = intent.read {
+                if !read_leg.contains_key(&(ci, proc)) {
+                    nv.push(NetViolation::UnmatchedBroadcast {
+                        cycle: ci,
+                        proc,
+                        chan: r.chan,
+                        role: "read",
+                    });
+                    legs_ok = false;
+                }
+            }
+        }
+    }
+
+    // ---- provenance walk (abstract interpretation) ------------------------
+    let mut dag: Vec<Prov> = (0..p as u32).map(Prov::Input).collect();
+    let mut provenance_ok = false;
+    if legs_ok {
+        provenance_ok = true;
+        let mut val: Vec<u32> = (0..p as u32).collect();
+        // engaged[proc]: the exchange whose leg the processor has broadcast
+        // and which has not completed yet.
+        let mut engaged: Vec<Option<usize>> = vec![None; p];
+        // sent[exchange]: (lo's broadcast value, hi's broadcast value).
+        let mut sent: Vec<(Option<u32>, Option<u32>)> = vec![(None, None); net.exchanges.len()];
+        let mut completed_at: Vec<Option<usize>> = vec![None; net.exchanges.len()];
+        'walk: for (ci, cyc) in schedule.cycles.iter().enumerate() {
+            if cyc.intents.len() != p {
+                provenance_ok = false;
+                break 'walk; // malformed: already reported structurally
+            }
+            let mut completions: Vec<usize> = Vec::new();
+            for (proc, intent) in cyc.intents.iter().enumerate() {
+                if intent.write.is_none() {
+                    continue;
+                }
+                let lr = write_leg[&(ci, proc)];
+                if let Some(open) = engaged[proc] {
+                    if open != lr.exchange {
+                        nv.push(NetViolation::ExchangeMismatch {
+                            exchange: lr.exchange,
+                            why: format!(
+                                "P{proc} broadcasts its leg while exchange {open} is still open"
+                            ),
+                        });
+                        provenance_ok = false;
+                        break 'walk;
+                    }
+                }
+                engaged[proc] = Some(lr.exchange);
+                let slot = &mut sent[lr.exchange];
+                let cell = if lr.lo_leg { &mut slot.0 } else { &mut slot.1 };
+                if cell.is_some() {
+                    nv.push(NetViolation::ExchangeMismatch {
+                        exchange: lr.exchange,
+                        why: "same leg broadcast twice".to_owned(),
+                    });
+                    provenance_ok = false;
+                    break 'walk;
+                }
+                *cell = Some(val[proc]);
+                if let (Some(_), Some(_)) = sent[lr.exchange] {
+                    completions.push(lr.exchange);
+                }
+            }
+            for ei in completions {
+                let ex = &net.exchanges[ei];
+                let (Some(vlo), Some(vhi)) = sent[ei] else {
+                    unreachable!()
+                };
+                // Both participants must still hold the value they sent
+                // (guaranteed by the engagement rule; asserted for clarity).
+                debug_assert_eq!(val[ex.lo], vlo);
+                debug_assert_eq!(val[ex.hi], vhi);
+                let min = dag.len() as u32;
+                dag.push(Prov::Min(vlo, vhi));
+                dag.push(Prov::Max(vlo, vhi));
+                val[ex.lo] = min;
+                val[ex.hi] = min + 1;
+                engaged[ex.lo] = None;
+                engaged[ex.hi] = None;
+                completed_at[ei] = Some(ci);
+            }
+        }
+        if provenance_ok {
+            for (ei, done) in completed_at.iter().enumerate() {
+                if done.is_none() {
+                    nv.push(NetViolation::ExchangeMismatch {
+                        exchange: ei,
+                        why: "exchange never completes".to_owned(),
+                    });
+                    provenance_ok = false;
+                }
+            }
+        }
+        if provenance_ok {
+            // Per-processor declaration order must match completion order:
+            // then the completion sequence and the declaration sequence are
+            // linear extensions of the same partial order, and line-disjoint
+            // comparators commute, so replaying in declaration order is
+            // faithful.
+            let mut last: Vec<Option<(usize, usize)>> = vec![None; p]; // (decl idx, cycle)
+            for (ei, ex) in net.exchanges.iter().enumerate() {
+                let done = completed_at[ei].expect("checked above");
+                for line in [ex.lo, ex.hi] {
+                    if let Some((prev_ei, prev_done)) = last[line] {
+                        if prev_done >= done {
+                            nv.push(NetViolation::ExchangeOrderViolation {
+                                proc: line,
+                                earlier: prev_ei,
+                                later: ei,
+                            });
+                            provenance_ok = false;
+                        }
+                    }
+                    last[line] = Some((ei, done));
+                }
+            }
+        }
+    }
+
+    // ---- sortedness (0-1 principle) ---------------------------------------
+    let comps: Vec<Comparator> = net.exchanges.iter().map(Exchange::comparator).collect();
+    let mut vectors = 0u64;
+    let cert_name = match net.cert {
+        SortCert::Exhaustive => "exhaustive",
+        SortCert::Tree(_) => "tree",
+    };
+    if provenance_ok {
+        match &net.cert {
+            SortCert::Exhaustive => {
+                if p > MAX_EXHAUSTIVE_WIDTH {
+                    nv.push(NetViolation::BadCert {
+                        why: format!(
+                            "exhaustive cert infeasible at p={p} (max {MAX_EXHAUSTIVE_WIDTH}); use a tree cert"
+                        ),
+                    });
+                } else if let Err(v) = check_block(0, p, 0..comps.len(), &comps, &mut vectors) {
+                    nv.push(v);
+                }
+            }
+            SortCert::Tree(cert) => match check_cert(cert, &comps, &mut vectors) {
+                Err(v) => nv.push(v),
+                Ok((first, width, range)) => {
+                    if first != 0 || width != p || range != (0..comps.len()) {
+                        nv.push(NetViolation::BadCert {
+                            why: format!(
+                                "cert covers lines {first}..{} and comparators {range:?}, need lines 0..{p} and comparators 0..{}",
+                                first + width,
+                                comps.len()
+                            ),
+                        });
+                    }
+                }
+            },
+        }
+    }
+
+    SymbolicReport {
+        report,
+        net_violations: nv,
+        cert: cert_name,
+        comparators: comps.len() as u64,
+        vectors,
+        provenance_nodes: dag.len() as u64,
+    }
+}
+
+/// Bit-lane patterns: `PAT[i]` has bit `b` set iff bit `i` of `b` is set.
+const PAT: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+/// Replay comparators over bit-parallel lanes and return the first failing
+/// vector index, if any. `state[j]` holds line `first + j`'s bit for each
+/// of the 64 lanes; `valid` masks the lanes that carry a real vector.
+fn replay_and_check(
+    state: &mut [u64],
+    valid: u64,
+    first: usize,
+    width: usize,
+    comps: &[Comparator],
+    range: &Range<usize>,
+    node: &str,
+) -> Result<(), NetViolation> {
+    for ci in range.clone() {
+        let c = comps[ci];
+        if c.lo < first || c.lo >= first + width || c.hi < first || c.hi >= first + width {
+            return Err(NetViolation::BadCert {
+                why: format!(
+                    "{node}: comparator {ci} ({}, {}) leaves lines {first}..{}",
+                    c.lo,
+                    c.hi,
+                    first + width
+                ),
+            });
+        }
+        let (a, b) = (state[c.lo - first], state[c.hi - first]);
+        state[c.lo - first] = a & b;
+        state[c.hi - first] = a | b;
+    }
+    for j in 0..width.saturating_sub(1) {
+        let bad = state[j] & !state[j + 1] & valid;
+        if bad != 0 {
+            let lane = bad.trailing_zeros() as usize;
+            return Err(NetViolation::SortednessFailure {
+                node: node.to_owned(),
+                witness: format!("lane {lane} (1 on line {} above 0)", first + j),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively check that `comps[range]` sorts lines
+/// `first..first + width` on all `2^width` binary inputs.
+fn check_block(
+    first: usize,
+    width: usize,
+    range: Range<usize>,
+    comps: &[Comparator],
+    vectors: &mut u64,
+) -> Result<(), NetViolation> {
+    if width > MAX_EXHAUSTIVE_WIDTH {
+        return Err(NetViolation::BadCert {
+            why: format!("block width {width} exceeds {MAX_EXHAUSTIVE_WIDTH}"),
+        });
+    }
+    let node = format!("block[{first}..{}]", first + width);
+    let total: u64 = 1u64 << width;
+    *vectors += total;
+    let mut state = vec![0u64; width];
+    let chunks = total.div_ceil(64);
+    for chunk in 0..chunks {
+        let left = total - chunk * 64;
+        let valid = if left >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << left) - 1
+        };
+        for (j, lane) in state.iter_mut().enumerate() {
+            *lane = if j < 6 {
+                PAT[j]
+            } else if (chunk >> (j - 6)) & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+        }
+        let mut witness_err =
+            replay_and_check(&mut state, valid, first, width, comps, &range, &node);
+        if let Err(NetViolation::SortednessFailure { node, witness }) = &mut witness_err {
+            // Rewrite the lane-local witness as the concrete binary input.
+            if let Some(lane) = witness
+                .strip_prefix("lane ")
+                .and_then(|s| s.split_whitespace().next())
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                let v = chunk * 64 + lane;
+                let bits: String = (0..width)
+                    .map(|j| if (v >> j) & 1 == 1 { '1' } else { '0' })
+                    .collect();
+                *witness = format!("{bits} (lines {first}..{})", first + width);
+            }
+            let _ = node;
+        }
+        witness_err?;
+    }
+    Ok(())
+}
+
+/// Check that `comps[merger]` merges two adjacent sorted ranges of widths
+/// `w1` and `w2` (lines `first..`), over all sorted 0-1 input pairs.
+fn check_merger(
+    first: usize,
+    w1: usize,
+    w2: usize,
+    merger: Range<usize>,
+    comps: &[Comparator],
+    vectors: &mut u64,
+) -> Result<(), NetViolation> {
+    let width = w1 + w2;
+    let node = format!("merger[{first}..{} | split {}]", first + width, first + w1);
+    let total = ((w1 + 1) * (w2 + 1)) as u64;
+    *vectors += total;
+    let mut state = vec![0u64; width];
+    let chunks = total.div_ceil(64);
+    for chunk in 0..chunks {
+        let left = total - chunk * 64;
+        let valid = if left >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << left) - 1
+        };
+        state.iter_mut().for_each(|s| *s = 0);
+        for lane in 0..left.min(64) {
+            let t = (chunk * 64 + lane) as usize;
+            // Input t: w1-run with z1 zeros then ones, w2-run with z2 zeros.
+            let (z1, z2) = (t / (w2 + 1), t % (w2 + 1));
+            for (j, s) in state.iter_mut().enumerate() {
+                let one = if j < w1 { j >= z1 } else { j - w1 >= z2 };
+                if one {
+                    *s |= 1u64 << lane;
+                }
+            }
+        }
+        if let Err(e) = replay_and_check(&mut state, valid, first, width, comps, &merger, &node) {
+            return Err(match e {
+                NetViolation::SortednessFailure { node, witness } => {
+                    NetViolation::SortednessFailure { node, witness }
+                }
+                other => other,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Recursively check a certificate; returns `(first, width, comparators)`.
+fn check_cert(
+    cert: &SorterCert,
+    comps: &[Comparator],
+    vectors: &mut u64,
+) -> Result<(usize, usize, Range<usize>), NetViolation> {
+    match cert {
+        SorterCert::Block {
+            first,
+            width,
+            comparators,
+        } => {
+            if *width == 0 || comparators.start > comparators.end || comparators.end > comps.len() {
+                return Err(NetViolation::BadCert {
+                    why: format!("block at line {first}: empty span or bad range {comparators:?}"),
+                });
+            }
+            check_block(*first, *width, comparators.clone(), comps, vectors)?;
+            Ok((*first, *width, comparators.clone()))
+        }
+        SorterCert::Merge { lo, hi, merger } => {
+            let (f1, w1, r1) = check_cert(lo, comps, vectors)?;
+            let (f2, w2, r2) = check_cert(hi, comps, vectors)?;
+            if f2 != f1 + w1 {
+                return Err(NetViolation::BadCert {
+                    why: format!("merge halves not adjacent: {f1}+{w1} vs {f2}"),
+                });
+            }
+            if r2.start != r1.end || merger.start != r2.end || merger.end > comps.len() {
+                return Err(NetViolation::BadCert {
+                    why: format!(
+                        "merge comparator ranges do not tile: {r1:?} + {r2:?} + {merger:?}"
+                    ),
+                });
+            }
+            check_merger(f1, w1, w2, merger.clone(), comps, vectors)?;
+            Ok((f1, w1 + w2, r1.start..merger.end))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Network mutation classes (the symbolic pass's own self-test support)
+// ---------------------------------------------------------------------------
+
+/// Comparator-network fault classes for the mutation self-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Swap a comparator's ends (min lands on the higher line).
+    SwapEnds,
+    /// Remove a comparator and its two carrying broadcasts.
+    DropComparator,
+    /// Move one leg's broadcast onto a channel another writer already
+    /// uses that cycle (a mis-colored layer), or out of range.
+    MiscolorLayer,
+}
+
+impl NetFault {
+    /// Every network fault class, for exhaustive self-tests.
+    pub const ALL: [NetFault; 3] = [
+        NetFault::SwapEnds,
+        NetFault::DropComparator,
+        NetFault::MiscolorLayer,
+    ];
+}
+
+/// Does the mutated network still pass the full symbolic pass? (Used as
+/// the detectability filter: only provably-detected mutations commit.)
+fn still_ok(net: &ObliviousNetwork) -> bool {
+    verify_network(net, &Bounds::none()).is_ok()
+}
+
+/// Seed `fault` into `net`, guaranteeing the symbolic pass flags the
+/// result. Returns a description, or `None` when no site makes the fault
+/// detectable (e.g. every droppable comparator is redundant).
+pub fn seed_net_fault(
+    net: &mut ObliviousNetwork,
+    fault: NetFault,
+    rng: &mut Rng64,
+) -> Option<String> {
+    let n = net.exchanges.len();
+    if n == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.random_range(0..i + 1));
+    }
+    match fault {
+        NetFault::SwapEnds => {
+            for ei in order {
+                let mut mutated = net.clone();
+                let ex = &mut mutated.exchanges[ei];
+                // Swapping roles *and* legs keeps every broadcast in place
+                // but lands the minimum on the higher line.
+                std::mem::swap(&mut ex.lo, &mut ex.hi);
+                std::mem::swap(&mut ex.lo_cycle, &mut ex.hi_cycle);
+                std::mem::swap(&mut ex.lo_chan, &mut ex.hi_chan);
+                if !still_ok(&mutated) {
+                    *net = mutated;
+                    return Some(format!("exchange {ei}: comparator ends swapped"));
+                }
+            }
+            None
+        }
+        NetFault::DropComparator => {
+            for ei in order {
+                let mut mutated = net.clone();
+                let ex = mutated.exchanges.remove(ei);
+                for (cycle, writer, reader) in
+                    [(ex.lo_cycle, ex.lo, ex.hi), (ex.hi_cycle, ex.hi, ex.lo)]
+                {
+                    mutated.schedule.cycles[cycle].intents[writer].write = None;
+                    mutated.schedule.cycles[cycle].intents[reader].read = None;
+                }
+                if !still_ok(&mutated) {
+                    *net = mutated;
+                    return Some(format!(
+                        "exchange {ei}: comparator ({}, {}) dropped",
+                        ex.lo, ex.hi
+                    ));
+                }
+            }
+            None
+        }
+        NetFault::MiscolorLayer => {
+            let ei = order[0];
+            let ex = net.exchanges[ei];
+            let lo_leg = rng.random_range(0..2u64) == 0;
+            let (cycle, writer, reader, chan) = if lo_leg {
+                (ex.lo_cycle, ex.lo, ex.hi, ex.lo_chan)
+            } else {
+                (ex.hi_cycle, ex.hi, ex.lo, ex.hi_chan)
+            };
+            // A channel some *other* writer uses that cycle -> collision;
+            // none -> out of range. Either way the verifier must object.
+            let k = net.schedule.k;
+            let target = net.schedule.cycles[cycle]
+                .intents
+                .iter()
+                .enumerate()
+                .filter(|&(w, i)| w != writer && i.write.is_some())
+                .map(|(_, i)| i.write.unwrap().chan)
+                .find(|&c| c != chan)
+                .unwrap_or(k);
+            let cyc = &mut net.schedule.cycles[cycle];
+            if let Some(w) = &mut cyc.intents[writer].write {
+                w.chan = target;
+            }
+            if let Some(r) = &mut cyc.intents[reader].read {
+                r.chan = target;
+            }
+            let ex = &mut net.exchanges[ei];
+            if lo_leg {
+                ex.lo_chan = target;
+            } else {
+                ex.hi_chan = target;
+            }
+            Some(format!(
+                "exchange {ei}: leg in cycle {cycle} moved from channel {chan} to {target}"
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ScheduleBuilder;
+
+    /// One comparator (0, 1) on two processors, both legs in one cycle.
+    fn single_pair(k: usize) -> ObliviousNetwork {
+        let mut b = ScheduleBuilder::new("pair", 2, k);
+        let exchanges = if k >= 2 {
+            b.begin_cycle();
+            b.write(0, 0);
+            b.read(1, 0);
+            b.write(1, 1);
+            b.read(0, 1);
+            vec![Exchange {
+                lo: 0,
+                hi: 1,
+                lo_cycle: 0,
+                lo_chan: 0,
+                hi_cycle: 0,
+                hi_chan: 1,
+            }]
+        } else {
+            b.begin_cycle();
+            b.write(0, 0);
+            b.read(1, 0);
+            b.begin_cycle();
+            b.write(1, 0);
+            b.read(0, 0);
+            vec![Exchange {
+                lo: 0,
+                hi: 1,
+                lo_cycle: 0,
+                lo_chan: 0,
+                hi_cycle: 1,
+                hi_chan: 0,
+            }]
+        };
+        ObliviousNetwork {
+            schedule: b.finish(),
+            exchanges,
+            cert: SortCert::Exhaustive,
+        }
+    }
+
+    /// A 3-line bubble network, one comparator at a time on k = 2.
+    fn three_sorter() -> ObliviousNetwork {
+        let comps = [(0usize, 1usize), (1, 2), (0, 1)];
+        let mut b = ScheduleBuilder::new("sort3", 3, 2);
+        let mut exchanges = Vec::new();
+        for &(lo, hi) in &comps {
+            let c = b.begin_cycle();
+            b.write(lo, 0);
+            b.read(hi, 0);
+            b.write(hi, 1);
+            b.read(lo, 1);
+            exchanges.push(Exchange {
+                lo,
+                hi,
+                lo_cycle: c,
+                lo_chan: 0,
+                hi_cycle: c,
+                hi_chan: 1,
+            });
+        }
+        ObliviousNetwork {
+            schedule: b.finish(),
+            exchanges,
+            cert: SortCert::Exhaustive,
+        }
+    }
+
+    #[test]
+    fn single_comparator_verifies_on_both_packings() {
+        for k in [1, 2, 3] {
+            let net = single_pair(k);
+            let r = verify_network(&net, &Bounds::none());
+            assert!(r.is_ok(), "k={k}:\n{r}");
+            assert_eq!(r.comparators, 1);
+            assert_eq!(r.vectors, 4); // 2^2 binary inputs
+            assert_eq!(r.provenance_nodes, 4); // 2 inputs + min + max
+        }
+    }
+
+    #[test]
+    fn three_sorter_verifies_and_reports_json() {
+        let net = three_sorter();
+        let r = verify_network(&net, &Bounds::none());
+        assert!(r.is_ok(), "{r}");
+        assert_eq!(r.vectors, 8);
+        let json = r.to_json();
+        assert!(json.starts_with(r#"{"record":"mcb-symbolic","schema":1"#));
+        assert!(json.contains(r#""cert":"exhaustive""#));
+        assert!(json.contains(r#""ok":true"#));
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn flipped_comparator_fails_sortedness() {
+        let mut net = three_sorter();
+        let ex = &mut net.exchanges[1];
+        std::mem::swap(&mut ex.lo, &mut ex.hi);
+        std::mem::swap(&mut ex.lo_cycle, &mut ex.hi_cycle);
+        std::mem::swap(&mut ex.lo_chan, &mut ex.hi_chan);
+        let r = verify_network(&net, &Bounds::none());
+        assert!(!r.is_ok());
+        assert!(r
+            .net_violations
+            .iter()
+            .any(|v| v.kind() == "sortedness_failure"));
+    }
+
+    #[test]
+    fn unsorted_network_reports_witness() {
+        // Two lines, zero comparators: input 0b01 (line 0 = 1, line 1 = 0).
+        let mut b = ScheduleBuilder::new("noop", 2, 1);
+        b.begin_cycle();
+        let net = ObliviousNetwork {
+            schedule: b.finish(),
+            exchanges: vec![],
+            cert: SortCert::Exhaustive,
+        };
+        let r = verify_network(&net, &Bounds::none());
+        assert!(!r.is_ok());
+        assert!(r.net_violations.iter().any(|v| matches!(
+            v,
+            NetViolation::SortednessFailure { witness, .. } if witness.starts_with("10")
+        )));
+    }
+
+    #[test]
+    fn stray_broadcast_is_unmatched() {
+        let mut net = single_pair(2);
+        // An extra cycle with a broadcast no exchange declares.
+        net.schedule.cycles.push(crate::ir::CycleIntents {
+            intents: vec![
+                crate::ir::Intent {
+                    write: Some(crate::ir::WriteIntent {
+                        chan: 0,
+                        may_suppress: false,
+                    }),
+                    read: None,
+                },
+                crate::ir::Intent::default(),
+            ],
+        });
+        let r = verify_network(&net, &Bounds::none());
+        assert!(!r.is_ok());
+        assert!(r
+            .net_violations
+            .iter()
+            .any(|v| v.kind() == "unmatched_broadcast"));
+    }
+
+    #[test]
+    fn suppressible_and_maybe_empty_are_not_oblivious() {
+        let mut net = single_pair(2);
+        net.schedule.cycles[0].intents[0]
+            .write
+            .as_mut()
+            .unwrap()
+            .may_suppress = true;
+        net.schedule.cycles[0].intents[0]
+            .read
+            .as_mut()
+            .unwrap()
+            .expect = Expect::MaybeEmpty;
+        let r = verify_network(&net, &Bounds::none());
+        let kinds: Vec<_> = r.net_violations.iter().map(NetViolation::kind).collect();
+        assert!(kinds.contains(&"non_oblivious_intent"));
+    }
+
+    #[test]
+    fn overlapping_exchange_is_flagged() {
+        // P0 broadcasts its leg of exchange 0, then (before exchange 0
+        // completes) its leg of exchange 1.
+        let mut b = ScheduleBuilder::new("overlap", 3, 1);
+        b.begin_cycle(); // c0: P0 -> P1 (exchange 0, leg lo)
+        b.write(0, 0);
+        b.read(1, 0);
+        b.begin_cycle(); // c1: P0 -> P2 (exchange 1, leg lo) -- overlap!
+        b.write(0, 0);
+        b.read(2, 0);
+        b.begin_cycle(); // c2: P1 -> P0 completes exchange 0
+        b.write(1, 0);
+        b.read(0, 0);
+        b.begin_cycle(); // c3: P2 -> P0 completes exchange 1
+        b.write(2, 0);
+        b.read(0, 0);
+        let net = ObliviousNetwork {
+            schedule: b.finish(),
+            exchanges: vec![
+                Exchange {
+                    lo: 0,
+                    hi: 1,
+                    lo_cycle: 0,
+                    lo_chan: 0,
+                    hi_cycle: 2,
+                    hi_chan: 0,
+                },
+                Exchange {
+                    lo: 0,
+                    hi: 2,
+                    lo_cycle: 1,
+                    lo_chan: 0,
+                    hi_cycle: 3,
+                    hi_chan: 0,
+                },
+            ],
+            cert: SortCert::Exhaustive,
+        };
+        let r = verify_network(&net, &Bounds::none());
+        assert!(!r.is_ok());
+        assert!(r
+            .net_violations
+            .iter()
+            .any(|v| matches!(v, NetViolation::ExchangeMismatch { why, .. } if why.contains("still open"))));
+    }
+
+    #[test]
+    fn tree_cert_checks_blocks_and_merger() {
+        // Lines 0..4: blocks {0,1} and {2,3}, merged by the 3-comparator
+        // odd-even merger (0,2)(1,3)(1,2).
+        let comps = [(0usize, 1usize), (2, 3), (0, 2), (1, 3), (1, 2)];
+        let mut b = ScheduleBuilder::new("merge4", 4, 2);
+        let mut exchanges = Vec::new();
+        for &(lo, hi) in &comps {
+            let c = b.begin_cycle();
+            b.write(lo, 0);
+            b.read(hi, 0);
+            b.write(hi, 1);
+            b.read(lo, 1);
+            exchanges.push(Exchange {
+                lo,
+                hi,
+                lo_cycle: c,
+                lo_chan: 0,
+                hi_cycle: c,
+                hi_chan: 1,
+            });
+        }
+        let cert = SortCert::Tree(SorterCert::Merge {
+            lo: Box::new(SorterCert::Block {
+                first: 0,
+                width: 2,
+                comparators: 0..1,
+            }),
+            hi: Box::new(SorterCert::Block {
+                first: 2,
+                width: 2,
+                comparators: 1..2,
+            }),
+            merger: 2..5,
+        });
+        let net = ObliviousNetwork {
+            schedule: b.finish(),
+            exchanges,
+            cert,
+        };
+        let r = verify_network(&net, &Bounds::none());
+        assert!(r.is_ok(), "{r}");
+        assert_eq!(r.cert, "tree");
+        // 2^2 + 2^2 + 3*3 sorted pairs.
+        assert_eq!(r.vectors, 4 + 4 + 9);
+
+        // Break the merger: drop its last comparator from the cert range.
+        let mut bad = net.clone();
+        bad.cert = SortCert::Tree(SorterCert::Merge {
+            lo: Box::new(SorterCert::Block {
+                first: 0,
+                width: 2,
+                comparators: 0..1,
+            }),
+            hi: Box::new(SorterCert::Block {
+                first: 2,
+                width: 2,
+                comparators: 1..2,
+            }),
+            merger: 2..4,
+        });
+        let r = verify_network(&bad, &Bounds::none());
+        assert!(!r.is_ok());
+        assert!(r
+            .net_violations
+            .iter()
+            .any(|v| v.kind() == "bad_cert" || v.kind() == "sortedness_failure"));
+    }
+
+    #[test]
+    fn net_faults_are_seeded_and_detected() {
+        let mut rng = Rng64::seed_from_u64(0xC0FFEE);
+        for fault in NetFault::ALL {
+            let mut seeded = 0;
+            for _ in 0..8 {
+                let mut net = three_sorter();
+                if let Some(desc) = seed_net_fault(&mut net, fault, &mut rng) {
+                    seeded += 1;
+                    let r = verify_network(&net, &Bounds::none());
+                    assert!(!r.is_ok(), "{fault:?} ({desc}) escaped:\n{r}");
+                }
+            }
+            assert!(seeded > 0, "{fault:?} never seeded");
+        }
+    }
+}

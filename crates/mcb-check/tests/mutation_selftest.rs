@@ -8,11 +8,12 @@
 //! leaning on cycle/message counts.
 
 use mcb_algos::columnsort::Transform;
+use mcb_algos::networks::{NetworkKind, NetworkSpec};
 use mcb_algos::static_schedule::{
     ColumnsortNetSpec, DirectSortSpec, ExtremaSpec, GroupedSortSpec, NaiveSelectSpec,
     PartialSumsSpec, RankSortSpec, SelectSpec, StaticSchedule, TotalSpec, TransformSpec,
 };
-use mcb_check::{seed_fault, verify, Bounds, Fault};
+use mcb_check::{seed_fault, seed_net_fault, verify, verify_network, Bounds, Fault, NetFault};
 use mcb_rng::Rng64;
 
 fn battery() -> Vec<(&'static str, Box<dyn StaticSchedule>)> {
@@ -110,6 +111,72 @@ fn every_seeded_fault_is_detected_on_every_algorithm() {
     assert!(
         seeded_total > 200,
         "battery too small: {seeded_total} seedings"
+    );
+}
+
+/// Comparator-network mutation classes go through the *symbolic* pass:
+/// swapped ends and dropped comparators keep the schedule structurally
+/// valid (the ordinary verifier cannot see them) and are caught by the
+/// 0-1 sortedness prover; mis-colored layers collide or leave the channel
+/// range and are caught structurally. 100% detection, same as the
+/// schedule-level classes.
+#[test]
+fn every_seeded_network_fault_is_detected() {
+    let mut rng = Rng64::seed_from_u64(0x0E7);
+    let battery = [
+        NetworkSpec {
+            kind: NetworkKind::Batcher,
+            p: 8,
+            k: 4,
+        },
+        NetworkSpec {
+            kind: NetworkKind::Batcher,
+            p: 11,
+            k: 1,
+        },
+        NetworkSpec {
+            kind: NetworkKind::BoseNelson,
+            p: 10,
+            k: 2,
+        },
+        NetworkSpec {
+            kind: NetworkKind::Multiway { group: 3 },
+            p: 9,
+            k: 6,
+        },
+    ];
+    let mut per_fault = [0u64; NetFault::ALL.len()];
+    for spec in battery {
+        let pristine = spec.compile();
+        assert!(
+            verify_network(&pristine, &spec.bounds()).is_ok(),
+            "{spec:?}: battery network must start valid"
+        );
+        for (fi, fault) in NetFault::ALL.into_iter().enumerate() {
+            for _ in 0..8 {
+                let mut mutated = pristine.clone();
+                let Some(desc) = seed_net_fault(&mut mutated, fault, &mut rng) else {
+                    continue;
+                };
+                per_fault[fi] += 1;
+                let report = verify_network(&mutated, &Bounds::none());
+                assert!(
+                    !report.is_ok(),
+                    "{spec:?}: {fault:?} ({desc}) escaped the symbolic pass:\n{report}"
+                );
+            }
+        }
+    }
+    for (fi, fault) in NetFault::ALL.into_iter().enumerate() {
+        assert!(
+            per_fault[fi] > 0,
+            "{fault:?} never seeded across the network battery"
+        );
+    }
+    let seeded_total: u64 = per_fault.iter().sum();
+    assert!(
+        seeded_total >= 90,
+        "network battery too small: {seeded_total} seedings"
     );
 }
 

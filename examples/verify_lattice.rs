@@ -9,17 +9,31 @@
 //! collision-freedom, read-validity, data-flow, and the paper's
 //! closed-form bounds.
 //!
+//! Compiled comparator networks ride along: every `NetworkSpec` in the
+//! sweep goes through the *symbolic* pass (`mcb_check::verify_network`),
+//! which proves sortedness for all inputs with zero concrete-key round
+//! simulation, and its verdict is emitted as an `mcb-symbolic` JSONL
+//! record next to the structural ones.
+//!
 //! ```text
 //! cargo run --release --example verify_lattice            # sweep, summary
 //! cargo run --release --example verify_lattice -- --max-p 16
 //! cargo run --release --example verify_lattice -- --jsonl sweep.jsonl
+//! cargo run --release --example verify_lattice -- --quick       # CI smoke subset
+//! cargo run --release --example verify_lattice -- --shard 2/4   # CI matrix leg
 //! ```
+//!
+//! `--shard i/n` deals the (deterministic) sweep round-robin onto `n`
+//! legs and runs only leg `i` (1-based), so CI can split the full sweep
+//! across a job matrix; the union of all legs is exactly the unsharded
+//! sweep. `--quick` runs a reduced subset for smoke coverage.
 //!
 //! Exit status is non-zero if any schedule fails verification; failing
 //! reports are printed in full. With `--jsonl`, one deterministic JSON
 //! line per verified schedule is written for offline analysis.
 
 use mcb_algos::columnsort::{min_column_length, ALL_TRANSFORMS};
+use mcb_algos::networks::{NetworkKind, NetworkSpec, MAX_OPTIMAL_WIDTH};
 use mcb_algos::static_schedule::{
     ColumnsortNetSpec, DirectSortSpec, ExtremaSpec, GroupedSortSpec, NaiveSelectSpec,
     PartialSumsSpec, RankSortSpec, SelectSpec, StaticSchedule, TotalSpec, TransformSpec,
@@ -33,13 +47,46 @@ struct Sweep {
     cycles: u64,
     failures: Vec<String>,
     jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    /// Round-robin dealing position and `(leg, legs)` from `--shard`.
+    next: u64,
+    shard: (u64, u64),
 }
 
 impl Sweep {
+    /// One slot of the deterministic sweep order; returns whether this
+    /// shard leg owns it. Must be called exactly once per candidate spec
+    /// regardless of shard, so every leg deals the same sequence.
+    fn claims(&mut self) -> bool {
+        let slot = self.next;
+        self.next += 1;
+        let (leg, legs) = self.shard;
+        slot % legs == leg - 1
+    }
+
     fn check(&mut self, spec: &dyn StaticSchedule) {
+        if !self.claims() {
+            return;
+        }
         let report = spec.check();
         self.schedules += 1;
         self.cycles += report.stats.cycles;
+        if let Some(out) = &mut self.jsonl {
+            writeln!(out, "{}", report.to_json()).expect("write jsonl");
+        }
+        if !report.is_ok() {
+            self.failures.push(report.to_string());
+        }
+    }
+
+    /// Networks go through the symbolic pass instead of (structural-only)
+    /// `spec.check()`; the JSONL record is the richer `mcb-symbolic` one.
+    fn check_network(&mut self, spec: &NetworkSpec) {
+        if !self.claims() {
+            return;
+        }
+        let report = spec.check_symbolic();
+        self.schedules += 1;
+        self.cycles += report.report.stats.cycles;
         if let Some(out) = &mut self.jsonl {
             writeln!(out, "{}", report.to_json()).expect("write jsonl");
         }
@@ -68,6 +115,9 @@ fn keys(count: usize, salt: u64) -> Vec<u64> {
 
 fn main() {
     let mut max_p = 64usize;
+    let mut max_p_given = false;
+    let mut quick = false;
+    let mut shard = (1u64, 1u64);
     let mut jsonl_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,6 +127,20 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--max-p needs a number");
+                max_p_given = true;
+            }
+            "--quick" => quick = true,
+            "--shard" => {
+                let spec = args.next().expect("--shard needs i/n");
+                let (i, n) = spec.split_once('/').expect("--shard format is i/n");
+                shard = (
+                    i.parse().expect("--shard leg must be a number"),
+                    n.parse().expect("--shard count must be a number"),
+                );
+                assert!(
+                    shard.1 >= 1 && (1..=shard.1).contains(&shard.0),
+                    "--shard needs 1 <= i <= n"
+                );
             }
             "--jsonl" => jsonl_path = Some(args.next().expect("--jsonl needs a path")),
             other => {
@@ -85,6 +149,9 @@ fn main() {
             }
         }
     }
+    if quick && !max_p_given {
+        max_p = 16;
+    }
 
     let mut sweep = Sweep {
         schedules: 0,
@@ -92,14 +159,17 @@ fn main() {
         failures: Vec::new(),
         jsonl: jsonl_path
             .map(|p| std::io::BufWriter::new(std::fs::File::create(p).expect("create jsonl file"))),
+        next: 0,
+        shard,
     };
     let start = Instant::now();
 
     // Transformation schedules with the full data-flow layer, over legal
     // (m, k) shapes; dummy-padded Columnsort alongside.
+    let max_mult = if quick { 1 } else { 3 };
     for k in 1..=8usize {
         let floor = min_column_length(k);
-        for mult in 1..=3usize {
+        for mult in 1..=max_mult {
             let m = floor * mult;
             for tf in ALL_TRANSFORMS {
                 sweep.check(&TransformSpec {
@@ -179,6 +249,49 @@ fn main() {
         for m in [1usize, 2, floor.saturating_sub(1).max(1), floor, floor + 1] {
             sweep.check(&DirectSortSpec { p, m });
         }
+    }
+
+    // Oblivious comparator networks: each spec is compiled onto its k
+    // channels and proven sort-correct for *all* inputs by the symbolic
+    // pass — exhaustive 0-1 replay up to 20 lines, provenance-tree
+    // certificates above. No concrete-key round simulation anywhere.
+    let batcher_ps: Vec<usize> = if quick {
+        vec![4, 8, 16, 24, 33, max_p.max(33)]
+    } else {
+        (4..=max_p.max(4)).collect()
+    };
+    for &p in &batcher_ps {
+        for k in [1usize, 2, 4, 8] {
+            sweep.check_network(&NetworkSpec {
+                kind: NetworkKind::Batcher,
+                p,
+                k,
+            });
+        }
+    }
+    for p in 2..=MAX_OPTIMAL_WIDTH {
+        for k in [1usize, 3, 6] {
+            sweep.check_network(&NetworkSpec {
+                kind: NetworkKind::BoseNelson,
+                p,
+                k,
+            });
+        }
+    }
+    // Multiway n-sorter mergers: group sizes that do and don't divide p,
+    // straddling the exhaustive/tree certificate boundary.
+    for (p, group, k) in [
+        (9usize, 3usize, 2usize),
+        (15, 5, 4),
+        (20, 4, 3),
+        (26, 6, 8),
+        (40, 8, 16),
+    ] {
+        sweep.check_network(&NetworkSpec {
+            kind: NetworkKind::Multiway { group },
+            p,
+            k,
+        });
     }
 
     let elapsed = start.elapsed();

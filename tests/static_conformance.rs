@@ -6,6 +6,7 @@
 //! schedule — same cycle count, and a wire log that matches the write
 //! intents broadcast for broadcast (suppressed dummies excepted).
 
+use mcb_algos::networks::{network_sort_in, NetworkKind, NetworkSpec};
 use mcb_algos::partial_sums::{partial_sums_in, total_in, Op};
 use mcb_algos::select::naive::select_by_sorting_in;
 use mcb_algos::select::select_rank_in;
@@ -204,6 +205,46 @@ fn selection_replays() {
         .unwrap();
     let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
     assert_replay(&spec, &log, &report.metrics);
+}
+
+/// Compiled comparator networks: the schedule is proven for all inputs by
+/// the *symbolic* pass (zero concrete keys), and the engine trace must
+/// still replay it broadcast for broadcast — closing the loop between the
+/// once-for-all proof and an actual run on whichever backend CI forces.
+#[test]
+fn compiled_networks_replay() {
+    for (kind, p, k) in [
+        (NetworkKind::Batcher, 8usize, 2usize),
+        (NetworkKind::Batcher, 13, 5),
+        (NetworkKind::Batcher, 6, 1),
+        (NetworkKind::BoseNelson, 11, 4),
+        (NetworkKind::Multiway { group: 4 }, 14, 3),
+    ] {
+        let spec = NetworkSpec { kind, p, k };
+        // The symbolic proof, not just the structural one.
+        let symbolic = spec.check_symbolic();
+        assert!(symbolic.is_ok(), "{kind:?} p={p} k={k}:\n{symbolic}");
+        let net = std::sync::Arc::new(spec.compile());
+        let input = keys(p, 42 + p as u64);
+        let expected = {
+            let mut s = input.clone();
+            s.sort_unstable();
+            s
+        };
+        let run_net = net.clone();
+        let run_input = input.clone();
+        let report = Network::new(p, k)
+            .record_trace(true)
+            .run(move |ctx| network_sort_in(ctx, &run_net, run_input[ctx.id().index()]))
+            .unwrap();
+        let log = report.trace.as_ref().unwrap().to_wire_log(p, k);
+        assert_replay(&spec, &log, &report.metrics);
+        assert_eq!(
+            report.into_results(),
+            expected,
+            "{kind:?} p={p} k={k}: network output unsorted"
+        );
+    }
 }
 
 #[test]
