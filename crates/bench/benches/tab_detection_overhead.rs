@@ -34,14 +34,14 @@ fn unframed_baseline(m: usize, k: usize) -> mcb_net::Metrics {
             let me = ctx.id().index();
             let mut state = prog.initial();
             while let Some(phase) = prog.next_phase(&state) {
-                let rounds = prog.rounds(&state, phase);
+                let rounds = prog.rounds(&state, &phase);
                 let mut received = Vec::with_capacity(rounds.len());
                 for (t, (role, word)) in rounds.iter().enumerate() {
                     let chan = ChanId::from_index(t % k);
                     let write = (role % k == me).then(|| (chan, word.clone()));
                     received.push(ctx.cycle(write, Some(chan)).expect("fault-free"));
                 }
-                state = prog.apply(&state, phase, &received);
+                state = prog.apply(&state, &phase, &received);
             }
         })
         .expect("baseline run")

@@ -145,16 +145,19 @@ pub trait HealProgram<K: Key>: Send + Sync {
     /// The state before any phase has run.
     fn initial(&self) -> Self::State;
 
-    /// The next phase to run from `state`, or `None` when finished.
-    fn next_phase(&self, state: &Self::State) -> Option<&'static str>;
+    /// The next phase to run from `state`, or `None` when finished. The
+    /// label is owned so composed programs (e.g.
+    /// [`BatchProgram`](crate::batch::BatchProgram)) can attribute phases
+    /// per tenant — `"job3:sel:counts"` — without leaking statics.
+    fn next_phase(&self, state: &Self::State) -> Option<String>;
 
     /// The phase's broadcast schedule: round `t` has role `rounds[t].0`
     /// broadcasting word `rounds[t].1`. Empty for local phases.
-    fn rounds(&self, state: &Self::State, phase: &'static str) -> Vec<(usize, Word<K>)>;
+    fn rounds(&self, state: &Self::State, phase: &str) -> Vec<(usize, Word<K>)>;
 
     /// Fold a cleanly completed phase into the state; `received[t]` is the
     /// word actually read in round `t`.
-    fn apply(&self, state: &Self::State, phase: &'static str, received: &[Word<K>]) -> Self::State;
+    fn apply(&self, state: &Self::State, phase: &str, received: &[Word<K>]) -> Self::State;
 
     /// Upper bound on any phase's round count (for the cycle bound).
     fn max_phase_rounds(&self) -> u64;
@@ -178,9 +181,9 @@ pub fn run_program_in<K: Key, P: HealProgram<K>>(
     let me = ctx.id().index();
     let mut committed = prog.initial();
     while let Some(phase) = prog.next_phase(&committed) {
-        ctx.phase(phase);
+        ctx.phase(&phase);
         'replay: loop {
-            let rounds = prog.rounds(&committed, phase);
+            let rounds = prog.rounds(&committed, &phase);
             let mut received: Vec<Word<K>> = Vec::with_capacity(rounds.len());
             for (t, (role, word)) in rounds.iter().enumerate() {
                 let chan = ectx.phys_channel(t);
@@ -212,7 +215,7 @@ pub fn run_program_in<K: Key, P: HealProgram<K>>(
                     }
                 }
             }
-            committed = prog.apply(&committed, phase, &received);
+            committed = prog.apply(&committed, &phase, &received);
             break 'replay;
         }
     }
@@ -226,10 +229,10 @@ pub fn run_program_offline<K: Key, P: HealProgram<K>>(prog: &P) -> (P::Output, u
     let mut state = prog.initial();
     let mut cycles = 0u64;
     while let Some(phase) = prog.next_phase(&state) {
-        let rounds = prog.rounds(&state, phase);
+        let rounds = prog.rounds(&state, &phase);
         cycles += rounds.len() as u64;
         let received: Vec<Word<K>> = rounds.into_iter().map(|(_, w)| w).collect();
-        state = prog.apply(&state, phase, &received);
+        state = prog.apply(&state, &phase, &received);
     }
     (prog.output(&state), cycles)
 }
@@ -303,11 +306,11 @@ impl<K: Key> HealProgram<K> for ColumnsortProgram<K> {
         }
     }
 
-    fn next_phase(&self, state: &CsState<K>) -> Option<&'static str> {
-        CS_PHASES.get(state.phase_idx).copied()
+    fn next_phase(&self, state: &CsState<K>) -> Option<String> {
+        CS_PHASES.get(state.phase_idx).map(|&s| s.to_owned())
     }
 
-    fn rounds(&self, state: &CsState<K>, _phase: &'static str) -> Vec<(usize, Word<K>)> {
+    fn rounds(&self, state: &CsState<K>, _phase: &str) -> Vec<(usize, Word<K>)> {
         match PHASES[state.phase_idx] {
             Phase::SortColumns | Phase::SortColumnsExceptFirst => Vec::new(),
             Phase::Apply(_) => (0..self.m * self.k0)
@@ -316,7 +319,7 @@ impl<K: Key> HealProgram<K> for ColumnsortProgram<K> {
         }
     }
 
-    fn apply(&self, state: &CsState<K>, _phase: &'static str, received: &[Word<K>]) -> CsState<K> {
+    fn apply(&self, state: &CsState<K>, _phase: &str, received: &[Word<K>]) -> CsState<K> {
         let mut next = state.clone();
         match PHASES[state.phase_idx] {
             Phase::SortColumns => {
@@ -437,16 +440,16 @@ impl<K: Key> HealProgram<K> for SelectProgram<K> {
         }
     }
 
-    fn next_phase(&self, state: &SelState<K>) -> Option<&'static str> {
+    fn next_phase(&self, state: &SelState<K>) -> Option<String> {
         match state.stage {
-            SelStage::Medians => Some("sel:medians"),
-            SelStage::Counts { .. } => Some("sel:counts"),
-            SelStage::Gather => Some("sel:gather"),
+            SelStage::Medians => Some("sel:medians".to_owned()),
+            SelStage::Counts { .. } => Some("sel:counts".to_owned()),
+            SelStage::Gather => Some("sel:gather".to_owned()),
             SelStage::Done { .. } => None,
         }
     }
 
-    fn rounds(&self, state: &SelState<K>, _phase: &'static str) -> Vec<(usize, Word<K>)> {
+    fn rounds(&self, state: &SelState<K>, _phase: &str) -> Vec<(usize, Word<K>)> {
         match &state.stage {
             SelStage::Medians => (0..state.lists.len())
                 .flat_map(|r| {
@@ -481,7 +484,7 @@ impl<K: Key> HealProgram<K> for SelectProgram<K> {
         }
     }
 
-    fn apply(&self, state: &SelState<K>, phase: &'static str, received: &[Word<K>]) -> SelState<K> {
+    fn apply(&self, state: &SelState<K>, phase: &str, received: &[Word<K>]) -> SelState<K> {
         let mut next = state.clone();
         match phase {
             "sel:medians" => {
@@ -596,7 +599,7 @@ pub fn heal_schedule<K: Key, P: HealProgram<K>>(
     let mut b = mcb_check::ScheduleBuilder::new("self-heal", p, k);
     let mut state = prog.initial();
     while let Some(phase) = prog.next_phase(&state) {
-        let rounds = prog.rounds(&state, phase);
+        let rounds = prog.rounds(&state, &phase);
         for (t, (role, _)) in rounds.iter().enumerate() {
             let chan = t % k;
             b.begin_cycle();
@@ -606,7 +609,7 @@ pub fn heal_schedule<K: Key, P: HealProgram<K>>(
             }
         }
         let received: Vec<Word<K>> = rounds.into_iter().map(|(_, w)| w).collect();
-        state = prog.apply(&state, phase, &received);
+        state = prog.apply(&state, &phase, &received);
     }
     b.finish()
 }
@@ -652,6 +655,8 @@ pub struct SelfHealing {
     opts: EpochOpts,
     record_trace: bool,
     monitor: Option<RunMonitor>,
+    stall_window: Option<u64>,
+    cycle_budget: Option<u64>,
 }
 
 /// Outcome of [`SelfHealing::sort_columns`].
@@ -706,6 +711,8 @@ impl SelfHealing {
             opts: EpochOpts::default(),
             record_trace: false,
             monitor: None,
+            stall_window: None,
+            cycle_budget: None,
         }
     }
 
@@ -743,6 +750,44 @@ impl SelfHealing {
         self
     }
 
+    /// Surface the engine's livelock watchdog
+    /// ([`Network::stall_window`](mcb_net::Network::stall_window)) on the
+    /// builder: a healed run in which `window` consecutive cycles deliver
+    /// no message and finish no processor fails with
+    /// [`NetError::Stalled`] instead of spinning. Long-running callers
+    /// (the `mcb-serve` batcher) set this so a pathological plan turns
+    /// into a typed error, never a hang.
+    pub fn stall_window(mut self, window: u64) -> Self {
+        self.stall_window = Some(window);
+        self
+    }
+
+    /// Surface the engine's runaway-protection cycle budget
+    /// ([`Network::cycle_budget`](mcb_net::Network::cycle_budget)) on the
+    /// builder: exceeding it fails with
+    /// [`mcb_net::NetError::CycleBudgetExhausted`].
+    pub fn cycle_budget(mut self, budget: u64) -> Self {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Run an arbitrary [`HealProgram`] on `MCB(p, k)` under the plan —
+    /// the generic engine behind [`sort_columns`](Self::sort_columns) and
+    /// [`select_rank`](Self::select_rank), public so external callers
+    /// (the `mcb-serve` batcher) can drive their own programs through
+    /// the same self-heal stack.
+    pub fn run_program<K: Key, P: HealProgram<K>>(
+        &self,
+        p: usize,
+        k: usize,
+        prog: P,
+    ) -> Result<HealedRun<K, P::Output>, NetError>
+    where
+        P::Output: Clone + Send + 'static,
+    {
+        self.run_healed(p, k, prog)
+    }
+
     /// Run a [`HealProgram`] on `MCB(p, k)` under the plan, returning the
     /// first survivor's output and reconfiguration log plus the run
     /// report's pieces. The generic engine behind both drivers.
@@ -762,6 +807,12 @@ impl SelfHealing {
             .framing(true)
             .record_trace(self.record_trace)
             .fault_plan(self.plan.clone());
+        if let Some(window) = self.stall_window {
+            net = net.stall_window(window);
+        }
+        if let Some(budget) = self.cycle_budget {
+            net = net.cycle_budget(budget);
+        }
         if let Some(mon) = &self.monitor {
             net = net.monitor(mon);
         }
@@ -789,8 +840,11 @@ impl SelfHealing {
         })
     }
 
-    /// The cost contract `L + R × (W + C)` for a finished run.
-    fn bound(&self, p: usize, k: usize, l: u64, max_rounds: u64, reconfigs: u64) -> u64 {
+    /// The cost contract `L + R × (W + C)` for a finished run on
+    /// `MCB(p, k)`: `l` fault-free cycles plus, per committed
+    /// reconfiguration, at most one replayed phase window of `max_rounds`
+    /// rounds and one census sweep (see the [module docs](self)).
+    pub fn bound(&self, p: usize, k: usize, l: u64, max_rounds: u64, reconfigs: u64) -> u64 {
         l + reconfigs * (max_rounds + EpochCtx::census_cost(p, k, &self.opts))
     }
 
@@ -857,14 +911,24 @@ impl SelfHealing {
     }
 }
 
-/// Internal carrier for [`SelfHealing::run_healed`].
-struct HealedRun<K, O> {
-    output: O,
-    epochs: Vec<EpochRecord>,
-    metrics: Metrics,
-    fault_summary: Option<FaultSummary>,
-    trace: Option<Trace<Word<K>>>,
-    fault_free_cycles: u64,
+/// Outcome of [`SelfHealing::run_program`]: the generic carrier behind
+/// [`HealedSort`] and [`HealedSelect`].
+#[derive(Debug, Clone)]
+pub struct HealedRun<K, O> {
+    /// The program's [`output`](HealProgram::output), taken from the
+    /// first survivor (identical on all of them).
+    pub output: O,
+    /// The committed reconfigurations, oldest first.
+    pub epochs: Vec<EpochRecord>,
+    /// Network costs; `metrics.cycles` includes detection, censuses, and
+    /// replays.
+    pub metrics: Metrics,
+    /// The plan's summary (seed and planned-fault counts).
+    pub fault_summary: Option<FaultSummary>,
+    /// Wire trace, when [`SelfHealing::record_trace`] was enabled.
+    pub trace: Option<Trace<Word<K>>>,
+    /// Cycles the same program takes fault-free (`L`).
+    pub fault_free_cycles: u64,
 }
 
 #[cfg(test)]
@@ -962,6 +1026,29 @@ mod tests {
             .select_rank(2, vec![vec![1u64], vec![]], 1)
             .unwrap_err();
         assert!(matches!(err, NetError::BadConfig(_)));
+    }
+
+    #[test]
+    fn stalled_healed_run_surfaces_stalled_not_livelock() {
+        use mcb_net::ChanId;
+        let (m, k) = (6, 2);
+        // Drop every channel's slot for longer than any census could
+        // need, and make the census budget enormous: without a watchdog
+        // the epoch machinery sweeps silence until `census_retries` runs
+        // out. The builder's `stall_window` turns that grind into a
+        // typed [`NetError::Stalled`] within a handful of cycles.
+        let mut plan = FaultPlan::new(k, k);
+        for cycle in 0..4096 {
+            for chan in 0..k as u32 {
+                plan = plan.drop_message(cycle, ChanId(chan));
+            }
+        }
+        let err = SelfHealing::new(plan)
+            .census_retries(100_000)
+            .stall_window(8)
+            .sort_columns(m, cols(m, k, 5))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Stalled { .. }), "got {err:?}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | §1    | [`extrema`] | extrema finding (the related-work warm-up problem) via Partial-Sums |
 //! | §2    | [`resilient`] | the algorithms on *faulty* hardware: the simulation lemma as a channel-failover mechanism |
 //! | §2+§5/§8 | [`heal`] | self-healing variants with **no fault oracle**: wire-level detection, epoch reconfiguration, crash takeover |
+//! | service | [`batch`] | many sort/select jobs composed into one healed run: disjoint role groups, round-robin phase interleaving, per-tenant attribution |
 //! | §5 (oblivious) | [`networks`] | comparator-network compiler: Batcher / optimal small / multiway-merge networks packed onto `k` channels, proven sort-correct for **all** inputs by `mcb_check::symbolic` |
 //!
 //! All distributed algorithms come in two forms: a driver (`sort_grouped`,
@@ -42,6 +43,7 @@
 // schedule math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batch;
 pub mod columnsort;
 pub mod extrema;
 pub mod heal;

@@ -65,6 +65,7 @@ pub struct Resilient {
     opts: ResilientOpts,
     backend: Backend,
     monitor: Option<RunMonitor>,
+    stall_window: Option<u64>,
 }
 
 /// Outcome of [`Resilient::sort_columns`].
@@ -110,6 +111,7 @@ impl Resilient {
             opts: ResilientOpts::default(),
             backend: Backend::Auto,
             monitor: None,
+            stall_window: None,
         }
     }
 
@@ -135,6 +137,16 @@ impl Resilient {
         self
     }
 
+    /// Surface the engine's livelock watchdog
+    /// ([`Network::stall_window`]) on the builder: a degraded run in
+    /// which `window` consecutive cycles deliver no message and finish
+    /// no processor fails with [`NetError::Stalled`] instead of burning
+    /// retries forever. `u64::MAX` disables the watchdog.
+    pub fn stall_window(mut self, window: u64) -> Self {
+        self.stall_window = Some(window);
+        self
+    }
+
     /// Sort `cols.len()` columns of padded length `m` (one per processor,
     /// `p = k = cols.len()`, the §5.2 base case) under the fault plan.
     /// The plan must be shaped for `MCB(cols.len(), cols.len())`.
@@ -156,6 +168,9 @@ impl Resilient {
         let mut net = Network::new(k_cols, k_cols)
             .backend(self.backend)
             .fault_plan(self.plan.clone());
+        if let Some(window) = self.stall_window {
+            net = net.stall_window(window);
+        }
         if let Some(mon) = &self.monitor {
             net = net.monitor(mon);
         }
@@ -210,6 +225,9 @@ impl Resilient {
         let mut net = Network::new(p, k)
             .backend(self.backend)
             .fault_plan(self.plan.clone());
+        if let Some(window) = self.stall_window {
+            net = net.stall_window(window);
+        }
         if let Some(mon) = &self.monitor {
             net = net.monitor(mon);
         }
@@ -288,6 +306,29 @@ mod tests {
             .sort_columns(m, cols(m, k))
             .unwrap_err();
         assert!(matches!(err, NetError::Unrecoverable { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn stalled_run_surfaces_stalled_not_livelock() {
+        let (m, k) = (6, 2);
+        // Every channel's slot is dropped for far longer than the run
+        // could ever need, and the retry budget is effectively unbounded:
+        // without a watchdog this grinds through retries for the whole
+        // horizon. With `stall_window` set on the builder the engine
+        // notices that no message has been delivered for `window`
+        // consecutive cycles and fails typed instead of livelocking.
+        let mut plan = FaultPlan::new(k, k);
+        for cycle in 0..512 {
+            for chan in 0..k as u32 {
+                plan = plan.drop_message(cycle, ChanId(chan));
+            }
+        }
+        let err = Resilient::new(plan)
+            .retries(100_000)
+            .stall_window(8)
+            .sort_columns(m, cols(m, k))
+            .unwrap_err();
+        assert!(matches!(err, NetError::Stalled { .. }), "got {err:?}");
     }
 
     #[test]

@@ -80,8 +80,10 @@ use std::fmt::Debug;
 /// records (fault-injection subsystem); v3 adds `epoch` records
 /// (self-healing reconfiguration log); v4 adds `monitor`/`monitor_phase`
 /// records (live-monitor final snapshot) and the profiling-gated
-/// `profile`/`hist` records (latency histograms).
-pub const JSONL_SCHEMA_VERSION: u64 = 4;
+/// `profile`/`hist` records (latency histograms); v5 adds the service
+/// journal's `serve_journal`/`job`/`batch`/`shed` records (mcb-serve
+/// admission/outcome log).
+pub const JSONL_SCHEMA_VERSION: u64 = 5;
 
 fn metrics_record(m: &Metrics) -> Json {
     Json::obj()

@@ -159,6 +159,17 @@ pub struct ChaosOpts {
     /// Processors to crash. Crashed processors lose their data, so leave
     /// this at 0 for plans that must preserve algorithm output.
     pub crashes: usize,
+    /// Correlated-burst storms: each burst picks a seeded start cycle in
+    /// `[0, horizon)` and plants one transient per cycle for
+    /// [`burst_len`](ChaosOpts::burst_len) consecutive cycles (seeded
+    /// channel, seeded drop-or-corrupt coin). Bursts model weather — a
+    /// noisy window that clobbers *many adjacent* cycles — rather than the
+    /// uniform sprinkle of [`drops`](ChaosOpts::drops) /
+    /// [`corrupts`](ChaosOpts::corrupts). 0 disables.
+    pub bursts: usize,
+    /// Length in cycles of each burst window (values below 1 are treated
+    /// as 1 when [`bursts`](ChaosOpts::bursts) `> 0`).
+    pub burst_len: u64,
 }
 
 impl Default for ChaosOpts {
@@ -171,6 +182,8 @@ impl Default for ChaosOpts {
             stalls: 1,
             max_stall: 2,
             crashes: 0,
+            bursts: 0,
+            burst_len: 0,
         }
     }
 }
@@ -191,6 +204,8 @@ impl ChaosOpts {
             stalls: 0,
             max_stall: 0,
             crashes: 0,
+            bursts: 0,
+            burst_len: 0,
         }
     }
 
@@ -201,6 +216,20 @@ impl ChaosOpts {
     pub fn crash_and_death(horizon: u64) -> Self {
         ChaosOpts {
             crashes: 1,
+            ..ChaosOpts::unplanned(horizon)
+        }
+    }
+
+    /// Preset for **correlated-burst** weather: no uniform transients at
+    /// all — every drop/corruption arrives inside one of two seeded storm
+    /// windows — plus one channel death. Stalls stay disabled so the shape
+    /// is usable by both the resilient and the no-oracle drivers.
+    pub fn bursty(horizon: u64) -> Self {
+        ChaosOpts {
+            drops: 0,
+            corrupts: 0,
+            bursts: 2,
+            burst_len: 6,
             ..ChaosOpts::unplanned(horizon)
         }
     }
@@ -306,6 +335,23 @@ impl FaultPlan {
         for _ in 0..opts.corrupts {
             plan.corrupts
                 .insert((rng.random_range(0..horizon), rng.random_range(0..k)));
+        }
+        // Correlated bursts: one transient per cycle of each storm window,
+        // on a seeded channel, drop or corrupt by a seeded coin. Windows
+        // may overhang the horizon (a storm does not care when the run's
+        // nominal fault window ends); `ensure_usable_slots` below thins
+        // them like any other transient, so every cycle keeps a usable
+        // write slot.
+        for _ in 0..opts.bursts {
+            let start = rng.random_range(0..horizon);
+            for t in start..start + opts.burst_len.max(1) {
+                let chan = rng.random_range(0..k);
+                if rng.random_range(0..2u64) == 0 {
+                    plan.drops.insert((t, chan));
+                } else {
+                    plan.corrupts.insert((t, chan));
+                }
+            }
         }
         for _ in 0..opts.stalls {
             let at = rng.random_range(0..horizon);
@@ -612,6 +658,8 @@ mod tests {
             stalls: 0,
             max_stall: 0,
             crashes: 0,
+            bursts: 0,
+            burst_len: 0,
         };
         for seed in 0..20 {
             let plan = FaultPlan::random(seed, 4, 2, &opts);
@@ -635,6 +683,8 @@ mod tests {
             stalls: 0,
             max_stall: 0,
             crashes: 0,
+            bursts: 0,
+            burst_len: 0,
         };
         let plan = FaultPlan::random(7, 3, 1, &opts);
         let s = plan.summary();
@@ -651,6 +701,8 @@ mod tests {
             stalls: 30,
             max_stall: 3,
             crashes: 0,
+            bursts: 0,
+            burst_len: 0,
         };
         for seed in 0..20 {
             let plan = FaultPlan::random(seed, 2, 2, &opts);
@@ -679,6 +731,63 @@ mod tests {
             FaultPlan::random(9, 3, 2, &opts),
             FaultPlan::random(9, 3, 2, &opts)
         );
+    }
+
+    #[test]
+    fn bursty_preset_concentrates_transients_in_windows() {
+        let opts = ChaosOpts::bursty(128);
+        assert_eq!((opts.drops, opts.corrupts), (0, 0), "no uniform sprinkle");
+        assert!(opts.bursts >= 1 && opts.burst_len >= 2);
+        for seed in 0..10u64 {
+            let plan = FaultPlan::random(seed, 4, 3, &opts);
+            let s = plan.summary();
+            let transients = s.drops + s.corrupts;
+            assert!(transients > 0, "seed {seed}: storms planted nothing");
+            // Every transient cycle must sit inside one of `bursts`
+            // windows of length `burst_len`: the distinct cycles cluster
+            // into at most `bursts` runs no longer than the window.
+            let mut cycles: Vec<u64> = plan
+                .drops
+                .iter()
+                .chain(plan.corrupts.iter())
+                .map(|&(t, _)| t)
+                .collect();
+            cycles.sort_unstable();
+            cycles.dedup();
+            let mut runs = 1u64;
+            for w in cycles.windows(2) {
+                if w[1] - w[0] >= opts.burst_len {
+                    runs += 1;
+                }
+            }
+            assert!(
+                runs <= opts.bursts as u64,
+                "seed {seed}: {runs} separated clusters exceed {} storms",
+                opts.bursts
+            );
+        }
+    }
+
+    #[test]
+    fn bursts_are_deterministic_and_keep_usable_slots() {
+        let opts = ChaosOpts {
+            bursts: 3,
+            burst_len: 8,
+            ..ChaosOpts::bursty(16)
+        };
+        for seed in 0..20u64 {
+            let plan = FaultPlan::random(seed, 3, 2, &opts);
+            assert_eq!(plan, FaultPlan::random(seed, 3, 2, &opts));
+            // Dense storms on k = 2 with one death: thinning must still
+            // leave a fault-free live channel every cycle.
+            for t in 0..opts.horizon + opts.burst_len {
+                let live = plan.live_at(t);
+                assert!(
+                    live.iter().any(|&c| plan.write_fault(0, c, t).is_none()),
+                    "seed {seed} cycle {t}: storm left no usable write slot"
+                );
+            }
+        }
     }
 
     #[test]

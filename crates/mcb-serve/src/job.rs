@@ -1,0 +1,247 @@
+//! Job specifications, outcomes, and the shaping of a job onto the
+//! batched MCB machine.
+
+use mcb_algos::batch::{BatchOutput, BatchPart};
+use mcb_algos::heal::{ColumnsortProgram, SelectProgram};
+use mcb_net::NetError;
+use std::sync::mpsc::Sender;
+use std::time::Instant;
+
+/// Largest accepted key count per job — this is a *small-job* service
+/// (the ROADMAP's millions-of-small-jobs regime); bulk data belongs on
+/// the offline drivers.
+pub const MAX_JOB_KEYS: usize = 4096;
+
+/// What a client asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSpec {
+    /// Sort `keys` descending (§5 Columnsort under the hood).
+    Sort {
+        /// The keys to sort (non-empty, at most [`MAX_JOB_KEYS`]).
+        keys: Vec<u64>,
+    },
+    /// The `rank`'th largest of `keys`, 1-based (§8 filtering selection).
+    Select {
+        /// The candidate keys (non-empty, at most [`MAX_JOB_KEYS`]).
+        keys: Vec<u64>,
+        /// 1-based rank, `1..=keys.len()`.
+        rank: usize,
+    },
+}
+
+impl JobSpec {
+    /// Validate the spec against the service's small-job envelope.
+    pub fn validate(&self) -> Result<(), String> {
+        let keys = match self {
+            JobSpec::Sort { keys } => keys,
+            JobSpec::Select { keys, .. } => keys,
+        };
+        if keys.is_empty() {
+            return Err("job has no keys".into());
+        }
+        if keys.len() > MAX_JOB_KEYS {
+            return Err(format!(
+                "job has {} keys, cap is {MAX_JOB_KEYS}",
+                keys.len()
+            ));
+        }
+        if let JobSpec::Select { keys, rank } = self {
+            if *rank < 1 || *rank > keys.len() {
+                return Err(format!("rank {rank} out of 1..={}", keys.len()));
+            }
+        }
+        Ok(())
+    }
+
+    /// The wire name of the operation (journal + protocol vocabulary).
+    pub fn op(&self) -> &'static str {
+        match self {
+            JobSpec::Sort { .. } => "sort",
+            JobSpec::Select { .. } => "select",
+        }
+    }
+
+    /// Shape this job as a tenant part of a [`BatchProgram`]
+    /// (see [`mcb_algos::batch`]): sorts become two-column Columnsort
+    /// instances (`k₀ = 2`, the smallest legal §5.1 shape), selections
+    /// are dealt over up to three candidate lists.
+    ///
+    /// [`BatchProgram`]: mcb_algos::batch::BatchProgram
+    pub fn to_part(&self) -> Result<BatchPart<u64>, NetError> {
+        match self {
+            JobSpec::Sort { keys } => {
+                let k0 = 2usize;
+                // m even (k₀ | m) and ≥ 2 (= k₀(k₀−1)), columns cover n.
+                let m = keys.len().div_ceil(k0).max(2).next_multiple_of(k0);
+                let cols: Vec<Vec<Option<u64>>> = (0..k0)
+                    .map(|c| (0..m).map(|r| keys.get(c * m + r).copied()).collect())
+                    .collect();
+                Ok(BatchPart::Sort(ColumnsortProgram::new(m, &cols)?))
+            }
+            JobSpec::Select { keys, rank } => {
+                let parts = keys.len().min(3);
+                let chunk = keys.len().div_ceil(parts);
+                let lists: Vec<Vec<u64>> = keys.chunks(chunk).map(<[_]>::to_vec).collect();
+                Ok(BatchPart::Select(SelectProgram::new(lists, *rank)?))
+            }
+        }
+    }
+
+    /// Decode this job's slot of a finished batch output back into a
+    /// client-facing result.
+    pub fn decode(&self, out: &BatchOutput<u64>) -> JobResult {
+        match (self, out) {
+            (JobSpec::Sort { .. }, BatchOutput::Sorted(cols)) => {
+                JobResult::Sorted(cols.iter().flatten().filter_map(|x| *x).collect())
+            }
+            (JobSpec::Select { .. }, BatchOutput::Selected(v)) => JobResult::Selected(*v),
+            _ => panic!("protocol error: batch slot kind does not match job spec"),
+        }
+    }
+}
+
+/// A completed job's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobResult {
+    /// The keys, descending (sort jobs).
+    Sorted(Vec<u64>),
+    /// The selected element (select jobs).
+    Selected(u64),
+}
+
+impl JobResult {
+    /// Order-sensitive wrapping-sum checksum, journaled with `done`
+    /// statuses so recovery audits can spot result drift without storing
+    /// full payloads.
+    pub fn checksum(&self) -> u64 {
+        match self {
+            JobResult::Sorted(keys) => keys.iter().fold(0u64, |acc, &k| {
+                acc.wrapping_mul(0x100_0000_01b3).wrapping_add(k)
+            }),
+            JobResult::Selected(v) => *v,
+        }
+    }
+}
+
+/// Terminal answer for one job — every admitted job gets exactly one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The job ran to completion before its deadline.
+    Done(JobResult),
+    /// Admission control refused the job (never admitted, or rejected
+    /// during journal recovery).
+    Shed {
+        /// Why (`"queue-full"`, `"invalid: …"`, `"recovered-invalid"`).
+        reason: String,
+    },
+    /// The job was admitted but every attempt missed its deadline or
+    /// landed in a batch that could not heal.
+    Failed {
+        /// Attempts consumed (bounded by the service's `max_attempts`).
+        attempts: u32,
+        /// The last attempt's error.
+        error: String,
+    },
+}
+
+/// An admitted job in flight through the service.
+#[derive(Debug)]
+pub struct Job {
+    /// Journal-stable id (monotonic across restarts).
+    pub id: u64,
+    /// What to compute.
+    pub spec: JobSpec,
+    /// Per-attempt wall-clock budget in milliseconds (`0` = no deadline).
+    pub deadline_ms: u64,
+    /// When the current attempt entered the queue.
+    pub accepted: Instant,
+    /// Attempts already consumed (0 for a fresh job).
+    pub attempts: u32,
+    /// Where to deliver the outcome; `None` for journal-recovered jobs
+    /// whose client is gone (the outcome still reaches the journal).
+    pub reply: Option<Sender<(u64, Outcome)>>,
+}
+
+impl Job {
+    /// True when the current attempt's deadline has already passed.
+    pub fn deadline_missed(&self, now: Instant) -> bool {
+        self.deadline_ms > 0
+            && now.duration_since(self.accepted).as_millis() as u64 > self.deadline_ms
+    }
+
+    /// Deliver `outcome` to the waiting client, if any is still listening.
+    pub fn respond(&self, outcome: Outcome) {
+        if let Some(tx) = &self.reply {
+            let _ = tx.send((self.id, outcome));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcb_algos::batch::BatchProgram;
+    use mcb_algos::heal::run_program_offline;
+
+    #[test]
+    fn sort_shapes_round_trip_for_awkward_sizes() {
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 16, 33] {
+            let keys: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(2654435761) % 97)
+                .collect();
+            let spec = JobSpec::Sort { keys: keys.clone() };
+            spec.validate().unwrap();
+            let prog = BatchProgram::new(vec![spec.to_part().unwrap()]).unwrap();
+            let (out, _) = run_program_offline(&prog);
+            let JobResult::Sorted(got) = spec.decode(&out[0]) else {
+                panic!("sort must decode to Sorted");
+            };
+            let mut want = keys;
+            want.sort_unstable_by(|a, b| b.cmp(a));
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn select_shapes_answer_every_rank() {
+        let keys: Vec<u64> = vec![41, 3, 88, 14, 5, 61, 19];
+        let mut sorted = keys.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        for rank in 1..=keys.len() {
+            let spec = JobSpec::Select {
+                keys: keys.clone(),
+                rank,
+            };
+            spec.validate().unwrap();
+            let prog = BatchProgram::new(vec![spec.to_part().unwrap()]).unwrap();
+            let (out, _) = run_program_offline(&prog);
+            assert_eq!(
+                spec.decode(&out[0]),
+                JobResult::Selected(sorted[rank - 1]),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(JobSpec::Sort { keys: vec![] }.validate().is_err());
+        assert!(JobSpec::Select {
+            keys: vec![1, 2],
+            rank: 3
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Select {
+            keys: vec![1, 2],
+            rank: 0
+        }
+        .validate()
+        .is_err());
+        assert!(JobSpec::Sort {
+            keys: vec![0; MAX_JOB_KEYS + 1]
+        }
+        .validate()
+        .is_err());
+    }
+}

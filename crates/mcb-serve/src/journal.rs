@@ -1,0 +1,281 @@
+//! The accepted-job journal: an append-only JSONL file that makes
+//! kill-and-restart recovery deterministic.
+//!
+//! Every admission writes a `job` record *before* the job is queued;
+//! every executed batch writes a `batch` record with per-job statuses;
+//! every refusal writes a `shed` record. Each line is flushed before the
+//! write returns, so a `SIGKILL` can lose at most the line being written
+//! — and the [`scan`] tolerates exactly that: a torn final line is
+//! ignored, torn middles are errors.
+//!
+//! Recovery contract (asserted by `tests/serve_restart.rs`): after a
+//! restart, `accepted − terminal` is the exact set of jobs to replay or
+//! reject — never silently dropped, never run twice.
+
+use crate::job::JobSpec;
+use crate::records;
+use mcb_json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Append-side handle; thread-safe (admission and batcher share it).
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Open (or create) the journal at `path`, appending a header record
+    /// when the file is new.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let existing = path.metadata().map_or(0, |m| m.len());
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let journal = Journal {
+            inner: Mutex::new(BufWriter::new(file)),
+            path: path.to_path_buf(),
+        };
+        if existing == 0 {
+            journal.append(&records::header_record())?;
+        }
+        Ok(journal)
+    }
+
+    /// Append one record as a line and flush it to the OS before
+    /// returning (the durability point admission relies on).
+    pub fn append(&self, record: &Json) -> std::io::Result<()> {
+        let mut w = self.inner.lock().expect("journal writer poisoned");
+        w.write_all(record.render().as_bytes())?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// One job the scan found still open (accepted, no terminal record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenJob {
+    /// The job's journal id.
+    pub id: u64,
+    /// The journaled spec (enough to re-run the job).
+    pub spec: JobSpec,
+    /// The journaled per-attempt deadline.
+    pub deadline_ms: u64,
+    /// Attempts already consumed by pre-restart batches.
+    pub attempts: u32,
+}
+
+/// Everything a restart needs to know about a journal.
+#[derive(Debug, Clone, Default)]
+pub struct ScanResult {
+    /// Jobs accepted but not yet terminal, in id order.
+    pub open: Vec<OpenJob>,
+    /// Ids with a terminal record (`done`/`failed` batch line or `shed`).
+    pub terminal: Vec<u64>,
+    /// Highest id ever admitted (0 when none): id allocation resumes at
+    /// `max_id + 1`.
+    pub max_id: u64,
+    /// Complete lines scanned.
+    pub lines: usize,
+    /// Whether a torn final line (mid-write kill) was discarded.
+    pub torn_tail: bool,
+}
+
+/// Scan a journal file. Lines must parse except possibly the last
+/// (a kill mid-write tears at most one line, which is discarded); a
+/// malformed line elsewhere is corruption and errors out.
+pub fn scan(path: &Path) -> Result<ScanResult, String> {
+    let mut raw = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut raw)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ScanResult::default()),
+        Err(e) => return Err(format!("open {}: {e}", path.display())),
+    }
+    let mut out = ScanResult::default();
+    // A complete line ends in '\n'; anything after the last newline is a
+    // torn tail from a mid-write kill.
+    let complete = match raw.rfind('\n') {
+        Some(i) => {
+            out.torn_tail = i + 1 < raw.len();
+            &raw[..i]
+        }
+        None => {
+            out.torn_tail = !raw.is_empty();
+            ""
+        }
+    };
+    let mut accepted: Vec<OpenJob> = Vec::new();
+    let mut terminal: Vec<u64> = Vec::new();
+    let lines: Vec<&str> = complete.lines().collect();
+    for (n, line) in lines.iter().enumerate() {
+        let parsed = Json::parse(line);
+        let j = match parsed {
+            Ok(j) => j,
+            // The final complete line may still be torn if the kill
+            // landed exactly after a flushed prefix; tolerate only there.
+            Err(_) if n + 1 == lines.len() => {
+                out.torn_tail = true;
+                break;
+            }
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), n + 1)),
+        };
+        out.lines += 1;
+        match j.get("record").and_then(Json::as_str) {
+            Some("serve_journal") => {}
+            Some("job") => {
+                let (id, spec, deadline_ms) = records::parse_job_record(&j)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), n + 1))?;
+                out.max_id = out.max_id.max(id);
+                accepted.push(OpenJob {
+                    id,
+                    spec,
+                    deadline_ms,
+                    attempts: 0,
+                });
+            }
+            Some("batch") => {
+                for l in records::parse_batch_record(&j)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), n + 1))?
+                {
+                    match l.status.as_str() {
+                        "done" | "failed" => terminal.push(l.id),
+                        _ => {
+                            if let Some(job) = accepted.iter_mut().find(|job| job.id == l.id) {
+                                job.attempts = job.attempts.max(l.attempts);
+                            }
+                        }
+                    }
+                }
+            }
+            Some("shed") => {
+                let (id, _, _) = records::parse_shed_record(&j)
+                    .map_err(|e| format!("{}:{}: {e}", path.display(), n + 1))?;
+                if let Some(id) = id {
+                    terminal.push(id);
+                }
+            }
+            other => {
+                return Err(format!(
+                    "{}:{}: unknown record {other:?}",
+                    path.display(),
+                    n + 1
+                ))
+            }
+        }
+    }
+    terminal.sort_unstable();
+    terminal.dedup();
+    accepted.retain(|job| terminal.binary_search(&job.id).is_err());
+    out.open = accepted;
+    out.terminal = terminal;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{batch_record, job_record, shed_record, BatchJobLine};
+    use std::fs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mcb-serve-journal-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    fn line(id: u64, status: &str, attempts: u32) -> BatchJobLine {
+        BatchJobLine {
+            id,
+            status: status.into(),
+            attempts,
+            cycles: 10,
+            checksum: 0,
+        }
+    }
+
+    #[test]
+    fn scan_separates_open_from_terminal() {
+        let path = tmp("open-terminal");
+        let _ = fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        for id in 1..=4u64 {
+            journal
+                .append(&job_record(id, &JobSpec::Sort { keys: vec![id, 1] }, 500))
+                .unwrap();
+        }
+        journal
+            .append(&batch_record(
+                1,
+                4,
+                2,
+                100,
+                0,
+                None,
+                &[line(1, "done", 1), line(2, "retry", 1)],
+            ))
+            .unwrap();
+        journal
+            .append(&shed_record(Some(3), "recovered-invalid", 0))
+            .unwrap();
+        let scan = scan(&path).unwrap();
+        assert_eq!(
+            scan.open.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert_eq!(scan.open[0].attempts, 1, "retry lines carry attempts");
+        assert_eq!(scan.terminal, vec![1, 3]);
+        assert_eq!(scan.max_id, 4);
+        assert!(!scan.torn_tail);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_not_fatal() {
+        let path = tmp("torn");
+        let _ = fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        journal
+            .append(&job_record(1, &JobSpec::Sort { keys: vec![7] }, 0))
+            .unwrap();
+        drop(journal);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"record\":\"job\",\"id\":2,").unwrap();
+        drop(f);
+        let scan = scan(&path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.open.len(), 1);
+        assert_eq!(scan.max_id, 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_journal_is_empty_not_error() {
+        let path = tmp("missing");
+        let _ = fs::remove_file(&path);
+        let scan = scan(&path).unwrap();
+        assert_eq!(scan.lines, 0);
+        assert!(scan.open.is_empty());
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error() {
+        let path = tmp("corrupt");
+        let _ = fs::remove_file(&path);
+        fs::write(
+            &path,
+            "{\"record\":\"serve_journal\",\"schema\":5}\nnot json\n{\"record\":\"shed\",\"id\":null,\"reason\":\"x\",\"depth\":0}\n",
+        )
+        .unwrap();
+        assert!(scan(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,46 @@
+//! # mcb-serve — a fault-tolerant job service over the MCB simulator
+//!
+//! The ROADMAP's service regime: a long-running process that accepts
+//! many *small* sort/select jobs over a length-prefixed socket protocol
+//! ([`proto`]), batches compatible jobs into shared self-healing MCB
+//! instances ([`batcher`] packing [`mcb_algos::batch::BatchProgram`]s,
+//! one processor-group per tenant job), and keeps completing them
+//! through injected chaos — channel deaths, drops, corrupts, crashes —
+//! with throughput degrading by the §2 lemma's `⌈k/k′⌉` factor instead
+//! of jobs being lost.
+//!
+//! The robustness contract, end to end:
+//!
+//! * **Admission control** ([`service`]): bounded queue depth; overflow
+//!   and invalid requests are refused with explicit
+//!   [`job::Outcome::Shed`] responses, and the TCP accept
+//!   loop pauses while the queue is full (backpressure).
+//! * **Deadlines and retry** ([`batcher`]): every job carries a
+//!   per-attempt deadline; a missed deadline or an errored batch
+//!   re-queues the job onto a *fresh* instance after seeded jittered
+//!   exponential backoff, bounded by `max_attempts`, then terminates in
+//!   a typed [`job::Outcome::Failed`] — no silent loss.
+//! * **Journal recovery** ([`journal`]): every admission is journaled
+//!   (flushed) *before* the job is queued, every batch's per-job
+//!   statuses after; a killed-and-restarted service replays or
+//!   explicitly rejects exactly the open jobs — never a duplicate,
+//!   never a hang ([`records`] defines the JSONL schema-v5 `job` /
+//!   `batch` / `shed` records).
+//!
+//! The `mcb-serve` binary wires this to a real socket; `tests/serve_*.rs`
+//! drive the soak and kill-restart scenarios; `tab_serve` benches
+//! sustained throughput healthy-vs-chaos into `BENCH_serve.json`.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod job;
+pub mod journal;
+pub mod proto;
+pub mod records;
+pub mod service;
+
+pub use batcher::{ChaosPlanCfg, ServeConfig};
+pub use job::{Job, JobResult, JobSpec, Outcome};
+pub use journal::Journal;
+pub use service::{serve_tcp, ServeStats, Service, Submit};

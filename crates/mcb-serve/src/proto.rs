@@ -1,0 +1,248 @@
+//! The wire protocol: length-prefixed [`mcb_json`] frames.
+//!
+//! Every frame is a 4-byte little-endian byte length followed by one
+//! UTF-8 JSON object (integer-only, insertion-ordered — the repo's
+//! deterministic JSON dialect). Requests and responses are paired in
+//! order per connection: the `n`'th response answers the `n`'th request.
+//!
+//! # Requests
+//!
+//! | shape | meaning |
+//! |-------|---------|
+//! | `{"req":"sort","deadline_ms":D,"keys":[…]}` | sort `keys` descending |
+//! | `{"req":"select","deadline_ms":D,"rank":R,"keys":[…]}` | the `R`'th largest of `keys` |
+//!
+//! `deadline_ms` is the per-attempt wall-clock budget (0 = none).
+//!
+//! # Responses
+//!
+//! | shape | meaning |
+//! |-------|---------|
+//! | `{"resp":"done","id":I,"keys":[…]}` | sorted payload |
+//! | `{"resp":"done","id":I,"value":V}` | selected element |
+//! | `{"resp":"shed","reason":"…"}` | admission refused the job |
+//! | `{"resp":"failed","id":I,"attempts":A,"error":"…"}` | retries exhausted |
+
+use crate::job::{JobResult, JobSpec, Outcome};
+use mcb_json::Json;
+use std::io::{self, Read, Write};
+
+/// Frames above this byte length are rejected before allocation — the
+/// service handles *small* jobs (see [`MAX_JOB_KEYS`](crate::job::MAX_JOB_KEYS)).
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame; `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn keys_field(j: &Json) -> Result<Vec<u64>, String> {
+    j.get("keys")
+        .and_then(Json::as_arr)
+        .ok_or("missing keys array")?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| "non-integer key".to_owned()))
+        .collect()
+}
+
+/// Parse a request frame into `(spec, deadline_ms)`.
+pub fn parse_request(raw: &str) -> Result<(JobSpec, u64), String> {
+    let j = Json::parse(raw)?;
+    let deadline_ms = j.get("deadline_ms").and_then(Json::as_u64).unwrap_or(0);
+    let spec = match j.get("req").and_then(Json::as_str) {
+        Some("sort") => JobSpec::Sort {
+            keys: keys_field(&j)?,
+        },
+        Some("select") => JobSpec::Select {
+            keys: keys_field(&j)?,
+            rank: j.get("rank").and_then(Json::as_u64).ok_or("missing rank")? as usize,
+        },
+        Some(other) => return Err(format!("unknown req {other:?}")),
+        None => return Err("missing req field".into()),
+    };
+    spec.validate()?;
+    Ok((spec, deadline_ms))
+}
+
+/// Render a request frame (client side of [`parse_request`]).
+pub fn render_request(spec: &JobSpec, deadline_ms: u64) -> String {
+    let base = Json::obj()
+        .field("req", spec.op())
+        .field("deadline_ms", deadline_ms);
+    match spec {
+        JobSpec::Sort { keys } => base.field("keys", Json::from_u64s(keys.iter().copied())),
+        JobSpec::Select { keys, rank } => base
+            .field("rank", *rank)
+            .field("keys", Json::from_u64s(keys.iter().copied())),
+    }
+    .render()
+}
+
+/// Render an outcome as a response frame; `id` is the journal id when the
+/// job was admitted.
+pub fn render_response(id: Option<u64>, outcome: &Outcome) -> String {
+    match outcome {
+        Outcome::Done(result) => {
+            let base = Json::obj().field("resp", "done").field("id", id);
+            match result {
+                JobResult::Sorted(keys) => {
+                    base.field("keys", Json::from_u64s(keys.iter().copied()))
+                }
+                JobResult::Selected(v) => base.field("value", *v),
+            }
+        }
+        Outcome::Shed { reason } => Json::obj()
+            .field("resp", "shed")
+            .field("reason", reason.as_str()),
+        Outcome::Failed { attempts, error } => Json::obj()
+            .field("resp", "failed")
+            .field("id", id)
+            .field("attempts", *attempts)
+            .field("error", error.as_str()),
+    }
+    .render()
+}
+
+/// Parse a response frame back into an [`Outcome`] (client side).
+pub fn parse_response(raw: &str) -> Result<(Option<u64>, Outcome), String> {
+    let j = Json::parse(raw)?;
+    let id = j.get("id").and_then(Json::as_u64);
+    let outcome = match j.get("resp").and_then(Json::as_str) {
+        Some("done") => {
+            if let Some(v) = j.get("value").and_then(Json::as_u64) {
+                Outcome::Done(JobResult::Selected(v))
+            } else {
+                Outcome::Done(JobResult::Sorted(keys_field(&j)?))
+            }
+        }
+        Some("shed") => Outcome::Shed {
+            reason: j
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or("shed without reason")?
+                .to_owned(),
+        },
+        Some("failed") => Outcome::Failed {
+            attempts: j
+                .get("attempts")
+                .and_then(Json::as_u64)
+                .ok_or("failed without attempts")? as u32,
+            error: j
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or("failed without error")?
+                .to_owned(),
+        },
+        other => return Err(format!("unknown resp {other:?}")),
+    };
+    Ok((id, outcome))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"a\":1}").unwrap();
+        write_frame(&mut buf, "{\"b\":2}").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"a\":1}"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("{\"b\":2}"));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for spec in [
+            JobSpec::Sort {
+                keys: vec![9, 1, 5],
+            },
+            JobSpec::Select {
+                keys: vec![4, 8, 2],
+                rank: 2,
+            },
+        ] {
+            let raw = render_request(&spec, 250);
+            let (back, deadline) = parse_request(&raw).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(deadline, 250);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for (id, outcome) in [
+            (Some(7), Outcome::Done(JobResult::Sorted(vec![9, 5, 1]))),
+            (Some(8), Outcome::Done(JobResult::Selected(42))),
+            (
+                None,
+                Outcome::Shed {
+                    reason: "queue-full".into(),
+                },
+            ),
+            (
+                Some(9),
+                Outcome::Failed {
+                    attempts: 3,
+                    error: "deadline".into(),
+                },
+            ),
+        ] {
+            let raw = render_response(id, &outcome);
+            let (got_id, got) = parse_response(&raw).unwrap();
+            assert_eq!(got_id, id);
+            assert_eq!(got, outcome);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_surface_errors() {
+        assert!(parse_request("{\"req\":\"sort\",\"keys\":[]}").is_err());
+        assert!(parse_request("{\"req\":\"nope\",\"keys\":[1]}").is_err());
+        assert!(parse_request("{\"keys\":[1]}").is_err());
+        assert!(parse_request("{\"req\":\"select\",\"keys\":[1]}").is_err());
+        assert!(parse_request("not json").is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Journal record builders and parsers — the service's third of the
+//! JSONL schema (v5: `job` / `batch` / `shed` records, alongside the
+//! run-report records of [`mcb_net::export`]).
+//!
+//! Same dialect rules as the exporter: [`mcb_json`] objects with
+//! insertion-ordered keys and integers only, so every record re-renders
+//! byte-identically after a parse — the property `tests/jsonl_roundtrip.rs`
+//! pins and the recovery scanner relies on.
+
+use crate::job::{JobResult, JobSpec};
+use mcb_json::Json;
+
+/// First line of every journal: names the stream and pins the schema
+/// ([`mcb_net::export::JSONL_SCHEMA_VERSION`]).
+pub fn header_record() -> Json {
+    Json::obj()
+        .field("record", "serve_journal")
+        .field("schema", mcb_net::export::JSONL_SCHEMA_VERSION)
+}
+
+/// A `job` record: written at admission, before the job is queued. It
+/// carries the *full spec*, so a restarted service can re-run the job
+/// from the journal alone.
+pub fn job_record(id: u64, spec: &JobSpec, deadline_ms: u64) -> Json {
+    let rank = match spec {
+        JobSpec::Sort { .. } => None,
+        JobSpec::Select { rank, .. } => Some(*rank as u64),
+    };
+    let keys = match spec {
+        JobSpec::Sort { keys } => keys,
+        JobSpec::Select { keys, .. } => keys,
+    };
+    Json::obj()
+        .field("record", "job")
+        .field("id", id)
+        .field("op", spec.op())
+        .field("deadline_ms", deadline_ms)
+        .field("rank", rank)
+        .field("keys", Json::from_u64s(keys.iter().copied()))
+}
+
+/// Parse a `job` record back into `(id, spec, deadline_ms)`.
+pub fn parse_job_record(j: &Json) -> Result<(u64, JobSpec, u64), String> {
+    let id = j.get("id").and_then(Json::as_u64).ok_or("job without id")?;
+    let deadline_ms = j
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .ok_or("job without deadline_ms")?;
+    let keys: Vec<u64> = j
+        .get("keys")
+        .and_then(Json::as_arr)
+        .ok_or("job without keys")?
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| "non-integer key".to_owned()))
+        .collect::<Result<_, _>>()?;
+    let spec = match j.get("op").and_then(Json::as_str) {
+        Some("sort") => JobSpec::Sort { keys },
+        Some("select") => JobSpec::Select {
+            keys,
+            rank: j
+                .get("rank")
+                .and_then(Json::as_u64)
+                .ok_or("select job without rank")? as usize,
+        },
+        other => return Err(format!("unknown job op {other:?}")),
+    };
+    Ok((id, spec, deadline_ms))
+}
+
+/// One job's terminal (or retry) line inside a [`batch_record`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchJobLine {
+    /// The job's journal id.
+    pub id: u64,
+    /// `"done"`, `"retry"`, or `"failed"` — only `done`/`failed` are
+    /// terminal; a `retry` job reappears in a later batch.
+    pub status: String,
+    /// Attempts consumed *including* this one.
+    pub attempts: u32,
+    /// Cycles attributed to this tenant's phases (`job{i}:` prefix sums
+    /// over the run's [`PhaseMetrics`](mcb_net::PhaseMetrics)).
+    pub cycles: u64,
+    /// Result checksum for `done` jobs ([`JobResult::checksum`]), else 0.
+    pub checksum: u64,
+}
+
+/// A `batch` record: one per executed batch, carrying the run's shape and
+/// cost plus every member job's status. A job is *terminal in the
+/// journal* once some batch line says `done`/`failed` (or a `shed` record
+/// names it).
+pub fn batch_record(
+    batch: u64,
+    p: usize,
+    k: usize,
+    cycles: u64,
+    epochs: u64,
+    error: Option<&str>,
+    jobs: &[BatchJobLine],
+) -> Json {
+    let lines: Vec<Json> = jobs
+        .iter()
+        .map(|l| {
+            Json::obj()
+                .field("id", l.id)
+                .field("status", l.status.as_str())
+                .field("attempts", l.attempts)
+                .field("cycles", l.cycles)
+                .field("checksum", l.checksum)
+        })
+        .collect();
+    Json::obj()
+        .field("record", "batch")
+        .field("batch", batch)
+        .field("p", p)
+        .field("k", k)
+        .field("cycles", cycles)
+        .field("epochs", epochs)
+        .field("error", error)
+        .field("jobs", Json::Arr(lines))
+}
+
+/// Parse a `batch` record's job lines back.
+pub fn parse_batch_record(j: &Json) -> Result<Vec<BatchJobLine>, String> {
+    j.get("jobs")
+        .and_then(Json::as_arr)
+        .ok_or("batch without jobs")?
+        .iter()
+        .map(|line| {
+            Ok(BatchJobLine {
+                id: line.get("id").and_then(Json::as_u64).ok_or("job line id")?,
+                status: line
+                    .get("status")
+                    .and_then(Json::as_str)
+                    .ok_or("job line status")?
+                    .to_owned(),
+                attempts: line
+                    .get("attempts")
+                    .and_then(Json::as_u64)
+                    .ok_or("job line attempts")? as u32,
+                cycles: line
+                    .get("cycles")
+                    .and_then(Json::as_u64)
+                    .ok_or("job line cycles")?,
+                checksum: line
+                    .get("checksum")
+                    .and_then(Json::as_u64)
+                    .ok_or("job line checksum")?,
+            })
+        })
+        .collect()
+}
+
+/// A `shed` record: admission (or recovery) explicitly refused work.
+/// `id` is `None` when the job was never admitted (no journal id exists);
+/// recovery rejections carry the original id.
+pub fn shed_record(id: Option<u64>, reason: &str, depth: usize) -> Json {
+    Json::obj()
+        .field("record", "shed")
+        .field("id", id)
+        .field("reason", reason)
+        .field("depth", depth)
+}
+
+/// Parse a `shed` record back into `(id, reason, depth)`.
+pub fn parse_shed_record(j: &Json) -> Result<(Option<u64>, String, usize), String> {
+    let reason = j
+        .get("reason")
+        .and_then(Json::as_str)
+        .ok_or("shed without reason")?
+        .to_owned();
+    let depth = j
+        .get("depth")
+        .and_then(Json::as_u64)
+        .ok_or("shed without depth")? as usize;
+    Ok((j.get("id").and_then(Json::as_u64), reason, depth))
+}
+
+/// Convenience: checksum for a `done` line (0 for non-done statuses).
+pub fn done_checksum(result: &JobResult) -> u64 {
+    result.checksum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_records_round_trip_for_both_ops() {
+        for spec in [
+            JobSpec::Sort {
+                keys: vec![5, 1, 9],
+            },
+            JobSpec::Select {
+                keys: vec![3, 7, 2],
+                rank: 2,
+            },
+        ] {
+            let rec = job_record(41, &spec, 800);
+            let raw = rec.render();
+            let back = Json::parse(&raw).unwrap();
+            assert_eq!(back.render(), raw, "byte-identical re-render");
+            let (id, got, deadline) = parse_job_record(&back).unwrap();
+            assert_eq!((id, got, deadline), (41, spec, 800));
+        }
+    }
+
+    #[test]
+    fn batch_records_round_trip() {
+        let lines = vec![
+            BatchJobLine {
+                id: 1,
+                status: "done".into(),
+                attempts: 1,
+                cycles: 96,
+                checksum: 1234,
+            },
+            BatchJobLine {
+                id: 2,
+                status: "retry".into(),
+                attempts: 2,
+                cycles: 0,
+                checksum: 0,
+            },
+        ];
+        let rec = batch_record(3, 5, 3, 480, 1, Some("unrecoverable"), &lines);
+        let raw = rec.render();
+        let back = Json::parse(&raw).unwrap();
+        assert_eq!(back.render(), raw);
+        assert_eq!(parse_batch_record(&back).unwrap(), lines);
+    }
+
+    #[test]
+    fn shed_records_round_trip() {
+        for id in [None, Some(17)] {
+            let rec = shed_record(id, "queue-full", 256);
+            let raw = rec.render();
+            let back = Json::parse(&raw).unwrap();
+            assert_eq!(back.render(), raw);
+            assert_eq!(
+                parse_shed_record(&back).unwrap(),
+                (id, "queue-full".to_owned(), 256)
+            );
+        }
+    }
+}

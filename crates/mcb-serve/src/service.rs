@@ -1,0 +1,345 @@
+//! The service front: admission control, journal recovery, the TCP
+//! accept loop, and the in-process submit API used by tests and benches.
+
+use crate::batcher::{Batcher, ServeConfig};
+use crate::job::{Job, JobSpec, Outcome};
+use crate::journal::{scan, Journal};
+use crate::proto;
+use crate::records::{job_record, shed_record};
+use mcb_net::RunMonitor;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared outcome counters (the bench's and soak test's scoreboard).
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Jobs past admission (journaled, queued).
+    pub admitted: AtomicU64,
+    /// Jobs that returned [`Outcome::Done`].
+    pub done: AtomicU64,
+    /// Jobs that returned [`Outcome::Failed`].
+    pub failed: AtomicU64,
+    /// Refusals ([`Outcome::Shed`]), admission- or recovery-side.
+    pub shed: AtomicU64,
+    /// Attempts re-queued with backoff.
+    pub retries: AtomicU64,
+    /// Batches executed (including errored ones).
+    pub batches: AtomicU64,
+    /// Batches whose healed run returned an error.
+    pub batch_errors: AtomicU64,
+    /// Physical cycles summed over successful batch runs.
+    pub cycles: AtomicU64,
+    /// Reconfigurations summed over successful batch runs.
+    pub epochs: AtomicU64,
+}
+
+/// A point-in-time copy of [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// See [`Counters::admitted`].
+    pub admitted: u64,
+    /// See [`Counters::done`].
+    pub done: u64,
+    /// See [`Counters::failed`].
+    pub failed: u64,
+    /// See [`Counters::shed`].
+    pub shed: u64,
+    /// See [`Counters::retries`].
+    pub retries: u64,
+    /// See [`Counters::batches`].
+    pub batches: u64,
+    /// See [`Counters::batch_errors`].
+    pub batch_errors: u64,
+    /// See [`Counters::cycles`].
+    pub cycles: u64,
+    /// See [`Counters::epochs`].
+    pub epochs: u64,
+}
+
+/// What [`Service::submit`] returned for one request.
+#[derive(Debug)]
+pub enum Submit {
+    /// The job is in: `rx` will deliver exactly one `(id, outcome)`.
+    Admitted {
+        /// The job's journal id.
+        id: u64,
+        /// Outcome channel (blocking `recv` is bounded by the
+        /// deadline/retry state machine — every admitted job terminates).
+        rx: Receiver<(u64, Outcome)>,
+    },
+    /// Admission refused the job; no id was assigned.
+    Shed {
+        /// Why (also journaled as a `shed` record).
+        reason: String,
+    },
+}
+
+/// What a journal recovery replayed (see [`Service::start`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Recovery {
+    /// Open jobs re-queued for execution.
+    pub replayed: usize,
+    /// Open jobs explicitly rejected (invalid journaled spec).
+    pub rejected: usize,
+    /// Jobs already terminal in the journal (left untouched).
+    pub already_terminal: usize,
+}
+
+/// A running service instance.
+pub struct Service {
+    cfg: ServeConfig,
+    tx: Option<Sender<Job>>,
+    batcher: Option<JoinHandle<()>>,
+    depth: Arc<AtomicUsize>,
+    next_id: AtomicU64,
+    journal: Option<Arc<Journal>>,
+    counters: Arc<Counters>,
+    monitor: RunMonitor,
+    /// What the startup journal scan replayed/rejected.
+    pub recovery: Recovery,
+    accepting: AtomicBool,
+}
+
+impl Service {
+    /// Start a service: open the journal (when `journal_path` is given),
+    /// replay-or-reject every job left open by a previous process, then
+    /// spawn the batcher.
+    pub fn start(cfg: ServeConfig, journal_path: Option<&Path>) -> Result<Service, String> {
+        let mut recovery = Recovery::default();
+        let mut next_id = 1u64;
+        let mut recovered: Vec<Job> = Vec::new();
+        let journal = match journal_path {
+            Some(path) => {
+                let found = scan(path)?;
+                next_id = found.max_id + 1;
+                recovery.already_terminal = found.terminal.len();
+                let journal = Arc::new(Journal::open(path).map_err(|e| e.to_string())?);
+                for open in found.open {
+                    if let Err(e) = open.spec.validate() {
+                        recovery.rejected += 1;
+                        journal
+                            .append(&shed_record(
+                                Some(open.id),
+                                &format!("recovered-invalid: {e}"),
+                                0,
+                            ))
+                            .map_err(|e| e.to_string())?;
+                        continue;
+                    }
+                    recovery.replayed += 1;
+                    recovered.push(Job {
+                        id: open.id,
+                        spec: open.spec,
+                        deadline_ms: open.deadline_ms,
+                        accepted: Instant::now(),
+                        attempts: open.attempts,
+                        reply: None,
+                    });
+                }
+                Some(journal)
+            }
+            None => None,
+        };
+        let (tx, rx) = channel::<Job>();
+        let depth = Arc::new(AtomicUsize::new(0));
+        let counters = Arc::new(Counters::default());
+        if let Some(journal) = &journal {
+            counters
+                .shed
+                .fetch_add(recovery.rejected as u64, Ordering::SeqCst);
+            let _ = journal; // journal already holds the shed records
+        }
+        let monitor = RunMonitor::new();
+        for job in recovered {
+            depth.fetch_add(1, Ordering::SeqCst);
+            counters.admitted.fetch_add(1, Ordering::SeqCst);
+            tx.send(job).expect("batcher receiver alive");
+        }
+        let batcher = Batcher {
+            cfg: cfg.clone(),
+            rx,
+            depth: Arc::clone(&depth),
+            journal: journal.clone(),
+            counters: Arc::clone(&counters),
+            monitor: monitor.clone(),
+            batch_seq: 0,
+            retries: Vec::new(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("mcb-serve-batcher".into())
+            .spawn(move || batcher.run())
+            .map_err(|e| e.to_string())?;
+        Ok(Service {
+            cfg,
+            tx: Some(tx),
+            batcher: Some(handle),
+            depth,
+            next_id: AtomicU64::new(next_id),
+            journal,
+            counters,
+            monitor,
+            recovery,
+            accepting: AtomicBool::new(true),
+        })
+    }
+
+    /// Submit one job. Admission control runs here: invalid specs and
+    /// queue overflow are refused with an explicit [`Submit::Shed`]
+    /// (journaled); admitted jobs are journaled *before* queueing.
+    pub fn submit(&self, spec: JobSpec, deadline_ms: u64) -> Submit {
+        let depth_now = self.depth.load(Ordering::SeqCst);
+        let shed = |reason: String| {
+            self.counters.shed.fetch_add(1, Ordering::SeqCst);
+            if let Some(journal) = &self.journal {
+                let _ = journal.append(&shed_record(None, &reason, depth_now));
+            }
+            Submit::Shed { reason }
+        };
+        if !self.accepting.load(Ordering::SeqCst) {
+            return shed("shutting-down".into());
+        }
+        if let Err(e) = spec.validate() {
+            return shed(format!("invalid: {e}"));
+        }
+        if depth_now >= self.cfg.queue_depth {
+            return shed("queue-full".into());
+        }
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(&job_record(id, &spec, deadline_ms)) {
+                // A job we cannot journal is a job we cannot promise to
+                // recover: refuse it.
+                return shed(format!("journal-error: {e}"));
+            }
+        }
+        let (reply_tx, reply_rx) = channel();
+        let job = Job {
+            id,
+            spec,
+            deadline_ms,
+            accepted: Instant::now(),
+            attempts: 0,
+            reply: Some(reply_tx),
+        };
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        self.counters.admitted.fetch_add(1, Ordering::SeqCst);
+        self.tx
+            .as_ref()
+            .expect("submit after shutdown")
+            .send(job)
+            .expect("batcher receiver alive");
+        Submit::Admitted { id, rx: reply_rx }
+    }
+
+    /// Intake pressure: queued jobs not yet pulled by the batcher.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// True while the queue has free slots (the accept loop's
+    /// backpressure signal).
+    pub fn has_capacity(&self) -> bool {
+        self.depth.load(Ordering::SeqCst) < self.cfg.queue_depth
+    }
+
+    /// Snapshot the outcome counters.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        ServeStats {
+            admitted: c.admitted.load(Ordering::SeqCst),
+            done: c.done.load(Ordering::SeqCst),
+            failed: c.failed.load(Ordering::SeqCst),
+            shed: c.shed.load(Ordering::SeqCst),
+            retries: c.retries.load(Ordering::SeqCst),
+            batches: c.batches.load(Ordering::SeqCst),
+            batch_errors: c.batch_errors.load(Ordering::SeqCst),
+            cycles: c.cycles.load(Ordering::SeqCst),
+            epochs: c.epochs.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The live monitor attached to every batch run (snapshot it from
+    /// another thread while batches are in flight — see
+    /// [`mcb_net::monitor`]).
+    pub fn monitor(&self) -> &RunMonitor {
+        &self.monitor
+    }
+
+    /// Stop intake, drain the queue and all retries, and join the
+    /// batcher. Every already-admitted job still reaches a terminal
+    /// outcome before this returns.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.accepting.store(false, Ordering::SeqCst);
+        drop(self.tx.take());
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        drop(self.tx.take());
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serve one client connection: frames in, responses out, in order.
+fn handle_conn(service: &Service, stream: TcpStream) -> io::Result<()> {
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream;
+    while let Some(raw) = proto::read_frame(&mut reader)? {
+        let response = match proto::parse_request(&raw) {
+            Err(e) => {
+                service.counters.shed.fetch_add(1, Ordering::SeqCst);
+                proto::render_response(
+                    None,
+                    &Outcome::Shed {
+                        reason: format!("invalid: {e}"),
+                    },
+                )
+            }
+            Ok((spec, deadline_ms)) => match service.submit(spec, deadline_ms) {
+                Submit::Shed { reason } => proto::render_response(None, &Outcome::Shed { reason }),
+                Submit::Admitted { id, rx } => {
+                    let (_, outcome) = rx
+                        .recv()
+                        .map_err(|_| io::Error::other("batcher dropped the job"))?;
+                    proto::render_response(Some(id), &outcome)
+                }
+            },
+        };
+        proto::write_frame(&mut writer, &response)?;
+    }
+    Ok(())
+}
+
+/// Accept loop: one thread per connection, with admission backpressure —
+/// while the queue is full, accepts are paused so the kernel backlog
+/// (not the service) absorbs the burst.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> io::Result<()> {
+    loop {
+        while !service.has_capacity() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (stream, _) = listener.accept()?;
+        let service = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("mcb-serve-conn".into())
+            .spawn(move || {
+                if let Err(e) = handle_conn(&service, stream) {
+                    eprintln!("connection error: {e}");
+                }
+            })?;
+    }
+}

@@ -1,0 +1,210 @@
+//! Crash-restart recovery (ISSUE 9 satellite): kill the `mcb-serve`
+//! binary mid-batch with jobs journaled-but-unfinished, restart against
+//! the same journal, and assert the recovery contract:
+//!
+//! * every previously-accepted job is driven to a terminal outcome —
+//!   completed from the journaled spec or explicitly rejected;
+//! * no job is completed twice (ids are unique across batch lines);
+//! * recovery terminates (no hang): the restarted process exits on its
+//!   own under `--recover-only`.
+//!
+//! The test talks to the real binary over its real socket, so it also
+//! covers the `LISTENING` handshake and the length-prefixed protocol.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use mcb_json::Json;
+use mcb_serve::records::parse_batch_record;
+
+const BIN: &str = env!("CARGO_BIN_EXE_mcb-serve");
+
+fn spawn_serve(journal: &std::path::Path, extra: &[&str]) -> (Child, String) {
+    let mut cmd = Command::new(BIN);
+    cmd.arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--journal")
+        .arg(journal)
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn().expect("spawn mcb-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("mcb-serve exited before LISTENING")
+            .expect("readable stdout");
+        if let Some(addr) = line.strip_prefix("LISTENING ") {
+            break addr.to_owned();
+        }
+    };
+    (child, addr)
+}
+
+fn write_frame(w: &mut impl Write, payload: &str) {
+    w.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+    w.write_all(payload.as_bytes()).unwrap();
+    w.flush().unwrap();
+}
+
+fn sort_request(i: u64) -> String {
+    let keys: Vec<String> = (0..6u64)
+        .map(|j| ((i * 37 + j * 11) % 500).to_string())
+        .collect();
+    format!(
+        r#"{{"req":"sort","deadline_ms":0,"keys":[{}]}}"#,
+        keys.join(",")
+    )
+}
+
+/// Parse the journal into (accepted ids, per-id terminal statuses,
+/// duplicate-done ids).
+fn audit_journal(path: &std::path::Path) -> (Vec<u64>, BTreeMap<u64, String>, Vec<u64>) {
+    let text = std::fs::read_to_string(path).expect("journal readable");
+    let mut accepted = Vec::new();
+    let mut terminal: BTreeMap<u64, String> = BTreeMap::new();
+    let mut duplicate_done = Vec::new();
+    // Ignore at most one torn final line (the kill can land mid-write).
+    let complete = match text.rfind('\n') {
+        Some(i) => &text[..i],
+        None => "",
+    };
+    for line in complete.lines() {
+        let Ok(j) = Json::parse(line) else {
+            continue; // torn line that still ends in '\n'
+        };
+        match j.get("record").and_then(Json::as_str) {
+            Some("job") => {
+                accepted.push(j.get("id").and_then(Json::as_u64).unwrap());
+            }
+            Some("batch") => {
+                for l in parse_batch_record(&j).unwrap() {
+                    if l.status == "done" || l.status == "failed" {
+                        let seen_before = terminal.insert(l.id, l.status.clone()).is_some();
+                        if seen_before && l.status == "done" {
+                            duplicate_done.push(l.id);
+                        }
+                    }
+                }
+            }
+            Some("shed") => {
+                if let Some(id) = j.get("id").and_then(Json::as_u64) {
+                    terminal.insert(id, "shed".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    (accepted, terminal, duplicate_done)
+}
+
+#[test]
+fn killed_mid_batch_then_restart_completes_every_accepted_job() {
+    let dir = std::env::temp_dir().join(format!("mcb-serve-restart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // Phase 1: start the binary with an artificial pre-run delay so jobs
+    // are journaled + queued but still mid-batch when we kill it.
+    let (mut child, addr) = spawn_serve(&journal, &["--test-delay-ms", "400", "--batch-max", "4"]);
+    let mut conn = TcpStream::connect(&addr).expect("connect");
+    const SENT: u64 = 12;
+    for i in 0..SENT {
+        write_frame(&mut conn, &sort_request(i));
+    }
+    // Wait until every submission is journaled (admission journals
+    // *before* queueing, so this converges fast), then kill mid-batch.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (accepted, _, _) = audit_journal(&journal);
+        if accepted.len() as u64 == SENT {
+            break;
+        }
+        assert!(Instant::now() < deadline, "jobs were never journaled");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child.kill().expect("kill mid-batch");
+    let _ = child.wait();
+    drop(conn);
+
+    let (accepted, terminal_before, _) = audit_journal(&journal);
+    assert_eq!(accepted.len() as u64, SENT);
+    assert!(
+        terminal_before.len() < accepted.len(),
+        "kill must land before all jobs settled (settled {}/{})",
+        terminal_before.len(),
+        accepted.len()
+    );
+
+    // Phase 2: restart against the same journal in recover-only mode.
+    // It must replay every open job to a terminal outcome and exit by
+    // itself — a hang here is a recovery bug, hence the hard timeout.
+    let mut recover = Command::new(BIN)
+        .arg("--journal")
+        .arg(&journal)
+        .arg("--recover-only")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn recovery");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = recover.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() >= deadline {
+            let _ = recover.kill();
+            panic!("recovery hung past 60s");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "recovery exited nonzero");
+    let mut out = String::new();
+    recover
+        .stdout
+        .take()
+        .unwrap()
+        .read_to_string(&mut out)
+        .unwrap();
+    assert!(
+        out.contains("RECOVERED replayed="),
+        "recovery must report its ledger, got {out:?}"
+    );
+
+    // Phase 3: audit the final journal. Every accepted id is terminal
+    // (done, failed, or explicitly shed) and no id was done twice.
+    let (accepted, terminal, duplicate_done) = audit_journal(&journal);
+    for id in &accepted {
+        assert!(
+            terminal.contains_key(id),
+            "job {id} was accepted but never reached a terminal record"
+        );
+    }
+    assert!(
+        duplicate_done.is_empty(),
+        "jobs completed twice: {duplicate_done:?}"
+    );
+
+    // Phase 4: a second restart finds nothing open — recovery is
+    // idempotent (replaying a terminal job would violate exactly-once).
+    let out = Command::new(BIN)
+        .arg("--journal")
+        .arg(&journal)
+        .arg("--recover-only")
+        .output()
+        .expect("second recovery");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("RECOVERED replayed=0 rejected=0"),
+        "second recovery must be a no-op, got {text:?}"
+    );
+
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -1,0 +1,92 @@
+//! End-to-end socket smoke: real binary, real TCP, length-prefixed
+//! frames both ways. Sorts and selections come back correct and in
+//! request order; an invalid request is refused with an explicit shed
+//! response rather than a dropped connection.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Command, Stdio};
+
+use mcb_json::Json;
+
+const BIN: &str = env!("CARGO_BIN_EXE_mcb-serve");
+
+fn write_frame(w: &mut impl Write, payload: &str) {
+    w.write_all(&(payload.len() as u32).to_le_bytes()).unwrap();
+    w.write_all(payload.as_bytes()).unwrap();
+    w.flush().unwrap();
+}
+
+fn read_frame(r: &mut impl Read) -> String {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len).unwrap();
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    r.read_exact(&mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+#[test]
+fn socket_round_trip_sort_select_and_shed() {
+    let mut child = Command::new(BIN)
+        .args(["--listen", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn mcb-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("stdout open").unwrap();
+        if let Some(a) = line.strip_prefix("LISTENING ") {
+            break a.to_owned();
+        }
+    };
+    let mut conn = TcpStream::connect(&addr).unwrap();
+
+    // Sort: response carries the keys descending.
+    write_frame(
+        &mut conn,
+        r#"{"req":"sort","deadline_ms":30000,"keys":[5,900,23,1,77]}"#,
+    );
+    let resp = Json::parse(&read_frame(&mut conn)).unwrap();
+    assert_eq!(resp.get("resp").and_then(Json::as_str), Some("done"));
+    let keys: Vec<u64> = resp
+        .get("keys")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(keys, [900, 77, 23, 5, 1]);
+
+    // Select: the 2nd largest.
+    write_frame(
+        &mut conn,
+        r#"{"req":"select","deadline_ms":30000,"rank":2,"keys":[40,9,133,62]}"#,
+    );
+    let resp = Json::parse(&read_frame(&mut conn)).unwrap();
+    assert_eq!(resp.get("resp").and_then(Json::as_str), Some("done"));
+    assert_eq!(resp.get("value").and_then(Json::as_u64), Some(62));
+
+    // Invalid request: explicit shed, connection stays usable.
+    write_frame(&mut conn, r#"{"req":"select","rank":9,"keys":[1,2]}"#);
+    let resp = Json::parse(&read_frame(&mut conn)).unwrap();
+    assert_eq!(resp.get("resp").and_then(Json::as_str), Some("shed"));
+    assert!(resp
+        .get("reason")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("rank"));
+
+    // The connection survived the shed: one more good request.
+    write_frame(
+        &mut conn,
+        r#"{"req":"sort","deadline_ms":30000,"keys":[2,1]}"#,
+    );
+    let resp = Json::parse(&read_frame(&mut conn)).unwrap();
+    assert_eq!(resp.get("resp").and_then(Json::as_str), Some("done"));
+
+    drop(conn);
+    child.kill().unwrap();
+    let _ = child.wait();
+}

@@ -23,6 +23,10 @@
 //!   conformance bridge.
 //! * [`workloads`] ([`mcb_workloads`]) — seeded input-distribution
 //!   generators.
+//! * [`serve`] ([`mcb_serve`]) — the fault-tolerant job service: a socket
+//!   front that batches small sort/select jobs into shared self-healing
+//!   MCB instances, with admission control, deadlines/retry, and a
+//!   crash-recoverable journal.
 //!
 //! ## Quickstart
 //!
@@ -54,4 +58,5 @@ pub use mcb_algos as algos;
 pub use mcb_check as check;
 pub use mcb_lowerbounds as lowerbounds;
 pub use mcb_net as net;
+pub use mcb_serve as serve;
 pub use mcb_workloads as workloads;

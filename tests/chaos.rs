@@ -123,6 +123,52 @@ fn selection_is_correct_under_random_fault_plans() {
 }
 
 #[test]
+fn correlated_bursts_are_survived_on_all_backends() {
+    // The bursty preset concentrates every transient into seeded storm
+    // windows (satellite of PR 9): whole runs of adjacent cycles are
+    // spoiled at once, the hardest shape for the retransmit protocol
+    // short of losing the channel. The output must still match the
+    // fault-free answer, within the lemma bound, on all three backends.
+    let (m, k) = (12usize, 4usize);
+    let opts = ChaosOpts::bursty(64);
+    let mut rng = Rng64::seed_from_u64(0xb5257);
+    for _ in 0..4 {
+        let seed = rng.next_u64();
+        let plan = FaultPlan::random(seed, k, k, &opts);
+        let s = plan.summary();
+        assert!(
+            s.drops + s.corrupts > 0,
+            "seed {seed:#x}: storms planted nothing"
+        );
+        let input = cols(m, k, seed);
+        let want = flat_sorted_desc(&input);
+
+        let mut per_backend = Vec::new();
+        for backend in BACKENDS {
+            let out = Resilient::new(plan.clone())
+                .backend(backend)
+                .sort_columns(m, input.clone())
+                .unwrap_or_else(|e| panic!("seed {seed:#x} {backend:?}: {e}"));
+            let got: Vec<u64> = out.columns.iter().flatten().filter_map(|x| *x).collect();
+            assert_eq!(got, want, "seed {seed:#x} {backend:?}: wrong output");
+            assert!(
+                out.metrics.cycles <= out.dilation_bound,
+                "seed {seed:#x} {backend:?}: {} cycles exceed lemma bound {}",
+                out.metrics.cycles,
+                out.dilation_bound
+            );
+            per_backend.push(out);
+        }
+        for b in &per_backend[1..] {
+            assert_eq!(
+                per_backend[0].metrics, b.metrics,
+                "seed {seed:#x}: backends diverge under bursts"
+            );
+        }
+    }
+}
+
+#[test]
 fn heavier_chaos_still_converges() {
     // Crank transient-fault density well past the defaults (every fault
     // cycle forces a whole-window retry) on a mid-size sort; the retry

@@ -1,8 +1,9 @@
-//! Schema-v4 JSONL round-trip: every record a faulted, self-healing run
-//! exports must parse back (via `mcb-json`'s reader) field-for-field
-//! equal to the in-memory structs it came from, re-render byte-identical,
-//! and be byte-identical across backends — the export is an archival
-//! format, so "what was written is what was meant" is load-bearing.
+//! Schema-v5 JSONL round-trip: every record a faulted, self-healing run
+//! exports — and every record the service journal writes — must parse
+//! back (via `mcb-json`'s reader) field-for-field equal to the in-memory
+//! structs it came from, re-render byte-identical, and be byte-identical
+//! across backends — the export is an archival format, so "what was
+//! written is what was meant" is load-bearing.
 
 use mcb::algos::heal::{run_program_in, ColumnsortProgram};
 use mcb::algos::Word;
@@ -11,6 +12,11 @@ use mcb::net::{
     RunReport, JSONL_SCHEMA_VERSION,
 };
 use mcb_json::Json;
+use mcb_serve::records::{
+    batch_record, header_record, job_record, parse_batch_record, parse_job_record,
+    parse_shed_record, shed_record, BatchJobLine,
+};
+use mcb_serve::JobSpec;
 
 const BACKENDS: [Backend; 2] = [Backend::Threaded, Backend::Pooled];
 
@@ -102,7 +108,7 @@ fn by_kind<'a>(parsed: &'a [Json], kind: &str) -> Vec<&'a Json> {
 }
 
 #[test]
-fn v4_export_round_trips_field_for_field() {
+fn v5_export_round_trips_field_for_field() {
     let report = healed_report(Backend::Threaded, false);
     assert!(!report.epochs.is_empty(), "plan must force reconfiguration");
     assert!(!report.metrics.faults.is_empty(), "plan must log faults");
@@ -113,7 +119,7 @@ fn v4_export_round_trips_field_for_field() {
     // Header carries the schema version this test is pinned to.
     assert_eq!(parsed[0].get("record").and_then(Json::as_str), Some("run"));
     assert_eq!(get_u64(&parsed[0], "schema"), JSONL_SCHEMA_VERSION);
-    assert_eq!(JSONL_SCHEMA_VERSION, 4);
+    assert_eq!(JSONL_SCHEMA_VERSION, 5);
 
     // fault_plan: one record, mirroring the summary.
     let s = report.fault_summary.as_ref().unwrap();
@@ -169,7 +175,7 @@ fn v4_export_round_trips_field_for_field() {
 }
 
 #[test]
-fn v4_monitor_records_round_trip_field_for_field() {
+fn v5_monitor_records_round_trip_field_for_field() {
     let report = healed_report(Backend::Threaded, true);
     let snap = report.monitor.as_ref().expect("monitor was attached");
     let parsed = parse_lines(&report.to_jsonl());
@@ -213,7 +219,7 @@ fn v4_monitor_records_round_trip_field_for_field() {
 }
 
 #[test]
-fn v4_profile_and_hist_records_round_trip() {
+fn v5_profile_and_hist_records_round_trip() {
     // Profiling is wall-clock (nondeterministic), so this is a
     // single-backend shape check, not a byte diff.
     let report = Network::new(4, 2)
@@ -275,13 +281,161 @@ fn v4_profile_and_hist_records_round_trip() {
 }
 
 #[test]
-fn v4_export_is_byte_identical_across_backends() {
+fn v5_export_is_byte_identical_across_backends() {
     let a = healed_report(BACKENDS[0], true).to_jsonl();
     let b = healed_report(BACKENDS[1], true).to_jsonl();
     assert_eq!(
         a, b,
         "faulted healed monitored runs must export identically"
     );
+}
+
+#[test]
+fn v5_serve_journal_records_round_trip_field_for_field() {
+    // The service journal's three record kinds (new in schema v5):
+    // parse-back must be field-for-field, re-render byte-identical —
+    // the recovery scanner replays these after a kill.
+    let header = header_record();
+    let raw = header.render();
+    let back = Json::parse(&raw).unwrap();
+    assert_eq!(back.render(), raw);
+    assert_eq!(
+        back.get("record").and_then(Json::as_str),
+        Some("serve_journal")
+    );
+    assert_eq!(get_u64(&back, "schema"), JSONL_SCHEMA_VERSION);
+
+    // job: both ops, with the null-rank round trip for sorts.
+    let specs = [
+        JobSpec::Sort {
+            keys: vec![9, 2, 1985, 0, 7],
+        },
+        JobSpec::Select {
+            keys: vec![12, 4, 6, 8],
+            rank: 3,
+        },
+    ];
+    for (i, spec) in specs.iter().enumerate() {
+        let rec = job_record(100 + i as u64, spec, 2_500);
+        let raw = rec.render();
+        let back = Json::parse(&raw).unwrap();
+        assert_eq!(back.render(), raw, "job record re-render");
+        let (id, got, deadline_ms) = parse_job_record(&back).unwrap();
+        assert_eq!(id, 100 + i as u64);
+        assert_eq!(&got, spec);
+        assert_eq!(deadline_ms, 2_500);
+        match spec {
+            JobSpec::Sort { .. } => assert!(back.get("rank").and_then(Json::as_u64).is_none()),
+            JobSpec::Select { rank, .. } => {
+                assert_eq!(opt_u64(&back, "rank"), Some(*rank as u64));
+            }
+        }
+    }
+
+    // batch: all three statuses and both error arms.
+    let lines = vec![
+        BatchJobLine {
+            id: 100,
+            status: "done".into(),
+            attempts: 1,
+            cycles: 210,
+            checksum: 0xfeed,
+        },
+        BatchJobLine {
+            id: 101,
+            status: "retry".into(),
+            attempts: 2,
+            cycles: 0,
+            checksum: 0,
+        },
+        BatchJobLine {
+            id: 102,
+            status: "failed".into(),
+            attempts: 3,
+            cycles: 0,
+            checksum: 0,
+        },
+    ];
+    for error in [None, Some("unrecoverable after 3 reconfigurations")] {
+        let rec = batch_record(7, 8, 3, 693, 2, error, &lines);
+        let raw = rec.render();
+        let back = Json::parse(&raw).unwrap();
+        assert_eq!(back.render(), raw, "batch record re-render");
+        assert_eq!(get_u64(&back, "batch"), 7);
+        assert_eq!(get_u64(&back, "p"), 8);
+        assert_eq!(get_u64(&back, "k"), 3);
+        assert_eq!(get_u64(&back, "cycles"), 693);
+        assert_eq!(get_u64(&back, "epochs"), 2);
+        assert_eq!(back.get("error").and_then(Json::as_str), error);
+        assert_eq!(parse_batch_record(&back).unwrap(), lines);
+    }
+
+    // shed: admission-side (no id) and recovery-side (with id).
+    for id in [None, Some(102)] {
+        let rec = shed_record(id, "queue-full", 256);
+        let raw = rec.render();
+        let back = Json::parse(&raw).unwrap();
+        assert_eq!(back.render(), raw, "shed record re-render");
+        assert_eq!(
+            parse_shed_record(&back).unwrap(),
+            (id, "queue-full".to_owned(), 256)
+        );
+    }
+}
+
+#[test]
+fn v5_live_journal_parses_line_for_line() {
+    // End-to-end: run real jobs through a journaled service, then parse
+    // the journal file it wrote with the plain JSONL reader — header
+    // first, every line byte-stable, every admitted job reaching a
+    // terminal batch line.
+    let dir = std::env::temp_dir().join(format!("mcb-jsonl-v5-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let service = mcb_serve::Service::start(mcb_serve::ServeConfig::default(), Some(&path))
+        .expect("service starts");
+    let mut ids = Vec::new();
+    let mut receivers = Vec::new();
+    for i in 0..4u64 {
+        let spec = JobSpec::Sort {
+            keys: (0..6).map(|j| (i * 17 + j * 5) % 101).collect(),
+        };
+        match service.submit(spec, 0) {
+            mcb_serve::Submit::Admitted { id, rx } => {
+                ids.push(id);
+                receivers.push(rx);
+            }
+            mcb_serve::Submit::Shed { reason } => panic!("unexpected shed: {reason}"),
+        }
+    }
+    for rx in receivers {
+        let (_, outcome) = rx.recv().unwrap();
+        assert!(matches!(outcome, mcb_serve::Outcome::Done(_)));
+    }
+    service.shutdown();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let parsed = parse_lines(text.trim_end());
+    assert_eq!(
+        parsed[0].get("record").and_then(Json::as_str),
+        Some("serve_journal")
+    );
+    assert_eq!(get_u64(&parsed[0], "schema"), JSONL_SCHEMA_VERSION);
+    let jobs = by_kind(&parsed, "job");
+    assert_eq!(jobs.len(), ids.len());
+    let mut terminal: Vec<u64> = Vec::new();
+    for batch in by_kind(&parsed, "batch") {
+        for line in parse_batch_record(batch).unwrap() {
+            assert_eq!(line.status, "done");
+            terminal.push(line.id);
+        }
+    }
+    terminal.sort_unstable();
+    assert_eq!(terminal, ids, "every admitted job is terminal as done");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
 }
 
 #[test]
