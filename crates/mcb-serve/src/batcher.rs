@@ -16,6 +16,13 @@
 //!   *fresh* instance after seeded jittered exponential backoff;
 //! * after `max_attempts` the job terminates with a typed
 //!   [`Outcome::Failed`] — never silence, never a hang.
+//!
+//! Outcomes are delivered to clients *before* the batch record is
+//! journaled, so journal recovery is at-least-once (see
+//! [`journal`](crate::journal) for why that is safe). A batch-record
+//! append failure is counted and, once persistent, closes intake —
+//! degrading like admission's fail-closed path instead of silently
+//! accumulating unjournaled work.
 
 use crate::job::{Job, Outcome};
 use crate::journal::Journal;
@@ -25,7 +32,7 @@ use mcb_algos::batch::BatchProgram;
 use mcb_algos::heal::{HealProgram, SelfHealing};
 use mcb_net::{Backend, ChaosOpts, FaultPlan, RunMonitor};
 use mcb_rng::Rng64;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -93,6 +100,11 @@ impl Default for ServeConfig {
     }
 }
 
+/// Consecutive batch-record append failures tolerated before the
+/// batcher closes intake (shared `accepting` flag) rather than keep
+/// executing work it cannot journal.
+const JOURNAL_FAIL_LIMIT: u32 = 3;
+
 /// The batcher thread's state.
 pub(crate) struct Batcher {
     pub cfg: ServeConfig,
@@ -101,9 +113,14 @@ pub(crate) struct Batcher {
     pub journal: Option<Arc<Journal>>,
     pub counters: Arc<Counters>,
     pub monitor: RunMonitor,
+    /// Shared with [`Service`](crate::service::Service): cleared here
+    /// when batch-record appends fail persistently.
+    pub accepting: Arc<AtomicBool>,
     pub batch_seq: u64,
     /// Jobs awaiting their backoff deadline.
     pub retries: Vec<(Instant, Job)>,
+    /// Consecutive batch-record append failures (reset on success).
+    pub journal_fail_streak: u32,
 }
 
 impl Batcher {
@@ -135,7 +152,15 @@ impl Batcher {
                         ready.push(job);
                     }
                     Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        // Intake is gone, so nothing can arrive before
+                        // the earliest retry is due; sleep that window
+                        // out instead of spinning on the dead channel.
+                        if !self.retries.is_empty() {
+                            std::thread::sleep(timeout.max(Duration::from_millis(1)));
+                        }
+                    }
                 }
             }
             // Top the batch up without waiting.
@@ -343,7 +368,7 @@ impl Batcher {
 
     #[allow(clippy::too_many_arguments)]
     fn journal_batch(
-        &self,
+        &mut self,
         seq: u64,
         p: usize,
         k: usize,
@@ -355,8 +380,30 @@ impl Batcher {
         self.counters.batches.fetch_add(1, Ordering::SeqCst);
         if let Some(journal) = &self.journal {
             let rec = batch_record(seq, p, k, cycles, epochs, error, lines);
-            if let Err(e) = journal.append(&rec) {
-                eprintln!("journal write failed: {e}");
+            match journal.append(&rec) {
+                Ok(()) => self.journal_fail_streak = 0,
+                Err(e) => {
+                    // The jobs in `lines` already got their outcomes;
+                    // without this record they stay open in the journal
+                    // and replay on restart (at-least-once, safe). What
+                    // must not happen silently is *persistent* failure
+                    // (disk full, dead volume): fail closed like
+                    // admission does and stop taking new work.
+                    self.journal_fail_streak += 1;
+                    self.counters.journal_errors.fetch_add(1, Ordering::SeqCst);
+                    eprintln!(
+                        "mcb-serve: batch journal append failed ({} consecutive): {e}",
+                        self.journal_fail_streak
+                    );
+                    if self.journal_fail_streak >= JOURNAL_FAIL_LIMIT
+                        && self.accepting.swap(false, Ordering::SeqCst)
+                    {
+                        eprintln!(
+                            "mcb-serve: journal failing persistently; intake closed \
+                             (already-executed unjournaled jobs will replay on restart)"
+                        );
+                    }
+                }
             }
         }
     }

@@ -5,12 +5,22 @@
 //! every executed batch writes a `batch` record with per-job statuses;
 //! every refusal writes a `shed` record. Each line is flushed before the
 //! write returns, so a `SIGKILL` can lose at most the line being written
-//! — and the [`scan`] tolerates exactly that: a torn final line is
-//! ignored, torn middles are errors.
+//! — a torn final line with no trailing newline. [`Journal::open`]
+//! truncates such a tail back to the last newline before appending (so
+//! the next record never concatenates onto the torn prefix), and
+//! [`scan`] discards it; a malformed *newline-terminated* line is
+//! corruption and errors, wherever it sits.
 //!
 //! Recovery contract (asserted by `tests/serve_restart.rs`): after a
 //! restart, `accepted − terminal` is the exact set of jobs to replay or
-//! reject — never silently dropped, never run twice.
+//! reject — never silently dropped. Replay is **at-least-once**, not
+//! exactly-once: batch outcomes reach clients *before* the `batch`
+//! record is appended, so a crash (or a failed append) in that window
+//! leaves already-executed jobs open and they re-run on restart. Jobs
+//! are pure functions of their journaled spec, so a re-run recomputes
+//! the same result, and the journal itself never carries two `done`
+//! lines for one id (a job only replays when its terminal record was
+//! never written).
 
 use crate::job::JobSpec;
 use crate::records;
@@ -29,9 +39,28 @@ pub struct Journal {
 
 impl Journal {
     /// Open (or create) the journal at `path`, appending a header record
-    /// when the file is new.
+    /// when the file is new. A torn tail left by a mid-write kill
+    /// (bytes after the last newline) is truncated first, so the next
+    /// append starts on a fresh line instead of merging with the torn
+    /// prefix into one unparseable record.
     pub fn open(path: &Path) -> std::io::Result<Journal> {
-        let existing = path.metadata().map_or(0, |m| m.len());
+        let mut existing = 0u64;
+        match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(mut f) => {
+                let mut raw = Vec::new();
+                f.read_to_end(&mut raw)?;
+                let keep = raw
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |i| (i + 1) as u64);
+                if keep < raw.len() as u64 {
+                    f.set_len(keep)?;
+                }
+                existing = keep;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         let journal = Journal {
             inner: Mutex::new(BufWriter::new(file)),
@@ -87,9 +116,12 @@ pub struct ScanResult {
     pub torn_tail: bool,
 }
 
-/// Scan a journal file. Lines must parse except possibly the last
-/// (a kill mid-write tears at most one line, which is discarded); a
-/// malformed line elsewhere is corruption and errors out.
+/// Scan a journal file. A kill mid-write tears at most the final line,
+/// and a torn line has no trailing newline (each append flushes
+/// record + `'\n'` together), so the bytes after the last newline are
+/// discarded as the torn tail; every newline-terminated line was
+/// complete as written and a malformed one is corruption that errors
+/// out.
 pub fn scan(path: &Path) -> Result<ScanResult, String> {
     let mut raw = String::new();
     match File::open(path) {
@@ -115,19 +147,8 @@ pub fn scan(path: &Path) -> Result<ScanResult, String> {
     };
     let mut accepted: Vec<OpenJob> = Vec::new();
     let mut terminal: Vec<u64> = Vec::new();
-    let lines: Vec<&str> = complete.lines().collect();
-    for (n, line) in lines.iter().enumerate() {
-        let parsed = Json::parse(line);
-        let j = match parsed {
-            Ok(j) => j,
-            // The final complete line may still be torn if the kill
-            // landed exactly after a flushed prefix; tolerate only there.
-            Err(_) if n + 1 == lines.len() => {
-                out.torn_tail = true;
-                break;
-            }
-            Err(e) => return Err(format!("{}:{}: {e}", path.display(), n + 1)),
-        };
+    for (n, line) in complete.lines().enumerate() {
+        let j = Json::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), n + 1))?;
         out.lines += 1;
         match j.get("record").and_then(Json::as_str) {
             Some("serve_journal") => {}
@@ -254,6 +275,53 @@ mod tests {
         assert!(scan.torn_tail);
         assert_eq!(scan.open.len(), 1);
         assert_eq!(scan.max_id, 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let path = tmp("truncate");
+        let _ = fs::remove_file(&path);
+        let journal = Journal::open(&path).unwrap();
+        journal
+            .append(&job_record(1, &JobSpec::Sort { keys: vec![7] }, 0))
+            .unwrap();
+        drop(journal);
+        // Simulate a kill mid-write: a partial record with no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"record\":\"job\",\"id\":2,").unwrap();
+        drop(f);
+        // Reopening repairs the tail; the next append must not merge
+        // with the torn prefix.
+        let journal = Journal::open(&path).unwrap();
+        journal
+            .append(&job_record(3, &JobSpec::Sort { keys: vec![9] }, 0))
+            .unwrap();
+        drop(journal);
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("\"id\":2,{"), "torn prefix merged: {text}");
+        let scan = scan(&path).unwrap();
+        assert!(!scan.torn_tail, "tail was repaired at reopen");
+        assert_eq!(
+            scan.open.iter().map(|j| j.id).collect::<Vec<_>>(),
+            vec![1, 3]
+        );
+        assert_eq!(scan.max_id, 3);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unparseable_final_complete_line_is_an_error() {
+        let path = tmp("strict-tail");
+        let _ = fs::remove_file(&path);
+        // Newline-terminated lines are complete as written, so a
+        // malformed one is corruption even in final position.
+        fs::write(
+            &path,
+            "{\"record\":\"serve_journal\",\"schema\":5}\nnot json\n",
+        )
+        .unwrap();
+        assert!(scan(&path).is_err());
         let _ = fs::remove_file(&path);
     }
 

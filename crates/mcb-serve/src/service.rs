@@ -37,6 +37,10 @@ pub struct Counters {
     pub cycles: AtomicU64,
     /// Reconfigurations summed over successful batch runs.
     pub epochs: AtomicU64,
+    /// Batch-record journal appends that failed (each leaves its jobs
+    /// open in the journal, to replay on restart; a persistent streak
+    /// closes intake).
+    pub journal_errors: AtomicU64,
 }
 
 /// A point-in-time copy of [`Counters`].
@@ -60,6 +64,8 @@ pub struct ServeStats {
     pub cycles: u64,
     /// See [`Counters::epochs`].
     pub epochs: u64,
+    /// See [`Counters::journal_errors`].
+    pub journal_errors: u64,
 }
 
 /// What [`Service::submit`] returned for one request.
@@ -103,7 +109,9 @@ pub struct Service {
     monitor: RunMonitor,
     /// What the startup journal scan replayed/rejected.
     pub recovery: Recovery,
-    accepting: AtomicBool,
+    /// Shared with the batcher, which clears it when batch-record
+    /// journal appends fail persistently.
+    accepting: Arc<AtomicBool>,
 }
 
 impl Service {
@@ -156,6 +164,7 @@ impl Service {
             let _ = journal; // journal already holds the shed records
         }
         let monitor = RunMonitor::new();
+        let accepting = Arc::new(AtomicBool::new(true));
         for job in recovered {
             depth.fetch_add(1, Ordering::SeqCst);
             counters.admitted.fetch_add(1, Ordering::SeqCst);
@@ -168,8 +177,10 @@ impl Service {
             journal: journal.clone(),
             counters: Arc::clone(&counters),
             monitor: monitor.clone(),
+            accepting: Arc::clone(&accepting),
             batch_seq: 0,
             retries: Vec::new(),
+            journal_fail_streak: 0,
         };
         let handle = std::thread::Builder::new()
             .name("mcb-serve-batcher".into())
@@ -185,7 +196,7 @@ impl Service {
             counters,
             monitor,
             recovery,
-            accepting: AtomicBool::new(true),
+            accepting,
         })
     }
 
@@ -193,10 +204,10 @@ impl Service {
     /// queue overflow are refused with an explicit [`Submit::Shed`]
     /// (journaled); admitted jobs are journaled *before* queueing.
     pub fn submit(&self, spec: JobSpec, deadline_ms: u64) -> Submit {
-        let depth_now = self.depth.load(Ordering::SeqCst);
         let shed = |reason: String| {
             self.counters.shed.fetch_add(1, Ordering::SeqCst);
             if let Some(journal) = &self.journal {
+                let depth_now = self.depth.load(Ordering::SeqCst);
                 let _ = journal.append(&shed_record(None, &reason, depth_now));
             }
             Submit::Shed { reason }
@@ -207,14 +218,20 @@ impl Service {
         if let Err(e) = spec.validate() {
             return shed(format!("invalid: {e}"));
         }
-        if depth_now >= self.cfg.queue_depth {
+        // Reserve the queue slot atomically: every submitter increments
+        // first and backs out on overflow, so concurrent submissions
+        // cannot all pass a check and overshoot the admission bound.
+        let prior = self.depth.fetch_add(1, Ordering::SeqCst);
+        if prior >= self.cfg.queue_depth {
+            self.depth.fetch_sub(1, Ordering::SeqCst);
             return shed("queue-full".into());
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.append(&job_record(id, &spec, deadline_ms)) {
                 // A job we cannot journal is a job we cannot promise to
-                // recover: refuse it.
+                // recover: refuse it and release the slot.
+                self.depth.fetch_sub(1, Ordering::SeqCst);
                 return shed(format!("journal-error: {e}"));
             }
         }
@@ -227,7 +244,6 @@ impl Service {
             attempts: 0,
             reply: Some(reply_tx),
         };
-        self.depth.fetch_add(1, Ordering::SeqCst);
         self.counters.admitted.fetch_add(1, Ordering::SeqCst);
         self.tx
             .as_ref()
@@ -261,6 +277,7 @@ impl Service {
             batch_errors: c.batch_errors.load(Ordering::SeqCst),
             cycles: c.cycles.load(Ordering::SeqCst),
             epochs: c.epochs.load(Ordering::SeqCst),
+            journal_errors: c.journal_errors.load(Ordering::SeqCst),
         }
     }
 

@@ -76,7 +76,10 @@ fn audit_journal(path: &std::path::Path) -> (Vec<u64>, BTreeMap<u64, String>, Ve
     };
     for line in complete.lines() {
         let Ok(j) = Json::parse(line) else {
-            continue; // torn line that still ends in '\n'
+            // The service itself truncates torn tails on reopen and
+            // errors on newline-terminated corruption; the audit just
+            // skips anything unparseable.
+            continue;
         };
         match j.get("record").and_then(Json::as_str) {
             Some("job") => {
@@ -192,7 +195,8 @@ fn killed_mid_batch_then_restart_completes_every_accepted_job() {
     );
 
     // Phase 4: a second restart finds nothing open — recovery is
-    // idempotent (replaying a terminal job would violate exactly-once).
+    // idempotent (a job replays only while its terminal record is
+    // missing, so a journal with every id terminal replays nothing).
     let out = Command::new(BIN)
         .arg("--journal")
         .arg(&journal)
